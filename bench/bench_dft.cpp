@@ -1,0 +1,85 @@
+// E11 (extension) — dynamic fault trees via the modular (HARP-style)
+// method: per-module CTMC cost stays tiny while the static remainder is
+// solved combinatorially, and the hot-spare (static) approximation error
+// vs true spare dormancy is quantified.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/relkit.hpp"
+
+using namespace relkit;
+
+namespace {
+
+// A farm of `m` independent warm-spare pairs under an OR (any pair lost
+// fails the system), all units at rate 1e-4/h.
+dft::Dft spare_farm(std::uint32_t m, double dormancy) {
+  std::vector<dft::NodePtr> gates;
+  std::map<std::string, double> rates;
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const std::string p = "p" + std::to_string(i);
+    const std::string s = "s" + std::to_string(i);
+    gates.push_back(dft::Node::spare_gate(
+        "sp" + std::to_string(i),
+        {dft::Node::basic(p), dft::Node::basic(s)}, dormancy));
+    rates.emplace(p, 1e-4);
+    rates.emplace(s, 1e-4);
+  }
+  return dft::Dft(dft::Node::or_gate(std::move(gates)), std::move(rates));
+}
+
+void print_table() {
+  std::printf("== E11: dynamic fault trees (modular method) ==============\n");
+  std::printf("spare-farm unreliability at t = 1000 h, units 1e-4/h:\n");
+  std::printf("%-8s %-10s %-14s %-14s %-12s\n", "pairs", "modules",
+              "cold (d=0)", "hot (d=1)", "hot/cold");
+  for (std::uint32_t m : {1u, 4u, 16u, 64u}) {
+    const dft::Dft cold = spare_farm(m, 0.0);
+    const dft::Dft hot = spare_farm(m, 1.0);
+    const double qc = cold.unreliability(1000.0);
+    const double qh = hot.unreliability(1000.0);
+    std::printf("%-8u %-10zu %-14.6e %-14.6e %-12.3f\n", m,
+                cold.module_count(), qc, qh, qh / qc);
+  }
+  std::printf("\nPAND order-dependence (rates a=3e-4, b=2e-4, t=2000 h):\n");
+  const auto pand = dft::Node::pand_gate(
+      "pand", {dft::Node::basic("a"), dft::Node::basic("b")});
+  const dft::Dft seq(pand, {{"a", 3e-4}, {"b", 2e-4}});
+  const auto plain = dft::Node::and_gate(
+      {dft::Node::basic("a"), dft::Node::basic("b")});
+  const dft::Dft both(plain, {{"a", 3e-4}, {"b", 2e-4}});
+  std::printf("  AND (order-blind) : %.6e\n", both.unreliability(2000.0));
+  std::printf("  PAND (a before b) : %.6e\n", seq.unreliability(2000.0));
+  std::printf("\nShape check: a hot spare roughly doubles the per-pair\n"
+              "failure probability vs a cold spare at these rates; PAND\n"
+              "keeps only the ordered fraction of the AND probability.\n\n");
+}
+
+void BM_DftBuildAndSolve(benchmark::State& state) {
+  const auto m = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    const dft::Dft farm = spare_farm(m, 0.3);
+    benchmark::DoNotOptimize(farm.unreliability(1000.0));
+  }
+}
+BENCHMARK(BM_DftBuildAndSolve)->RangeMultiplier(4)->Range(1, 64);
+
+void BM_DftUnreliabilityOnly(benchmark::State& state) {
+  const dft::Dft farm = spare_farm(16, 0.3);
+  double t = 10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(farm.unreliability(t));
+    t = t < 5000.0 ? t + 10.0 : 10.0;
+  }
+}
+BENCHMARK(BM_DftUnreliabilityOnly);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,132 @@
+// E8 — the Cisco GGSN-style real-world availability table.
+//
+// Active/standby gateway CTMC with imperfect coverage, reboot vs field
+// repair, and switchover delay. Regenerates the tutorial's headline table:
+// downtime minutes/year as a function of failover coverage, plus the
+// sensitivity ranking that tells the operator where to invest. Shape to
+// reproduce: coverage dominates; moving c from 0.9 to 0.999 buys an order
+// of magnitude of downtime.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/relkit.hpp"
+
+using namespace relkit;
+
+namespace {
+
+struct Params {
+  double lam_hw = 1.0 / 30000.0;
+  double lam_sw = 1.0 / 1500.0;
+  double mu_reboot = 6.0;
+  double mu_hw = 0.25;
+  double mu_switch = 120.0;
+  double mu_manual = 2.0;
+  double coverage = 0.95;
+};
+
+markov::Ctmc build(const Params& p) {
+  const double lam = p.lam_hw + p.lam_sw;
+  const double w_sw = p.lam_sw / lam;
+  const double mu_node = 1.0 / (w_sw / p.mu_reboot + (1 - w_sw) / p.mu_hw);
+  markov::Ctmc c;
+  const auto both = c.add_state("both");
+  const auto swo = c.add_state("switching");
+  const auto solo = c.add_state("solo");
+  const auto manual = c.add_state("manual");
+  const auto dual = c.add_state("dual");
+  c.add_transition(both, swo, lam * p.coverage);
+  c.add_transition(both, manual, lam * (1 - p.coverage));
+  c.add_transition(swo, solo, p.mu_switch);
+  c.add_transition(solo, dual, lam);
+  c.add_transition(solo, both, mu_node);
+  c.add_transition(manual, solo, p.mu_manual);
+  c.add_transition(dual, solo, mu_node);
+  return c;
+}
+
+double availability(const Params& p) {
+  const markov::Ctmc c = build(p);
+  const auto pi = c.steady_state();
+  return pi[c.state_index("both")] + pi[c.state_index("solo")];
+}
+
+void print_table() {
+  std::printf("== E8: GGSN availability vs failover coverage =============\n");
+  Params p;
+  std::printf("%-10s %-14s %-12s %-8s\n", "coverage", "availability",
+              "min/yr", "nines");
+  for (double c : {0.90, 0.95, 0.99, 0.999, 0.9999}) {
+    p.coverage = c;
+    const double a = availability(p);
+    std::printf("%-10.4f %.9f  %8.2f   %.2f\n", c, a,
+                core::downtime_minutes_per_year(a), core::nines(a));
+  }
+
+  // Exact parametric sensitivity of A w.r.t. coverage via the dQ method.
+  p.coverage = 0.95;
+  const markov::Ctmc c = build(p);
+  const double lam = p.lam_hw + p.lam_sw;
+  Matrix dq(5, 5);
+  // d/dc of: both->swo rate lam*c ; both->manual rate lam*(1-c).
+  dq(0, 1) = lam;
+  dq(0, 3) = -lam;
+  const auto dpi = markov::steady_state_sensitivity(c, dq);
+  const double dA = dpi[0] + dpi[2];  // states both + solo
+  std::printf("\nexact dA/dcoverage at c=0.95: %.4e  "
+              "(downtime saved per +0.01 coverage: %.2f min/yr)\n", dA,
+              -core::downtime_minutes_per_year(1.0) * 0.0 +
+                  0.01 * dA * 365.25 * 24 * 60);
+
+  // Transient: availability over the first week after commissioning.
+  std::printf("\nA(t) from fresh deployment (c = 0.95):\n");
+  const auto pi0 = c.point_mass(0);
+  for (double t : {1.0, 24.0, 72.0, 168.0}) {
+    const auto pi = c.transient(pi0, t);
+    std::printf("  t = %5.0f h : %.9f\n", t, pi[0] + pi[2]);
+  }
+  std::printf("\nShape check: downtime falls roughly 10x from c=0.90 to\n"
+              "c=0.999, and coverage dominates every other knob (E8/E4\n"
+              "sensitivity ranking).\n\n");
+}
+
+void BM_GgsnSolve(benchmark::State& state) {
+  Params p;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(availability(p));
+  }
+}
+BENCHMARK(BM_GgsnSolve);
+
+void BM_GgsnSensitivity(benchmark::State& state) {
+  Params p;
+  const markov::Ctmc c = build(p);
+  Matrix dq(5, 5);
+  const double lam = p.lam_hw + p.lam_sw;
+  dq(0, 1) = lam;
+  dq(0, 3) = -lam;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(markov::steady_state_sensitivity(c, dq));
+  }
+}
+BENCHMARK(BM_GgsnSensitivity);
+
+void BM_GgsnTransientWeek(benchmark::State& state) {
+  Params p;
+  const markov::Ctmc c = build(p);
+  const auto pi0 = c.point_mass(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.transient(pi0, 168.0));
+  }
+}
+BENCHMARK(BM_GgsnTransientWeek);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,163 @@
+// E4 — "Hierarchical and fixed-point iterative methods provide a scalable
+// alternative": hierarchy vs monolithic composite CTMC.
+//
+// A system of K independent duplex subsystems:
+//   * monolithic: one CTMC over the product space, 3^K states;
+//   * hierarchical: K small (3-state) CTMCs feeding an RBD — K*3 states.
+// Both are exact here (the subsystems are independent), so the availability
+// must agree to solver precision while costs diverge exponentially.
+//
+// Second part: a *coupled* variant (a shared repair crew slows per-subsystem
+// repair as more subsystems are down) solved by fixed-point iteration on the
+// crew utilization, reporting iterations to convergence — the tutorial's
+// Cisco/IBM-style fixed-point pattern.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cmath>
+
+#include "core/relkit.hpp"
+
+using namespace relkit;
+
+namespace {
+
+constexpr double kLambda = 1e-3;
+constexpr double kMu = 0.5;
+
+// 3-state duplex subsystem (2up -> 1up -> 0up with single repair).
+double duplex_availability(double lambda, double mu) {
+  markov::Ctmc c;
+  c.add_states(3);
+  c.add_transition(0, 1, 2 * lambda);
+  c.add_transition(1, 2, lambda);
+  c.add_transition(1, 0, mu);
+  c.add_transition(2, 1, mu);
+  const auto pi = c.steady_state();
+  return pi[0] + pi[1];
+}
+
+// Monolithic composite: K duplexes in one CTMC (3^K states); system up when
+// every duplex has >= 1 unit up.
+double monolithic_availability(int k, std::size_t* states_out) {
+  std::size_t n = 1;
+  for (int i = 0; i < k; ++i) n *= 3;
+  *states_out = n;
+  markov::Ctmc c;
+  c.add_states(n);
+  // State encoding: base-3 digits, digit j = #units down in subsystem j.
+  std::vector<std::size_t> pow3(k + 1, 1);
+  for (int i = 1; i <= k; ++i) pow3[i] = pow3[i - 1] * 3;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (int j = 0; j < k; ++j) {
+      const int digit = static_cast<int>(s / pow3[j]) % 3;
+      if (digit < 2) {  // a failure is possible
+        c.add_transition(s, s + pow3[j], (2 - digit) * kLambda);
+      }
+      if (digit > 0) {  // a repair is possible
+        c.add_transition(s, s - pow3[j], kMu);
+      }
+    }
+  }
+  const auto pi = c.steady_state();
+  double avail = 0.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    bool up = true;
+    for (int j = 0; j < k; ++j) {
+      if (static_cast<int>(s / pow3[j]) % 3 == 2) {
+        up = false;
+        break;
+      }
+    }
+    if (up) avail += pi[s];
+  }
+  return avail;
+}
+
+double hierarchical_availability(int k) {
+  const double a = duplex_availability(kLambda, kMu);
+  return std::pow(a, k);  // series of K independent duplex subsystems
+}
+
+double ms(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void print_table() {
+  std::printf("== E4: hierarchical vs monolithic composition =============\n");
+  std::printf("%-4s %-10s %-12s %-12s %-12s %-10s\n", "K", "mono sts",
+              "mono [ms]", "hier [ms]", "|delta A|", "agree");
+  for (int k : {2, 3, 4, 5, 6, 7}) {
+    std::size_t states = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    const double mono = monolithic_availability(k, &states);
+    const double t_mono = ms(t0);
+    t0 = std::chrono::steady_clock::now();
+    const double hier = hierarchical_availability(k);
+    const double t_hier = ms(t0);
+    std::printf("%-4d %-10zu %-12.2f %-12.4f %-12.2e %-10s\n", k, states,
+                t_mono, t_hier, std::abs(mono - hier),
+                std::abs(mono - hier) < 1e-10 ? "yes" : "NO");
+  }
+
+  // Coupled variant: effective repair rate mu_eff = mu / (1 + 0.3 * D)
+  // where D = expected number of down subsystems across the farm — a
+  // cyclic dependency solved by fixed point.
+  std::printf("\nfixed-point solution of the coupled (shared-crew) farm:\n");
+  std::printf("%-4s %-14s %-12s %-10s\n", "K", "availability", "iterations",
+              "residual");
+  for (int k : {4, 8, 16, 32}) {
+    core::Hierarchy h;
+    h.set_parameter("down_expect", 0.0);
+    core::FixedPointResult res{};
+    const auto update = [k](const core::Hierarchy& hh) {
+      const double mu_eff = kMu / (1.0 + 0.3 * hh.value("down_expect"));
+      // Expected down units per duplex from its 3-state model.
+      markov::Ctmc c;
+      c.add_states(3);
+      c.add_transition(0, 1, 2 * kLambda);
+      c.add_transition(1, 2, kLambda);
+      c.add_transition(1, 0, mu_eff);
+      c.add_transition(2, 1, mu_eff);
+      const auto pi = c.steady_state();
+      return k * (pi[1] + 2.0 * pi[2]);
+    };
+    res = h.solve_fixed_point({{"down_expect", update}});
+    const double mu_eff = kMu / (1.0 + 0.3 * h.value("down_expect"));
+    const double a = std::pow(duplex_availability(kLambda, mu_eff), k);
+    std::printf("%-4d %-14.9f %-12zu %-10.1e\n", k, a, res.iterations,
+                res.residual);
+  }
+  std::printf("\nShape check: identical availability, but monolithic cost\n"
+              "explodes 3^K while the hierarchy stays trivial; the coupled\n"
+              "farm converges in a handful of fixed-point iterations.\n\n");
+}
+
+void BM_Monolithic(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  std::size_t states = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monolithic_availability(k, &states));
+  }
+}
+BENCHMARK(BM_Monolithic)->DenseRange(2, 7);
+
+void BM_Hierarchical(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hierarchical_availability(k));
+  }
+}
+BENCHMARK(BM_Hierarchical)->DenseRange(2, 7);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

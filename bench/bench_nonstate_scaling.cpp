@@ -1,0 +1,114 @@
+// E1 — "Relatively efficient algorithms ... handle systems with hundreds of
+// components": non-state-space scalability.
+//
+// Regenerates the tutorial's scalability series: BDD size and solve time of
+// series-parallel RBDs and k-of-n fault trees as the component count grows
+// from 10 to 640. The claim to check: cost grows mildly (near-linearly for
+// these structures) rather than exploding like a state space would (2^n).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/relkit.hpp"
+
+using namespace relkit;
+
+namespace {
+
+rbd::Rbd make_series_of_pairs(int n_pairs) {
+  std::vector<rbd::BlockPtr> stages;
+  std::map<std::string, ComponentModel> models;
+  for (int i = 0; i < n_pairs; ++i) {
+    const std::string a = "a" + std::to_string(i);
+    const std::string b = "b" + std::to_string(i);
+    stages.push_back(rbd::Block::parallel(
+        {rbd::Block::component(a), rbd::Block::component(b)}));
+    models.emplace(a, ComponentModel::fixed(0.99));
+    models.emplace(b, ComponentModel::fixed(0.99));
+  }
+  return rbd::Rbd(rbd::Block::series(stages), models);
+}
+
+ftree::FaultTree make_kofn_tree(std::uint32_t n) {
+  std::vector<ftree::NodePtr> leaves;
+  std::map<std::string, ftree::EventModel> events;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::string name = "e" + std::to_string(i);
+    leaves.push_back(ftree::Node::basic(name));
+    events.emplace(name, ftree::EventModel::fixed(0.995));
+  }
+  return ftree::FaultTree(
+      ftree::Node::k_of_n_gate(n / 4 + 1, std::move(leaves)), events);
+}
+
+void print_table() {
+  std::printf("== E1: non-state-space scalability =======================\n");
+  std::printf("%-8s | %-22s | %-26s\n", "", "series-parallel RBD",
+              "k-of-n fault tree");
+  std::printf("%-8s | %-10s %-11s | %-10s %-10s %-10s\n", "n", "BDD nodes",
+              "solve [us]", "BDD nodes", "solve[us]", "top prob");
+  for (int n : {10, 20, 40, 80, 160, 320, 640}) {
+    const auto rbd_model = make_series_of_pairs(n / 2);
+    auto t0 = std::chrono::steady_clock::now();
+    const double avail = rbd_model.availability();
+    const double rbd_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    benchmark::DoNotOptimize(avail);
+
+    const auto tree = make_kofn_tree(static_cast<std::uint32_t>(n));
+    t0 = std::chrono::steady_clock::now();
+    const double top = tree.top_probability_limit();
+    const double ft_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    std::printf("%-8d | %-10zu %-11.1f | %-10zu %-10.1f %-10.3e\n", n,
+                rbd_model.bdd_node_count(), rbd_us, tree.bdd_node_count(),
+                ft_us, top);
+  }
+  std::printf("\nShape check: BDD nodes grow ~linearly (series-parallel)\n"
+              "and ~quadratically (k-of-n); a composite CTMC over the same\n"
+              "components would need 2^n states (E3 shows that wall).\n\n");
+}
+
+void BM_RbdCompileAndSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto model = make_series_of_pairs(n / 2);
+    benchmark::DoNotOptimize(model.availability());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_RbdCompileAndSolve)->RangeMultiplier(2)->Range(16, 512)
+    ->Complexity();
+
+void BM_FtreeCompileAndSolve(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    const auto tree = make_kofn_tree(n);
+    benchmark::DoNotOptimize(tree.top_probability_limit());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FtreeCompileAndSolve)->RangeMultiplier(2)->Range(16, 512)
+    ->Complexity();
+
+void BM_ProbEvalOnly(benchmark::State& state) {
+  const auto model = make_series_of_pairs(static_cast<int>(state.range(0)) / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.availability());
+  }
+}
+BENCHMARK(BM_ProbEvalOnly)->RangeMultiplier(4)->Range(16, 1024);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

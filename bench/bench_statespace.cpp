@@ -1,0 +1,121 @@
+// E3 — "the resulting state space explosion severely restricts the size of
+// the problem": CTMC solution cost vs state count.
+//
+// Two series:
+//   (a) birth-death availability chains from 10 to 100k states — steady
+//       state via dense GTH (O(n^3)) vs sparse SOR (O(nnz) per sweep),
+//       showing the crossover that forces iterative methods;
+//   (b) transient uniformization cost vs qt (stiffness), showing cost
+//       proportional to q t.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/relkit.hpp"
+
+using namespace relkit;
+
+namespace {
+
+markov::Ctmc birth_death(std::size_t n) {
+  markov::Ctmc c;
+  c.add_states(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    c.add_transition(i, i + 1, 1.0);
+    c.add_transition(i + 1, i, 1.4);
+  }
+  return c;
+}
+
+double ms(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void print_table() {
+  std::printf("== E3: state-space solution cost vs size ==================\n");
+  std::printf("%-9s %-12s %-12s %-14s\n", "states", "GTH [ms]", "SOR [ms]",
+              "pi[0] match");
+  for (std::size_t n : {10u, 50u, 100u, 200u, 400u, 800u, 3000u, 10000u}) {
+    const markov::Ctmc c = birth_death(n);
+    double t_gth = -1.0;
+    double pi0_gth = -1.0;
+    if (n <= 800) {  // dense elimination becomes infeasible quickly
+      auto t0 = std::chrono::steady_clock::now();
+      markov::SteadyStateOptions opts;
+      opts.dense_threshold = 1u << 20;
+      pi0_gth = c.steady_state(opts)[0];
+      t_gth = ms(t0);
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    markov::SteadyStateOptions sor_opts;
+    sor_opts.dense_threshold = 0;
+    sor_opts.sor.tol = 1e-10;
+    const double pi0_sor = c.steady_state(sor_opts)[0];
+    const double t_sor = ms(t0);
+    std::printf("%-9zu %-12s %-12.2f %-14s\n", n,
+                t_gth < 0 ? "(skipped)" : std::to_string(t_gth).substr(0, 8).c_str(),
+                t_sor,
+                t_gth < 0 ? "-"
+                          : (std::abs(pi0_gth - pi0_sor) < 1e-8 ? "yes"
+                                                                : "NO"));
+  }
+
+  std::printf("\ntransient uniformization cost (1000-state chain):\n");
+  std::printf("%-10s %-12s %-12s\n", "t", "q*t", "time [ms]");
+  const markov::Ctmc c = birth_death(1000);
+  for (double t : {1.0, 10.0, 100.0, 1000.0}) {
+    auto t0 = std::chrono::steady_clock::now();
+    const auto pi = c.transient(c.point_mass(0), t);
+    benchmark::DoNotOptimize(pi);
+    std::printf("%-10.0f %-12.0f %-12.2f\n", t, 2.4 * 1.02 * t, ms(t0));
+  }
+  std::printf("\nShape check: GTH cost grows ~n^3 and becomes infeasible\n"
+              "around 10^3-10^4 states; SOR extends the reach by orders of\n"
+              "magnitude (sweep cost O(nnz); sweep count grows with the\n"
+              "chain diameter). Uniformization cost grows linearly in qt.\n\n");
+}
+
+void BM_GthSteadyState(benchmark::State& state) {
+  const markov::Ctmc c = birth_death(static_cast<std::size_t>(state.range(0)));
+  markov::SteadyStateOptions opts;
+  opts.dense_threshold = 1u << 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.steady_state(opts));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GthSteadyState)->RangeMultiplier(2)->Range(16, 512)->Complexity();
+
+void BM_SorSteadyState(benchmark::State& state) {
+  const markov::Ctmc c = birth_death(static_cast<std::size_t>(state.range(0)));
+  markov::SteadyStateOptions opts;
+  opts.dense_threshold = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.steady_state(opts));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SorSteadyState)->RangeMultiplier(4)->Range(64, 4096)
+    ->Complexity();
+
+void BM_TransientUniformization(benchmark::State& state) {
+  const markov::Ctmc c = birth_death(1000);
+  const double t = static_cast<double>(state.range(0));
+  const auto pi0 = c.point_mass(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.transient(pi0, t));
+  }
+}
+BENCHMARK(BM_TransientUniformization)->RangeMultiplier(4)->Range(1, 256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

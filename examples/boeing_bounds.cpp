@@ -1,0 +1,96 @@
+// Boeing-787-style bounded analysis of a very large fault tree.
+//
+//   build/examples/example_boeing_bounds
+//
+// The tutorial's bounding story: for a major 787 subsystem the fault tree
+// was too large for exact solution, so certified bounds were computed
+// instead. This example builds a synthetic tree of the same shape (a wide
+// OR over many k-of-n voting clusters — proprietary structure replaced per
+// DESIGN.md), then shows
+//   * exact BDD solution while it is cheap,
+//   * union / Esary-Proschan / Bonferroni bounds from truncated cut lists,
+//   * how the bound width shrinks as more cuts and deeper terms are used.
+#include <chrono>
+#include <cstdio>
+
+#include "core/relkit.hpp"
+
+using namespace relkit;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Bounded analysis of a wide voting fault tree ==========\n\n");
+
+  // 60 clusters of 2-of-4 voting over events with q = 2e-3 — about the
+  // point where full cut enumeration gets expensive on bigger variants.
+  const std::uint32_t clusters = 60, k = 2, n = 4;
+  const double q_event = 2e-3;
+  const auto gen = ftree::generate_wide_tree(clusters, k, n, q_event);
+  const ftree::FaultTree tree(gen.top, gen.events);
+  std::printf("tree: %u clusters x (%u-of-%u), %zu basic events, "
+              "BDD %zu nodes\n\n",
+              clusters, k, n, tree.event_count(), tree.bdd_node_count());
+
+  auto t0 = Clock::now();
+  const double exact = tree.top_probability_limit();
+  const double t_exact = ms_since(t0);
+  std::printf("exact (BDD)            : %.6e      (%.2f ms)\n", exact,
+              t_exact);
+
+  const auto qv = tree.event_probs(-1.0);
+  t0 = Clock::now();
+  const auto cuts = tree.manager().minimal_solutions(tree.top_ref());
+  const double t_cuts = ms_since(t0);
+  std::printf("minimal cut sets       : %zu          (%.2f ms)\n\n",
+              cuts.size(), t_cuts);
+
+  std::printf("%-26s %-14s %-14s %-10s\n", "method", "lower", "upper",
+              "width");
+  t0 = Clock::now();
+  const Interval u = ftree::union_bound(cuts, qv);
+  std::printf("%-26s %.6e  %.6e  %.2e  (%.2f ms)\n", "union/max", u.lo, u.hi,
+              u.width(), ms_since(t0));
+
+  t0 = Clock::now();
+  const Interval ep = ftree::esary_proschan_bound(cuts, {}, qv);
+  std::printf("%-26s %.6e  %.6e  %.2e  (%.2f ms)\n", "Esary-Proschan", ep.lo,
+              ep.hi, ep.width(), ms_since(t0));
+
+  for (std::uint32_t depth = 1; depth <= 3; ++depth) {
+    t0 = Clock::now();
+    const Interval b = ftree::bonferroni_bound(cuts, qv, depth);
+    std::printf("Bonferroni depth %-9u %.6e  %.6e  %.2e  (%.2f ms)\n", depth,
+                b.lo, b.hi, b.width(), ms_since(t0));
+  }
+
+  // Truncated cut list: keep only the most probable cuts (here: all cuts
+  // have equal probability, so keep a prefix) — the realistic situation
+  // where full enumeration is impossible and the analyst works from the
+  // dominant cuts. The union upper bound from a truncated list must be
+  // corrected by the tail mass; we report the raw truncated bounds to show
+  // the effect.
+  std::printf("\ntruncated cut lists (union bound, raw):\n");
+  for (const std::size_t keep :
+       {cuts.size() / 8, cuts.size() / 4, cuts.size() / 2, cuts.size()}) {
+    const std::vector<ftree::CutSet> subset(cuts.begin(),
+                                            cuts.begin() + keep);
+    const Interval ub = ftree::union_bound(subset, qv);
+    std::printf("  %5zu/%zu cuts: [%.6e, %.6e]  miss %.1e\n", keep,
+                cuts.size(), ub.lo, ub.hi, exact - ub.hi < 0 ? 0.0
+                                             : exact - ub.hi);
+  }
+
+  std::printf("\nVerdict: Bonferroni depth 2 already brackets the exact\n"
+              "value to %.1e at a fraction of full enumeration cost.\n",
+              ftree::bonferroni_bound(cuts, qv, 2).width());
+  return 0;
+}

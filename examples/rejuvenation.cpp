@@ -1,0 +1,165 @@
+// Software rejuvenation policy study (non-exponential distributions).
+//
+//   build/examples/example_rejuvenation
+//
+// The tutorial's software-aging example: a server degrades over time
+// (Weibull wear-out failure), and preventive *rejuvenation* restarts it on
+// a deterministic schedule — a semi-Markov / Markov-regenerative model, not
+// a CTMC (a deterministic timer races an increasing-hazard clock). The study
+// sweeps the rejuvenation interval and reports steady-state availability —
+// exhibiting the classic U-shaped downtime curve with an optimal interval.
+//
+// Also shows the phase-type route: fit a PH to the Weibull and solve the
+// same question on an expanded CTMC, comparing both answers.
+#include <cstdio>
+
+#include "core/relkit.hpp"
+
+using namespace relkit;
+
+namespace {
+
+// SMP over {healthy, rejuvenating, failed}.
+//  healthy: race of Weibull(2, scale) failure vs deterministic(d) timer
+//  rejuvenating: deterministic-ish short restart (Erlang keeps it general)
+//  failed: full repair (lognormal, heavy tail)
+double availability_smp(double d, DistPtr lifetime, DistPtr rejuv_time,
+                        DistPtr repair_time) {
+  semimarkov::SemiMarkov s;
+  const auto healthy = s.add_state("healthy");
+  const auto rejuv = s.add_state("rejuvenating");
+  const auto failed = s.add_state("failed");
+  s.add_race_transition(healthy, failed, lifetime);
+  s.add_race_transition(healthy, rejuv, deterministic(d));
+  s.add_transition(rejuv, healthy, 1.0, rejuv_time);
+  s.add_transition(failed, healthy, 1.0, repair_time);
+  return s.steady_state()[healthy];
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Software rejuvenation: optimal restart interval =======\n\n");
+
+  // Hours. Aging failure: Weibull shape 2 (wear-out), scale 1000 h.
+  const auto lifetime = weibull(2.0, 1000.0);
+  const auto rejuv_time = erlang(4, 4.0 / 0.1);   // ~6-minute restart
+  const auto repair_time = lognormal(0.7, 0.8);   // ~2.8 h mean repair
+
+  std::printf("failure: %s (mean %.0f h)\n", lifetime->describe().c_str(),
+              lifetime->mean());
+  std::printf("rejuvenation: %.2f h; repair: %.2f h mean\n\n",
+              rejuv_time->mean(), repair_time->mean());
+
+  std::printf("%-14s %-14s %-14s\n", "interval [h]", "availability",
+              "downtime/yr");
+  double best_d = 0.0, best_a = 0.0;
+  for (double d : {50.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0}) {
+    const double a = availability_smp(d, lifetime, rejuv_time, repair_time);
+    std::printf("%-14.0f %.8f   %8.1f min\n", d, a,
+                core::downtime_minutes_per_year(a));
+    if (a > best_a) {
+      best_a = a;
+      best_d = d;
+    }
+  }
+  const double no_rejuv =
+      lifetime->mean() / (lifetime->mean() + repair_time->mean());
+  std::printf("%-14s %.8f   %8.1f min\n", "never", no_rejuv,
+              core::downtime_minutes_per_year(no_rejuv));
+  std::printf("\nbest interval ~%.0f h (availability %.8f)\n\n", best_d,
+              best_a);
+
+  // Phase-type route: expand the Weibull into a PH and build a CTMC.
+  std::printf("Cross-check at d = %.0f h via phase-type expansion:\n",
+              best_d);
+  const phase::PhaseType ph_life = phase::fit_distribution(*lifetime);
+  std::printf("  PH fit: order %zu, mean %.1f, cv %.3f (Weibull cv %.3f)\n",
+              ph_life.order(), ph_life.mean(), ph_life.cv(),
+              lifetime->cv());
+  // CTMC: PH stages for aging; rejuvenation timer approximated by an
+  // Erlang-8 deterministic surrogate (the PH way to model a timer).
+  const unsigned timer_stages = 8;
+  const double timer_rate = timer_stages / best_d;
+  markov::Ctmc c;
+  const std::size_t nph = ph_life.order();
+  // States: (aging stage i, timer stage j), plus rejuv + failed.
+  std::vector<std::vector<markov::StateId>> grid(nph);
+  for (std::size_t i = 0; i < nph; ++i) {
+    for (unsigned j = 0; j < timer_stages; ++j) {
+      grid[i].push_back(
+          c.add_state("a" + std::to_string(i) + "_t" + std::to_string(j)));
+    }
+  }
+  const auto rejuv = c.add_state("rejuv");
+  const auto failed = c.add_state("failed");
+  const auto t_mat = ph_life.t();
+  const auto exits = ph_life.exit_rates();
+  for (std::size_t i = 0; i < nph; ++i) {
+    for (unsigned j = 0; j < timer_stages; ++j) {
+      // Aging moves within PH stages / to failed.
+      for (std::size_t i2 = 0; i2 < nph; ++i2) {
+        if (i2 != i && t_mat(i, i2) > 0.0) {
+          c.add_transition(grid[i][j], grid[i2][j], t_mat(i, i2));
+        }
+      }
+      if (exits[i] > 0.0) c.add_transition(grid[i][j], failed, exits[i]);
+      // Timer ticks.
+      if (j + 1 < timer_stages) {
+        c.add_transition(grid[i][j], grid[i][j + 1], timer_rate);
+      } else {
+        c.add_transition(grid[i][j], rejuv, timer_rate);
+      }
+    }
+  }
+  c.add_transition(rejuv, grid[0][0], 1.0 / rejuv_time->mean());
+  c.add_transition(failed, grid[0][0], 1.0 / repair_time->mean());
+  const auto pi = c.steady_state();
+  const double a_ph = 1.0 - pi[rejuv] - pi[failed];
+  const double a_smp =
+      availability_smp(best_d, lifetime, rejuv_time, repair_time);
+  std::printf("  SMP (exact kernel)   : %.8f\n", a_smp);
+  std::printf("  PH-expanded CTMC     : %.8f  (%zu states, delta %.1e)\n",
+              a_ph, c.state_count(), a_ph - a_smp);
+  std::printf("\nThe two state-space routes agree to the PH fitting error —\n"
+              "the tutorial's point about handling non-exponentials.\n");
+
+  // ---- MRGP: TWO-PHASE aging (robust -> fragile) under ONE non-resetting
+  // timer. An SMP race cannot express this (the deterministic clock would
+  // restart at the robust->fragile jump); the MRGP solver handles it
+  // exactly, and shows rejuvenation pays off much more once aging is
+  // observable as a fragile phase.
+  std::printf("\nMRGP extension: two-phase aging under the same timer\n");
+  std::printf("%-14s %-14s\n", "interval [h]", "availability");
+  for (double interval : {100.0, 200.0, 400.0, 800.0, 1e7}) {
+    markov::Ctmc sub;
+    const auto robust = sub.add_state("robust");
+    const auto fragile = sub.add_state("fragile");
+    const auto crashed = sub.add_state("crashed");
+    const auto rejuving = sub.add_state("rejuving");
+    const auto rejuv_ok = sub.add_state("rejuv_ok");
+    const auto fixing = sub.add_state("fixing");
+    const auto fixed = sub.add_state("fixed");
+    sub.add_transition(robust, fragile, 1.0 / 500.0);    // aging onset
+    sub.add_transition(fragile, crashed, 1.0 / 250.0);   // crash when aged
+    sub.add_transition(rejuving, rejuv_ok, 1.0 / rejuv_time->mean());
+    sub.add_transition(fixing, fixed, 1.0 / repair_time->mean());
+
+    semimarkov::Mrgp mrgp(std::move(sub));
+    semimarkov::RegenerationRule live;
+    live.timer = deterministic(interval);
+    live.timer_branch.assign(7, 1);  // timer -> rejuvenation cycle
+    const auto reg_live = mrgp.add_regeneration(robust, live);
+    const auto reg_rejuv = mrgp.add_regeneration(rejuving, {});
+    const auto reg_fix = mrgp.add_regeneration(fixing, {});
+    (void)reg_rejuv;
+    mrgp.set_exit_branch(crashed, reg_fix);
+    mrgp.set_exit_branch(rejuv_ok, reg_live);
+    mrgp.set_exit_branch(fixed, reg_live);
+    const double avail =
+        mrgp.steady_state_reward({1, 1, 0, 0, 0, 0, 0});
+    std::printf("%-14.0f %.8f\n", interval, avail);
+  }
+  std::printf("(the last row ~= never rejuvenating)\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// SIP-cluster availability with parametric uncertainty.
+//
+//   build/examples/example_sip_uncertainty
+//
+// The tutorial's closing challenge: model inputs come from finite field
+// data, so the availability prediction deserves a confidence interval, not
+// a point value. An IBM-SIP-on-WebSphere-style cluster (N app servers
+// behind a proxy pair, session state replicated) is evaluated with
+//   * conjugate posteriors on every rate (Gamma) and the failover coverage
+//     (Beta) from synthetic field counts,
+//   * Latin-hypercube propagation through the full hierarchical model,
+//   * reporting mean, 90% / 99% intervals, and the downtime distribution.
+#include <cstdio>
+
+#include "core/relkit.hpp"
+
+using namespace relkit;
+
+namespace {
+
+// Availability of the cluster given concrete parameters.
+double cluster_availability(const std::map<std::string, double>& p) {
+  const double lam_app = p.at("lam_app");
+  const double mu_app = p.at("mu_app");
+  const double lam_proxy = p.at("lam_proxy");
+  const double mu_proxy = p.at("mu_proxy");
+  const double coverage = p.at("coverage");
+
+  // Proxy pair with imperfect failover (CTMC).
+  markov::Ctmc c;
+  const auto both = c.add_state("both");
+  const auto solo = c.add_state("solo");
+  const auto down_c = c.add_state("down_cov");
+  const auto down_u = c.add_state("down_unc");
+  c.add_transition(both, solo, 2 * lam_proxy * coverage);
+  c.add_transition(both, down_u, 2 * lam_proxy * (1 - coverage));
+  c.add_transition(solo, down_c, lam_proxy);
+  c.add_transition(solo, both, mu_proxy);
+  c.add_transition(down_c, solo, mu_proxy);
+  c.add_transition(down_u, solo, mu_proxy);
+  const auto pi = c.steady_state();
+  const double a_proxy = pi[both] + pi[solo];
+
+  // App tier: 6 servers, need 4 (session replication tolerates 2 gone).
+  std::vector<rbd::BlockPtr> servers;
+  std::map<std::string, ComponentModel> models;
+  for (int i = 0; i < 6; ++i) {
+    const std::string name = "app" + std::to_string(i);
+    servers.push_back(rbd::Block::component(name));
+    models.emplace(name, ComponentModel::repairable(lam_app, mu_app));
+  }
+  const rbd::Rbd app_tier(rbd::Block::k_of_n(4, servers), models);
+
+  return a_proxy * app_tier.availability();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== SIP cluster availability under parametric uncertainty ==\n\n");
+
+  // Synthetic field data (counts and exposures; hours).
+  // 23 app-server failures over 18 node-years, etc.
+  const double hours_per_year = 24 * 365.25;
+  const std::vector<uncertainty::ParamSpec> params{
+      {"lam_app",
+       uncertainty::rate_posterior(23.0, 18.0 * hours_per_year)},
+      {"mu_app", uncertainty::rate_posterior(23.0, 23.0 * 0.6)},
+      {"lam_proxy",
+       uncertainty::rate_posterior(4.0, 9.0 * hours_per_year)},
+      {"mu_proxy", uncertainty::rate_posterior(4.0, 4.0 * 0.4)},
+      {"coverage", uncertainty::probability_posterior(46.0, 50.0)},
+  };
+  std::printf("posteriors from field data:\n");
+  for (const auto& p : params) {
+    std::printf("  %-10s %s  (mean %.4g, cv %.2f)\n", p.name.c_str(),
+                p.dist->describe().c_str(), p.dist->mean(), p.dist->cv());
+  }
+
+  Rng rng(20260707);
+  const auto res = uncertainty::propagate(params, cluster_availability, 3000,
+                                          rng,
+                                          uncertainty::Sampling::kLatinHypercube);
+
+  const auto [lo90, hi90] = res.interval(0.90);
+  const auto [lo99, hi99] = res.interval(0.99);
+  std::printf("\navailability: mean %.8f  sd %.2e\n", res.mean, res.stddev);
+  std::printf("  90%% interval [%.8f, %.8f]\n", lo90, hi90);
+  std::printf("  99%% interval [%.8f, %.8f]\n", lo99, hi99);
+  std::printf("\ndowntime min/yr: median %.1f,  90%% [%0.1f, %.1f]\n",
+              core::downtime_minutes_per_year(res.percentile(0.5)),
+              core::downtime_minutes_per_year(hi90),
+              core::downtime_minutes_per_year(lo90));
+
+  // The plug-in (point-estimate) answer, for contrast.
+  std::map<std::string, double> point;
+  for (const auto& p : params) point[p.name] = p.dist->mean();
+  std::printf("\nplug-in point estimate: %.8f — inside the interval but\n"
+              "hides a %.0fx spread in predicted downtime.\n",
+              cluster_availability(point),
+              core::downtime_minutes_per_year(lo90) > 0
+                  ? core::downtime_minutes_per_year(lo90) /
+                        std::max(0.01, core::downtime_minutes_per_year(hi90))
+                  : 0.0);
+  return 0;
+}

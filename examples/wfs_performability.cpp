@@ -1,0 +1,127 @@
+// Workstations-and-file-server performability (Trivedi's classic WFS
+// example — Markov *reward* analysis, not just up/down availability).
+//
+//   build/examples/example_wfs_performability
+//
+// N workstations and one file server: the system delivers useful work only
+// while the file server is up, and throughput is proportional to the number
+// of working workstations. A pure availability view ("system up iff server
+// and >=1 workstation up") hides the capacity degradation; attaching a
+// throughput reward to each CTMC state exposes it:
+//   * expected reward rate at t (transient capacity),
+//   * steady-state expected capacity,
+//   * expected accumulated work over a mission window,
+//   * capacity-oriented availability  E[capacity]/max vs binary A.
+#include <cstdio>
+
+#include "core/relkit.hpp"
+
+using namespace relkit;
+
+namespace {
+
+constexpr int kWorkstations = 4;
+constexpr double kLamW = 1.0 / 500.0;   // workstation MTTF 500 h
+constexpr double kMuW = 1.0 / 2.0;      // 2 h repair
+constexpr double kLamS = 1.0 / 2000.0;  // file-server MTTF
+constexpr double kMuS = 1.0 / 4.0;      // 4 h repair
+
+// State = (workstations up 0..N, server up/down); single shared repair
+// crew that prioritizes the file server (the dependency making this a
+// CTMC rather than an RBD).
+struct Wfs {
+  markov::Ctmc chain;
+  std::vector<double> throughput;  // reward rate per state
+  std::vector<markov::StateId> id; // (w, s) -> state
+  int index(int w, int s) const { return w * 2 + s; }
+};
+
+Wfs build() {
+  Wfs model;
+  model.id.resize((kWorkstations + 1) * 2);
+  for (int w = kWorkstations; w >= 0; --w) {
+    for (int s = 1; s >= 0; --s) {
+      model.id[model.index(w, s)] = model.chain.add_state(
+          "w" + std::to_string(w) + (s ? "_serverUp" : "_serverDown"));
+      // Throughput: proportional to workstations, zero without the server.
+      model.throughput.push_back(s ? static_cast<double>(w) : 0.0);
+    }
+  }
+  for (int w = 0; w <= kWorkstations; ++w) {
+    for (int s = 0; s <= 1; ++s) {
+      const auto from = model.id[model.index(w, s)];
+      if (w > 0) {
+        model.chain.add_transition(from, model.id[model.index(w - 1, s)],
+                                   w * kLamW);
+      }
+      if (s == 1) {
+        model.chain.add_transition(from, model.id[model.index(w, 0)], kLamS);
+      }
+      // Single crew, server first.
+      if (s == 0) {
+        model.chain.add_transition(from, model.id[model.index(w, 1)], kMuS);
+      } else if (w < kWorkstations) {
+        model.chain.add_transition(from, model.id[model.index(w + 1, s)],
+                                   kMuW);
+      }
+    }
+  }
+  return model;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== WFS performability: rewards beat binary availability ===\n\n");
+  const Wfs model = build();
+  std::printf("CTMC: %zu states (%d workstations x server)\n\n",
+              model.chain.state_count(), kWorkstations);
+
+  const auto pi0 =
+      model.chain.point_mass(model.id[model.index(kWorkstations, 1)]);
+
+  // Binary availability: server up and at least one workstation up.
+  std::vector<double> up_indicator(model.chain.state_count(), 0.0);
+  for (int w = 1; w <= kWorkstations; ++w) {
+    up_indicator[model.id[model.index(w, 1)]] = 1.0;
+  }
+
+  const double a_binary =
+      markov::reward_rate_steady(model.chain, up_indicator);
+  const double cap_steady =
+      markov::reward_rate_steady(model.chain, model.throughput);
+  std::printf("binary availability            : %.9f\n", a_binary);
+  std::printf("steady expected capacity       : %.6f of %d workstations\n",
+              cap_steady, kWorkstations);
+  std::printf("capacity-oriented availability : %.9f\n\n",
+              cap_steady / kWorkstations);
+
+  std::printf("transient expected capacity (from all-up):\n");
+  std::printf("%-10s %-14s %-14s\n", "t [h]", "E[capacity]", "binary A(t)");
+  for (double t : {1.0, 10.0, 100.0, 1000.0}) {
+    const double cap =
+        markov::reward_rate_at(model.chain, model.throughput, pi0, t);
+    const double a =
+        markov::reward_rate_at(model.chain, up_indicator, pi0, t);
+    std::printf("%-10.0f %-14.6f %-14.9f\n", t, cap, a);
+  }
+
+  const double mission = 720.0;  // one month
+  const double work = markov::accumulated_reward(model.chain,
+                                                 model.throughput, pi0,
+                                                 mission);
+  std::printf("\nexpected work in %.0f h mission : %.1f workstation-hours\n",
+              mission, work);
+  std::printf("(lost to failures: %.1f = %.2f%%)\n",
+              kWorkstations * mission - work,
+              100.0 * (1.0 - work / (kWorkstations * mission)));
+
+  // The punchline: binary availability hides roughly 3x more capacity
+  // loss than it reports — the tutorial's argument for reward models.
+  std::printf("\ninterval availability (binary)  : %.9f\n",
+              markov::interval_availability(model.chain, up_indicator, pi0,
+                                            mission));
+  std::printf("interval capacity utilization   : %.6f\n",
+              work / (kWorkstations * mission));
+  return 0;
+}

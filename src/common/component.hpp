@@ -1,0 +1,87 @@
+// Behaviour model of one independent component, shared by the combinatorial
+// model types (RBD, fault tree, reliability graph).
+//
+// A component is "up" with a probability that may be constant, derived from
+// a lifetime distribution (no repair), or the 2-state CTMC availability of
+// an exponentially failing/repairable unit.
+#pragma once
+
+#include <cmath>
+
+#include "common/distributions.hpp"
+#include "common/error.hpp"
+
+namespace relkit {
+
+struct ComponentModel {
+  enum class Kind { kFixedProb, kLifetime, kRepairable };
+  Kind kind = Kind::kFixedProb;
+
+  double prob_up = 1.0;        ///< kFixedProb
+  DistPtr lifetime;            ///< kLifetime
+  double failure_rate = 0.0;   ///< kRepairable (exponential)
+  double repair_rate = 0.0;    ///< kRepairable (exponential)
+
+  /// Time-independent probability of being up.
+  static ComponentModel fixed(double prob_up) {
+    detail::require(prob_up >= 0.0 && prob_up <= 1.0,
+                    "ComponentModel::fixed: prob in [0,1]");
+    ComponentModel m;
+    m.kind = Kind::kFixedProb;
+    m.prob_up = prob_up;
+    return m;
+  }
+
+  /// Non-repairable component with a lifetime distribution.
+  static ComponentModel with_lifetime(DistPtr lifetime) {
+    detail::require(lifetime != nullptr,
+                    "ComponentModel::with_lifetime: null distribution");
+    ComponentModel m;
+    m.kind = Kind::kLifetime;
+    m.lifetime = std::move(lifetime);
+    return m;
+  }
+
+  /// Repairable component (exponential failure/repair), for availability.
+  static ComponentModel repairable(double failure_rate, double repair_rate) {
+    detail::require(failure_rate > 0.0 && repair_rate > 0.0,
+                    "ComponentModel::repairable: rates must be > 0");
+    ComponentModel m;
+    m.kind = Kind::kRepairable;
+    m.failure_rate = failure_rate;
+    m.repair_rate = repair_rate;
+    return m;
+  }
+
+  /// P(component up at time t). For kRepairable this is the 2-state CTMC
+  /// closed form A(t) = mu/(l+mu) + l/(l+mu) e^{-(l+mu)t}.
+  double prob_up_at(double t) const {
+    switch (kind) {
+      case Kind::kFixedProb:
+        return prob_up;
+      case Kind::kLifetime:
+        return lifetime->survival(t);
+      case Kind::kRepairable: {
+        const double l = failure_rate, mu = repair_rate;
+        return mu / (l + mu) + l / (l + mu) * std::exp(-(l + mu) * t);
+      }
+    }
+    return 0.0;
+  }
+
+  /// Limiting probability of being up (steady-state availability for
+  /// kRepairable; 0 for kLifetime).
+  double prob_up_limit() const {
+    switch (kind) {
+      case Kind::kFixedProb:
+        return prob_up;
+      case Kind::kLifetime:
+        return 0.0;
+      case Kind::kRepairable:
+        return repair_rate / (failure_rate + repair_rate);
+    }
+    return 0.0;
+  }
+};
+
+}  // namespace relkit

@@ -1,0 +1,249 @@
+// Lifetime / repair-time distributions.
+//
+// The tutorial stresses that real failure and repair processes are often not
+// exponential; RelKit therefore models times-to-event with a polymorphic
+// Distribution interface. Exponential is the special case every Markov
+// solver exploits (is_exponential()/rate()); Weibull, lognormal,
+// deterministic, etc. are handled by the semi-Markov solver, by phase-type
+// expansion (src/phase), or by simulation (src/sim).
+//
+// All distributions are supported on [0, inf) and are immutable value types
+// shared through std::shared_ptr<const Distribution> (alias DistPtr).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace relkit {
+
+/// Abstract nonnegative continuous distribution.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// P(X <= t). Must be 0 for t <= 0 and nondecreasing.
+  virtual double cdf(double t) const = 0;
+
+  /// Density at t (0 outside the support; may be infinite at boundary for
+  /// the deterministic distribution, which reports 0).
+  virtual double pdf(double t) const = 0;
+
+  /// E[X].
+  virtual double mean() const = 0;
+
+  /// Var[X].
+  virtual double variance() const = 0;
+
+  /// Draws one variate.
+  virtual double sample(Rng& rng) const = 0;
+
+  /// Inverse cdf; the default implementation brackets and bisects cdf().
+  /// p must lie in (0, 1).
+  virtual double quantile(double p) const;
+
+  /// Survival function R(t) = 1 - F(t).
+  double survival(double t) const { return 1.0 - cdf(t); }
+
+  /// Hazard rate h(t) = f(t) / R(t); +inf when R(t) == 0.
+  double hazard(double t) const;
+
+  /// Human-readable description, e.g. "weibull(shape=2, scale=100)".
+  virtual std::string describe() const = 0;
+
+  /// True only for Exponential, enabling exact Markov treatment.
+  virtual bool is_exponential() const { return false; }
+
+  /// Coefficient of variation sqrt(Var)/E; classifies PH fitting strategy.
+  double cv() const;
+};
+
+using DistPtr = std::shared_ptr<const Distribution>;
+
+/// Exponential(rate): the memoryless workhorse of availability models.
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double rate);
+  double cdf(double t) const override;
+  double pdf(double t) const override;
+  double mean() const override { return 1.0 / rate_; }
+  double variance() const override { return 1.0 / (rate_ * rate_); }
+  double sample(Rng& rng) const override;
+  double quantile(double p) const override;
+  std::string describe() const override;
+  bool is_exponential() const override { return true; }
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Weibull(shape k, scale lambda): F(t) = 1 - exp(-(t/lambda)^k).
+/// k < 1 models infant mortality, k > 1 wear-out (tutorial's canonical
+/// non-exponential lifetime).
+class Weibull final : public Distribution {
+ public:
+  Weibull(double shape, double scale);
+  double cdf(double t) const override;
+  double pdf(double t) const override;
+  double mean() const override;
+  double variance() const override;
+  double sample(Rng& rng) const override;
+  double quantile(double p) const override;
+  std::string describe() const override;
+  double shape() const { return shape_; }
+  double scale() const { return scale_; }
+
+ private:
+  double shape_, scale_;
+};
+
+/// Lognormal(mu, sigma) of the underlying normal: common repair-time model.
+class Lognormal final : public Distribution {
+ public:
+  Lognormal(double mu, double sigma);
+  double cdf(double t) const override;
+  double pdf(double t) const override;
+  double mean() const override;
+  double variance() const override;
+  double sample(Rng& rng) const override;
+  double quantile(double p) const override;
+  std::string describe() const override;
+
+ private:
+  double mu_, sigma_;
+};
+
+/// Erlang(k, rate): sum of k iid exponentials; PH with a chain structure.
+class Erlang final : public Distribution {
+ public:
+  Erlang(unsigned k, double rate);
+  double cdf(double t) const override;
+  double pdf(double t) const override;
+  double mean() const override { return k_ / rate_; }
+  double variance() const override { return k_ / (rate_ * rate_); }
+  double sample(Rng& rng) const override;
+  std::string describe() const override;
+  unsigned stages() const { return static_cast<unsigned>(k_); }
+  double rate() const { return rate_; }
+
+ private:
+  double k_;
+  double rate_;
+};
+
+/// Gamma(shape, rate). Conjugate posterior of exponential-rate data; used by
+/// the uncertainty module and as a general lifetime model.
+class Gamma final : public Distribution {
+ public:
+  Gamma(double shape, double rate);
+  double cdf(double t) const override;
+  double pdf(double t) const override;
+  double mean() const override { return shape_ / rate_; }
+  double variance() const override { return shape_ / (rate_ * rate_); }
+  double sample(Rng& rng) const override;
+  std::string describe() const override;
+  double shape() const { return shape_; }
+  double rate() const { return rate_; }
+
+ private:
+  double shape_, rate_;
+};
+
+/// Beta(a, b) on [0, 1]: prior/posterior for coverage probabilities.
+class Beta final : public Distribution {
+ public:
+  Beta(double a, double b);
+  double cdf(double t) const override;
+  double pdf(double t) const override;
+  double mean() const override { return a_ / (a_ + b_); }
+  double variance() const override;
+  double sample(Rng& rng) const override;
+  std::string describe() const override;
+
+ private:
+  double a_, b_;
+};
+
+/// Hypoexponential: sequence of independent exponential stages with distinct
+/// or repeated rates (general series PH). CV < 1.
+class HypoExponential final : public Distribution {
+ public:
+  explicit HypoExponential(std::vector<double> rates);
+  double cdf(double t) const override;
+  double pdf(double t) const override;
+  double mean() const override;
+  double variance() const override;
+  double sample(Rng& rng) const override;
+  std::string describe() const override;
+  const std::vector<double>& rates() const { return rates_; }
+
+ private:
+  std::vector<double> rates_;
+};
+
+/// Hyperexponential: probabilistic mixture of exponentials. CV > 1.
+class HyperExponential final : public Distribution {
+ public:
+  HyperExponential(std::vector<double> probs, std::vector<double> rates);
+  double cdf(double t) const override;
+  double pdf(double t) const override;
+  double mean() const override;
+  double variance() const override;
+  double sample(Rng& rng) const override;
+  std::string describe() const override;
+  const std::vector<double>& probs() const { return probs_; }
+  const std::vector<double>& rates() const { return rates_; }
+
+ private:
+  std::vector<double> probs_, rates_;
+};
+
+/// Deterministic(d): point mass at d (e.g. scheduled rejuvenation interval).
+class Deterministic final : public Distribution {
+ public:
+  explicit Deterministic(double value);
+  double cdf(double t) const override;
+  double pdf(double) const override { return 0.0; }
+  double mean() const override { return value_; }
+  double variance() const override { return 0.0; }
+  double sample(Rng&) const override { return value_; }
+  double quantile(double) const override { return value_; }
+  std::string describe() const override;
+  double value() const { return value_; }
+
+ private:
+  double value_;
+};
+
+/// Uniform(a, b) on [a, b], 0 <= a < b.
+class Uniform final : public Distribution {
+ public:
+  Uniform(double a, double b);
+  double cdf(double t) const override;
+  double pdf(double t) const override;
+  double mean() const override { return 0.5 * (a_ + b_); }
+  double variance() const override;
+  double sample(Rng& rng) const override;
+  double quantile(double p) const override;
+  std::string describe() const override;
+
+ private:
+  double a_, b_;
+};
+
+// Convenience factories returning shared immutable instances.
+DistPtr exponential(double rate);
+DistPtr weibull(double shape, double scale);
+DistPtr lognormal(double mu, double sigma);
+DistPtr erlang(unsigned k, double rate);
+DistPtr gamma_dist(double shape, double rate);
+DistPtr beta_dist(double a, double b);
+DistPtr hypoexponential(std::vector<double> rates);
+DistPtr hyperexponential(std::vector<double> probs, std::vector<double> rates);
+DistPtr deterministic(double value);
+DistPtr uniform(double a, double b);
+
+}  // namespace relkit

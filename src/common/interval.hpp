@@ -1,0 +1,63 @@
+// Closed-interval arithmetic for bounding algorithms.
+//
+// The tutorial's Boeing 787 story: when a combinatorial model is too large
+// to solve exactly, compute certified lower/upper bounds instead. Bound
+// computations in src/ftree return Interval values; the helpers here keep
+// the invariant lo <= hi and clamp probabilities to [0, 1].
+#pragma once
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace relkit {
+
+/// Closed interval [lo, hi].
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  Interval() = default;
+  Interval(double lower, double upper) : lo(lower), hi(upper) {
+    detail::require(lower <= upper, "Interval: lower > upper");
+  }
+  /// Degenerate interval [x, x].
+  static Interval point(double x) { return Interval(x, x); }
+
+  double width() const { return hi - lo; }
+  double midpoint() const { return 0.5 * (lo + hi); }
+  bool contains(double x) const { return lo <= x && x <= hi; }
+
+  Interval operator+(const Interval& o) const {
+    return Interval(lo + o.lo, hi + o.hi);
+  }
+  Interval operator-(const Interval& o) const {
+    return Interval(lo - o.hi, hi - o.lo);
+  }
+  /// Product for nonnegative intervals (probabilities); asserts lo >= 0.
+  Interval operator*(const Interval& o) const {
+    detail::require(lo >= 0.0 && o.lo >= 0.0,
+                    "Interval::operator*: requires nonnegative intervals");
+    return Interval(lo * o.lo, hi * o.hi);
+  }
+  /// Complement 1 - I, for probabilities.
+  Interval complement() const { return Interval(1.0 - hi, 1.0 - lo); }
+  /// Clamp to [0, 1].
+  Interval clamp01() const {
+    return Interval(std::clamp(lo, 0.0, 1.0), std::clamp(hi, 0.0, 1.0));
+  }
+  /// Intersection (tightest combination of two valid bounds).
+  Interval intersect(const Interval& o) const {
+    const double l = std::max(lo, o.lo);
+    const double h = std::min(hi, o.hi);
+    detail::require(l <= h + 1e-12, "Interval::intersect: disjoint bounds");
+    return Interval(l, std::max(l, h));
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Interval& i) {
+  return os << "[" << i.lo << ", " << i.hi << "]";
+}
+
+}  // namespace relkit

@@ -1,0 +1,172 @@
+#include "common/linsolve.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace relkit {
+
+std::vector<double> gth_steady_state(Matrix q) {
+  const std::size_t n = q.rows();
+  detail::require(n == q.cols(), "gth_steady_state: Q must be square");
+  detail::require(n >= 1, "gth_steady_state: empty generator");
+
+  // Forward elimination: fold state k into states 0..k-1. GTH uses the row
+  // sum of remaining off-diagonals as the pivot (never the possibly
+  // cancellation-damaged diagonal) and performs no subtractions.
+  for (std::size_t k = n; k-- > 1;) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < k; ++j) s += q(k, j);
+    if (s <= 0.0) {
+      throw NumericalError(
+          "gth_steady_state: chain is reducible (state " + std::to_string(k) +
+          " cannot reach lower-numbered states)");
+    }
+    for (std::size_t i = 0; i < k; ++i) q(i, k) /= s;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double qik = q(i, k);
+      if (qik == 0.0) continue;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (i == j) continue;
+        q(i, j) += qik * q(k, j);
+      }
+    }
+  }
+
+  // Back substitution: pi_k = sum_{i<k} pi_i q(i,k) on the folded matrix.
+  std::vector<double> pi(n, 0.0);
+  pi[0] = 1.0;
+  for (std::size_t k = 1; k < n; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < k; ++i) acc += pi[i] * q(i, k);
+    pi[k] = acc;
+  }
+
+  double total = 0.0;
+  for (double x : pi) total += x;
+  for (double& x : pi) x /= total;
+  return pi;
+}
+
+std::vector<double> gth_steady_state_dtmc(const Matrix& p) {
+  const std::size_t n = p.rows();
+  detail::require(n == p.cols(), "gth_steady_state_dtmc: P must be square");
+  Matrix q = p;
+  for (std::size_t i = 0; i < n; ++i) q(i, i) -= 1.0;
+  return gth_steady_state(std::move(q));
+}
+
+SorResult sor_steady_state(const SparseMatrix& qt,
+                           const std::vector<double>& diag,
+                           const SorOptions& opts) {
+  const std::size_t n = qt.rows();
+  detail::require(qt.cols() == n, "sor_steady_state: Q^T must be square");
+  detail::require(diag.size() == n, "sor_steady_state: diag size mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    detail::require(diag[i] < 0.0,
+                    "sor_steady_state: diagonal must be negative (no "
+                    "absorbing states in an irreducible chain)");
+  }
+
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  double omega = opts.omega;
+  double omega_cap = 1.6;  // halves toward 1.0 whenever SOR diverges
+
+  auto residual_of = [&](const std::vector<double>& v) {
+    // r_i = sum_j v_j Q_ji = (Q^T v)_i ; includes the diagonal term.
+    double worst = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = diag[i] * v[i];
+      for (std::size_t k = qt.row_begin(i); k < qt.row_end(i); ++k) {
+        acc += qt.value(k) * v[qt.col(k)];
+      }
+      worst = std::max(worst, std::abs(acc));
+    }
+    return worst;
+  };
+
+  double prev_res = residual_of(pi);
+  SorResult out;
+  for (std::size_t it = 1; it <= opts.max_iters; ++it) {
+    // One SOR sweep: pi_i <- (1-w) pi_i + w * (sum_{j != i} pi_j Q_ji)/(-Q_ii).
+    // Alternate sweep direction so information propagates both ways along
+    // chain-structured models (symmetric Gauss-Seidel), which otherwise
+    // need O(n) sweeps on birth-death chains.
+    const bool forward = (it % 2) == 1;
+    for (std::size_t step = 0; step < n; ++step) {
+      const std::size_t i = forward ? step : n - 1 - step;
+      double acc = 0.0;
+      for (std::size_t k = qt.row_begin(i); k < qt.row_end(i); ++k) {
+        const std::size_t j = qt.col(k);
+        if (j == i) continue;  // diagonal handled via diag[]
+        acc += qt.value(k) * pi[j];
+      }
+      const double gs = acc / (-diag[i]);
+      pi[i] = (1.0 - omega) * pi[i] + omega * gs;
+      if (pi[i] < 0.0) pi[i] = 0.0;
+    }
+    // Normalize every sweep; the homogeneous system is defined up to scale.
+    double total = 0.0;
+    for (double x : pi) total += x;
+    if (total <= 0.0) throw NumericalError("sor_steady_state: vector collapsed");
+    for (double& x : pi) x /= total;
+
+    if (it % 8 == 0 || it <= 4) {
+      const double res = residual_of(pi);
+      if (res < opts.tol) {
+        out.pi = std::move(pi);
+        out.iterations = it;
+        out.residual = res;
+        return out;
+      }
+      // Crude adaptive relaxation: push omega up while the residual keeps
+      // shrinking (over-relaxation usually pays on availability chains).
+      // Divergence resets to plain Gauss-Seidel AND lowers the ceiling, so
+      // chains that tolerate no over-relaxation settle at omega = 1.
+      if (opts.adaptive_omega) {
+        if (res <= prev_res) {
+          omega = std::min(omega_cap, omega + 0.1);
+        } else if (res > 3.0 * prev_res) {
+          // Violent divergence: halve the over-relaxation headroom
+          // permanently and restart from plain Gauss-Seidel. Chains that
+          // tolerate no over-relaxation settle at omega = 1; tolerant
+          // chains never get here and climb to the cap.
+          omega_cap = 1.0 + 0.5 * (std::min(omega, omega_cap) - 1.0);
+          omega = 1.0;
+        } else {
+          // Mild wobble: ease off without burning the ceiling.
+          omega = std::max(1.0, omega - 0.1);
+        }
+      }
+      prev_res = res;
+    }
+  }
+  throw NumericalError("sor_steady_state: no convergence after " +
+                       std::to_string(opts.max_iters) + " sweeps (residual " +
+                       std::to_string(prev_res) + ")");
+}
+
+std::vector<double> power_steady_state(const SparseMatrix& p, double tol,
+                                       std::size_t max_iters, double theta) {
+  const std::size_t n = p.rows();
+  detail::require(p.cols() == n, "power_steady_state: P must be square");
+  detail::require(theta > 0.0 && theta <= 1.0,
+                  "power_steady_state: theta in (0,1]");
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    std::vector<double> next = p.multiply_left(pi);
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      next[i] = (1.0 - theta) * pi[i] + theta * next[i];
+      delta = std::max(delta, std::abs(next[i] - pi[i]));
+    }
+    double total = 0.0;
+    for (double x : next) total += x;
+    for (double& x : next) x /= total;
+    pi.swap(next);
+    if (delta < tol) return pi;
+  }
+  throw NumericalError("power_steady_state: no convergence");
+}
+
+}  // namespace relkit

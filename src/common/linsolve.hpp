@@ -1,0 +1,58 @@
+// Linear solvers specialized for stationary analysis of Markov models.
+//
+// Two regimes, as in the tutorial's discussion of state-space methods:
+//  * small/medium chains — GTH elimination (Grassmann-Taksar-Heyman), a
+//    subtraction-free variant of Gaussian elimination that is numerically
+//    exact for stochastic matrices;
+//  * large sparse chains — successive over-relaxation (SOR) / Gauss-Seidel
+//    sweeps on pi Q = 0 with periodic normalization.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/sparse.hpp"
+
+namespace relkit {
+
+/// Stationary distribution of an irreducible CTMC from its dense generator Q
+/// (rows sum to 0, off-diagonals >= 0), via GTH elimination. O(n^3), no
+/// subtractions, stable for stiff chains.
+std::vector<double> gth_steady_state(Matrix q);
+
+/// Stationary distribution of an irreducible DTMC from its dense transition
+/// probability matrix P (rows sum to 1), via GTH on Q = P - I.
+std::vector<double> gth_steady_state_dtmc(const Matrix& p);
+
+/// Options for the iterative stationary solver.
+struct SorOptions {
+  double omega = 1.0;        ///< Relaxation factor; 1.0 = Gauss-Seidel.
+  double tol = 1e-12;        ///< Convergence: max |pi Q| componentwise.
+  std::size_t max_iters = 200000;
+  bool adaptive_omega = true;  ///< Probe omega in [1.0, 1.9] while iterating.
+};
+
+/// Result of the iterative solver.
+struct SorResult {
+  std::vector<double> pi;
+  std::size_t iterations = 0;
+  double residual = 0.0;
+};
+
+/// Stationary distribution of an irreducible CTMC given the *transposed*
+/// generator in CSR form (row i of `qt` holds column i of Q) and the diagonal
+/// of Q. Throws NumericalError if the iteration does not reach tol.
+SorResult sor_steady_state(const SparseMatrix& qt,
+                           const std::vector<double>& diag,
+                           const SorOptions& opts = {});
+
+/// Power iteration for the stationary vector of a DTMC in CSR form.
+/// Applies the damped update pi <- (1-theta) pi + theta pi P to break
+/// periodicity (theta in (0, 1]).
+std::vector<double> power_steady_state(const SparseMatrix& p,
+                                       double tol = 1e-13,
+                                       std::size_t max_iters = 500000,
+                                       double theta = 0.9);
+
+}  // namespace relkit

@@ -1,0 +1,240 @@
+#include "common/matrix.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace relkit {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double value)
+    : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  detail::require(rows_ == other.rows_ && cols_ == other.cols_,
+                  "Matrix::operator+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  detail::require(rows_ == other.rows_ && cols_ == other.cols_,
+                  "Matrix::operator-=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  detail::require(cols_ == other.rows_, "Matrix::operator*: shape mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out(i, j) += aik * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::operator*(const std::vector<double>& x) const {
+  detail::require(cols_ == x.size(), "Matrix * vector: shape mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) acc += (*this)(i, j) * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double Matrix::row_abs_sum(std::size_t r) const {
+  double s = 0.0;
+  for (std::size_t j = 0; j < cols_; ++j) s += std::abs((*this)(r, j));
+  return s;
+}
+
+namespace {
+
+// In-place LU with partial pivoting; perm[i] is the source row of pivot i.
+// Returns false when a pivot underflows (singular matrix).
+bool lu_factor(Matrix& a, std::vector<std::size_t>& perm) {
+  const std::size_t n = a.rows();
+  perm.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t pivot = k;
+    double best = std::abs(a(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double cand = std::abs(a(i, k));
+      if (cand > best) {
+        best = cand;
+        pivot = i;
+      }
+    }
+    if (best < 1e-300) return false;
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(k, j), a(pivot, j));
+      std::swap(perm[k], perm[pivot]);
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      a(i, k) /= a(k, k);
+      const double lik = a(i, k);
+      if (lik == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) a(i, j) -= lik * a(k, j);
+    }
+  }
+  return true;
+}
+
+std::vector<double> lu_backsolve(const Matrix& lu,
+                                 const std::vector<std::size_t>& perm,
+                                 const std::vector<double>& b) {
+  const std::size_t n = lu.rows();
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm[i]];
+  for (std::size_t i = 1; i < n; ++i) {
+    double acc = x[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu(i, j) * x[j];
+    x[i] = acc;
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu(ii, j) * x[j];
+    x[ii] = acc / lu(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace
+
+std::vector<double> lu_solve(Matrix a, std::vector<double> b) {
+  detail::require(a.rows() == a.cols(), "lu_solve: matrix must be square");
+  detail::require(a.rows() == b.size(), "lu_solve: size mismatch");
+  std::vector<std::size_t> perm;
+  if (!lu_factor(a, perm)) throw NumericalError("lu_solve: singular matrix");
+  return lu_backsolve(a, perm, b);
+}
+
+std::vector<double> lu_solve_transposed(const Matrix& a,
+                                        const std::vector<double>& b) {
+  return lu_solve(a.transposed(), b);
+}
+
+Matrix inverse(const Matrix& a) {
+  detail::require(a.rows() == a.cols(), "inverse: matrix must be square");
+  const std::size_t n = a.rows();
+  Matrix lu = a;
+  std::vector<std::size_t> perm;
+  if (!lu_factor(lu, perm)) throw NumericalError("inverse: singular matrix");
+  Matrix out(n, n);
+  std::vector<double> e(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    e[j] = 1.0;
+    const std::vector<double> col = lu_backsolve(lu, perm, e);
+    for (std::size_t i = 0; i < n; ++i) out(i, j) = col[i];
+    e[j] = 0.0;
+  }
+  return out;
+}
+
+Matrix expm(const Matrix& a) {
+  detail::require(a.rows() == a.cols(), "expm: matrix must be square");
+  const std::size_t n = a.rows();
+
+  // Scale so that ||A/2^s||_inf <= 0.5.
+  double norm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) norm = std::max(norm, a.row_abs_sum(i));
+  int s = 0;
+  if (norm > 0.5) {
+    s = static_cast<int>(std::ceil(std::log2(norm / 0.5)));
+    s = std::max(s, 0);
+  }
+  Matrix x = a * std::pow(2.0, -s);
+
+  // Pade(6,6) approximant: c_k = c_{k-1} * (p-k+1) / ((2p-k+1) k).
+  const int p = 6;
+  std::vector<double> coef(p + 1);
+  coef[0] = 1.0;
+  for (int k = 1; k <= p; ++k) {
+    coef[k] = coef[k - 1] * static_cast<double>(p - k + 1) /
+              static_cast<double>((2 * p - k + 1) * k);
+  }
+
+  Matrix term = Matrix::identity(n);
+  Matrix numer = Matrix::identity(n);
+  Matrix denom = Matrix::identity(n);
+  for (int k = 1; k <= p; ++k) {
+    term = term * x;
+    Matrix scaled = term * coef[k];
+    numer += scaled;
+    if (k % 2 == 0) {
+      denom += scaled;
+    } else {
+      denom -= scaled;
+    }
+  }
+
+  // Solve denom * R = numer column by column.
+  Matrix lu = denom;
+  std::vector<std::size_t> perm;
+  if (!lu_factor(lu, perm)) throw NumericalError("expm: Pade denominator singular");
+  Matrix r(n, n);
+  std::vector<double> col(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) col[i] = numer(i, j);
+    const std::vector<double> sol = lu_backsolve(lu, perm, col);
+    for (std::size_t i = 0; i < n; ++i) r(i, j) = sol[i];
+  }
+
+  for (int i = 0; i < s; ++i) r = r * r;
+  return r;
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  detail::require(a.size() == b.size(), "dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double max_abs(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+double sum(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+}  // namespace relkit

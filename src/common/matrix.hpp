@@ -1,0 +1,88 @@
+// Small dense linear algebra used by the exact (direct) solvers.
+//
+// RelKit's state-space solvers operate on sparse matrices (sparse.hpp); the
+// dense Matrix here backs the direct methods used on small systems — LU
+// factorization, matrix exponential via scaling-and-squaring (used as the
+// reference oracle in tests), and phase-type arithmetic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace relkit {
+
+/// Dense row-major matrix of double.
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Creates a rows x cols matrix filled with `value`.
+  Matrix(std::size_t rows, std::size_t cols, double value = 0.0);
+
+  /// Creates the n x n identity.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, double s) { return a *= s; }
+  friend Matrix operator*(double s, Matrix a) { return a *= s; }
+
+  /// Matrix product (throws InvalidArgument on shape mismatch).
+  Matrix operator*(const Matrix& other) const;
+
+  /// Matrix-vector product y = A x.
+  std::vector<double> operator*(const std::vector<double>& x) const;
+
+  /// Transposed copy.
+  Matrix transposed() const;
+
+  /// Maximum absolute entry.
+  double max_abs() const;
+
+  /// Sum of |entries| in row r (used for uniformization rate bounds).
+  double row_abs_sum(std::size_t r) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by LU factorization with partial pivoting.
+/// Throws NumericalError if A is (numerically) singular.
+std::vector<double> lu_solve(Matrix a, std::vector<double> b);
+
+/// Solves x^T A = b^T, i.e. A^T x = b.
+std::vector<double> lu_solve_transposed(const Matrix& a,
+                                        const std::vector<double>& b);
+
+/// Matrix inverse via LU (for small matrices; phase-type moments).
+Matrix inverse(const Matrix& a);
+
+/// exp(A) by scaling and squaring with a Pade(6) approximant.
+/// Reference oracle for transient CTMC tests; O(n^3 log scale).
+Matrix expm(const Matrix& a);
+
+/// Dot product with size check.
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Max-norm of a vector.
+double max_abs(const std::vector<double>& v);
+
+/// Sum of elements.
+double sum(const std::vector<double>& v);
+
+}  // namespace relkit

@@ -1,0 +1,59 @@
+#include "common/quadrature.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace relkit {
+
+namespace {
+
+double simpson(double a, double fa, double b, double fb, double fm) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive(const std::function<double(double)>& f, double a, double fa,
+                double b, double fb, double m, double fm, double whole,
+                double tol, int depth) {
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = simpson(a, fa, m, fm, flm);
+  const double right = simpson(m, fm, b, fb, frm);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::abs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return adaptive(f, a, fa, m, fm, lm, flm, left, 0.5 * tol, depth - 1) +
+         adaptive(f, m, fm, b, fb, rm, frm, right, 0.5 * tol, depth - 1);
+}
+
+}  // namespace
+
+double integrate(const std::function<double(double)>& f, double a, double b,
+                 double tol) {
+  detail::require(tol > 0.0, "integrate: tol must be > 0");
+  if (a == b) return 0.0;
+  const double fa = f(a);
+  const double fb = f(b);
+  const double m = 0.5 * (a + b);
+  const double fm = f(m);
+  const double whole = simpson(a, fa, b, fb, fm);
+  return adaptive(f, a, fa, b, fb, m, fm, whole, tol, 60);
+}
+
+double integrate_to_inf(const std::function<double(double)>& f, double tol) {
+  // t = x / (1 - x): [0, 1) -> [0, inf). Evaluate strictly inside (0, 1).
+  auto g = [&f](double x) {
+    if (x >= 1.0) return 0.0;
+    const double om = 1.0 - x;
+    const double t = x / om;
+    const double v = f(t);
+    if (!std::isfinite(v)) return 0.0;
+    return v / (om * om);
+  };
+  return integrate(g, 0.0, 1.0 - 1e-12, tol);
+}
+
+}  // namespace relkit

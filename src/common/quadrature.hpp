@@ -1,0 +1,20 @@
+// Numerical integration used for MTTF = integral of R(t) dt and other
+// survival-function integrals that have no closed form (Weibull mixtures,
+// BDD-evaluated system reliability).
+#pragma once
+
+#include <functional>
+
+namespace relkit {
+
+/// Adaptive Simpson integration of f over [a, b] to absolute tolerance tol.
+double integrate(const std::function<double(double)>& f, double a, double b,
+                 double tol = 1e-10);
+
+/// Integral of f over [0, inf) via the substitution t = x / (1 - x),
+/// dt = dx / (1-x)^2. f must decay (integrably) at infinity — true for any
+/// survival function with finite mean.
+double integrate_to_inf(const std::function<double(double)>& f,
+                        double tol = 1e-10);
+
+}  // namespace relkit

@@ -1,0 +1,90 @@
+// Deterministic, fast pseudo-random number generation for simulation and
+// Monte-Carlo uncertainty propagation.
+//
+// RelKit uses xoshiro256** (Blackman & Vigna), seeded through splitmix64 so
+// that any 64-bit seed yields a well-mixed state. The generator satisfies
+// std::uniform_random_bit_generator and can therefore be used with <random>
+// distributions, but RelKit supplies its own inverse-CDF samplers in
+// distributions.hpp so that results are reproducible across standard
+// libraries.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace relkit {
+
+/// xoshiro256** 1.0 — public-domain algorithm by David Blackman and
+/// Sebastiano Vigna. 256-bit state, period 2^256 - 1.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initializes the state from a 64-bit seed.
+  void reseed(std::uint64_t seed) {
+    for (auto& word : state_) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next 64 uniformly distributed bits.
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1] — safe as input to -log(u).
+  double uniform_pos() { return 1.0 - uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's unbiased bounded generation.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < n) {
+      const std::uint64_t threshold = -n % n;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Derives an independent stream for parallel/replicated runs.
+  Rng split() { return Rng((*this)() ^ 0xd2b74407b1ce6e93ULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace relkit

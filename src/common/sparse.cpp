@@ -1,0 +1,102 @@
+#include "common/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace relkit {
+
+std::vector<double> SparseMatrix::multiply(const std::vector<double>& x) const {
+  detail::require(x.size() == cols_, "SparseMatrix::multiply: size mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      acc += values_[k] * x[cols_idx_[k]];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> SparseMatrix::multiply_left(
+    const std::vector<double>& x) const {
+  detail::require(x.size() == rows_,
+                  "SparseMatrix::multiply_left: size mismatch");
+  std::vector<double> y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      y[cols_idx_[k]] += xr * values_[k];
+    }
+  }
+  return y;
+}
+
+double SparseMatrix::at(std::size_t r, std::size_t c) const {
+  detail::require(r < rows_ && c < cols_, "SparseMatrix::at: out of range");
+  const auto first = cols_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
+  const auto last = cols_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(first, last, c);
+  if (it == last || *it != c) return 0.0;
+  return values_[static_cast<std::size_t>(it - cols_idx_.begin())];
+}
+
+SparseMatrix SparseMatrix::transposed() const {
+  SparseBuilder b(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      b.add(cols_idx_[k], r, values_[k]);
+    }
+  }
+  return b.build();
+}
+
+std::vector<std::vector<double>> SparseMatrix::to_dense() const {
+  std::vector<std::vector<double>> d(rows_, std::vector<double>(cols_, 0.0));
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      d[r][cols_idx_[k]] += values_[k];
+    }
+  }
+  return d;
+}
+
+void SparseBuilder::add(std::size_t r, std::size_t c, double value) {
+  detail::require(r < rows_ && c < cols_, "SparseBuilder::add: out of range");
+  if (value == 0.0) return;
+  triplets_.push_back({r, c, value});
+}
+
+SparseMatrix SparseBuilder::build() {
+  std::sort(triplets_.begin(), triplets_.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.r != b.r ? a.r < b.r : a.c < b.c;
+            });
+  SparseMatrix m;
+  m.rows_ = rows_;
+  m.cols_ = cols_;
+  m.row_ptr_.assign(rows_ + 1, 0);
+  std::size_t i = 0;
+  while (i < triplets_.size()) {
+    const std::size_t r = triplets_[i].r;
+    const std::size_t c = triplets_[i].c;
+    double v = 0.0;
+    while (i < triplets_.size() && triplets_[i].r == r && triplets_[i].c == c) {
+      v += triplets_[i].v;
+      ++i;
+    }
+    if (v != 0.0) {
+      m.cols_idx_.push_back(c);
+      m.values_.push_back(v);
+      ++m.row_ptr_[r + 1];
+    }
+  }
+  for (std::size_t r = 0; r < rows_; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  triplets_.clear();
+  return m;
+}
+
+}  // namespace relkit

@@ -1,0 +1,82 @@
+// Sparse matrix support for large state-space models.
+//
+// State-space solvers (CTMC steady-state via SOR, transient via
+// uniformization) need only row-oriented access and matrix-vector products,
+// so RelKit uses a plain CSR representation assembled from triplets.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace relkit {
+
+/// Compressed sparse row matrix of double.
+///
+/// Build with SparseBuilder; entries within a row are sorted by column and
+/// duplicates are summed.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  /// Row r occupies [row_begin(r), row_end(r)) in col()/value().
+  std::size_t row_begin(std::size_t r) const { return row_ptr_[r]; }
+  std::size_t row_end(std::size_t r) const { return row_ptr_[r + 1]; }
+  std::size_t col(std::size_t k) const { return cols_idx_[k]; }
+  double value(std::size_t k) const { return values_[k]; }
+  double& value(std::size_t k) { return values_[k]; }
+
+  /// y = A x  (returns y).
+  std::vector<double> multiply(const std::vector<double>& x) const;
+
+  /// y = x A  (row vector times matrix; the natural product for probability
+  /// vectors over a generator/transition matrix).
+  std::vector<double> multiply_left(const std::vector<double>& x) const;
+
+  /// Entry (r, c), or 0 if absent (binary search within the row).
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Transposed copy (CSR of A^T).
+  SparseMatrix transposed() const;
+
+  /// Dense copy (tests / small direct solves).
+  std::vector<std::vector<double>> to_dense() const;
+
+ private:
+  friend class SparseBuilder;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> cols_idx_;
+  std::vector<double> values_;
+};
+
+/// Triplet assembler for SparseMatrix.
+class SparseBuilder {
+ public:
+  SparseBuilder(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols) {}
+
+  /// Accumulates `value` at (r, c); duplicates are summed at build time.
+  void add(std::size_t r, std::size_t c, double value);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Builds the CSR matrix. Entries with |value| == 0 after summing are
+  /// dropped. The builder can be reused afterwards (it is left empty).
+  SparseMatrix build();
+
+ private:
+  struct Triplet {
+    std::size_t r, c;
+    double v;
+  };
+  std::size_t rows_, cols_;
+  std::vector<Triplet> triplets_;
+};
+
+}  // namespace relkit

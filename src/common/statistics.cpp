@@ -1,0 +1,56 @@
+#include "common/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/special.hpp"
+
+namespace relkit {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::std_error() const {
+  if (n_ == 0) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double OnlineStats::ci_halfwidth(double confidence) const {
+  detail::require(confidence > 0.0 && confidence < 1.0,
+                  "ci_halfwidth: confidence in (0,1)");
+  detail::require(n_ >= 2, "ci_halfwidth: need at least 2 observations");
+  const double z = normal_quantile(0.5 + 0.5 * confidence);
+  return z * std_error();
+}
+
+double percentile(std::vector<double> samples, double p) {
+  detail::require(!samples.empty(), "percentile: empty sample set");
+  detail::require(p >= 0.0 && p <= 1.0, "percentile: p in [0,1]");
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples[0];
+  const double idx = p * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace relkit

@@ -1,0 +1,41 @@
+// Streaming statistics and confidence intervals for the simulator and the
+// uncertainty-propagation module.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace relkit {
+
+/// Welford online mean/variance accumulator.
+class OnlineStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance (0 if fewer than 2 observations).
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean.
+  double std_error() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Two-sided normal-approximation CI half-width at the given confidence
+  /// level (e.g. 0.95). Requires count() >= 2.
+  double ci_halfwidth(double confidence = 0.95) const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// p-th percentile (p in [0,1]) by linear interpolation; sorts a copy.
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace relkit

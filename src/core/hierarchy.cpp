@@ -1,0 +1,115 @@
+#include "core/hierarchy.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace relkit::core {
+
+void Hierarchy::set_parameter(const std::string& name, double value) {
+  detail::require(!name.empty(), "Hierarchy::set_parameter: empty name");
+  parameters_[name] = value;
+  invalidate();
+}
+
+void Hierarchy::define(const std::string& name, DefinitionFn fn) {
+  detail::require(!name.empty(), "Hierarchy::define: empty name");
+  detail::require(fn != nullptr, "Hierarchy::define: null function");
+  definitions_[name] = std::move(fn);
+  invalidate();
+}
+
+bool Hierarchy::has(const std::string& name) const {
+  return parameters_.count(name) || definitions_.count(name);
+}
+
+double Hierarchy::value(const std::string& name) const {
+  // Parameters win: they act as fixed-point overrides of definitions.
+  if (const auto p = parameters_.find(name); p != parameters_.end()) {
+    return p->second;
+  }
+  if (const auto m = memo_.find(name); m != memo_.end()) {
+    return m->second;
+  }
+  const auto d = definitions_.find(name);
+  detail::require(d != definitions_.end(),
+                  "Hierarchy::value: unknown quantity '" + name + "'");
+  detail::require_model(!in_progress_.count(name),
+                        "Hierarchy::value: cyclic dependency through '" +
+                            name +
+                            "' — use solve_fixed_point for cyclic systems");
+  in_progress_.insert(name);
+  double v;
+  try {
+    v = d->second(*this);
+  } catch (...) {
+    in_progress_.erase(name);
+    throw;
+  }
+  in_progress_.erase(name);
+  memo_[name] = v;
+  return v;
+}
+
+void Hierarchy::invalidate() const { memo_.clear(); }
+
+FixedPointResult Hierarchy::solve_fixed_point(
+    const std::vector<std::pair<std::string, DefinitionFn>>& updates,
+    const FixedPointOptions& opts) {
+  detail::require(!updates.empty(), "solve_fixed_point: no variables");
+  detail::require(opts.damping >= 0.0 && opts.damping < 1.0,
+                  "solve_fixed_point: damping in [0,1)");
+  for (const auto& [name, fn] : updates) {
+    detail::require(parameters_.count(name),
+                    "solve_fixed_point: variable '" + name +
+                        "' must be initialized with set_parameter");
+    detail::require(fn != nullptr, "solve_fixed_point: null update for '" +
+                                       name + "'");
+  }
+
+  FixedPointResult result;
+  for (std::size_t it = 1; it <= opts.max_iterations; ++it) {
+    double residual = 0.0;
+    // Gauss-Seidel style: each update sees the newest values of the others.
+    for (const auto& [name, fn] : updates) {
+      const double old_value = parameters_.at(name);
+      invalidate();
+      const double raw = fn(*this);
+      const double next =
+          opts.damping * old_value + (1.0 - opts.damping) * raw;
+      parameters_[name] = next;
+      residual = std::max(residual, std::abs(next - old_value));
+    }
+    result.iterations = it;
+    result.residual = residual;
+    if (residual < opts.tol) {
+      result.converged = true;
+      invalidate();
+      return result;
+    }
+  }
+  throw NumericalError(
+      "solve_fixed_point: no convergence after " +
+      std::to_string(opts.max_iterations) +
+      " iterations (residual " + std::to_string(result.residual) + ")");
+}
+
+double availability_from_mttf_mttr(double mttf, double mttr) {
+  detail::require(mttf > 0.0 && mttr >= 0.0,
+                  "availability_from_mttf_mttr: bad arguments");
+  return mttf / (mttf + mttr);
+}
+
+double downtime_minutes_per_year(double availability) {
+  detail::require(availability >= 0.0 && availability <= 1.0,
+                  "downtime_minutes_per_year: availability in [0,1]");
+  return (1.0 - availability) * 365.25 * 24.0 * 60.0;
+}
+
+double nines(double availability) {
+  detail::require(availability >= 0.0 && availability < 1.0,
+                  "nines: availability in [0,1)");
+  return -std::log10(1.0 - availability);
+}
+
+}  // namespace relkit::core

@@ -1,0 +1,50 @@
+// Umbrella header: pulls in the whole RelKit public API.
+//
+//   #include "core/relkit.hpp"
+//
+// Module map (see DESIGN.md for the full inventory):
+//   common/      distributions, linear algebra, RNG, statistics, intervals
+//   bdd/         ROBDD engine behind all combinatorial solvers
+//   rbd/         reliability block diagrams
+//   ftree/       fault trees + bounding algorithms
+//   relgraph/    s-t reliability graphs
+//   markov/      CTMC / DTMC solvers and reward models
+//   phase/       phase-type distributions and fitting
+//   spn/         stochastic reward nets -> CTMC
+//   semimarkov/  semi-Markov processes
+//   core/        hierarchical composition + fixed-point iteration
+//   uncertainty/ parametric uncertainty propagation
+//   sim/         discrete-event simulation cross-validator
+#pragma once
+
+#include "bdd/bdd.hpp"
+#include "common/component.hpp"
+#include "common/distributions.hpp"
+#include "common/error.hpp"
+#include "common/interval.hpp"
+#include "common/linsolve.hpp"
+#include "common/matrix.hpp"
+#include "common/poisson_weights.hpp"
+#include "common/quadrature.hpp"
+#include "common/rng.hpp"
+#include "common/sparse.hpp"
+#include "common/special.hpp"
+#include "common/statistics.hpp"
+#include "core/hierarchy.hpp"
+#include "dft/dft.hpp"
+#include "ftree/bounds.hpp"
+#include "ftree/fault_tree.hpp"
+#include "io/graphviz.hpp"
+#include "io/model_parser.hpp"
+#include "markov/builders.hpp"
+#include "markov/ctmc.hpp"
+#include "markov/dtmc.hpp"
+#include "phase/phase_type.hpp"
+#include "rbd/rbd.hpp"
+#include "relgraph/relgraph.hpp"
+#include "semimarkov/mrgp.hpp"
+#include "semimarkov/smp.hpp"
+#include "sim/simulator.hpp"
+#include "spn/srn.hpp"
+#include "uncertainty/estimation.hpp"
+#include "uncertainty/uncertainty.hpp"

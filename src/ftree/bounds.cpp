@@ -1,0 +1,165 @@
+#include "ftree/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace relkit::ftree {
+
+double cut_probability(const CutSet& cut, const std::vector<double>& q) {
+  double p = 1.0;
+  for (const auto i : cut) {
+    detail::require(i < q.size(), "cut_probability: index out of range");
+    p *= q[i];
+  }
+  return p;
+}
+
+Interval union_bound(const std::vector<CutSet>& cuts,
+                     const std::vector<double>& q) {
+  double lo = 0.0;
+  double hi = 0.0;
+  for (const auto& c : cuts) {
+    const double p = cut_probability(c, q);
+    lo = std::max(lo, p);
+    hi += p;
+  }
+  return Interval(lo, std::min(1.0, hi)).clamp01();
+}
+
+namespace {
+
+// P(union of the events of the given cuts all occur simultaneously):
+// product of q over the union of indices.
+double joint_probability(const std::vector<CutSet>& cuts,
+                         const std::vector<std::size_t>& pick,
+                         const std::vector<double>& q) {
+  // Merge indices of the selected cuts (each cut is sorted).
+  std::vector<std::uint32_t> merged;
+  for (const auto ci : pick) {
+    std::vector<std::uint32_t> next;
+    next.reserve(merged.size() + cuts[ci].size());
+    std::set_union(merged.begin(), merged.end(), cuts[ci].begin(),
+                   cuts[ci].end(), std::back_inserter(next));
+    merged.swap(next);
+  }
+  double p = 1.0;
+  for (const auto i : merged) p *= q[i];
+  return p;
+}
+
+// Sum over all `depth`-subsets of cuts of the joint probability.
+double bonferroni_term(const std::vector<CutSet>& cuts,
+                       const std::vector<double>& q, std::uint32_t depth) {
+  const std::size_t m = cuts.size();
+  if (depth > m) return 0.0;
+  std::vector<std::size_t> pick(depth);
+  for (std::size_t i = 0; i < depth; ++i) pick[i] = i;
+  double s = 0.0;
+  for (;;) {
+    s += joint_probability(cuts, pick, q);
+    // Next combination.
+    std::size_t pos = depth;
+    while (pos > 0 && pick[pos - 1] == m - depth + pos - 1) --pos;
+    if (pos == 0) break;
+    ++pick[pos - 1];
+    for (std::size_t j = pos; j < depth; ++j) pick[j] = pick[j - 1] + 1;
+  }
+  return s;
+}
+
+}  // namespace
+
+Interval bonferroni_bound(const std::vector<CutSet>& cuts,
+                          const std::vector<double>& q, std::uint32_t depth) {
+  detail::require(depth >= 1, "bonferroni_bound: depth must be >= 1");
+  if (cuts.empty()) return Interval(0.0, 0.0);
+
+  // Guard against combinatorial blowup: C(m, depth) terms.
+  double work = 1.0;
+  for (std::uint32_t d = 0; d < depth; ++d) {
+    work *= static_cast<double>(cuts.size() - d) / static_cast<double>(d + 1);
+  }
+  detail::require(work <= 5e7,
+                  "bonferroni_bound: too many inclusion-exclusion terms; "
+                  "reduce depth or truncate the cut list");
+
+  double partial = 0.0;
+  double upper = 1.0;
+  double lower = 0.0;
+  for (std::uint32_t d = 1; d <= depth; ++d) {
+    const double term = bonferroni_term(cuts, q, d);
+    partial += (d % 2 == 1) ? term : -term;
+    if (d % 2 == 1) {
+      upper = std::min(upper, partial);
+    } else {
+      lower = std::max(lower, partial);
+    }
+    if (d == cuts.size()) {
+      // Complete inclusion-exclusion: the value is exact.
+      upper = partial;
+      lower = partial;
+      break;
+    }
+  }
+  return Interval(std::max(0.0, std::min(lower, upper)),
+                  std::max(lower, upper))
+      .clamp01();
+}
+
+Interval esary_proschan_bound(const std::vector<CutSet>& cuts,
+                              const std::vector<CutSet>& paths,
+                              const std::vector<double>& q) {
+  // Upper: 1 - prod over cuts of (1 - P(cut fails)).
+  double log_prod_up = 0.0;
+  for (const auto& c : cuts) {
+    const double pc = cut_probability(c, q);
+    if (pc >= 1.0) return Interval(1.0, 1.0);
+    log_prod_up += std::log1p(-pc);
+  }
+  const double upper = -std::expm1(log_prod_up);
+
+  // Lower: prod over paths of P(path broken) = prod (1 - prod_i (1 - q_i)).
+  double lower = 0.0;
+  if (!paths.empty()) {
+    double log_prod_lo = 0.0;
+    bool zero = false;
+    for (const auto& p : paths) {
+      double path_up = 1.0;
+      for (const auto i : p) {
+        detail::require(i < q.size(),
+                        "esary_proschan_bound: index out of range");
+        path_up *= (1.0 - q[i]);
+      }
+      const double broken = 1.0 - path_up;
+      if (broken <= 0.0) {
+        zero = true;
+        break;
+      }
+      log_prod_lo += std::log(broken);
+    }
+    lower = zero ? 0.0 : std::exp(log_prod_lo);
+  }
+  // The two EP bounds can cross only through numerical noise.
+  return Interval(std::min(lower, upper), upper).clamp01();
+}
+
+double exact_from_cuts(const std::vector<CutSet>& cuts,
+                       const std::vector<double>& q) {
+  detail::require(cuts.size() <= 25,
+                  "exact_from_cuts: inclusion-exclusion over > 25 cuts");
+  const std::size_t m = cuts.size();
+  double total = 0.0;
+  for (std::uint64_t mask = 1; mask < (1ull << m); ++mask) {
+    std::vector<std::size_t> pick;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (mask & (1ull << i)) pick.push_back(i);
+    }
+    const double p = joint_probability(cuts, pick, q);
+    total += (pick.size() % 2 == 1) ? p : -p;
+  }
+  return std::clamp(total, 0.0, 1.0);
+}
+
+}  // namespace relkit::ftree

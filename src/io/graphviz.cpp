@@ -1,0 +1,57 @@
+#include "io/graphviz.hpp"
+
+#include <sstream>
+
+namespace relkit::io {
+
+std::string to_graphviz(const markov::Ctmc& chain) {
+  std::ostringstream os;
+  os << "digraph ctmc {\n  rankdir=LR;\n  node [shape=ellipse];\n";
+  for (markov::StateId s = 0; s < chain.state_count(); ++s) {
+    os << "  s" << s << " [label=\"" << chain.state_name(s) << "\"";
+    if (chain.is_absorbing(s)) os << ", peripheries=2";
+    os << "];\n";
+  }
+  const SparseMatrix q = chain.sparse_generator();
+  for (std::size_t r = 0; r < chain.state_count(); ++r) {
+    for (std::size_t k = q.row_begin(r); k < q.row_end(r); ++k) {
+      if (q.col(k) == r) continue;  // diagonal
+      os << "  s" << r << " -> s" << q.col(k) << " [label=\"" << q.value(k)
+         << "\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_graphviz(const spn::Srn& net) {
+  const spn::GeneratedChain g = net.generate();
+  std::ostringstream os;
+  os << "digraph srn_reachability {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (std::size_t i = 0; i < g.markings.size(); ++i) {
+    os << "  m" << i << " [label=\"";
+    bool first = true;
+    for (spn::PlaceId p = 0; p < net.place_count(); ++p) {
+      if (g.markings[i][p] == 0) continue;
+      if (!first) os << " ";
+      os << net.place_name(p) << "=" << g.markings[i][p];
+      first = false;
+    }
+    if (first) os << "(empty)";
+    os << "\"";
+    if (g.initial[i] > 0.0) os << ", style=bold";
+    os << "];\n";
+  }
+  const SparseMatrix q = g.ctmc.sparse_generator();
+  for (std::size_t r = 0; r < g.markings.size(); ++r) {
+    for (std::size_t k = q.row_begin(r); k < q.row_end(r); ++k) {
+      if (q.col(k) == r) continue;
+      os << "  m" << r << " -> m" << q.col(k) << " [label=\"" << q.value(k)
+         << "\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace relkit::io

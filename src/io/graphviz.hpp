@@ -1,0 +1,21 @@
+// Graphviz (dot) export of state-space models — the standard way to
+// eyeball a generated chain before trusting it.
+#pragma once
+
+#include <string>
+
+#include "markov/ctmc.hpp"
+#include "spn/srn.hpp"
+
+namespace relkit::io {
+
+/// Renders a CTMC as a dot digraph: one node per state (labelled with its
+/// name), one edge per transition (labelled with the rate, `%g` format).
+std::string to_graphviz(const markov::Ctmc& chain);
+
+/// Renders the *tangible reachability graph* of an SRN: nodes are tangible
+/// markings (labelled "p1=2 p3=1", zero-token places omitted), edges carry
+/// the effective rates after vanishing-marking elimination.
+std::string to_graphviz(const spn::Srn& net);
+
+}  // namespace relkit::io

@@ -1,0 +1,310 @@
+#include "io/model_parser.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace relkit::io {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& msg) {
+  throw ModelError("model parse error at line " + std::to_string(line) +
+                   ": " + msg);
+}
+
+struct GateSpec {
+  std::string kind;  // and / or / kofn / not
+  std::uint32_t k = 0;
+  std::vector<std::string> children;
+  std::size_t line = 0;
+};
+
+double parse_number(const std::string& tok, std::size_t line,
+                    const char* what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(tok, &used);
+    if (used != tok.size()) fail(line, std::string("bad ") + what);
+    return v;
+  } catch (const std::exception&) {
+    fail(line, std::string("bad ") + what + " '" + tok + "'");
+  }
+}
+
+}  // namespace
+
+ParsedModel parse_model(std::istream& input) {
+  std::string model_kind;
+  std::string model_name;
+  std::map<std::string, ComponentModel> events;
+  std::map<std::string, GateSpec> gates;
+  std::string top_name;
+  std::size_t top_line = 0;
+
+  // relgraph directives.
+  struct EdgeSpec {
+    std::string component;
+    std::size_t u, v;
+    bool undirected;
+    std::size_t line;
+  };
+  std::size_t vertex_count = 0;
+  bool have_terminals = false;
+  std::size_t source = 0, sink = 0;
+  std::vector<EdgeSpec> edges;
+
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(input, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream line(raw);
+    std::string keyword;
+    if (!(line >> keyword)) continue;  // blank line
+
+    if (keyword == "model") {
+      if (!model_kind.empty()) fail(line_no, "duplicate 'model' directive");
+      std::string kind;
+      if (!(line >> kind >> model_name)) {
+        fail(line_no, "expected: model (ftree|rbd) <name>");
+      }
+      if (kind != "ftree" && kind != "rbd" && kind != "relgraph") {
+        fail(line_no, "model kind must be 'ftree', 'rbd', or 'relgraph'");
+      }
+      model_kind = kind;
+    } else if (keyword == "event") {
+      std::string name, spec;
+      if (!(line >> name >> spec)) {
+        fail(line_no, "expected: event <name> <spec ...>");
+      }
+      if (events.count(name) || gates.count(name)) {
+        fail(line_no, "duplicate name '" + name + "'");
+      }
+      std::string a, b, c;
+      if (spec == "prob") {
+        if (!(line >> a)) fail(line_no, "expected: prob <p>");
+        const double p = parse_number(a, line_no, "probability");
+        if (p < 0.0 || p > 1.0) fail(line_no, "probability out of [0,1]");
+        // Convention: the number is always the component's probability of
+        // being UP; fault trees derive the event (failure) probability.
+        events.emplace(name, ComponentModel::fixed(p));
+      } else if (spec == "rate") {
+        if (!(line >> a)) fail(line_no, "expected: rate <lambda>");
+        const double lambda = parse_number(a, line_no, "rate");
+        if (line >> b) {
+          if (b != "repair") fail(line_no, "expected 'repair' after rate");
+          if (!(line >> c)) fail(line_no, "expected repair rate");
+          const double mu = parse_number(c, line_no, "repair rate");
+          if (lambda <= 0.0 || mu <= 0.0) fail(line_no, "rates must be > 0");
+          events.emplace(name, ComponentModel::repairable(lambda, mu));
+        } else {
+          if (lambda <= 0.0) fail(line_no, "rate must be > 0");
+          events.emplace(name,
+                         ComponentModel::with_lifetime(exponential(lambda)));
+        }
+      } else if (spec == "weibull") {
+        if (!(line >> a >> b)) fail(line_no, "expected: weibull <shape> <scale>");
+        events.emplace(name, ComponentModel::with_lifetime(weibull(
+                                 parse_number(a, line_no, "shape"),
+                                 parse_number(b, line_no, "scale"))));
+      } else if (spec == "lognormal") {
+        if (!(line >> a >> b)) {
+          fail(line_no, "expected: lognormal <mu> <sigma>");
+        }
+        events.emplace(name, ComponentModel::with_lifetime(lognormal(
+                                 parse_number(a, line_no, "mu"),
+                                 parse_number(b, line_no, "sigma"))));
+      } else {
+        fail(line_no, "unknown event spec '" + spec + "'");
+      }
+      std::string extra;
+      if (line >> extra) fail(line_no, "trailing tokens after event");
+    } else if (keyword == "gate") {
+      GateSpec g;
+      std::string name;
+      if (!(line >> name >> g.kind)) {
+        fail(line_no, "expected: gate <name> <kind> ...");
+      }
+      if (events.count(name) || gates.count(name)) {
+        fail(line_no, "duplicate name '" + name + "'");
+      }
+      g.line = line_no;
+      if (g.kind == "kofn") {
+        std::string ktok;
+        if (!(line >> ktok)) fail(line_no, "expected k after 'kofn'");
+        const double kv = parse_number(ktok, line_no, "k");
+        if (kv < 1.0 || kv != static_cast<double>(static_cast<std::uint32_t>(kv))) {
+          fail(line_no, "k must be a positive integer");
+        }
+        g.k = static_cast<std::uint32_t>(kv);
+      } else if (g.kind != "and" && g.kind != "or" && g.kind != "not") {
+        fail(line_no, "unknown gate kind '" + g.kind + "'");
+      }
+      std::string child;
+      while (line >> child) g.children.push_back(child);
+      if (g.children.empty()) fail(line_no, "gate has no children");
+      if (g.kind == "not" && g.children.size() != 1) {
+        fail(line_no, "'not' gate takes exactly one child");
+      }
+      gates.emplace(name, std::move(g));
+    } else if (keyword == "vertices") {
+      std::string n;
+      if (!(line >> n)) fail(line_no, "expected: vertices <n>");
+      const double v = parse_number(n, line_no, "vertex count");
+      if (v < 2.0 || v != std::floor(v)) {
+        fail(line_no, "vertex count must be an integer >= 2");
+      }
+      vertex_count = static_cast<std::size_t>(v);
+    } else if (keyword == "terminals") {
+      std::string a, b;
+      if (!(line >> a >> b)) fail(line_no, "expected: terminals <s> <t>");
+      source = static_cast<std::size_t>(parse_number(a, line_no, "source"));
+      sink = static_cast<std::size_t>(parse_number(b, line_no, "sink"));
+      have_terminals = true;
+    } else if (keyword == "edge") {
+      EdgeSpec e;
+      std::string u, v;
+      if (!(line >> e.component >> u >> v)) {
+        fail(line_no, "expected: edge <component> <u> <v> [undirected]");
+      }
+      e.u = static_cast<std::size_t>(parse_number(u, line_no, "vertex"));
+      e.v = static_cast<std::size_t>(parse_number(v, line_no, "vertex"));
+      e.undirected = false;
+      e.line = line_no;
+      std::string flag;
+      if (line >> flag) {
+        if (flag != "undirected") fail(line_no, "unknown edge flag");
+        e.undirected = true;
+      }
+      edges.push_back(std::move(e));
+    } else if (keyword == "top") {
+      if (!top_name.empty()) fail(line_no, "duplicate 'top' directive");
+      if (!(line >> top_name)) fail(line_no, "expected: top <name>");
+      top_line = line_no;
+    } else {
+      fail(line_no, "unknown directive '" + keyword + "'");
+    }
+  }
+
+  if (model_kind.empty()) fail(1, "missing 'model' directive");
+
+  ParsedModel out;
+  out.name = model_name;
+
+  if (model_kind == "relgraph") {
+    const std::size_t end = line_no ? line_no : 1;
+    if (!gates.empty() || !top_name.empty()) {
+      fail(end, "relgraph models take edges, not gates/top");
+    }
+    if (vertex_count == 0) fail(end, "missing 'vertices' directive");
+    if (!have_terminals) fail(end, "missing 'terminals' directive");
+    if (edges.empty()) fail(end, "relgraph model has no edges");
+    if (source >= vertex_count || sink >= vertex_count || source == sink) {
+      fail(end, "bad terminals");
+    }
+    auto graph = std::make_unique<relgraph::ReliabilityGraph>(vertex_count,
+                                                              source, sink);
+    for (const auto& e : edges) {
+      const auto it = events.find(e.component);
+      if (it == events.end()) {
+        fail(e.line, "edge references unknown component '" + e.component +
+                         "'");
+      }
+      if (e.u >= vertex_count || e.v >= vertex_count) {
+        fail(e.line, "edge vertex out of range");
+      }
+      if (e.undirected) {
+        graph->add_undirected_edge(e.component, e.u, e.v, it->second);
+      } else {
+        graph->add_edge(e.component, e.u, e.v, it->second);
+      }
+    }
+    out.graph = std::move(graph);
+    return out;
+  }
+
+  if (top_name.empty()) fail(line_no ? line_no : 1, "missing 'top' directive");
+
+  if (model_kind == "ftree") {
+    // Build the ftree AST with cycle detection.
+    std::map<std::string, ftree::EventModel> event_models;
+    for (const auto& [name, model] : events) {
+      event_models.emplace(name, model);
+    }
+    std::map<std::string, int> visiting;  // 0 none, 1 in progress
+    std::function<ftree::NodePtr(const std::string&, std::size_t)> build =
+        [&](const std::string& name, std::size_t from_line) -> ftree::NodePtr {
+      if (events.count(name)) return ftree::Node::basic(name);
+      const auto it = gates.find(name);
+      if (it == gates.end()) {
+        fail(from_line, "unknown reference '" + name + "'");
+      }
+      if (visiting[name] == 1) {
+        fail(it->second.line, "cyclic gate definition through '" + name + "'");
+      }
+      visiting[name] = 1;
+      const GateSpec& g = it->second;
+      std::vector<ftree::NodePtr> children;
+      for (const auto& child : g.children) {
+        children.push_back(build(child, g.line));
+      }
+      visiting[name] = 0;
+      if (g.kind == "and") return ftree::Node::and_gate(std::move(children));
+      if (g.kind == "or") return ftree::Node::or_gate(std::move(children));
+      if (g.kind == "not") return ftree::Node::not_gate(children[0]);
+      return ftree::Node::k_of_n_gate(g.k, std::move(children));
+    };
+    const ftree::NodePtr top = build(top_name, top_line);
+    out.fault_tree = std::make_unique<ftree::FaultTree>(
+        top, std::move(event_models));
+  } else {
+    std::map<std::string, int> visiting;
+    std::function<rbd::BlockPtr(const std::string&, std::size_t)> build =
+        [&](const std::string& name, std::size_t from_line) -> rbd::BlockPtr {
+      if (events.count(name)) return rbd::Block::component(name);
+      const auto it = gates.find(name);
+      if (it == gates.end()) {
+        fail(from_line, "unknown reference '" + name + "'");
+      }
+      if (visiting[name] == 1) {
+        fail(it->second.line, "cyclic gate definition through '" + name + "'");
+      }
+      visiting[name] = 1;
+      const GateSpec& g = it->second;
+      if (g.kind == "not") {
+        fail(g.line, "'not' gates are not allowed in RBD models");
+      }
+      std::vector<rbd::BlockPtr> children;
+      for (const auto& child : g.children) {
+        children.push_back(build(child, g.line));
+      }
+      visiting[name] = 0;
+      if (g.kind == "and") return rbd::Block::series(std::move(children));
+      if (g.kind == "or") return rbd::Block::parallel(std::move(children));
+      return rbd::Block::k_of_n(g.k, std::move(children));
+    };
+    const rbd::BlockPtr top = build(top_name, top_line);
+    out.rbd = std::make_unique<rbd::Rbd>(top, events);
+  }
+  return out;
+}
+
+ParsedModel parse_model_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse_model(is);
+}
+
+ParsedModel parse_model_file(const std::string& path) {
+  std::ifstream file(path);
+  detail::require(file.good(), "parse_model_file: cannot open '" + path + "'");
+  return parse_model(file);
+}
+
+}  // namespace relkit::io

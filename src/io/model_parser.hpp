@@ -1,0 +1,62 @@
+// Text-format model import — a small SHARPE-flavoured input language so
+// models can be written in files and analyzed by the CLI (tools/relkit_cli)
+// or loaded programmatically.
+//
+// Grammar (line oriented; '#' starts a comment):
+//
+//   model (ftree|rbd|relgraph) <name>
+//   event <name> prob <p>                        # fixed P(component up)
+//   event <name> rate <lambda>                   # exponential lifetime
+//   event <name> rate <lambda> repair <mu>       # repairable
+//   event <name> weibull <shape> <scale>         # Weibull lifetime
+//   event <name> lognormal <mu> <sigma>          # lognormal lifetime
+//   gate <name> and <child> <child> ...          # children: events/gates
+//   gate <name> or  <child> ...
+//   gate <name> kofn <k> <child> ...
+//   gate <name> not <child>                      # fault trees only
+//   top <gate-or-event>                          # required, once
+//
+// For `model rbd`, gate semantics are block semantics: `and` = series,
+// `or` = parallel, `kofn` = k-of-n working; `not` is rejected.
+//
+// For `model relgraph`, the directives are instead:
+//
+//   vertices <n>                                 # vertex ids 0..n-1
+//   terminals <source> <sink>
+//   event <name> ...                             # as above (components)
+//   edge <component> <u> <v> [undirected]        # arc carried by component
+//
+// and no gates/top are allowed.
+//
+// Parse errors throw relkit::ModelError with a line number.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "ftree/fault_tree.hpp"
+#include "rbd/rbd.hpp"
+#include "relgraph/relgraph.hpp"
+
+namespace relkit::io {
+
+/// A parsed model: exactly one of the pointers is set.
+struct ParsedModel {
+  std::string name;
+  std::unique_ptr<ftree::FaultTree> fault_tree;
+  std::unique_ptr<rbd::Rbd> rbd;
+  std::unique_ptr<relgraph::ReliabilityGraph> graph;
+};
+
+/// Parses a model from a stream. Throws ModelError on syntax or semantic
+/// errors (message includes the 1-based line number).
+ParsedModel parse_model(std::istream& input);
+
+/// Parses a model from a string (convenience for tests).
+ParsedModel parse_model_string(const std::string& text);
+
+/// Parses a model from a file path.
+ParsedModel parse_model_file(const std::string& path);
+
+}  // namespace relkit::io

@@ -1,0 +1,125 @@
+#include "markov/builders.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace relkit::markov {
+
+Ctmc two_state_availability(double failure_rate, double repair_rate) {
+  detail::require(failure_rate > 0.0 && repair_rate > 0.0,
+                  "two_state_availability: rates must be > 0");
+  Ctmc c;
+  const StateId up = c.add_state("up");
+  const StateId down = c.add_state("down");
+  c.add_transition(up, down, failure_rate);
+  c.add_transition(down, up, repair_rate);
+  return c;
+}
+
+double KofNChain::availability() const {
+  const auto pi = chain.steady_state();
+  double a = 0.0;
+  // States are ordered up<n>, up<n-1>, ..., up<0>.
+  for (std::size_t i = 0; i <= n; ++i) {
+    const std::size_t ups = n - i;
+    if (ups >= k) a += pi[i];
+  }
+  return a;
+}
+
+KofNChain k_of_n_shared_repair(std::size_t n, std::size_t k, double lambda,
+                               double mu, std::size_t repair_crews) {
+  detail::require(n >= 1 && k >= 1 && k <= n,
+                  "k_of_n_shared_repair: require 1 <= k <= n");
+  detail::require(lambda > 0.0 && mu > 0.0,
+                  "k_of_n_shared_repair: rates must be > 0");
+  detail::require(repair_crews >= 1,
+                  "k_of_n_shared_repair: need at least one crew");
+  KofNChain out;
+  out.n = n;
+  out.k = k;
+  for (std::size_t i = 0; i <= n; ++i) {
+    out.chain.add_state("up" + std::to_string(n - i));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t ups = n - i;
+    const std::size_t downs = i;
+    out.chain.add_transition(i, i + 1,
+                             static_cast<double>(ups) * lambda);
+    // Repairs from state i+1 (downs + 1 failed units).
+    const std::size_t busy = std::min(repair_crews, downs + 1);
+    out.chain.add_transition(i + 1, i, static_cast<double>(busy) * mu);
+  }
+  return out;
+}
+
+double DuplexCoverage::availability() const {
+  const auto pi = chain.steady_state();
+  return pi[chain.state_index("both")] + pi[chain.state_index("solo")];
+}
+
+double DuplexCoverage::downtime_minutes_per_year() const {
+  return (1.0 - availability()) * 365.25 * 24.0 * 60.0;
+}
+
+DuplexCoverage duplex_with_coverage(double failure_rate, double repair_rate,
+                                    double coverage, double switchover_rate,
+                                    double manual_recovery_rate) {
+  detail::require(failure_rate > 0.0 && repair_rate > 0.0 &&
+                      switchover_rate > 0.0 && manual_recovery_rate > 0.0,
+                  "duplex_with_coverage: rates must be > 0");
+  detail::require(coverage > 0.0 && coverage <= 1.0,
+                  "duplex_with_coverage: coverage in (0,1]");
+  DuplexCoverage out;
+  Ctmc& c = out.chain;
+  const StateId both = c.add_state("both");
+  const StateId switching = c.add_state("switching");
+  const StateId solo = c.add_state("solo");
+  const StateId uncovered = c.add_state("uncovered");
+  const StateId dual = c.add_state("dual");
+  c.add_transition(both, switching, 2 * failure_rate * coverage);
+  if (coverage < 1.0) {
+    c.add_transition(both, uncovered, 2 * failure_rate * (1.0 - coverage));
+  }
+  // With perfect coverage "uncovered" is unreachable (pi = 0); it keeps an
+  // exit edge so the elimination solver still processes it cleanly.
+  c.add_transition(uncovered, solo, manual_recovery_rate);
+  c.add_transition(switching, solo, switchover_rate);
+  c.add_transition(solo, both, repair_rate);
+  c.add_transition(solo, dual, failure_rate);
+  c.add_transition(dual, solo, repair_rate);
+  return out;
+}
+
+double RejuvenationChain::availability() const {
+  const auto pi = chain.steady_state();
+  return pi[chain.state_index("robust")] + pi[chain.state_index("fragile")];
+}
+
+RejuvenationChain software_rejuvenation(double aging_rate,
+                                        double failure_rate,
+                                        double repair_rate,
+                                        double rejuvenation_rate,
+                                        double rejuvenation_duration_rate) {
+  detail::require(aging_rate > 0.0 && failure_rate > 0.0 &&
+                      repair_rate > 0.0 && rejuvenation_rate > 0.0 &&
+                      rejuvenation_duration_rate > 0.0,
+                  "software_rejuvenation: rates must be > 0");
+  RejuvenationChain out;
+  Ctmc& c = out.chain;
+  const StateId robust = c.add_state("robust");
+  const StateId fragile = c.add_state("fragile");
+  const StateId rejuvenating = c.add_state("rejuvenating");
+  const StateId failed = c.add_state("failed");
+  c.add_transition(robust, fragile, aging_rate);
+  c.add_transition(fragile, failed, failure_rate);
+  c.add_transition(robust, rejuvenating, rejuvenation_rate);
+  c.add_transition(fragile, rejuvenating, rejuvenation_rate);
+  c.add_transition(rejuvenating, robust, rejuvenation_duration_rate);
+  c.add_transition(failed, robust, repair_rate);
+  return out;
+}
+
+}  // namespace relkit::markov

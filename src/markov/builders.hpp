@@ -1,0 +1,62 @@
+// Canonical availability CTMC builders.
+//
+// The same small chains appear in every availability study the tutorial
+// walks through; these builders construct them with validated parameters so
+// examples, tests, and user models share one audited implementation.
+// All rates are per unit time; states are named for readable output.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "markov/ctmc.hpp"
+
+namespace relkit::markov {
+
+/// Two-state up/down model. States: "up", "down".
+Ctmc two_state_availability(double failure_rate, double repair_rate);
+
+/// n identical units, k needed, r repair crews (repair rate each `mu`,
+/// failure rate each `lambda`). States "up<i>" = i units up, i = n..0.
+/// The classic machine-repairman availability chain.
+struct KofNChain {
+  Ctmc chain;
+  /// Steady-state probability that at least k units are up.
+  double availability() const;
+  std::size_t n = 0;
+  std::size_t k = 0;
+};
+KofNChain k_of_n_shared_repair(std::size_t n, std::size_t k, double lambda,
+                               double mu, std::size_t repair_crews = 1);
+
+/// Active/standby duplex with imperfect coverage: a covered failure of the
+/// active unit switches to the standby at rate `switchover_rate`; an
+/// uncovered one (prob 1 - coverage) requires manual recovery. States:
+/// "both", "switching", "solo", "uncovered", "dual".
+struct DuplexCoverage {
+  Ctmc chain;
+  /// Up states are "both" and "solo".
+  double availability() const;
+  double downtime_minutes_per_year() const;
+};
+DuplexCoverage duplex_with_coverage(double failure_rate, double repair_rate,
+                                    double coverage, double switchover_rate,
+                                    double manual_recovery_rate);
+
+/// Software rejuvenation chain (exponential approximation): "robust"
+/// degrades to "fragile" (rate `aging_rate`), fragile fails (rate
+/// `failure_rate`); rejuvenation fires from either live state at
+/// `rejuvenation_rate`, taking `rejuvenation_duration_rate` to complete;
+/// repair of a full failure at `repair_rate`. States: "robust", "fragile",
+/// "rejuvenating", "failed".
+struct RejuvenationChain {
+  Ctmc chain;
+  double availability() const;  ///< robust + fragile
+};
+RejuvenationChain software_rejuvenation(double aging_rate,
+                                        double failure_rate,
+                                        double repair_rate,
+                                        double rejuvenation_rate,
+                                        double rejuvenation_duration_rate);
+
+}  // namespace relkit::markov

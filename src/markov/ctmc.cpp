@@ -1,0 +1,473 @@
+#include "markov/ctmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/poisson_weights.hpp"
+
+namespace relkit::markov {
+
+StateId Ctmc::add_state(std::string name) {
+  detail::require(!name.empty(), "Ctmc::add_state: empty name");
+  detail::require(!index_.count(name),
+                  "Ctmc::add_state: duplicate state '" + name + "'");
+  const StateId id = names_.size();
+  index_.emplace(name, id);
+  names_.push_back(std::move(name));
+  exit_rates_.push_back(0.0);
+  return id;
+}
+
+StateId Ctmc::add_states(std::size_t count) {
+  detail::require(count >= 1, "Ctmc::add_states: count must be >= 1");
+  const StateId first = names_.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    add_state("s" + std::to_string(first + i));
+  }
+  return first;
+}
+
+void Ctmc::add_transition(StateId from, StateId to, double rate) {
+  detail::require(from < names_.size() && to < names_.size(),
+                  "Ctmc::add_transition: state out of range");
+  detail::require(from != to, "Ctmc::add_transition: self-loop");
+  detail::require(rate > 0.0, "Ctmc::add_transition: rate must be > 0");
+  transitions_.push_back({from, to, rate});
+  exit_rates_[from] += rate;
+}
+
+const std::string& Ctmc::state_name(StateId s) const {
+  detail::require(s < names_.size(), "Ctmc::state_name: out of range");
+  return names_[s];
+}
+
+StateId Ctmc::state_index(const std::string& name) const {
+  const auto it = index_.find(name);
+  detail::require(it != index_.end(),
+                  "Ctmc::state_index: unknown state '" + name + "'");
+  return it->second;
+}
+
+double Ctmc::exit_rate(StateId s) const {
+  detail::require(s < names_.size(), "Ctmc::exit_rate: out of range");
+  return exit_rates_[s];
+}
+
+bool Ctmc::is_absorbing(StateId s) const { return exit_rate(s) == 0.0; }
+
+Matrix Ctmc::dense_generator() const {
+  const std::size_t n = state_count();
+  Matrix q(n, n);
+  for (const auto& t : transitions_) {
+    q(t.from, t.to) += t.rate;
+    q(t.from, t.from) -= t.rate;
+  }
+  return q;
+}
+
+SparseMatrix Ctmc::sparse_generator() const {
+  const std::size_t n = state_count();
+  SparseBuilder b(n, n);
+  for (const auto& t : transitions_) {
+    b.add(t.from, t.to, t.rate);
+    b.add(t.from, t.from, -t.rate);
+  }
+  return b.build();
+}
+
+std::vector<double> Ctmc::point_mass(StateId s) const {
+  detail::require(s < state_count(), "Ctmc::point_mass: out of range");
+  std::vector<double> pi0(state_count(), 0.0);
+  pi0[s] = 1.0;
+  return pi0;
+}
+
+void Ctmc::check_distribution(const std::vector<double>& pi0) const {
+  detail::require(pi0.size() == state_count(),
+                  "Ctmc: distribution size mismatch");
+  double s = 0.0;
+  for (double x : pi0) {
+    detail::require(x >= 0.0, "Ctmc: negative probability in distribution");
+    s += x;
+  }
+  detail::require(std::abs(s - 1.0) < 1e-9,
+                  "Ctmc: distribution does not sum to 1");
+}
+
+std::vector<double> Ctmc::steady_state(const SteadyStateOptions& opts) const {
+  const std::size_t n = state_count();
+  detail::require_model(n >= 1, "Ctmc::steady_state: no states");
+  if (n <= opts.dense_threshold) {
+    return gth_steady_state(dense_generator());
+  }
+  // SOR on the transposed sparse generator.
+  SparseBuilder bt(n, n);
+  std::vector<double> diag(n, 0.0);
+  for (const auto& t : transitions_) {
+    bt.add(t.to, t.from, t.rate);
+    diag[t.from] -= t.rate;
+  }
+  return sor_steady_state(bt.build(), diag, opts.sor).pi;
+}
+
+namespace {
+
+// Shared uniformization machinery: returns the DTMC matrix P = I + Q/q and
+// the uniformization rate q (slightly above the max exit rate so that P has
+// strictly positive diagonal, improving convergence for stiff chains).
+struct Uniformized {
+  SparseMatrix p;
+  double q;
+};
+
+Uniformized uniformize(const SparseMatrix& generator,
+                       const std::vector<double>& exit_rates) {
+  double qmax = 0.0;
+  for (double r : exit_rates) qmax = std::max(qmax, r);
+  const double q = qmax > 0.0 ? qmax * 1.02 : 1.0;
+  const std::size_t n = exit_rates.size();
+  SparseBuilder b(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double diag = 1.0;
+    for (std::size_t k = generator.row_begin(r); k < generator.row_end(r);
+         ++k) {
+      const std::size_t c = generator.col(k);
+      const double v = generator.value(k);
+      if (c == r) {
+        diag += v / q;
+      } else {
+        b.add(r, c, v / q);
+      }
+    }
+    b.add(r, r, diag);
+  }
+  return {b.build(), q};
+}
+
+}  // namespace
+
+std::vector<double> Ctmc::transient(const std::vector<double>& pi0, double t,
+                                    double eps) const {
+  check_distribution(pi0);
+  detail::require(t >= 0.0, "Ctmc::transient: t must be >= 0");
+  if (t == 0.0) return pi0;
+
+  const auto [p, q] = uniformize(sparse_generator(), exit_rates_);
+  const PoissonWeights pw = poisson_weights(q * t, eps);
+
+  std::vector<double> v = pi0;  // pi0 P^n
+  std::vector<double> out(state_count(), 0.0);
+  const std::size_t steps = pw.left + pw.weights.size();
+  for (std::size_t n = 0; n < steps; ++n) {
+    if (n >= pw.left) {
+      const double w = pw.weights[n - pw.left];
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] += w * v[i];
+    }
+    if (n + 1 == steps) break;
+    v = p.multiply_left(v);
+  }
+  return out;
+}
+
+std::vector<double> Ctmc::cumulative_time(const std::vector<double>& pi0,
+                                          double t, double eps) const {
+  check_distribution(pi0);
+  detail::require(t >= 0.0, "Ctmc::cumulative_time: t must be >= 0");
+  std::vector<double> acc(state_count(), 0.0);
+  if (t == 0.0) return acc;
+
+  const auto [p, q] = uniformize(sparse_generator(), exit_rates_);
+  const PoissonWeights pw = poisson_weights(q * t, eps);
+
+  // L(t) = (1/q) sum_{n>=0} (1 - CDF_Poisson(n)) pi0 P^n.
+  // With the normalized window, CDF(n) = sum of weights up to n; beyond the
+  // window's right end the factor is 0, so iterate to the window end.
+  std::vector<double> v = pi0;
+  double cdf = 0.0;
+  const std::size_t steps = pw.left + pw.weights.size();
+  for (std::size_t n = 0; n < steps; ++n) {
+    if (n >= pw.left) cdf += pw.weights[n - pw.left];
+    const double factor = (1.0 - cdf) / q;
+    if (factor > 0.0) {
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += factor * v[i];
+    }
+    if (n + 1 == steps) break;
+    v = p.multiply_left(v);
+  }
+  return acc;
+}
+
+AbsorbingAnalysis Ctmc::absorbing_analysis(
+    const std::vector<double>& pi0) const {
+  check_distribution(pi0);
+  const std::size_t n = state_count();
+
+  std::vector<StateId> transient_states;
+  std::vector<StateId> absorbing_states;
+  std::vector<std::size_t> tindex(n, SIZE_MAX);
+  for (StateId s = 0; s < n; ++s) {
+    if (is_absorbing(s)) {
+      absorbing_states.push_back(s);
+    } else {
+      tindex[s] = transient_states.size();
+      transient_states.push_back(s);
+    }
+  }
+  detail::require_model(!absorbing_states.empty(),
+                        "absorbing_analysis: chain has no absorbing state");
+  for (StateId s : absorbing_states) {
+    detail::require_model(pi0[s] == 0.0,
+                          "absorbing_analysis: initial mass on absorbing "
+                          "state '" + names_[s] + "'");
+  }
+
+  // Solve tau^T Q_TT = -pi0_T  (expected sojourn times).
+  const std::size_t m = transient_states.size();
+  Matrix qtt(m, m);
+  for (const auto& tr : transitions_) {
+    if (tindex[tr.from] == SIZE_MAX) continue;
+    qtt(tindex[tr.from], tindex[tr.from]) -= tr.rate;
+    if (tindex[tr.to] != SIZE_MAX) {
+      qtt(tindex[tr.from], tindex[tr.to]) += tr.rate;
+    }
+  }
+  std::vector<double> rhs(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) rhs[i] = -pi0[transient_states[i]];
+  std::vector<double> tau;
+  try {
+    tau = lu_solve_transposed(qtt, rhs);
+  } catch (const NumericalError&) {
+    throw ModelError(
+        "absorbing_analysis: some transient state cannot reach an absorbing "
+        "state (Q_TT singular)");
+  }
+
+  AbsorbingAnalysis out;
+  out.expected_sojourn.assign(n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    detail::require_model(tau[i] > -1e-9,
+                          "absorbing_analysis: negative sojourn time "
+                          "(reducibility or numerical issue)");
+    out.expected_sojourn[transient_states[i]] = std::max(0.0, tau[i]);
+    out.mean_time_to_absorption += std::max(0.0, tau[i]);
+  }
+
+  // Absorption probabilities: p_a = pi0_a + sum_i tau_i q_{i,a}.
+  out.absorption_probability.assign(n, 0.0);
+  for (const auto& tr : transitions_) {
+    if (tindex[tr.from] == SIZE_MAX || tindex[tr.to] != SIZE_MAX) continue;
+    out.absorption_probability[tr.to] +=
+        out.expected_sojourn[tr.from] * tr.rate;
+  }
+  return out;
+}
+
+double Ctmc::survival(const std::vector<double>& pi0, double t,
+                      double eps) const {
+  const std::vector<double> pi = transient(pi0, t, eps);
+  double absorbed = 0.0;
+  for (StateId s = 0; s < state_count(); ++s) {
+    if (is_absorbing(s)) absorbed += pi[s];
+  }
+  return std::clamp(1.0 - absorbed, 0.0, 1.0);
+}
+
+double reward_rate_at(const Ctmc& chain, const std::vector<double>& rewards,
+                      const std::vector<double>& pi0, double t) {
+  detail::require(rewards.size() == chain.state_count(),
+                  "reward_rate_at: reward vector size mismatch");
+  const std::vector<double> pi = chain.transient(pi0, t);
+  return dot(pi, rewards);
+}
+
+double reward_rate_steady(const Ctmc& chain,
+                          const std::vector<double>& rewards,
+                          const SteadyStateOptions& opts) {
+  detail::require(rewards.size() == chain.state_count(),
+                  "reward_rate_steady: reward vector size mismatch");
+  return dot(chain.steady_state(opts), rewards);
+}
+
+double accumulated_reward(const Ctmc& chain,
+                          const std::vector<double>& rewards,
+                          const std::vector<double>& pi0, double t) {
+  detail::require(rewards.size() == chain.state_count(),
+                  "accumulated_reward: reward vector size mismatch");
+  return dot(chain.cumulative_time(pi0, t), rewards);
+}
+
+double interval_availability(const Ctmc& chain,
+                             const std::vector<double>& up_indicator,
+                             const std::vector<double>& pi0, double t) {
+  detail::require(t > 0.0, "interval_availability: t must be > 0");
+  return accumulated_reward(chain, up_indicator, pi0, t) / t;
+}
+
+std::vector<double> steady_state_sensitivity(const Ctmc& chain,
+                                             const Matrix& dq) {
+  const std::size_t n = chain.state_count();
+  detail::require(dq.rows() == n && dq.cols() == n,
+                  "steady_state_sensitivity: dQ shape mismatch");
+  for (std::size_t r = 0; r < n; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < n; ++c) s += dq(r, c);
+    detail::require(std::abs(s) < 1e-9,
+                    "steady_state_sensitivity: dQ rows must sum to 0");
+  }
+  const std::vector<double> pi = chain.steady_state();
+
+  // Solve s Q = -pi dQ subject to sum(s) = 0. Write as Q^T s^T = -(pi dQ)^T
+  // and replace the last equation by the normalization sum(s) = 0 (Q is rank
+  // n-1 for an irreducible chain).
+  Matrix qt = chain.dense_generator().transposed();
+  std::vector<double> rhs(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < n; ++r) acc += pi[r] * dq(r, c);
+    rhs[c] = -acc;
+  }
+  for (std::size_t c = 0; c < n; ++c) qt(n - 1, c) = 1.0;
+  rhs[n - 1] = 0.0;
+  return lu_solve(std::move(qt), std::move(rhs));
+}
+
+double mtta_sensitivity(const Ctmc& chain, const Matrix& dq,
+                        const std::vector<double>& pi0) {
+  const std::size_t n = chain.state_count();
+  detail::require(dq.rows() == n && dq.cols() == n,
+                  "mtta_sensitivity: dQ shape mismatch");
+  detail::require(pi0.size() == n, "mtta_sensitivity: pi0 size mismatch");
+
+  std::vector<std::size_t> tstates, tindex(n, SIZE_MAX);
+  for (StateId s = 0; s < n; ++s) {
+    if (!chain.is_absorbing(s)) {
+      tindex[s] = tstates.size();
+      tstates.push_back(s);
+    }
+  }
+  detail::require_model(tstates.size() < n,
+                        "mtta_sensitivity: chain has no absorbing state");
+  const std::size_t m = tstates.size();
+
+  const Matrix q = chain.dense_generator();
+  Matrix qtt(m, m);
+  Matrix dqtt(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      qtt(i, j) = q(tstates[i], tstates[j]);
+      dqtt(i, j) = dq(tstates[i], tstates[j]);
+    }
+  }
+  std::vector<double> rhs(m);
+  for (std::size_t i = 0; i < m; ++i) rhs[i] = -pi0[tstates[i]];
+  std::vector<double> tau;
+  try {
+    tau = lu_solve_transposed(qtt, rhs);
+  } catch (const NumericalError&) {
+    throw ModelError(
+        "mtta_sensitivity: some transient state cannot reach absorption");
+  }
+  // d tau Q_TT = -tau dQ_TT  =>  Q_TT^T (d tau)^T = -(tau dQ_TT)^T.
+  std::vector<double> rhs2(m, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) acc += tau[i] * dqtt(i, j);
+    rhs2[j] = -acc;
+  }
+  const std::vector<double> dtau = lu_solve_transposed(qtt, rhs2);
+  return sum(dtau);
+}
+
+std::vector<double> transient_sensitivity(const Ctmc& chain, const Matrix& dq,
+                                          const std::vector<double>& pi0,
+                                          double t) {
+  const std::size_t n = chain.state_count();
+  detail::require(dq.rows() == n && dq.cols() == n,
+                  "transient_sensitivity: dQ shape mismatch");
+  detail::require(pi0.size() == n, "transient_sensitivity: pi0 size mismatch");
+  detail::require(t >= 0.0, "transient_sensitivity: t must be >= 0");
+  for (std::size_t r = 0; r < n; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < n; ++c) s += dq(r, c);
+    detail::require(std::abs(s) < 1e-9,
+                    "transient_sensitivity: dQ rows must sum to 0");
+  }
+  if (t == 0.0) return std::vector<double>(n, 0.0);
+
+  const SparseMatrix q = chain.sparse_generator();
+  // Step size from the uniformization rate: h ~ 0.1 / q_max keeps RK4 well
+  // inside its stability region for this linear system.
+  double qmax = 1.0;
+  for (StateId s = 0; s < n; ++s) qmax = std::max(qmax, chain.exit_rate(s));
+  const auto steps = static_cast<std::size_t>(
+      std::ceil(t * qmax / 0.1));
+  const std::size_t nsteps = std::min<std::size_t>(
+      std::max<std::size_t>(steps, 16), 4000000);
+  const double h = t / static_cast<double>(nsteps);
+
+  std::vector<double> pi = pi0;
+  std::vector<double> sens(n, 0.0);
+
+  // d/dt [pi, s] = [pi Q, s Q + pi dQ]; RK4 on the coupled pair.
+  const auto deriv = [&](const std::vector<double>& p,
+                         const std::vector<double>& s,
+                         std::vector<double>& dp, std::vector<double>& ds) {
+    dp = q.multiply_left(p);
+    ds = q.multiply_left(s);
+    for (std::size_t c = 0; c < n; ++c) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < n; ++r) acc += p[r] * dq(r, c);
+      ds[c] += acc;
+    }
+  };
+
+  std::vector<double> k1p(n), k1s(n), k2p(n), k2s(n), k3p(n), k3s(n),
+      k4p(n), k4s(n), tp(n), ts(n);
+  for (std::size_t step = 0; step < nsteps; ++step) {
+    deriv(pi, sens, k1p, k1s);
+    for (std::size_t i = 0; i < n; ++i) {
+      tp[i] = pi[i] + 0.5 * h * k1p[i];
+      ts[i] = sens[i] + 0.5 * h * k1s[i];
+    }
+    deriv(tp, ts, k2p, k2s);
+    for (std::size_t i = 0; i < n; ++i) {
+      tp[i] = pi[i] + 0.5 * h * k2p[i];
+      ts[i] = sens[i] + 0.5 * h * k2s[i];
+    }
+    deriv(tp, ts, k3p, k3s);
+    for (std::size_t i = 0; i < n; ++i) {
+      tp[i] = pi[i] + h * k3p[i];
+      ts[i] = sens[i] + h * k3s[i];
+    }
+    deriv(tp, ts, k4p, k4s);
+    for (std::size_t i = 0; i < n; ++i) {
+      pi[i] += h / 6.0 * (k1p[i] + 2 * k2p[i] + 2 * k3p[i] + k4p[i]);
+      sens[i] += h / 6.0 * (k1s[i] + 2 * k2s[i] + 2 * k3s[i] + k4s[i]);
+    }
+  }
+  return sens;
+}
+
+std::vector<double> birth_death_steady_state(const std::vector<double>& birth,
+                                             const std::vector<double>& death) {
+  detail::require(birth.size() == death.size(),
+                  "birth_death_steady_state: size mismatch");
+  const std::size_t k = birth.size();
+  std::vector<double> pi(k + 1, 0.0);
+  pi[0] = 1.0;
+  double total = 1.0;
+  double prod = 1.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    detail::require(birth[i] > 0.0 && death[i] > 0.0,
+                    "birth_death_steady_state: rates must be > 0");
+    prod *= birth[i] / death[i];
+    pi[i + 1] = prod;
+    total += prod;
+  }
+  for (double& x : pi) x /= total;
+  return pi;
+}
+
+}  // namespace relkit::markov

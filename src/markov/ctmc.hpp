@@ -1,0 +1,172 @@
+// Continuous-time Markov chains (CTMC) and Markov reward models.
+//
+// The tutorial's state-space workhorse: dependencies that combinatorial
+// models cannot express (shared repair, imperfect coverage, failover,
+// rejuvenation) are modeled as a CTMC. Solvers:
+//
+//   * steady-state     — GTH elimination (dense, exact) below a size
+//                        threshold, SOR sweeps on the sparse generator above
+//   * transient        — uniformization with stable Poisson weights
+//   * cumulative       — expected total time per state in [0, t]
+//                        (uniformization integral form)
+//   * absorbing chains — mean time to absorption (MTTF), per-state expected
+//                        sojourns, absorption probabilities, reliability(t)
+//   * reward models    — expected reward rate (instantaneous, steady-state),
+//                        expected accumulated reward, interval availability
+//   * sensitivity      — d(pi)/d(theta) for a parameterized generator
+//
+// States are created by name; transitions accumulate rates. The generator is
+// assembled lazily on first solve.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/linsolve.hpp"
+#include "common/matrix.hpp"
+#include "common/sparse.hpp"
+
+namespace relkit::markov {
+
+using StateId = std::size_t;
+
+/// Options controlling the stationary solver.
+struct SteadyStateOptions {
+  /// Use dense GTH when state count <= this, SOR otherwise.
+  std::size_t dense_threshold = 512;
+  SorOptions sor;
+};
+
+/// Result of analyzing a CTMC with absorbing states.
+struct AbsorbingAnalysis {
+  /// Expected total time spent in each transient state before absorption
+  /// (0 for absorbing states).
+  std::vector<double> expected_sojourn;
+  /// Mean time to absorption from the given initial distribution.
+  double mean_time_to_absorption = 0.0;
+  /// Probability of eventually being absorbed into each absorbing state
+  /// (0 for transient states).
+  std::vector<double> absorption_probability;
+};
+
+/// A finite CTMC with named states.
+class Ctmc {
+ public:
+  /// Adds a state; names must be unique and non-empty.
+  StateId add_state(std::string name);
+  /// Adds `count` anonymous states named "s<k>".
+  StateId add_states(std::size_t count);
+
+  /// Accumulates a transition rate from -> to (rate > 0, from != to).
+  void add_transition(StateId from, StateId to, double rate);
+
+  std::size_t state_count() const { return names_.size(); }
+  const std::string& state_name(StateId s) const;
+  /// Index of a state by name; throws InvalidArgument if unknown.
+  StateId state_index(const std::string& name) const;
+
+  /// Total exit rate of a state.
+  double exit_rate(StateId s) const;
+  /// True if the state has no outgoing transitions.
+  bool is_absorbing(StateId s) const;
+
+  /// Stationary distribution (requires an irreducible chain).
+  std::vector<double> steady_state(
+      const SteadyStateOptions& opts = {}) const;
+
+  /// State distribution at time t from initial distribution pi0
+  /// (uniformization; eps is the Poisson truncation mass).
+  std::vector<double> transient(const std::vector<double>& pi0, double t,
+                                double eps = 1e-12) const;
+
+  /// Expected total time spent in each state during [0, t].
+  std::vector<double> cumulative_time(const std::vector<double>& pi0,
+                                      double t, double eps = 1e-12) const;
+
+  /// Absorbing-chain analysis from initial distribution pi0. Throws
+  /// ModelError if the chain has no absorbing state reachable or if a
+  /// transient state cannot reach absorption.
+  AbsorbingAnalysis absorbing_analysis(const std::vector<double>& pi0) const;
+
+  /// P(not yet absorbed at time t): the reliability function when absorbing
+  /// states model system failure.
+  double survival(const std::vector<double>& pi0, double t,
+                  double eps = 1e-12) const;
+
+  /// Dense generator matrix (diagnostics, tests, small direct methods).
+  Matrix dense_generator() const;
+
+  /// Sparse generator (CSR) and its transpose; built on demand.
+  SparseMatrix sparse_generator() const;
+
+  /// Initial distribution concentrated on one state.
+  std::vector<double> point_mass(StateId s) const;
+
+ private:
+  struct Transition {
+    StateId from, to;
+    double rate;
+  };
+
+  void check_distribution(const std::vector<double>& pi0) const;
+
+  std::vector<std::string> names_;
+  std::map<std::string, StateId> index_;
+  std::vector<Transition> transitions_;
+  std::vector<double> exit_rates_;
+};
+
+/// Expected instantaneous reward rate at time t: sum_s pi_s(t) r_s.
+double reward_rate_at(const Ctmc& chain, const std::vector<double>& rewards,
+                      const std::vector<double>& pi0, double t);
+
+/// Steady-state expected reward rate: sum_s pi_s r_s.
+double reward_rate_steady(const Ctmc& chain,
+                          const std::vector<double>& rewards,
+                          const SteadyStateOptions& opts = {});
+
+/// Expected reward accumulated over [0, t]: sum_s L_s(t) r_s.
+double accumulated_reward(const Ctmc& chain,
+                          const std::vector<double>& rewards,
+                          const std::vector<double>& pi0, double t);
+
+/// Interval availability over [0, t] when rewards are the up-state
+/// indicator: accumulated_reward / t.
+double interval_availability(const Ctmc& chain,
+                             const std::vector<double>& up_indicator,
+                             const std::vector<double>& pi0, double t);
+
+/// Derivative of the stationary distribution with respect to a scalar
+/// parameter theta, given dQ/dtheta as a dense matrix (rows must sum to 0).
+/// Solves (d pi) Q = -pi (dQ/dtheta) with sum(d pi) = 0. Dense; intended for
+/// chains of up to a few thousand states.
+std::vector<double> steady_state_sensitivity(const Ctmc& chain,
+                                             const Matrix& dq);
+
+/// Derivative of the mean time to absorption with respect to a scalar
+/// parameter theta, given dQ/dtheta dense (rows over transient states must
+/// sum to <= 0 consistently with Q's structure; absorbing rows ignored).
+/// From tau Q_TT = -pi0_T: d(MTTA) = sum(d tau), d tau Q_TT = -tau dQ_TT.
+double mtta_sensitivity(const Ctmc& chain, const Matrix& dq,
+                        const std::vector<double>& pi0);
+
+/// Derivative of the transient distribution pi(t) with respect to a scalar
+/// parameter theta, given dQ/dtheta dense (rows summing to 0). Integrates
+/// the forward sensitivity ODE s' = s Q + pi dQ jointly with pi' = pi Q by
+/// a fixed-step RK4 scheme (steps chosen from the uniformization rate).
+/// Intended for the moderate-size chains used in design studies.
+std::vector<double> transient_sensitivity(const Ctmc& chain,
+                                          const Matrix& dq,
+                                          const std::vector<double>& pi0,
+                                          double t);
+
+/// Closed-form stationary distribution of a birth-death chain with birth
+/// rates lambda[i] (i -> i+1) and death rates mu[i] (i+1 -> i). Used as an
+/// oracle in tests and for M/M/1/K-style availability models.
+std::vector<double> birth_death_steady_state(const std::vector<double>& birth,
+                                             const std::vector<double>& death);
+
+}  // namespace relkit::markov

@@ -1,0 +1,94 @@
+// Phase-type (PH) distributions.
+//
+// The tutorial's device for bringing non-exponential distributions back into
+// the Markov world: any distribution on [0, inf) can be approximated by the
+// absorption time of a small CTMC, after which the overall model is again a
+// (larger) CTMC. This module provides
+//
+//   * the (alpha, T) representation with cdf/pdf/moments evaluated by
+//     uniformization (stable for stiff stage rates),
+//   * closure operations: convolution, mixture, minimum, maximum (Kronecker
+//     constructions),
+//   * classical 2-moment fitting (Trivedi/Tijms style): Erlang / mixed
+//     Erlang for cv < 1, balanced-means 2-phase hyperexponential for cv > 1,
+//     plain exponential at cv = 1,
+//   * expansion helpers used to replace a general transition in a CTMC by
+//     its PH stages.
+#pragma once
+
+#include <vector>
+
+#include "common/distributions.hpp"
+#include "common/matrix.hpp"
+
+namespace relkit::phase {
+
+/// A phase-type distribution PH(alpha, T): the time to absorption of a CTMC
+/// with transient generator block T (n x n) and initial distribution alpha
+/// over the transient states. alpha may sum to < 1; the deficit is an atom
+/// at 0.
+class PhaseType final : public Distribution {
+ public:
+  /// Validates shapes, row sums (T rows must sum to <= 0, diagonal < 0) and
+  /// alpha (entries >= 0, sum <= 1).
+  PhaseType(std::vector<double> alpha, Matrix t);
+
+  std::size_t order() const { return alpha_.size(); }
+  const std::vector<double>& alpha() const { return alpha_; }
+  const Matrix& t() const { return t_; }
+  /// Exit (absorption) rate vector t0 = -T 1.
+  std::vector<double> exit_rates() const;
+
+  // Distribution interface.
+  double cdf(double x) const override;
+  double pdf(double x) const override;
+  double mean() const override { return mean_; }
+  double variance() const override { return sd_ * sd_; }
+  double sample(Rng& rng) const override;
+  std::string describe() const override;
+
+  /// k-th raw moment E[X^k] = k! alpha (-T)^{-k} 1.
+  double moment(unsigned k) const;
+
+  // ---- canonical constructions ----
+  static PhaseType exponential(double rate);
+  static PhaseType erlang(unsigned k, double rate);
+  static PhaseType hypoexponential(const std::vector<double>& rates);
+  static PhaseType hyperexponential(const std::vector<double>& probs,
+                                    const std::vector<double>& rates);
+
+  // ---- closure operations ----
+  /// Distribution of X + Y (independent).
+  static PhaseType convolve(const PhaseType& x, const PhaseType& y);
+  /// Mixture: with probability p draw from x, else from y.
+  static PhaseType mixture(double p, const PhaseType& x, const PhaseType& y);
+  /// Distribution of min(X, Y) (Kronecker sum construction).
+  static PhaseType minimum(const PhaseType& x, const PhaseType& y);
+  /// Distribution of max(X, Y).
+  static PhaseType maximum(const PhaseType& x, const PhaseType& y);
+
+ private:
+  std::vector<double> alpha_;
+  Matrix t_;
+  // Cached first two moments (computed once in the constructor); also used
+  // as a tail guard so cdf/pdf at astronomically large x do not trigger an
+  // O(q x) uniformization (PH tails are exponential, so beyond
+  // mean + 60 sd the survival mass is far below double precision).
+  double mean_ = 0.0;
+  double sd_ = 0.0;
+};
+
+/// Fits a PH distribution to a mean and coefficient of variation by the
+/// classical 2-moment recipes: exponential at cv ~ 1, mixed Erlang
+/// (Tijms) for cv < 1, balanced-means hyperexponential for cv > 1.
+PhaseType fit_moments(double mean, double cv);
+
+/// Fits to the first two moments of an arbitrary distribution.
+PhaseType fit_distribution(const Distribution& d);
+
+/// L_inf distance between the cdf of `d` and the cdf of `ph` sampled on a
+/// grid of `points` quantiles of d — a quick fit-quality diagnostic.
+double cdf_distance(const Distribution& d, const PhaseType& ph,
+                    unsigned points = 200);
+
+}  // namespace relkit::phase

@@ -1,0 +1,91 @@
+// Markov regenerative processes (MRGP).
+//
+// The abstract's fourth state-space class: between *regeneration points*
+// the system evolves as a CTMC (the subordinated process), while ONE
+// generally distributed timer runs globally — it is NOT reset by the
+// exponential transitions. When the timer fires, a branching function of
+// the current subordinated state chooses the next regeneration state; the
+// subordinated CTMC may also hit an exit (absorbing) state first, which
+// ends the cycle early. Software rejuvenation is the canonical instance:
+// robust/fragile/failed dynamics subordinated under a deterministic
+// rejuvenation clock.
+//
+// This class solves the steady state by the Markov-renewal argument:
+// for each regeneration state r,
+//   * alpha_r(u)          — subordinated transient distribution,
+//   * E_r[time in j]      = int S_r(u) alpha_rj(u) du   (timer survival S_r)
+//   * P(timer fires in j) = int alpha_rj(u) dF_r(u)
+//   * P(early exit to a)  = int S_r(u) flow_a(u) du
+// assemble an embedded DTMC over regeneration states and per-cycle expected
+// sojourns; long-run state probabilities follow as ratio of expectations.
+// Integrals are evaluated by adaptive quadrature over uniformization
+// transients; a deterministic timer reduces each to a single evaluation.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/distributions.hpp"
+#include "markov/ctmc.hpp"
+
+namespace relkit::semimarkov {
+
+/// What happens when the cycle of a regeneration state ends.
+struct RegenerationRule {
+  /// Timer distribution for this regeneration state (nullptr = no timer;
+  /// the cycle can only end through a subordinated exit state).
+  DistPtr timer;
+  /// Next regeneration state when the timer fires while the subordinated
+  /// chain is in state j: timer_branch[j]. Entries for exit states are
+  /// ignored.
+  std::vector<std::size_t> timer_branch;
+};
+
+/// A finite MRGP over a shared subordinated CTMC.
+class Mrgp {
+ public:
+  /// `subordinated`: the CTMC the system follows between regenerations.
+  /// Absorbing states of this chain are *exit* states: reaching one ends
+  /// the cycle immediately.
+  explicit Mrgp(markov::Ctmc subordinated);
+
+  /// Declares a regeneration state: cycles start in subordinated state
+  /// `entry` and follow `rule`. Returns the regeneration index.
+  std::size_t add_regeneration(markov::StateId entry, RegenerationRule rule);
+
+  /// Next regeneration when the subordinated chain exits early through
+  /// absorbing state `exit_state` (must be declared for every exit state
+  /// reachable in some cycle).
+  void set_exit_branch(markov::StateId exit_state,
+                       std::size_t regeneration_index);
+
+  std::size_t regeneration_count() const { return regens_.size(); }
+
+  /// Long-run probability of each *subordinated* state (time in exit
+  /// states is zero by construction — exits are instantaneous).
+  std::vector<double> steady_state() const;
+
+  /// Long-run expected reward rate, rewards per subordinated state.
+  double steady_state_reward(const std::vector<double>& rewards) const;
+
+ private:
+  struct CycleAnalysis {
+    std::vector<double> time_in_state;  // per subordinated state
+    double cycle_length = 0.0;
+    std::vector<double> next_regen_prob;  // per regeneration index
+  };
+  CycleAnalysis analyze_cycle(std::size_t regen_index) const;
+
+  markov::Ctmc chain_;
+  struct Regen {
+    markov::StateId entry;
+    RegenerationRule rule;
+  };
+  std::vector<Regen> regens_;
+  std::map<markov::StateId, std::size_t> exit_branch_;
+};
+
+}  // namespace relkit::semimarkov

@@ -1,0 +1,101 @@
+// Semi-Markov processes (SMP).
+//
+// The tutorial's answer to non-exponential sojourn times when phase-type
+// expansion is not wanted: keep the embedded jump structure of a Markov
+// chain but allow arbitrary sojourn distributions. Two specification styles
+// are supported, matching how models are written in practice:
+//
+//   * kernel mode  — add_transition(i, j, p_ij, H_ij): branch probability
+//     plus conditional sojourn distribution (Trivedi's K_ij(t) = p_ij
+//     H_ij(t));
+//   * race mode    — add_race_transition(i, j, D_ij): competing clocks; the
+//     first to expire wins. Branch probabilities and kernel densities are
+//     derived numerically: p_ij = int f_j(u) prod_{k != j} S_k(u) du. This
+//     covers the classic Markov-regenerative pattern of an exponential
+//     failure racing a *deterministic* rejuvenation/maintenance timer.
+//
+// A state must use one style or the other. Solvers:
+//   * steady state      — embedded-DTMC stationary vector weighted by mean
+//     sojourn times: pi_i = nu_i h_i / sum_k nu_k h_k;
+//   * mean first passage — linear system m_i = h_i + sum_{j notin A} p_ij m_j;
+//   * transient         — Markov renewal equation discretized on a uniform
+//     grid (trapezoidal kernel increments), V(t) accurate to O(h^2).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/distributions.hpp"
+
+namespace relkit::semimarkov {
+
+using StateId = std::size_t;
+
+/// A finite semi-Markov process with named states.
+class SemiMarkov {
+ public:
+  StateId add_state(std::string name);
+
+  /// Kernel-mode transition: with probability `prob`, after a sojourn drawn
+  /// from `sojourn`, jump to `to`. Probabilities out of a state must sum to
+  /// 1 (validated at solve time); a state with no transitions is absorbing.
+  void add_transition(StateId from, StateId to, double prob, DistPtr sojourn);
+
+  /// Race-mode transition: a clock with distribution `clock` competes with
+  /// the state's other race transitions; the earliest expiry determines the
+  /// successor.
+  void add_race_transition(StateId from, StateId to, DistPtr clock);
+
+  std::size_t state_count() const { return names_.size(); }
+  const std::string& state_name(StateId s) const;
+  StateId state_index(const std::string& name) const;
+  bool is_absorbing(StateId s) const;
+
+  /// Embedded-chain branch probabilities out of `s` (race probabilities are
+  /// computed by numerical integration), in (to, prob) pairs.
+  std::vector<std::pair<StateId, double>> branch_probabilities(
+      StateId s) const;
+
+  /// Unconditional sojourn survival in `s` at time t.
+  double sojourn_survival(StateId s, double t) const;
+
+  /// Mean sojourn time in `s`.
+  double mean_sojourn(StateId s) const;
+
+  /// Long-run fraction of time in each state (irreducible SMP):
+  /// pi_i = nu_i h_i / sum_k nu_k h_k.
+  std::vector<double> steady_state() const;
+
+  /// Mean first-passage time into the `target` set from each state
+  /// (0 for target states). Throws ModelError if a state cannot reach the
+  /// target set.
+  std::vector<double> mean_first_passage(
+      const std::vector<bool>& target) const;
+
+  /// State occupancy probabilities at time t starting from `start`,
+  /// by discretizing the Markov renewal equation on `grid` time steps.
+  std::vector<double> transient(StateId start, double t,
+                                std::size_t grid = 800) const;
+
+ private:
+  struct Transition {
+    StateId to;
+    double prob;     // kernel mode; NaN in race mode until computed
+    DistPtr dist;    // sojourn (kernel) or clock (race)
+  };
+  enum class Mode { kUnset, kKernel, kRace };
+
+  /// Density of the kernel K_ij at u: race -> f_j(u) prod_{k!=j} S_k(u);
+  /// kernel -> p_ij f_ij(u).
+  double kernel_density(StateId s, std::size_t branch, double u) const;
+  void validate(StateId s) const;
+
+  std::vector<std::string> names_;
+  std::map<std::string, StateId> index_;
+  std::vector<std::vector<Transition>> out_;
+  std::vector<Mode> mode_;
+};
+
+}  // namespace relkit::semimarkov

@@ -1,0 +1,269 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace relkit::sim {
+
+namespace {
+
+Estimate summarize(const OnlineStats& stats) {
+  Estimate e;
+  e.mean = stats.mean();
+  e.half_width = stats.count() >= 2 ? stats.ci_halfwidth(0.95) : 0.0;
+  e.replications = stats.count();
+  return e;
+}
+
+}  // namespace
+
+SystemSimulator::SystemSimulator(std::vector<SimComponent> components,
+                                 StructureFn system_up)
+    : components_(std::move(components)), up_(std::move(system_up)) {
+  detail::require(!components_.empty(), "SystemSimulator: no components");
+  detail::require(up_ != nullptr, "SystemSimulator: null structure function");
+  for (const auto& c : components_) {
+    detail::require(c.lifetime != nullptr,
+                    "SystemSimulator: component without lifetime");
+  }
+  // The all-up system must be up, otherwise the model is degenerate.
+  detail::require_model(up_(std::vector<bool>(components_.size(), true)),
+                        "SystemSimulator: system down with all components up");
+}
+
+SystemSimulator::RunResult SystemSimulator::run(double horizon,
+                                                bool stop_at_failure,
+                                                Rng& rng) const {
+  const std::size_t n = components_.size();
+  std::vector<bool> state(n, true);
+
+  // Event queue of (time, component); each component always has exactly one
+  // pending event (its next state flip) unless dead without repair.
+  using Event = std::pair<double, std::size_t>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  for (std::size_t i = 0; i < n; ++i) {
+    events.emplace(components_[i].lifetime->sample(rng), i);
+  }
+
+  RunResult result;
+  result.first_failure = std::numeric_limits<double>::infinity();
+  result.up_time = 0.0;
+  bool system_up = true;
+  double now = 0.0;
+
+  while (!events.empty()) {
+    const auto [when, comp] = events.top();
+    if (when > horizon) break;
+    events.pop();
+    if (system_up) result.up_time += when - now;
+    now = when;
+
+    if (state[comp]) {
+      state[comp] = false;
+      if (components_[comp].repair != nullptr) {
+        events.emplace(now + components_[comp].repair->sample(rng), comp);
+      }
+    } else {
+      state[comp] = true;
+      events.emplace(now + components_[comp].lifetime->sample(rng), comp);
+    }
+
+    const bool next_up = up_(state);
+    if (system_up && !next_up) {
+      if (now < result.first_failure) result.first_failure = now;
+      if (stop_at_failure) {
+        result.up_at_horizon = false;
+        return result;
+      }
+    }
+    system_up = next_up;
+  }
+  if (system_up) result.up_time += horizon - now;
+  result.up_at_horizon = system_up;
+  return result;
+}
+
+Estimate SystemSimulator::availability_at(double t, std::size_t replications,
+                                          std::uint64_t seed) const {
+  detail::require(t >= 0.0, "availability_at: t must be >= 0");
+  detail::require(replications >= 2, "availability_at: need >= 2 reps");
+  Rng master(seed);
+  OnlineStats stats;
+  for (std::size_t r = 0; r < replications; ++r) {
+    Rng stream = master.split();
+    const RunResult res = run(t, false, stream);
+    stats.add(res.up_at_horizon ? 1.0 : 0.0);
+  }
+  return summarize(stats);
+}
+
+Estimate SystemSimulator::interval_availability(double t,
+                                                std::size_t replications,
+                                                std::uint64_t seed) const {
+  detail::require(t > 0.0, "interval_availability: t must be > 0");
+  detail::require(replications >= 2, "interval_availability: need >= 2 reps");
+  Rng master(seed);
+  OnlineStats stats;
+  for (std::size_t r = 0; r < replications; ++r) {
+    Rng stream = master.split();
+    const RunResult res = run(t, false, stream);
+    stats.add(res.up_time / t);
+  }
+  return summarize(stats);
+}
+
+Estimate SystemSimulator::reliability(double t, std::size_t replications,
+                                      std::uint64_t seed) const {
+  detail::require(t >= 0.0, "reliability: t must be >= 0");
+  detail::require(replications >= 2, "reliability: need >= 2 reps");
+  Rng master(seed);
+  OnlineStats stats;
+  for (std::size_t r = 0; r < replications; ++r) {
+    Rng stream = master.split();
+    const RunResult res = run(t, true, stream);
+    stats.add(res.first_failure > t ? 1.0 : 0.0);
+  }
+  return summarize(stats);
+}
+
+Estimate SystemSimulator::mttf(std::size_t replications,
+                               std::uint64_t seed) const {
+  detail::require(replications >= 2, "mttf: need >= 2 reps");
+  Rng master(seed);
+  OnlineStats stats;
+  for (std::size_t r = 0; r < replications; ++r) {
+    Rng stream = master.split();
+    // Simulate until failure; expand the horizon geometrically if needed.
+    double horizon = 1.0;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      Rng attempt_stream = stream;  // same randomness, longer horizon
+      const RunResult res = run(horizon, true, attempt_stream);
+      if (std::isfinite(res.first_failure)) {
+        stats.add(res.first_failure);
+        break;
+      }
+      horizon *= 8.0;
+      if (attempt == 63) {
+        throw NumericalError("mttf: system never failed within horizon");
+      }
+    }
+  }
+  return summarize(stats);
+}
+
+SrnSimulator::SrnSimulator(const spn::Srn& net) : net_(net) {}
+
+spn::Marking SrnSimulator::play(
+    double t, Rng& rng,
+    const std::function<void(double, const spn::Marking&)>& observe) const {
+  spn::Marking m = net_.initial_marking();
+  double now = 0.0;
+
+  auto settle_immediates = [&](spn::Marking marking) {
+    for (int guard = 0; guard < 100000; ++guard) {
+      std::vector<spn::TransId> best;
+      unsigned best_priority = 0;
+      for (spn::TransId tr = 0; tr < net_.transition_count(); ++tr) {
+        if (net_.is_timed(tr) || !net_.enabled(tr, marking)) continue;
+        const unsigned p = net_.priority_of(tr);
+        if (p > best_priority) {
+          best_priority = p;
+          best.clear();
+        }
+        if (p == best_priority) best.push_back(tr);
+      }
+      if (best.empty()) return marking;
+      double total = 0.0;
+      for (const auto tr : best) total += net_.weight_of(tr);
+      double pick = rng.uniform() * total;
+      spn::TransId chosen = best.back();
+      for (const auto tr : best) {
+        if (pick < net_.weight_of(tr)) {
+          chosen = tr;
+          break;
+        }
+        pick -= net_.weight_of(tr);
+      }
+      marking = net_.fire(chosen, marking);
+    }
+    throw ModelError("SrnSimulator: immediate transitions never settle");
+  };
+
+  m = settle_immediates(m);
+  while (now < t) {
+    // Race the enabled timed transitions.
+    double total_rate = 0.0;
+    std::vector<std::pair<spn::TransId, double>> enabled;
+    for (spn::TransId tr = 0; tr < net_.transition_count(); ++tr) {
+      if (!net_.is_timed(tr) || !net_.enabled(tr, m)) continue;
+      const double rate = net_.rate_of(tr, m);
+      detail::require_model(rate > 0.0,
+                            "SrnSimulator: enabled transition with rate <= 0");
+      enabled.emplace_back(tr, rate);
+      total_rate += rate;
+    }
+    if (enabled.empty()) {
+      observe(t - now, m);  // dead marking: stay here to the horizon
+      return m;
+    }
+    const double dwell = -std::log(rng.uniform_pos()) / total_rate;
+    if (now + dwell >= t) {
+      observe(t - now, m);
+      return m;
+    }
+    observe(dwell, m);
+    now += dwell;
+    double pick = rng.uniform() * total_rate;
+    spn::TransId chosen = enabled.back().first;
+    for (const auto& [tr, rate] : enabled) {
+      if (pick < rate) {
+        chosen = tr;
+        break;
+      }
+      pick -= rate;
+    }
+    m = settle_immediates(net_.fire(chosen, m));
+  }
+  return m;
+}
+
+Estimate SrnSimulator::transient_reward(const spn::RewardFn& reward, double t,
+                                        std::size_t replications,
+                                        std::uint64_t seed) const {
+  detail::require(reward != nullptr, "transient_reward: null reward");
+  detail::require(replications >= 2, "transient_reward: need >= 2 reps");
+  Rng master(seed);
+  OnlineStats stats;
+  for (std::size_t r = 0; r < replications; ++r) {
+    Rng stream = master.split();
+    const spn::Marking at_t =
+        play(t, stream, [](double, const spn::Marking&) {});
+    stats.add(reward(at_t));
+  }
+  return summarize(stats);
+}
+
+Estimate SrnSimulator::accumulated_reward(const spn::RewardFn& reward,
+                                          double t, std::size_t replications,
+                                          std::uint64_t seed) const {
+  detail::require(reward != nullptr, "accumulated_reward: null reward");
+  detail::require(t > 0.0, "accumulated_reward: t must be > 0");
+  detail::require(replications >= 2, "accumulated_reward: need >= 2 reps");
+  Rng master(seed);
+  OnlineStats stats;
+  for (std::size_t r = 0; r < replications; ++r) {
+    Rng stream = master.split();
+    double acc = 0.0;
+    play(t, stream, [&](double interval, const spn::Marking& m) {
+      acc += interval * reward(m);
+    });
+    stats.add(acc);
+  }
+  return summarize(stats);
+}
+
+}  // namespace relkit::sim

@@ -1,0 +1,160 @@
+#include "spn/patterns.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace relkit::spn {
+
+double MachineRepairman::availability(std::uint32_t k) const {
+  const PlaceId place = up;
+  return net.probability(
+      [place, k](const Marking& m) { return m[place] >= k; });
+}
+
+double MachineRepairman::expected_down() const {
+  const PlaceId place = down;
+  return net.steady_state_reward(
+      [place](const Marking& m) { return static_cast<double>(m[place]); });
+}
+
+MachineRepairman machine_repairman(std::uint32_t machines,
+                                   double failure_rate, double repair_rate,
+                                   std::uint32_t crews) {
+  detail::require(machines >= 1, "machine_repairman: need machines");
+  detail::require(failure_rate > 0.0 && repair_rate > 0.0,
+                  "machine_repairman: rates must be > 0");
+  detail::require(crews >= 1, "machine_repairman: need crews");
+  MachineRepairman out;
+  out.up = out.net.add_place("up", machines);
+  out.down = out.net.add_place("down", 0);
+  const PlaceId up = out.up;
+  const PlaceId down = out.down;
+  const TransId fail = out.net.add_timed(
+      "fail",
+      [up, failure_rate](const Marking& m) { return failure_rate * m[up]; });
+  out.net.add_input_arc(fail, up);
+  out.net.add_output_arc(fail, down);
+  const TransId repair = out.net.add_timed(
+      "repair", [down, repair_rate, crews](const Marking& m) {
+        return repair_rate *
+               static_cast<double>(std::min<std::uint32_t>(m[down], crews));
+      });
+  out.net.add_input_arc(repair, down);
+  out.net.add_output_arc(repair, up);
+  return out;
+}
+
+double FailoverPair::availability() const {
+  const PlaceId place = active;
+  return net.probability(
+      [place](const Marking& m) { return m[place] >= 1; });
+}
+
+FailoverPair failover_pair(double failure_rate, double repair_rate,
+                           double coverage, double manual_recovery_rate) {
+  detail::require(failure_rate > 0.0 && repair_rate > 0.0 &&
+                      manual_recovery_rate > 0.0,
+                  "failover_pair: rates must be > 0");
+  detail::require(coverage > 0.0 && coverage < 1.0,
+                  "failover_pair: coverage in (0,1) (use a plain duplex for "
+                  "perfect coverage)");
+  FailoverPair out;
+  Srn& net = out.net;
+  out.active = net.add_place("active", 1);
+  out.standby_ok = net.add_place("standby_ok", 1);
+  const PlaceId choosing = net.add_place("choosing", 0);
+  out.down = net.add_place("down", 0);
+  out.repairing = net.add_place("repairing", 0);
+
+  // Active unit fails -> coverage decision.
+  const TransId fail_active = net.add_timed("fail_active", failure_rate);
+  net.add_input_arc(fail_active, out.active);
+  net.add_output_arc(fail_active, choosing);
+
+  // Covered and standby available: standby becomes active instantly.
+  const TransId covered = net.add_immediate("covered", coverage);
+  net.add_input_arc(covered, choosing);
+  net.add_input_arc(covered, out.standby_ok);
+  net.add_output_arc(covered, out.active);
+  net.add_output_arc(covered, out.repairing);
+
+  // Uncovered (or no standby): service down until manual recovery.
+  const TransId uncovered = net.add_immediate("uncovered", 1.0 - coverage);
+  net.add_input_arc(uncovered, choosing);
+  net.add_input_arc(uncovered, out.standby_ok);
+  net.add_output_arc(uncovered, out.down);
+  net.add_output_arc(uncovered, out.standby_ok);
+  net.add_output_arc(uncovered, out.repairing);
+
+  // Failure with no standby left: straight to down.
+  const TransId no_spare = net.add_immediate("no_spare", 1.0, 2);
+  net.add_input_arc(no_spare, choosing);
+  net.add_inhibitor_arc(no_spare, out.standby_ok);
+  net.add_output_arc(no_spare, out.down);
+  net.add_output_arc(no_spare, out.repairing);
+
+  // Manual recovery brings the survivor (if any) back as active.
+  const TransId manual = net.add_timed("manual", manual_recovery_rate);
+  net.add_input_arc(manual, out.down);
+  net.add_input_arc(manual, out.standby_ok);
+  net.add_output_arc(manual, out.active);
+
+  // Repair restocks the standby pool. When the service is down, a repaired
+  // standby still needs the manual-recovery action (rate above) to take
+  // over — uncovered outages end only through `manual`.
+  const TransId repair_to_standby = net.add_timed("repair", repair_rate);
+  net.add_input_arc(repair_to_standby, out.repairing);
+  net.add_output_arc(repair_to_standby, out.standby_ok);
+
+  return out;
+}
+
+double RejuvenationNet::availability() const {
+  const PlaceId r = robust;
+  const PlaceId f = fragile;
+  return net.probability(
+      [r, f](const Marking& m) { return m[r] + m[f] >= 1; });
+}
+
+RejuvenationNet rejuvenation_net(double aging_rate, double failure_rate,
+                                 double repair_rate, double rejuvenation_rate,
+                                 double rejuvenation_duration_rate) {
+  detail::require(aging_rate > 0.0 && failure_rate > 0.0 &&
+                      repair_rate > 0.0 && rejuvenation_rate > 0.0 &&
+                      rejuvenation_duration_rate > 0.0,
+                  "rejuvenation_net: rates must be > 0");
+  RejuvenationNet out;
+  Srn& net = out.net;
+  out.robust = net.add_place("robust", 1);
+  out.fragile = net.add_place("fragile", 0);
+  out.rejuvenating = net.add_place("rejuvenating", 0);
+  out.failed = net.add_place("failed", 0);
+
+  const TransId age = net.add_timed("age", aging_rate);
+  net.add_input_arc(age, out.robust);
+  net.add_output_arc(age, out.fragile);
+
+  const TransId crash = net.add_timed("crash", failure_rate);
+  net.add_input_arc(crash, out.fragile);
+  net.add_output_arc(crash, out.failed);
+
+  const TransId rejuv_r = net.add_timed("rejuv_robust", rejuvenation_rate);
+  net.add_input_arc(rejuv_r, out.robust);
+  net.add_output_arc(rejuv_r, out.rejuvenating);
+
+  const TransId rejuv_f = net.add_timed("rejuv_fragile", rejuvenation_rate);
+  net.add_input_arc(rejuv_f, out.fragile);
+  net.add_output_arc(rejuv_f, out.rejuvenating);
+
+  const TransId done = net.add_timed("rejuv_done", rejuvenation_duration_rate);
+  net.add_input_arc(done, out.rejuvenating);
+  net.add_output_arc(done, out.robust);
+
+  const TransId repair = net.add_timed("repair", repair_rate);
+  net.add_input_arc(repair, out.failed);
+  net.add_output_arc(repair, out.robust);
+  return out;
+}
+
+}  // namespace relkit::spn

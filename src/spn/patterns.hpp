@@ -1,0 +1,59 @@
+// Reusable SRN templates for the availability patterns that appear in
+// every study the tutorial walks through. Each builder returns a net plus
+// the place handles a caller needs to express rewards, so models compose
+// the audited template instead of re-wiring arcs by hand.
+#pragma once
+
+#include <cstdint>
+
+#include "spn/srn.hpp"
+
+namespace relkit::spn {
+
+/// Machine-repairman: `machines` units fail at `failure_rate` each and
+/// queue for `crews` repair crews (rate `repair_rate` each).
+struct MachineRepairman {
+  Srn net;
+  PlaceId up = 0;
+  PlaceId down = 0;
+  /// Steady-state P(at least k machines up).
+  double availability(std::uint32_t k) const;
+  /// Steady-state expected number of machines waiting or in repair.
+  double expected_down() const;
+};
+MachineRepairman machine_repairman(std::uint32_t machines,
+                                   double failure_rate, double repair_rate,
+                                   std::uint32_t crews = 1);
+
+/// Active/standby pair with imperfect failover coverage, built as an SRN:
+/// covered failures switch over instantly (immediate transitions), an
+/// uncovered failure leaves the service down until manual recovery.
+struct FailoverPair {
+  Srn net;
+  PlaceId active = 0;     ///< 1 token while service is being delivered
+  PlaceId standby_ok = 0; ///< 1 token while a standby is available
+  PlaceId down = 0;       ///< 1 token during an uncovered outage
+  PlaceId repairing = 0;  ///< failed units awaiting repair
+  double availability() const;
+};
+FailoverPair failover_pair(double failure_rate, double repair_rate,
+                           double coverage, double manual_recovery_rate);
+
+/// Software rejuvenation net (exponential clocks): robust -> fragile aging,
+/// fragile -> failed crash, scheduled rejuvenation from either live state,
+/// full repair from failure. The SRN equivalent of
+/// markov::software_rejuvenation, useful as a building block inside larger
+/// nets.
+struct RejuvenationNet {
+  Srn net;
+  PlaceId robust = 0;
+  PlaceId fragile = 0;
+  PlaceId rejuvenating = 0;
+  PlaceId failed = 0;
+  double availability() const;
+};
+RejuvenationNet rejuvenation_net(double aging_rate, double failure_rate,
+                                 double repair_rate, double rejuvenation_rate,
+                                 double rejuvenation_duration_rate);
+
+}  // namespace relkit::spn

@@ -1,0 +1,336 @@
+#include "spn/srn.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace relkit::spn {
+
+PlaceId Srn::add_place(std::string name, std::uint32_t initial_tokens) {
+  detail::require(!name.empty(), "Srn::add_place: empty name");
+  detail::require(!place_index_.count(name),
+                  "Srn::add_place: duplicate place '" + name + "'");
+  const PlaceId id = places_.size();
+  place_index_.emplace(name, id);
+  places_.push_back(std::move(name));
+  initial_.push_back(initial_tokens);
+  return id;
+}
+
+TransId Srn::add_timed(std::string name, double rate) {
+  detail::require(rate > 0.0, "Srn::add_timed: rate must be > 0");
+  return add_timed(std::move(name), [rate](const Marking&) { return rate; });
+}
+
+TransId Srn::add_timed(std::string name, RateFn rate) {
+  detail::require(!name.empty(), "Srn::add_timed: empty name");
+  detail::require(rate != nullptr, "Srn::add_timed: null rate function");
+  Transition t;
+  t.name = std::move(name);
+  t.timed = true;
+  t.rate = std::move(rate);
+  transitions_.push_back(std::move(t));
+  return transitions_.size() - 1;
+}
+
+TransId Srn::add_immediate(std::string name, double weight,
+                           unsigned priority) {
+  detail::require(!name.empty(), "Srn::add_immediate: empty name");
+  detail::require(weight > 0.0, "Srn::add_immediate: weight must be > 0");
+  detail::require(priority >= 1, "Srn::add_immediate: priority must be >= 1");
+  Transition t;
+  t.name = std::move(name);
+  t.timed = false;
+  t.weight = weight;
+  t.priority = priority;
+  transitions_.push_back(std::move(t));
+  return transitions_.size() - 1;
+}
+
+void Srn::add_input_arc(TransId t, PlaceId p, std::uint32_t mult) {
+  detail::require(t < transitions_.size() && p < places_.size(),
+                  "Srn::add_input_arc: id out of range");
+  detail::require(mult >= 1, "Srn::add_input_arc: multiplicity must be >= 1");
+  transitions_[t].inputs.emplace_back(p, mult);
+}
+
+void Srn::add_output_arc(TransId t, PlaceId p, std::uint32_t mult) {
+  detail::require(t < transitions_.size() && p < places_.size(),
+                  "Srn::add_output_arc: id out of range");
+  detail::require(mult >= 1, "Srn::add_output_arc: multiplicity must be >= 1");
+  transitions_[t].outputs.emplace_back(p, mult);
+}
+
+void Srn::add_inhibitor_arc(TransId t, PlaceId p, std::uint32_t mult) {
+  detail::require(t < transitions_.size() && p < places_.size(),
+                  "Srn::add_inhibitor_arc: id out of range");
+  detail::require(mult >= 1,
+                  "Srn::add_inhibitor_arc: multiplicity must be >= 1");
+  transitions_[t].inhibitors.emplace_back(p, mult);
+}
+
+void Srn::set_guard(TransId t, GuardFn guard) {
+  detail::require(t < transitions_.size(), "Srn::set_guard: id out of range");
+  transitions_[t].guard = std::move(guard);
+}
+
+const std::string& Srn::place_name(PlaceId p) const {
+  detail::require(p < places_.size(), "Srn::place_name: out of range");
+  return places_[p];
+}
+
+PlaceId Srn::place_index(const std::string& name) const {
+  const auto it = place_index_.find(name);
+  detail::require(it != place_index_.end(),
+                  "Srn::place_index: unknown place '" + name + "'");
+  return it->second;
+}
+
+bool Srn::enabled(TransId t, const Marking& m) const {
+  detail::require(t < transitions_.size(), "Srn::enabled: id out of range");
+  const Transition& tr = transitions_[t];
+  for (const auto& [p, mult] : tr.inputs) {
+    if (m[p] < mult) return false;
+  }
+  for (const auto& [p, mult] : tr.inhibitors) {
+    if (m[p] >= mult) return false;
+  }
+  if (tr.guard && !tr.guard(m)) return false;
+  return true;
+}
+
+bool Srn::is_timed(TransId t) const {
+  detail::require(t < transitions_.size(), "Srn::is_timed: out of range");
+  return transitions_[t].timed;
+}
+
+double Srn::rate_of(TransId t, const Marking& m) const {
+  detail::require(t < transitions_.size(), "Srn::rate_of: out of range");
+  detail::require(transitions_[t].timed, "Srn::rate_of: immediate transition");
+  return transitions_[t].rate(m);
+}
+
+double Srn::weight_of(TransId t) const {
+  detail::require(t < transitions_.size(), "Srn::weight_of: out of range");
+  detail::require(!transitions_[t].timed, "Srn::weight_of: timed transition");
+  return transitions_[t].weight;
+}
+
+unsigned Srn::priority_of(TransId t) const {
+  detail::require(t < transitions_.size(), "Srn::priority_of: out of range");
+  detail::require(!transitions_[t].timed,
+                  "Srn::priority_of: timed transition");
+  return transitions_[t].priority;
+}
+
+const std::string& Srn::transition_name(TransId t) const {
+  detail::require(t < transitions_.size(),
+                  "Srn::transition_name: out of range");
+  return transitions_[t].name;
+}
+
+Marking Srn::fire(TransId t, const Marking& m) const {
+  const Transition& tr = transitions_[t];
+  Marking next = m;
+  for (const auto& [p, mult] : tr.inputs) next[p] -= mult;
+  for (const auto& [p, mult] : tr.outputs) next[p] += mult;
+  return next;
+}
+
+namespace {
+
+// Enabled immediate transitions of the highest priority level.
+std::vector<TransId> enabled_immediates(const Srn& srn,
+                                        const std::vector<bool>& timed,
+                                        const std::vector<unsigned>& priority,
+                                        const Marking& m) {
+  std::vector<TransId> best;
+  unsigned best_priority = 0;
+  for (TransId t = 0; t < timed.size(); ++t) {
+    if (timed[t] || !srn.enabled(t, m)) continue;
+    if (priority[t] > best_priority) {
+      best_priority = priority[t];
+      best.clear();
+    }
+    if (priority[t] == best_priority) best.push_back(t);
+  }
+  return best;
+}
+
+}  // namespace
+
+GeneratedChain Srn::generate(std::size_t max_states) const {
+  detail::require_model(!places_.empty(), "Srn::generate: no places");
+  detail::require_model(!transitions_.empty(), "Srn::generate: no transitions");
+
+  std::vector<bool> timed(transitions_.size());
+  std::vector<unsigned> priority(transitions_.size());
+  std::vector<double> weight(transitions_.size());
+  for (TransId t = 0; t < transitions_.size(); ++t) {
+    timed[t] = transitions_[t].timed;
+    priority[t] = transitions_[t].priority;
+    weight[t] = transitions_[t].weight;
+  }
+
+  GeneratedChain out;
+  std::map<Marking, std::size_t> tangible_index;
+
+  // Eliminates vanishing markings: distributes `prob` mass from `m` over
+  // tangible markings reachable through immediate firings only.
+  // `on_path` detects immediate cycles.
+  std::function<void(const Marking&, double, std::set<Marking>&,
+                     std::map<Marking, double>&)>
+      resolve = [&](const Marking& m, double prob, std::set<Marking>& on_path,
+                    std::map<Marking, double>& tangible_mass) {
+        const auto imms = enabled_immediates(*this, timed, priority, m);
+        if (imms.empty()) {
+          tangible_mass[m] += prob;
+          return;
+        }
+        ++out.vanishing_count;
+        detail::require_model(!on_path.count(m),
+                              "Srn::generate: cycle of immediate transitions "
+                              "(vanishing loop)");
+        on_path.insert(m);
+        double total_weight = 0.0;
+        for (const TransId t : imms) total_weight += weight[t];
+        for (const TransId t : imms) {
+          resolve(fire(t, m), prob * weight[t] / total_weight, on_path,
+                  tangible_mass);
+        }
+        on_path.erase(m);
+      };
+
+  auto intern = [&](const Marking& m) {
+    const auto it = tangible_index.find(m);
+    if (it != tangible_index.end()) return it->second;
+    const std::size_t id = out.markings.size();
+    detail::require_model(id < max_states,
+                          "Srn::generate: more than " +
+                              std::to_string(max_states) +
+                              " tangible markings");
+    tangible_index.emplace(m, id);
+    out.markings.push_back(m);
+    out.ctmc.add_state("m" + std::to_string(id));
+    return id;
+  };
+
+  // Resolve the initial marking (it may be vanishing).
+  {
+    std::set<Marking> on_path;
+    std::map<Marking, double> mass;
+    resolve(initial_, 1.0, on_path, mass);
+    for (const auto& [m, p] : mass) {
+      const std::size_t id = intern(m);
+      if (out.initial.size() <= id) out.initial.resize(id + 1, 0.0);
+      out.initial[id] += p;
+    }
+  }
+
+  // BFS over tangible markings.
+  std::deque<std::size_t> frontier;
+  for (std::size_t id = 0; id < out.markings.size(); ++id) {
+    frontier.push_back(id);
+  }
+  while (!frontier.empty()) {
+    const std::size_t id = frontier.front();
+    frontier.pop_front();
+    const Marking m = out.markings[id];
+
+    for (TransId t = 0; t < transitions_.size(); ++t) {
+      if (!timed[t] || !enabled(t, m)) continue;
+      const double rate = transitions_[t].rate(m);
+      detail::require_model(rate > 0.0,
+                            "Srn::generate: transition '" +
+                                transitions_[t].name +
+                                "' enabled with non-positive rate");
+      std::set<Marking> on_path;
+      std::map<Marking, double> mass;
+      resolve(fire(t, m), 1.0, on_path, mass);
+      for (const auto& [next, p] : mass) {
+        const bool fresh = !tangible_index.count(next);
+        const std::size_t nid = intern(next);
+        if (fresh) frontier.push_back(nid);
+        if (nid != id) {
+          out.ctmc.add_transition(id, nid, rate * p);
+        }
+        // Self-loop mass (nid == id) contributes nothing to the generator.
+      }
+    }
+  }
+  out.initial.resize(out.markings.size(), 0.0);
+  return out;
+}
+
+double Srn::steady_state_reward(const RewardFn& reward) const {
+  detail::require(reward != nullptr, "steady_state_reward: null reward");
+  const GeneratedChain g = generate();
+  const std::vector<double> pi = g.ctmc.steady_state();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pi.size(); ++i) acc += pi[i] * reward(g.markings[i]);
+  return acc;
+}
+
+double Srn::transient_reward(const RewardFn& reward, double t) const {
+  detail::require(reward != nullptr, "transient_reward: null reward");
+  const GeneratedChain g = generate();
+  const std::vector<double> pi = g.ctmc.transient(g.initial, t);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pi.size(); ++i) acc += pi[i] * reward(g.markings[i]);
+  return acc;
+}
+
+double Srn::accumulated_reward(const RewardFn& reward, double t) const {
+  detail::require(reward != nullptr, "accumulated_reward: null reward");
+  const GeneratedChain g = generate();
+  const std::vector<double> cum = g.ctmc.cumulative_time(g.initial, t);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < cum.size(); ++i) {
+    acc += cum[i] * reward(g.markings[i]);
+  }
+  return acc;
+}
+
+double Srn::expected_tokens(PlaceId p) const {
+  detail::require(p < places_.size(), "expected_tokens: out of range");
+  return steady_state_reward(
+      [p](const Marking& m) { return static_cast<double>(m[p]); });
+}
+
+double Srn::probability(const GuardFn& predicate) const {
+  detail::require(predicate != nullptr, "probability: null predicate");
+  return steady_state_reward(
+      [&predicate](const Marking& m) { return predicate(m) ? 1.0 : 0.0; });
+}
+
+double Srn::mean_time_to_absorption(const GuardFn& absorbed) const {
+  detail::require(absorbed != nullptr, "mean_time_to_absorption: null");
+  const GeneratedChain g = generate();
+  // Build a copy of the chain where `absorbed` markings lose their outgoing
+  // transitions.
+  markov::Ctmc chain;
+  for (std::size_t i = 0; i < g.markings.size(); ++i) {
+    chain.add_state("m" + std::to_string(i));
+  }
+  const markov::Ctmc& src = g.ctmc;
+  const SparseMatrix q = src.sparse_generator();
+  for (std::size_t r = 0; r < g.markings.size(); ++r) {
+    if (absorbed(g.markings[r])) continue;
+    for (std::size_t k = q.row_begin(r); k < q.row_end(r); ++k) {
+      if (q.col(k) == r) continue;
+      chain.add_transition(r, q.col(k), q.value(k));
+    }
+  }
+  // Initial mass must avoid absorbed markings.
+  std::vector<double> pi0 = g.initial;
+  for (std::size_t i = 0; i < pi0.size(); ++i) {
+    detail::require_model(!(pi0[i] > 0.0 && absorbed(g.markings[i])),
+                          "mean_time_to_absorption: initial marking already "
+                          "absorbed");
+  }
+  return chain.absorbing_analysis(pi0).mean_time_to_absorption;
+}
+
+}  // namespace relkit::spn

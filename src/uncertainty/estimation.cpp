@@ -1,0 +1,165 @@
+#include "uncertainty/estimation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace relkit::uncertainty {
+
+std::vector<Observation> complete_sample(const std::vector<double>& times) {
+  std::vector<Observation> out;
+  out.reserve(times.size());
+  for (double t : times) out.push_back({t, false});
+  return out;
+}
+
+namespace {
+
+void validate(const std::vector<Observation>& data) {
+  detail::require(!data.empty(), "estimation: empty data");
+  for (const auto& o : data) {
+    detail::require(o.time > 0.0, "estimation: observation times must be > 0");
+  }
+}
+
+std::size_t failure_count(const std::vector<Observation>& data) {
+  std::size_t r = 0;
+  for (const auto& o : data) r += o.censored ? 0 : 1;
+  return r;
+}
+
+}  // namespace
+
+ExponentialFit fit_exponential(const std::vector<Observation>& data) {
+  validate(data);
+  const std::size_t r = failure_count(data);
+  detail::require(r >= 1, "fit_exponential: need at least one failure");
+  double exposure = 0.0;
+  for (const auto& o : data) exposure += o.time;
+
+  ExponentialFit fit;
+  fit.failures = r;
+  fit.exposure = exposure;
+  fit.rate = static_cast<double>(r) / exposure;
+  // Exact (Poisson-process) 95% interval via Gamma quantiles:
+  // lower from Gamma(r, T), upper from Gamma(r + 1, T).
+  const Gamma lower_dist(static_cast<double>(r), exposure);
+  const Gamma upper_dist(static_cast<double>(r) + 1.0, exposure);
+  fit.rate_lo = lower_dist.quantile(0.025);
+  fit.rate_hi = upper_dist.quantile(0.975);
+  return fit;
+}
+
+WeibullFit fit_weibull(const std::vector<Observation>& data) {
+  validate(data);
+  const std::size_t r = failure_count(data);
+  detail::require(r >= 2, "fit_weibull: need at least two failures");
+  {
+    // Distinct failure times required, or the profile equation degenerates.
+    std::vector<double> ft;
+    for (const auto& o : data) {
+      if (!o.censored) ft.push_back(o.time);
+    }
+    std::sort(ft.begin(), ft.end());
+    detail::require(std::adjacent_find(ft.begin(), ft.end()) == ft.end() ||
+                        ft.front() != ft.back(),
+                    "fit_weibull: all failure times identical");
+  }
+
+  // Profile equation in the shape k:
+  //   g(k) = S1(k)/S0(k) - 1/k - mean(ln t over failures) = 0,
+  // where S0 = sum_all t^k, S1 = sum_all t^k ln t. g is increasing in k.
+  double mean_log_fail = 0.0;
+  for (const auto& o : data) {
+    if (!o.censored) mean_log_fail += std::log(o.time);
+  }
+  mean_log_fail /= static_cast<double>(r);
+
+  const auto g = [&](double k) {
+    double s0 = 0.0, s1 = 0.0;
+    for (const auto& o : data) {
+      const double tk = std::pow(o.time, k);
+      s0 += tk;
+      s1 += tk * std::log(o.time);
+    }
+    return s1 / s0 - 1.0 / k - mean_log_fail;
+  };
+
+  // Bracket then bisect with a Newton-flavoured midpoint (secant) step.
+  double lo = 1e-3, hi = 1.0;
+  int guard = 0;
+  while (g(hi) < 0.0) {
+    lo = hi;
+    hi *= 2.0;
+    detail::require(++guard < 60,
+                    "fit_weibull: shape estimate exceeds bracketing limit");
+  }
+  std::size_t iters = 0;
+  while (hi - lo > 1e-12 * (1.0 + hi) && iters < 300) {
+    const double mid = 0.5 * (lo + hi);
+    if (g(mid) < 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    ++iters;
+  }
+  const double shape = 0.5 * (lo + hi);
+
+  double s0 = 0.0;
+  for (const auto& o : data) s0 += std::pow(o.time, shape);
+  const double scale = std::pow(s0 / static_cast<double>(r), 1.0 / shape);
+
+  WeibullFit fit;
+  fit.shape = shape;
+  fit.scale = scale;
+  fit.iterations = iters;
+  return fit;
+}
+
+LognormalFit fit_lognormal(const std::vector<Observation>& data) {
+  validate(data);
+  detail::require(data.size() >= 2, "fit_lognormal: need >= 2 observations");
+  for (const auto& o : data) {
+    detail::require(!o.censored,
+                    "fit_lognormal: censored data not supported");
+  }
+  double mu = 0.0;
+  for (const auto& o : data) mu += std::log(o.time);
+  mu /= static_cast<double>(data.size());
+  double var = 0.0;
+  for (const auto& o : data) {
+    const double d = std::log(o.time) - mu;
+    var += d * d;
+  }
+  var /= static_cast<double>(data.size());  // MLE (biased) variance
+  LognormalFit fit;
+  fit.mu = mu;
+  fit.sigma = std::sqrt(var);
+  detail::require(fit.sigma > 0.0,
+                  "fit_lognormal: zero variance (identical observations)");
+  return fit;
+}
+
+double ks_statistic(const std::vector<Observation>& data,
+                    const Distribution& hypothesis) {
+  validate(data);
+  std::vector<double> failures;
+  for (const auto& o : data) {
+    if (!o.censored) failures.push_back(o.time);
+  }
+  detail::require(!failures.empty(), "ks_statistic: no uncensored data");
+  std::sort(failures.begin(), failures.end());
+  const double n = static_cast<double>(failures.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    const double f = hypothesis.cdf(failures[i]);
+    const double hi = (static_cast<double>(i) + 1.0) / n - f;
+    const double lo = f - static_cast<double>(i) / n;
+    worst = std::max({worst, hi, lo});
+  }
+  return worst;
+}
+
+}  // namespace relkit::uncertainty

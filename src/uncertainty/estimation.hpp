@@ -1,0 +1,69 @@
+// Parameter estimation from life data — where model inputs come from in
+// practice.
+//
+// The tutorial's models need failure/repair rates and distribution
+// parameters; these come from field data that is usually *right-censored*
+// (units still alive when the observation window closes). This module
+// provides maximum-likelihood estimators for the lifetime families used in
+// availability studies, a Kaplan-Meier-free sufficient-statistics design
+// (each observation is a time plus a censoring flag), asymptotic confidence
+// intervals, and a Kolmogorov-Smirnov fit diagnostic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/distributions.hpp"
+
+namespace relkit::uncertainty {
+
+/// One life-data observation: `time` until failure (censored = false) or
+/// until observation ended with the unit alive (censored = true).
+struct Observation {
+  double time;
+  bool censored = false;
+};
+
+/// Convenience: complete (uncensored) sample.
+std::vector<Observation> complete_sample(const std::vector<double>& times);
+
+/// Result of a maximum-likelihood fit.
+struct ExponentialFit {
+  double rate;        ///< MLE: failures / total exposure
+  double rate_lo;     ///< 95% CI (chi-square exact for exponential)
+  double rate_hi;
+  std::size_t failures;
+  double exposure;
+};
+
+/// Exponential MLE with right censoring: rate = r / sum(times).
+/// Requires at least one failure.
+ExponentialFit fit_exponential(const std::vector<Observation>& data);
+
+struct WeibullFit {
+  double shape;
+  double scale;
+  std::size_t iterations;  ///< Newton iterations used
+};
+
+/// Weibull MLE with right censoring, solved by safeguarded Newton iteration
+/// on the shape's profile-likelihood equation. Requires >= 2 distinct
+/// failure times.
+WeibullFit fit_weibull(const std::vector<Observation>& data);
+
+struct LognormalFit {
+  double mu;
+  double sigma;
+};
+
+/// Lognormal MLE (complete samples only — censored lognormal needs EM,
+/// out of scope). Requires >= 2 observations, all uncensored.
+LognormalFit fit_lognormal(const std::vector<Observation>& data);
+
+/// Kolmogorov-Smirnov statistic sup_x |F_n(x) - F(x)| of the *uncensored*
+/// observations against a hypothesized distribution. A rough acceptance
+/// guide: D < 1.36 / sqrt(n) at the 5% level for moderate n.
+double ks_statistic(const std::vector<Observation>& data,
+                    const Distribution& hypothesis);
+
+}  // namespace relkit::uncertainty

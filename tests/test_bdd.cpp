@@ -1,0 +1,322 @@
+// Unit + property tests for the ROBDD engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace relkit::bdd {
+namespace {
+
+TEST(BddBasics, TerminalsAndVar) {
+  Manager m;
+  EXPECT_TRUE(Manager::is_terminal(Manager::zero()));
+  EXPECT_TRUE(Manager::is_terminal(Manager::one()));
+  const NodeRef x = m.var(0);
+  EXPECT_FALSE(Manager::is_terminal(x));
+  EXPECT_EQ(m.level(x), 0u);
+  EXPECT_EQ(m.low(x), Manager::zero());
+  EXPECT_EQ(m.high(x), Manager::one());
+}
+
+TEST(BddBasics, HashConsingSharesNodes) {
+  Manager m;
+  EXPECT_EQ(m.var(3), m.var(3));
+  const NodeRef a = m.apply_and(m.var(0), m.var(1));
+  const NodeRef b = m.apply_and(m.var(0), m.var(1));
+  EXPECT_EQ(a, b);
+}
+
+TEST(BddBasics, BooleanIdentities) {
+  Manager m;
+  const NodeRef x = m.var(0), y = m.var(1);
+  EXPECT_EQ(m.apply_and(x, Manager::one()), x);
+  EXPECT_EQ(m.apply_and(x, Manager::zero()), Manager::zero());
+  EXPECT_EQ(m.apply_or(x, Manager::zero()), x);
+  EXPECT_EQ(m.apply_or(x, Manager::one()), Manager::one());
+  EXPECT_EQ(m.apply_and(x, x), x);
+  EXPECT_EQ(m.apply_or(x, x), x);
+  EXPECT_EQ(m.apply_not(m.apply_not(x)), x);
+  EXPECT_EQ(m.apply_xor(x, x), Manager::zero());
+  // De Morgan.
+  EXPECT_EQ(m.apply_not(m.apply_and(x, y)),
+            m.apply_or(m.apply_not(x), m.apply_not(y)));
+}
+
+TEST(BddBasics, IteOfConstants) {
+  Manager m;
+  const NodeRef x = m.var(0);
+  EXPECT_EQ(m.ite(Manager::one(), x, Manager::zero()), x);
+  EXPECT_EQ(m.ite(Manager::zero(), x, Manager::one()), Manager::one());
+  EXPECT_EQ(m.ite(x, Manager::one(), Manager::zero()), x);
+}
+
+TEST(BddProb, SeriesAndParallelFormulas) {
+  Manager m;
+  const std::vector<double> p{0.9, 0.8, 0.7};
+  const NodeRef x0 = m.var(0), x1 = m.var(1), x2 = m.var(2);
+  const NodeRef series = m.apply_and(m.apply_and(x0, x1), x2);
+  EXPECT_NEAR(m.prob(series, p), 0.9 * 0.8 * 0.7, 1e-15);
+  const NodeRef parallel = m.apply_or(m.apply_or(x0, x1), x2);
+  EXPECT_NEAR(m.prob(parallel, p), 1.0 - 0.1 * 0.2 * 0.3, 1e-15);
+}
+
+TEST(BddProb, TerminalProbabilities) {
+  Manager m;
+  const std::vector<double> p{0.5};
+  EXPECT_DOUBLE_EQ(m.prob(Manager::zero(), p), 0.0);
+  EXPECT_DOUBLE_EQ(m.prob(Manager::one(), p), 1.0);
+}
+
+TEST(BddKofN, MatchesBinomialProbability) {
+  Manager m;
+  const std::uint32_t n = 6;
+  std::vector<NodeRef> vars;
+  std::vector<double> p;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    vars.push_back(m.var(i));
+    p.push_back(0.75);
+  }
+  for (std::uint32_t k = 0; k <= n + 1; ++k) {
+    const NodeRef f = m.at_least(k, vars);
+    double expect = 0.0;
+    for (std::uint32_t j = k; j <= n; ++j) {
+      double binom = 1.0;
+      for (std::uint32_t i = 0; i < j; ++i) {
+        binom *= static_cast<double>(n - i) / static_cast<double>(i + 1);
+      }
+      expect += binom * std::pow(0.75, j) * std::pow(0.25, n - j);
+    }
+    if (k > n) expect = 0.0;
+    EXPECT_NEAR(m.prob(f, p), expect, 1e-12) << "k=" << k;
+  }
+}
+
+TEST(BddKofN, EdgeCases) {
+  Manager m;
+  std::vector<NodeRef> vars{m.var(0), m.var(1)};
+  EXPECT_EQ(m.at_least(0, vars), Manager::one());
+  EXPECT_EQ(m.at_least(3, vars), Manager::zero());
+  EXPECT_EQ(m.at_least(1, vars), m.apply_or(vars[0], vars[1]));
+  EXPECT_EQ(m.at_least(2, vars), m.apply_and(vars[0], vars[1]));
+}
+
+TEST(BddRestrict, CofactorsOfMajority) {
+  Manager m;
+  std::vector<NodeRef> vars{m.var(0), m.var(1), m.var(2)};
+  const NodeRef maj = m.at_least(2, vars);
+  // maj | x0=1 == or(x1, x2); maj | x0=0 == and(x1, x2).
+  EXPECT_EQ(m.restrict_var(maj, 0, true), m.apply_or(vars[1], vars[2]));
+  EXPECT_EQ(m.restrict_var(maj, 0, false), m.apply_and(vars[1], vars[2]));
+  // Restricting an absent variable is a no-op.
+  EXPECT_EQ(m.restrict_var(maj, 7, true), maj);
+}
+
+TEST(BddBirnbaum, MatchesFiniteDifference) {
+  Manager m;
+  std::vector<NodeRef> vars{m.var(0), m.var(1), m.var(2)};
+  const NodeRef maj = m.at_least(2, vars);
+  std::vector<double> p{0.9, 0.8, 0.7};
+  const double b0 = m.birnbaum(maj, p, 0);
+  // Finite difference on p[0].
+  std::vector<double> hi = p, lo = p;
+  hi[0] = 1.0;
+  lo[0] = 0.0;
+  EXPECT_NEAR(b0, m.prob(maj, hi) - m.prob(maj, lo), 1e-14);
+  // For 2-of-3: dP/dp0 = p1 + p2 - 2 p1 p2.
+  EXPECT_NEAR(b0, 0.8 + 0.7 - 2.0 * 0.8 * 0.7, 1e-14);
+}
+
+TEST(BddSatCount, MajorityOfThree) {
+  Manager m;
+  std::vector<NodeRef> vars{m.var(0), m.var(1), m.var(2)};
+  const NodeRef maj = m.at_least(2, vars);
+  EXPECT_DOUBLE_EQ(m.sat_count(maj, 3), 4.0);  // 110,101,011,111
+  EXPECT_DOUBLE_EQ(m.sat_count(Manager::one(), 3), 8.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(Manager::zero(), 3), 0.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(vars[1], 3), 4.0);
+}
+
+TEST(BddMincuts, SeriesParallelStructures) {
+  Manager m;
+  const NodeRef x0 = m.var(0), x1 = m.var(1), x2 = m.var(2);
+  // f = x0 OR (x1 AND x2): mincuts {0}, {1,2}.
+  const NodeRef f = m.apply_or(x0, m.apply_and(x1, x2));
+  const auto cuts = m.minimal_solutions(f);
+  ASSERT_EQ(cuts.size(), 2u);
+  EXPECT_EQ(cuts[0], (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(cuts[1], (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(BddMincuts, KofNAllSubsets) {
+  Manager m;
+  std::vector<NodeRef> vars{m.var(0), m.var(1), m.var(2), m.var(3)};
+  const auto cuts = m.minimal_solutions(m.at_least(2, vars));
+  EXPECT_EQ(cuts.size(), 6u);  // C(4,2)
+  for (const auto& c : cuts) EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(BddMincuts, LimitEnforced) {
+  Manager m;
+  std::vector<NodeRef> vars;
+  for (std::uint32_t i = 0; i < 16; ++i) vars.push_back(m.var(i));
+  EXPECT_THROW(m.minimal_solutions(m.at_least(8, vars), 100),
+               relkit::NumericalError);
+}
+
+// Property: prob() agrees with brute-force enumeration on random functions.
+TEST(BddProperty, ProbMatchesEnumerationOnRandomDnf) {
+  relkit::Rng rng(123);
+  for (int trial = 0; trial < 30; ++trial) {
+    Manager m;
+    const std::uint32_t nvars = 6;
+    // Random DNF with 4 terms of 2-3 literals.
+    std::vector<std::vector<int>> terms;  // +v = positive literal, -(v+1)
+    std::vector<NodeRef> term_refs;
+    for (int t = 0; t < 4; ++t) {
+      std::vector<int> lits;
+      NodeRef conj = Manager::one();
+      const int width = 2 + static_cast<int>(rng.below(2));
+      for (int l = 0; l < width; ++l) {
+        const auto v = static_cast<std::uint32_t>(rng.below(nvars));
+        const bool pos = rng.below(2) == 0;
+        lits.push_back(pos ? static_cast<int>(v)
+                           : -(static_cast<int>(v) + 1));
+        conj = m.apply_and(conj, pos ? m.var(v) : m.nvar(v));
+      }
+      terms.push_back(lits);
+      term_refs.push_back(conj);
+    }
+    const NodeRef f = m.or_all(term_refs);
+
+    std::vector<double> p;
+    for (std::uint32_t i = 0; i < nvars; ++i) {
+      p.push_back(0.05 + 0.9 * rng.uniform());
+    }
+    // Brute force over 2^6 assignments.
+    double expect = 0.0;
+    for (std::uint32_t mask = 0; mask < (1u << nvars); ++mask) {
+      bool val = false;
+      for (const auto& term : terms) {
+        bool all = true;
+        for (int lit : term) {
+          const bool want = lit >= 0;
+          const auto v = static_cast<std::uint32_t>(want ? lit : -lit - 1);
+          if (((mask >> v) & 1u) != static_cast<std::uint32_t>(want)) {
+            all = false;
+            break;
+          }
+        }
+        if (all) {
+          val = true;
+          break;
+        }
+      }
+      if (!val) continue;
+      double w = 1.0;
+      for (std::uint32_t v = 0; v < nvars; ++v) {
+        w *= ((mask >> v) & 1u) ? p[v] : (1.0 - p[v]);
+      }
+      expect += w;
+    }
+    EXPECT_NEAR(m.prob(f, p), expect, 1e-12) << "trial " << trial;
+  }
+}
+
+// Property: minimal solutions of a coherent function are (a) satisfying,
+// (b) minimal, (c) their union covers the function (OR of cuts == f).
+TEST(BddProperty, MincutsReconstructCoherentFunction) {
+  relkit::Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    Manager m;
+    const std::uint32_t nvars = 7;
+    std::vector<NodeRef> terms;
+    for (int t = 0; t < 5; ++t) {
+      NodeRef conj = Manager::one();
+      const int width = 1 + static_cast<int>(rng.below(3));
+      for (int l = 0; l < width; ++l) {
+        conj = m.apply_and(
+            conj, m.var(static_cast<std::uint32_t>(rng.below(nvars))));
+      }
+      terms.push_back(conj);
+    }
+    const NodeRef f = m.or_all(terms);
+    const auto cuts = m.minimal_solutions(f);
+
+    // Rebuild OR of AND(cut) and compare BDDs (canonical => equal refs).
+    std::vector<NodeRef> rebuilt;
+    for (const auto& cut : cuts) {
+      NodeRef conj = Manager::one();
+      for (const auto v : cut) conj = m.apply_and(conj, m.var(v));
+      rebuilt.push_back(conj);
+    }
+    EXPECT_EQ(m.or_all(rebuilt), f) << "trial " << trial;
+
+    // Minimality: no cut is a subset of another.
+    for (std::size_t i = 0; i < cuts.size(); ++i) {
+      for (std::size_t j = 0; j < cuts.size(); ++j) {
+        if (i == j) continue;
+        EXPECT_FALSE(std::includes(cuts[j].begin(), cuts[j].end(),
+                                   cuts[i].begin(), cuts[i].end()) &&
+                     cuts[i].size() < cuts[j].size() + 1 &&
+                     cuts[i] != cuts[j])
+            << "cut " << i << " subsumes " << j;
+      }
+    }
+  }
+}
+
+TEST(BddDual, DualOfSeriesIsParallel) {
+  Manager m;
+  const NodeRef x = m.var(0), y = m.var(1);
+  // dual(x AND y) = x OR y; dual(x OR y) = x AND y; dual is an involution.
+  EXPECT_EQ(m.dual(m.apply_and(x, y)), m.apply_or(x, y));
+  EXPECT_EQ(m.dual(m.apply_or(x, y)), m.apply_and(x, y));
+  EXPECT_EQ(m.dual(m.dual(m.apply_and(x, y))), m.apply_and(x, y));
+  EXPECT_EQ(m.dual(Manager::one()), Manager::zero());
+  EXPECT_EQ(m.dual(Manager::zero()), Manager::one());
+}
+
+TEST(BddDual, KofNDualIsComplementaryThreshold) {
+  // dual(at_least k of n) = at_least (n-k+1) of n.
+  Manager m;
+  std::vector<NodeRef> vars{m.var(0), m.var(1), m.var(2), m.var(3),
+                            m.var(4)};
+  for (std::uint32_t k = 1; k <= 5; ++k) {
+    EXPECT_EQ(m.dual(m.at_least(k, vars)), m.at_least(6 - k, vars))
+        << "k=" << k;
+  }
+}
+
+TEST(BddDual, ProbabilityComplementProperty) {
+  // P[dual(f) = 1 | p] = 1 - P[f = 1 | 1-p] for any f.
+  Manager m;
+  relkit::Rng rng(5150);
+  std::vector<NodeRef> vars{m.var(0), m.var(1), m.var(2), m.var(3)};
+  const NodeRef f = m.apply_or(m.apply_and(vars[0], vars[1]),
+                               m.at_least(2, vars));
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> p, q;
+    for (int i = 0; i < 4; ++i) {
+      const double v = rng.uniform();
+      p.push_back(v);
+      q.push_back(1.0 - v);
+    }
+    EXPECT_NEAR(m.prob(m.dual(f), p), 1.0 - m.prob(f, q), 1e-13);
+  }
+}
+
+TEST(BddNodeCount, SharedSubgraphCountedOnce) {
+  Manager m;
+  const NodeRef x0 = m.var(0), x1 = m.var(1);
+  const NodeRef f = m.apply_and(x0, x1);
+  // f has nodes for x0 and x1 (x1 subgraph shared).
+  EXPECT_EQ(m.node_count(f), 2u);
+  EXPECT_EQ(m.node_count(Manager::one()), 0u);
+}
+
+}  // namespace
+}  // namespace relkit::bdd

@@ -1,0 +1,164 @@
+// Unit tests for the hierarchy / fixed-point layer plus the availability
+// conversion helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/hierarchy.hpp"
+#include "markov/ctmc.hpp"
+#include "rbd/rbd.hpp"
+
+namespace relkit::core {
+namespace {
+
+TEST(HierarchyBasics, ParametersAndDefinitions) {
+  Hierarchy h;
+  h.set_parameter("lambda", 0.01);
+  h.define("mttf", [](const Hierarchy& hh) {
+    return 1.0 / hh.value("lambda");
+  });
+  EXPECT_TRUE(h.has("lambda"));
+  EXPECT_TRUE(h.has("mttf"));
+  EXPECT_FALSE(h.has("nope"));
+  EXPECT_NEAR(h.value("mttf"), 100.0, 1e-12);
+  EXPECT_THROW(h.value("nope"), InvalidArgument);
+}
+
+TEST(HierarchyBasics, MemoInvalidatedOnParameterChange) {
+  Hierarchy h;
+  h.set_parameter("x", 2.0);
+  int evaluations = 0;
+  h.define("y", [&evaluations](const Hierarchy& hh) {
+    ++evaluations;
+    return hh.value("x") * 10.0;
+  });
+  EXPECT_NEAR(h.value("y"), 20.0, 1e-12);
+  EXPECT_NEAR(h.value("y"), 20.0, 1e-12);
+  EXPECT_EQ(evaluations, 1);  // memoized
+  h.set_parameter("x", 3.0);
+  EXPECT_NEAR(h.value("y"), 30.0, 1e-12);
+  EXPECT_EQ(evaluations, 2);
+}
+
+TEST(HierarchyBasics, CycleDetected) {
+  Hierarchy h;
+  h.define("a", [](const Hierarchy& hh) { return hh.value("b") + 1.0; });
+  h.define("b", [](const Hierarchy& hh) { return hh.value("a") + 1.0; });
+  EXPECT_THROW(h.value("a"), ModelError);
+}
+
+TEST(HierarchyBasics, DeepChainEvaluates) {
+  Hierarchy h;
+  h.set_parameter("v0", 1.0);
+  for (int i = 1; i <= 50; ++i) {
+    const std::string prev = "v" + std::to_string(i - 1);
+    h.define("v" + std::to_string(i), [prev](const Hierarchy& hh) {
+      return hh.value(prev) + 1.0;
+    });
+  }
+  EXPECT_NEAR(h.value("v50"), 51.0, 1e-12);
+}
+
+TEST(HierarchyComposition, MarkovFeedsRbd) {
+  // The canonical two-level pattern: a CTMC submodel produces a subsystem
+  // availability that parameterizes an RBD on top.
+  Hierarchy h;
+  h.set_parameter("lambda", 0.02);
+  h.set_parameter("mu", 1.0);
+  h.define("subsystem_availability", [](const Hierarchy& hh) {
+    markov::Ctmc c;
+    const auto up = c.add_state("up");
+    const auto down = c.add_state("down");
+    c.add_transition(up, down, hh.value("lambda"));
+    c.add_transition(down, up, hh.value("mu"));
+    return c.steady_state()[up];
+  });
+  h.define("system_availability", [](const Hierarchy& hh) {
+    const double a = hh.value("subsystem_availability");
+    // Two such subsystems in parallel.
+    const auto root = rbd::Block::parallel(
+        {rbd::Block::component("s1"), rbd::Block::component("s2")});
+    const rbd::Rbd diagram(root, {{"s1", ComponentModel::fixed(a)},
+                                  {"s2", ComponentModel::fixed(a)}});
+    return diagram.availability();
+  });
+  const double a1 = 1.0 / (1.0 + 0.02);
+  EXPECT_NEAR(h.value("system_availability"), 1.0 - (1.0 - a1) * (1.0 - a1),
+              1e-12);
+}
+
+TEST(FixedPoint, LinearContraction) {
+  // x = 0.5 x + 1 -> x* = 2.
+  Hierarchy h;
+  h.set_parameter("x", 0.0);
+  const auto res = h.solve_fixed_point(
+      {{"x",
+        [](const Hierarchy& hh) { return 0.5 * hh.value("x") + 1.0; }}});
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(h.value("x"), 2.0, 1e-9);
+  EXPECT_GT(res.iterations, 3u);
+}
+
+TEST(FixedPoint, CoupledSystem) {
+  // x = 0.3 y + 1, y = 0.3 x + 2 -> x* = (1 + 0.6)/(1-0.09), y* = ...
+  Hierarchy h;
+  h.set_parameter("x", 0.0);
+  h.set_parameter("y", 0.0);
+  const auto res = h.solve_fixed_point(
+      {{"x", [](const Hierarchy& hh) { return 0.3 * hh.value("y") + 1.0; }},
+       {"y", [](const Hierarchy& hh) { return 0.3 * hh.value("x") + 2.0; }}});
+  EXPECT_TRUE(res.converged);
+  const double xs = (1.0 + 0.3 * 2.0) / (1.0 - 0.09);
+  EXPECT_NEAR(h.value("x"), xs, 1e-8);
+  EXPECT_NEAR(h.value("y"), 0.3 * xs + 2.0, 1e-8);
+}
+
+TEST(FixedPoint, DampingStabilizesOscillation) {
+  // x = -0.95 x + 2 converges slowly (spectral radius 0.95); damping 0.5
+  // converges comfortably. Both must find x* = 2/1.95.
+  Hierarchy h;
+  h.set_parameter("x", 0.0);
+  FixedPointOptions opts;
+  opts.damping = 0.5;
+  opts.tol = 1e-12;
+  const auto res = h.solve_fixed_point(
+      {{"x",
+        [](const Hierarchy& hh) { return -0.95 * hh.value("x") + 2.0; }}},
+      opts);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(h.value("x"), 2.0 / 1.95, 1e-9);
+}
+
+TEST(FixedPoint, DivergentSystemThrows) {
+  Hierarchy h;
+  h.set_parameter("x", 1.0);
+  FixedPointOptions opts;
+  opts.max_iterations = 50;
+  EXPECT_THROW(
+      h.solve_fixed_point(
+          {{"x",
+            [](const Hierarchy& hh) { return 2.0 * hh.value("x") + 1.0; }}},
+          opts),
+      NumericalError);
+}
+
+TEST(FixedPoint, RequiresInitializedVariables) {
+  Hierarchy h;
+  EXPECT_THROW(
+      h.solve_fixed_point({{"x", [](const Hierarchy&) { return 1.0; }}}),
+      InvalidArgument);
+}
+
+TEST(Helpers, AvailabilityConversions) {
+  EXPECT_NEAR(availability_from_mttf_mttr(999.0, 1.0), 0.999, 1e-12);
+  EXPECT_NEAR(downtime_minutes_per_year(1.0), 0.0, 1e-12);
+  // Five nines ~ 5.26 minutes per year.
+  EXPECT_NEAR(downtime_minutes_per_year(0.99999), 5.2596, 1e-3);
+  EXPECT_NEAR(nines(0.999), 3.0, 1e-12);
+  EXPECT_THROW(nines(1.0), InvalidArgument);
+  EXPECT_THROW(downtime_minutes_per_year(1.5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace relkit::core

@@ -1,0 +1,210 @@
+// Unit + property tests for the lifetime distributions: cdf/pdf consistency,
+// moment formulas vs Monte Carlo, quantile inversion, sampling laws.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/distributions.hpp"
+#include "common/error.hpp"
+#include "common/quadrature.hpp"
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+
+namespace relkit {
+namespace {
+
+// ---- Parameterized property suite over a menagerie of distributions -------
+
+struct DistCase {
+  const char* label;
+  DistPtr dist;
+};
+
+class DistributionProperties : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistributionProperties, CdfIsMonotoneFromZeroToOne) {
+  const auto& d = *GetParam().dist;
+  EXPECT_DOUBLE_EQ(d.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(-1.0), 0.0);
+  double prev = 0.0;
+  const double far = d.mean() + 12.0 * std::sqrt(d.variance()) + 1.0;
+  for (int i = 1; i <= 40; ++i) {
+    const double t = far * static_cast<double>(i) / 40.0;
+    const double f = d.cdf(t);
+    EXPECT_GE(f, prev - 1e-12) << "at t=" << t;
+    EXPECT_LE(f, 1.0 + 1e-12);
+    prev = f;
+  }
+  EXPECT_GT(d.cdf(far), 0.99);
+}
+
+TEST_P(DistributionProperties, PdfIntegratesToCdf) {
+  const auto& d = *GetParam().dist;
+  if (d.variance() == 0.0) GTEST_SKIP() << "deterministic: no density";
+  const double t1 = d.mean();  // integrate density up to the mean
+  const double integral =
+      integrate([&d](double t) { return d.pdf(t); }, 0.0, t1, 1e-11);
+  EXPECT_NEAR(integral, d.cdf(t1), 1e-6) << GetParam().label;
+}
+
+TEST_P(DistributionProperties, QuantileInvertsCdf) {
+  const auto& d = *GetParam().dist;
+  for (double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    const double q = d.quantile(p);
+    if (d.variance() == 0.0) {
+      // Point mass: cdf jumps over p at the atom.
+      EXPECT_GE(d.cdf(q + 1e-12), p);
+      continue;
+    }
+    EXPECT_NEAR(d.cdf(q), p, 1e-6) << GetParam().label << " p=" << p;
+  }
+}
+
+TEST_P(DistributionProperties, SampleMomentsMatchTheory) {
+  const auto& d = *GetParam().dist;
+  Rng rng(20260707);
+  OnlineStats stats;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) stats.add(d.sample(rng));
+  const double sd = std::sqrt(d.variance());
+  // 5-sigma band on the sample mean (generous but catches gross errors).
+  EXPECT_NEAR(stats.mean(), d.mean(), 1e-9 + 5.0 * sd / std::sqrt(1.0 * n))
+      << GetParam().label;
+  if (sd > 0.0) {
+    EXPECT_NEAR(stats.stddev(), sd, 0.1 * sd + 1e-12) << GetParam().label;
+  }
+}
+
+TEST_P(DistributionProperties, MeanEqualsSurvivalIntegral) {
+  const auto& d = *GetParam().dist;
+  const double m =
+      integrate_to_inf([&d](double t) { return d.survival(t); }, 1e-10);
+  EXPECT_NEAR(m, d.mean(), 1e-5 * (1.0 + d.mean())) << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Menagerie, DistributionProperties,
+    ::testing::Values(
+        DistCase{"exp", exponential(2.0)},
+        DistCase{"exp_slow", exponential(1e-3)},
+        DistCase{"weibull_wearout", weibull(2.5, 4.0)},
+        DistCase{"weibull_infant", weibull(0.8, 1.0)},
+        DistCase{"lognormal", lognormal(0.5, 0.6)},
+        DistCase{"erlang3", erlang(3, 1.5)},
+        DistCase{"gamma", gamma_dist(2.2, 0.7)},
+        DistCase{"hypoexp", hypoexponential({1.0, 2.0, 4.0})},
+        DistCase{"hypoexp_equal_rates", hypoexponential({2.0, 2.0, 2.0})},
+        DistCase{"hyperexp",
+                 hyperexponential({0.3, 0.7}, {0.5, 3.0})},
+        DistCase{"uniform", uniform(1.0, 3.0)},
+        DistCase{"deterministic", deterministic(2.0)}),
+    [](const ::testing::TestParamInfo<DistCase>& info) {
+      return info.param.label;
+    });
+
+// ---- Targeted unit tests ---------------------------------------------------
+
+TEST(Exponential, MemorylessAndRate) {
+  const Exponential e(0.5);
+  EXPECT_TRUE(e.is_exponential());
+  EXPECT_DOUBLE_EQ(e.rate(), 0.5);
+  // Memorylessness: P(X > s+t | X > s) = P(X > t).
+  const double s = 1.3, t = 2.1;
+  EXPECT_NEAR(e.survival(s + t) / e.survival(s), e.survival(t), 1e-12);
+}
+
+TEST(Exponential, InvalidRateThrows) {
+  EXPECT_THROW(Exponential(0.0), InvalidArgument);
+  EXPECT_THROW(Exponential(-1.0), InvalidArgument);
+}
+
+TEST(WeibullTest, ShapeOneIsExponential) {
+  const Weibull w(1.0, 2.0);
+  const Exponential e(0.5);
+  for (double t : {0.1, 1.0, 3.0}) EXPECT_NEAR(w.cdf(t), e.cdf(t), 1e-12);
+}
+
+TEST(WeibullTest, HazardShape) {
+  // Increasing hazard for shape > 1, decreasing for shape < 1.
+  const Weibull wear(3.0, 1.0);
+  EXPECT_GT(wear.hazard(2.0), wear.hazard(1.0));
+  const Weibull infant(0.5, 1.0);
+  EXPECT_LT(infant.hazard(2.0), infant.hazard(1.0));
+}
+
+TEST(ErlangTest, MatchesHypoexpWithEqualRates) {
+  const Erlang e(4, 2.0);
+  const HypoExponential h({2.0, 2.0, 2.0, 2.0});
+  for (double t : {0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(e.cdf(t), h.cdf(t), 1e-9) << "t=" << t;
+  }
+  EXPECT_NEAR(e.mean(), h.mean(), 1e-12);
+  EXPECT_NEAR(e.variance(), h.variance(), 1e-12);
+}
+
+TEST(HypoExponentialTest, CvBelowOne) {
+  EXPECT_LT(HypoExponential({1.0, 2.0, 3.0}).cv(), 1.0);
+}
+
+TEST(HyperExponentialTest, CvAboveOne) {
+  EXPECT_GT(HyperExponential({0.5, 0.5}, {0.2, 5.0}).cv(), 1.0);
+}
+
+TEST(HyperExponentialTest, BadProbabilitiesThrow) {
+  EXPECT_THROW(HyperExponential({0.6, 0.6}, {1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW(HyperExponential({0.5, 0.5}, {1.0}), InvalidArgument);
+}
+
+TEST(GammaTest, ShapeOneIsExponential) {
+  const Gamma g(1.0, 3.0);
+  const Exponential e(3.0);
+  for (double t : {0.1, 0.5, 2.0}) EXPECT_NEAR(g.cdf(t), e.cdf(t), 1e-12);
+}
+
+TEST(GammaTest, SmallShapeSamplingMean) {
+  const Gamma g(0.4, 2.0);
+  Rng rng(99);
+  OnlineStats s;
+  for (int i = 0; i < 40000; ++i) s.add(g.sample(rng));
+  EXPECT_NEAR(s.mean(), g.mean(), 5.0 * s.std_error());
+}
+
+TEST(BetaTest, MomentsAndSupport) {
+  const Beta b(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(b.mean(), 0.4);
+  EXPECT_NEAR(b.variance(), 0.04, 1e-12);
+  EXPECT_DOUBLE_EQ(b.cdf(-0.1), 0.0);
+  EXPECT_DOUBLE_EQ(b.cdf(1.5), 1.0);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const double x = b.sample(rng);
+    EXPECT_GT(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(DeterministicTest, StepCdf) {
+  const Deterministic d(3.0);
+  EXPECT_DOUBLE_EQ(d.cdf(2.999), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(3.0), 1.0);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(d.sample(rng), 3.0);
+}
+
+TEST(UniformTest, Basics) {
+  const Uniform u(2.0, 6.0);
+  EXPECT_DOUBLE_EQ(u.mean(), 4.0);
+  EXPECT_NEAR(u.variance(), 16.0 / 12.0, 1e-12);
+  EXPECT_DOUBLE_EQ(u.cdf(4.0), 0.5);
+  EXPECT_DOUBLE_EQ(u.quantile(0.25), 3.0);
+}
+
+TEST(HazardTest, ExponentialHazardIsConstant) {
+  const Exponential e(1.7);
+  EXPECT_NEAR(e.hazard(0.1), 1.7, 1e-12);
+  EXPECT_NEAR(e.hazard(10.0), 1.7, 1e-7);
+}
+
+}  // namespace
+}  // namespace relkit

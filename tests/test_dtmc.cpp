@@ -1,0 +1,111 @@
+// Unit tests for discrete-time Markov chains.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "markov/dtmc.hpp"
+
+namespace relkit::markov {
+namespace {
+
+TEST(DtmcBasics, StateManagementAndValidation) {
+  Dtmc d;
+  const auto a = d.add_state("a");
+  const auto b = d.add_state("b");
+  EXPECT_THROW(d.add_state("a"), InvalidArgument);
+  d.add_transition(a, b, 0.6);
+  EXPECT_THROW(d.add_transition(a, b, 0.5), InvalidArgument);  // row > 1
+  d.add_transition(a, a, 0.4);
+  d.add_transition(b, a, 1.0);
+  EXPECT_NEAR(d.row_sum(a), 1.0, 1e-12);
+  EXPECT_FALSE(d.is_absorbing(a));
+}
+
+TEST(DtmcBasics, IncompleteRowRejectedAtSolveTime) {
+  Dtmc d;
+  const auto a = d.add_state("a");
+  const auto b = d.add_state("b");
+  d.add_transition(a, b, 0.5);  // row sums to 0.5
+  d.add_transition(b, a, 1.0);
+  EXPECT_THROW(d.steady_state(), ModelError);
+}
+
+TEST(DtmcSteady, TwoStateClosedForm) {
+  Dtmc d;
+  const auto a = d.add_state("a");
+  const auto b = d.add_state("b");
+  d.add_transition(a, a, 0.9);
+  d.add_transition(a, b, 0.1);
+  d.add_transition(b, a, 0.5);
+  d.add_transition(b, b, 0.5);
+  const auto pi = d.steady_state();
+  EXPECT_NEAR(pi[a], 5.0 / 6.0, 1e-13);
+  EXPECT_NEAR(pi[b], 1.0 / 6.0, 1e-13);
+}
+
+TEST(DtmcSteady, LargePathUsesPowerIteration) {
+  // Ring of 600 states with bias; uniform stationary by symmetry of the
+  // doubly-stochastic matrix.
+  Dtmc d;
+  const std::size_t n = 600;
+  for (std::size_t i = 0; i < n; ++i) d.add_state("s" + std::to_string(i));
+  for (std::size_t i = 0; i < n; ++i) {
+    d.add_transition(i, (i + 1) % n, 0.7);
+    d.add_transition(i, (i + n - 1) % n, 0.3);
+  }
+  const auto pi = d.steady_state(128);  // force power iteration
+  for (std::size_t i = 0; i < n; i += 97) {
+    EXPECT_NEAR(pi[i], 1.0 / n, 1e-9);
+  }
+}
+
+TEST(DtmcTransient, StepEvolution) {
+  Dtmc d;
+  const auto a = d.add_state("a");
+  const auto b = d.add_state("b");
+  d.add_transition(a, b, 1.0);
+  d.add_transition(b, a, 1.0);
+  const auto pi1 = d.transient(d.point_mass(a), 1);
+  EXPECT_DOUBLE_EQ(pi1[b], 1.0);
+  const auto pi2 = d.transient(d.point_mass(a), 2);
+  EXPECT_DOUBLE_EQ(pi2[a], 1.0);
+}
+
+TEST(DtmcAbsorbing, GeometricSteps) {
+  // One transient state looping with prob p, absorbing with 1-p:
+  // expected steps = 1/(1-p).
+  Dtmc d;
+  const auto s = d.add_state("s");
+  const auto done = d.add_state("done");
+  d.add_transition(s, s, 0.75);
+  d.add_transition(s, done, 0.25);
+  const auto res = d.absorbing_analysis(d.point_mass(s));
+  EXPECT_NEAR(res.mean_steps_to_absorption, 4.0, 1e-12);
+  EXPECT_NEAR(res.absorption_probability[done], 1.0, 1e-12);
+}
+
+TEST(DtmcAbsorbing, GamblersRuin) {
+  // States 0..4; absorbing at 0 and 4; fair coin from 1..3.
+  Dtmc d;
+  for (int i = 0; i <= 4; ++i) d.add_state("v" + std::to_string(i));
+  for (std::size_t i = 1; i <= 3; ++i) {
+    d.add_transition(i, i - 1, 0.5);
+    d.add_transition(i, i + 1, 0.5);
+  }
+  const auto res = d.absorbing_analysis(d.point_mass(2));
+  // P(reach 4 before 0 | start 2) = 2/4 = 0.5; E[steps] = 2*(4-2) = 4.
+  EXPECT_NEAR(res.absorption_probability[4], 0.5, 1e-12);
+  EXPECT_NEAR(res.absorption_probability[0], 0.5, 1e-12);
+  EXPECT_NEAR(res.mean_steps_to_absorption, 4.0, 1e-12);
+}
+
+TEST(DtmcAbsorbing, ErrorsWithoutAbsorbingState) {
+  Dtmc d;
+  const auto a = d.add_state("a");
+  const auto b = d.add_state("b");
+  d.add_transition(a, b, 1.0);
+  d.add_transition(b, a, 1.0);
+  EXPECT_THROW(d.absorbing_analysis(d.point_mass(a)), ModelError);
+}
+
+}  // namespace
+}  // namespace relkit::markov

@@ -1,0 +1,145 @@
+// Tests for life-data parameter estimation (MLE with censoring) and the
+// KS fit diagnostic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/distributions.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "uncertainty/estimation.hpp"
+
+namespace relkit::uncertainty {
+namespace {
+
+TEST(FitExponential, CompleteSampleMatchesClosedForm) {
+  // MLE = n / sum(t).
+  const auto data = complete_sample({1.0, 2.0, 3.0, 4.0});
+  const auto fit = fit_exponential(data);
+  EXPECT_NEAR(fit.rate, 0.4, 1e-12);
+  EXPECT_EQ(fit.failures, 4u);
+  EXPECT_NEAR(fit.exposure, 10.0, 1e-12);
+  EXPECT_LT(fit.rate_lo, fit.rate);
+  EXPECT_GT(fit.rate_hi, fit.rate);
+}
+
+TEST(FitExponential, CensoringExtendsExposureOnly) {
+  std::vector<Observation> data = complete_sample({1.0, 2.0});
+  data.push_back({5.0, true});  // survived 5 units
+  const auto fit = fit_exponential(data);
+  EXPECT_NEAR(fit.rate, 2.0 / 8.0, 1e-12);
+  EXPECT_EQ(fit.failures, 2u);
+}
+
+TEST(FitExponential, RecoversTrueRateFromLargeSample) {
+  Rng rng(17);
+  const Exponential truth(0.05);
+  std::vector<Observation> data;
+  for (int i = 0; i < 5000; ++i) data.push_back({truth.sample(rng), false});
+  const auto fit = fit_exponential(data);
+  EXPECT_NEAR(fit.rate, 0.05, 0.003);
+  EXPECT_LT(fit.rate_lo, 0.05);
+  EXPECT_GT(fit.rate_hi, 0.05);
+}
+
+TEST(FitExponential, NeedsAtLeastOneFailure) {
+  EXPECT_THROW(fit_exponential({{1.0, true}, {2.0, true}}), InvalidArgument);
+  EXPECT_THROW(fit_exponential({}), InvalidArgument);
+  EXPECT_THROW(fit_exponential({{0.0, false}}), InvalidArgument);
+}
+
+TEST(FitWeibull, RecoversParametersFromCompleteSample) {
+  Rng rng(23);
+  const Weibull truth(2.2, 50.0);
+  std::vector<Observation> data;
+  for (int i = 0; i < 8000; ++i) data.push_back({truth.sample(rng), false});
+  const auto fit = fit_weibull(data);
+  EXPECT_NEAR(fit.shape, 2.2, 0.08);
+  EXPECT_NEAR(fit.scale, 50.0, 1.2);
+}
+
+TEST(FitWeibull, HandlesRightCensoring) {
+  // Type-I censoring at t = 40 on a Weibull(1.5, 30) sample: the censored
+  // MLE stays near the truth where a naive complete-sample fit on only the
+  // failures would be biased low.
+  Rng rng(31);
+  const Weibull truth(1.5, 30.0);
+  std::vector<Observation> censored;
+  std::vector<Observation> naive;
+  for (int i = 0; i < 8000; ++i) {
+    const double t = truth.sample(rng);
+    if (t <= 40.0) {
+      censored.push_back({t, false});
+      naive.push_back({t, false});
+    } else {
+      censored.push_back({40.0, true});
+    }
+  }
+  const auto good = fit_weibull(censored);
+  const auto bad = fit_weibull(naive);
+  EXPECT_NEAR(good.scale, 30.0, 1.0);
+  EXPECT_LT(bad.scale, good.scale);  // ignoring censoring biases scale down
+}
+
+TEST(FitWeibull, ShapeOneDegeneratesToExponential) {
+  Rng rng(41);
+  const Exponential truth(0.1);
+  std::vector<Observation> data;
+  for (int i = 0; i < 8000; ++i) data.push_back({truth.sample(rng), false});
+  const auto fit = fit_weibull(data);
+  EXPECT_NEAR(fit.shape, 1.0, 0.05);
+  EXPECT_NEAR(fit.scale, 10.0, 0.5);
+}
+
+TEST(FitWeibull, NeedsTwoFailures) {
+  EXPECT_THROW(fit_weibull({{1.0, false}, {2.0, true}}), InvalidArgument);
+}
+
+TEST(FitLognormal, RecoversParameters) {
+  Rng rng(53);
+  const Lognormal truth(1.2, 0.4);
+  std::vector<Observation> data;
+  for (int i = 0; i < 8000; ++i) data.push_back({truth.sample(rng), false});
+  const auto fit = fit_lognormal(data);
+  EXPECT_NEAR(fit.mu, 1.2, 0.02);
+  EXPECT_NEAR(fit.sigma, 0.4, 0.02);
+}
+
+TEST(FitLognormal, RejectsCensoredData) {
+  EXPECT_THROW(fit_lognormal({{1.0, false}, {2.0, true}}), InvalidArgument);
+}
+
+TEST(KsStatistic, SmallForTrueModelLargeForWrongModel) {
+  Rng rng(61);
+  const Weibull truth(2.0, 10.0);
+  std::vector<Observation> data;
+  for (int i = 0; i < 2000; ++i) data.push_back({truth.sample(rng), false});
+  const double d_true = ks_statistic(data, truth);
+  const Exponential wrong(1.0 / truth.mean());
+  const double d_wrong = ks_statistic(data, wrong);
+  const double threshold = 1.36 / std::sqrt(2000.0);
+  EXPECT_LT(d_true, threshold * 1.5);
+  EXPECT_GT(d_wrong, 3.0 * threshold);
+}
+
+TEST(Pipeline, FitThenModel) {
+  // The full practice loop: synthesize field data, fit, plug the fitted
+  // rate into an availability model; result must be near the truth.
+  Rng rng(71);
+  const double true_lambda = 1.0 / 400.0, mu = 0.5;
+  const Exponential life(true_lambda);
+  std::vector<Observation> data;
+  for (int i = 0; i < 3000; ++i) data.push_back({life.sample(rng), false});
+  const auto fit = fit_exponential(data);
+  const double a_fitted = mu / (fit.rate + mu);
+  const double a_true = mu / (true_lambda + mu);
+  EXPECT_NEAR(a_fitted, a_true, 5e-4);
+  // CI endpoints bracket the true availability.
+  const double a_lo = mu / (fit.rate_hi + mu);
+  const double a_hi = mu / (fit.rate_lo + mu);
+  EXPECT_LT(a_lo, a_true);
+  EXPECT_GT(a_hi, a_true);
+}
+
+}  // namespace
+}  // namespace relkit::uncertainty

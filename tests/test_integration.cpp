@@ -1,0 +1,265 @@
+// Integration tests: different RelKit model types answering the same
+// question must agree. These are the cross-checks the tutorial performs
+// when moving between model families.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/relkit.hpp"
+
+namespace relkit {
+namespace {
+
+TEST(CrossModel, RbdAndFaultTreeAreComplementary) {
+  // Same system as RBD (success space) and fault tree (failure space):
+  // R_sys + Q_top == 1 for any component probabilities.
+  const auto rbd_root = rbd::Block::series(
+      {rbd::Block::parallel(
+           {rbd::Block::component("a"), rbd::Block::component("b")}),
+       rbd::Block::component("c")});
+  const auto ft_top = ftree::Node::or_gate(
+      {ftree::Node::and_gate(
+           {ftree::Node::basic("a"), ftree::Node::basic("b")}),
+       ftree::Node::basic("c")});
+
+  for (double pa : {0.5, 0.9, 0.99}) {
+    for (double pc : {0.7, 0.999}) {
+      const rbd::Rbd diagram(rbd_root,
+                             {{"a", ComponentModel::fixed(pa)},
+                              {"b", ComponentModel::fixed(0.8)},
+                              {"c", ComponentModel::fixed(pc)}});
+      const ftree::FaultTree tree(ft_top,
+                                  {{"a", ftree::EventModel::fixed(pa)},
+                                   {"b", ftree::EventModel::fixed(0.8)},
+                                   {"c", ftree::EventModel::fixed(pc)}});
+      EXPECT_NEAR(diagram.availability() + tree.top_probability_limit(), 1.0,
+                  1e-14)
+          << "pa=" << pa << " pc=" << pc;
+    }
+  }
+}
+
+TEST(CrossModel, BridgeAgreesAcrossRbdRelgraphAndFactoring) {
+  const double p = 0.92;
+  // RBD with repeated components.
+  const auto a = rbd::Block::component("A");
+  const auto b = rbd::Block::component("B");
+  const auto c = rbd::Block::component("C");
+  const auto d = rbd::Block::component("D");
+  const auto e = rbd::Block::component("E");
+  std::map<std::string, ComponentModel> models;
+  for (const char* n : {"A", "B", "C", "D", "E"}) {
+    models.emplace(n, ComponentModel::fixed(p));
+  }
+  const rbd::Rbd diagram(rbd::Block::parallel({
+                             rbd::Block::series({a, b}),
+                             rbd::Block::series({c, d}),
+                             rbd::Block::series({a, e, d}),
+                             rbd::Block::series({c, e, b}),
+                         }),
+                         models);
+  const relgraph::ReliabilityGraph graph = relgraph::make_bridge(p);
+  EXPECT_NEAR(diagram.availability(), graph.reliability(-1.0), 1e-13);
+  EXPECT_NEAR(graph.reliability(-1.0), graph.reliability_factoring(-1.0),
+              1e-13);
+}
+
+TEST(CrossModel, SrnMatchesHandBuiltCtmcMatchesSmp) {
+  // Duplex with shared repair: three state-space routes, one answer.
+  const double lam = 0.02, mu = 0.4;
+
+  // (1) hand CTMC.
+  markov::Ctmc c;
+  c.add_states(3);
+  c.add_transition(0, 1, 2 * lam);
+  c.add_transition(1, 2, lam);
+  c.add_transition(1, 0, mu);
+  c.add_transition(2, 1, mu);
+  const auto pi = c.steady_state();
+  const double a_ctmc = pi[0] + pi[1];
+
+  // (2) SRN.
+  spn::Srn net;
+  const auto up = net.add_place("up", 2);
+  const auto down = net.add_place("down", 0);
+  const auto fail = net.add_timed(
+      "fail", [up, lam](const spn::Marking& m) { return lam * m[up]; });
+  net.add_input_arc(fail, up);
+  net.add_output_arc(fail, down);
+  const auto rep = net.add_timed("repair", mu);
+  net.add_input_arc(rep, down);
+  net.add_output_arc(rep, up);
+  const double a_srn = net.probability(
+      [up](const spn::Marking& m) { return m[up] >= 1; });
+
+  // (3) SMP with exponential kernels.
+  semimarkov::SemiMarkov s;
+  const auto s2 = s.add_state("2");
+  const auto s1 = s.add_state("1");
+  const auto s0 = s.add_state("0");
+  s.add_transition(s2, s1, 1.0, exponential(2 * lam));
+  s.add_race_transition(s1, s2, exponential(mu));
+  s.add_race_transition(s1, s0, exponential(lam));
+  s.add_transition(s0, s1, 1.0, exponential(mu));
+  const auto smp_pi = s.steady_state();
+  const double a_smp = smp_pi[s2] + smp_pi[s1];
+
+  EXPECT_NEAR(a_ctmc, a_srn, 1e-12);
+  EXPECT_NEAR(a_ctmc, a_smp, 1e-7);
+}
+
+TEST(CrossModel, MttfAgreesBetweenCtmcSrnAndRbdIntegral) {
+  // Two-unit parallel, no repair: MTTF = 3/(2 lambda).
+  const double lam = 0.05;
+  // CTMC route.
+  markov::Ctmc c;
+  c.add_states(3);
+  c.add_transition(0, 1, 2 * lam);
+  c.add_transition(1, 2, lam);
+  const double mttf_ctmc =
+      c.absorbing_analysis(c.point_mass(0)).mean_time_to_absorption;
+  // RBD route (survival integral).
+  const rbd::Rbd diagram(
+      rbd::Block::parallel(
+          {rbd::Block::component("a"), rbd::Block::component("b")}),
+      {{"a", ComponentModel::with_lifetime(exponential(lam))},
+       {"b", ComponentModel::with_lifetime(exponential(lam))}});
+  // SRN route.
+  spn::Srn net;
+  const auto up = net.add_place("up", 2);
+  const auto fail = net.add_timed(
+      "fail", [up, lam](const spn::Marking& m) { return lam * m[up]; });
+  net.add_input_arc(fail, up);
+  const double mttf_srn = net.mean_time_to_absorption(
+      [up](const spn::Marking& m) { return m[up] == 0; });
+
+  const double expect = 1.5 / lam;
+  EXPECT_NEAR(mttf_ctmc, expect, 1e-9);
+  EXPECT_NEAR(diagram.mttf(), expect, 1e-3);
+  EXPECT_NEAR(mttf_srn, expect, 1e-9);
+}
+
+TEST(CrossModel, PhExpansionConvergesToSmpTransient) {
+  // Erlang-distributed repair solved (a) exactly by SMP, (b) by PH-expanded
+  // CTMC — they must agree closely since Erlang IS phase-type.
+  const double lam = 0.1;
+  const unsigned k = 3;
+  const double stage_rate = 1.5;
+
+  semimarkov::SemiMarkov s;
+  const auto up_s = s.add_state("up");
+  const auto dn_s = s.add_state("down");
+  s.add_transition(up_s, dn_s, 1.0, exponential(lam));
+  s.add_transition(dn_s, up_s, 1.0, erlang(k, stage_rate));
+
+  markov::Ctmc c;
+  const auto cu = c.add_state("up");
+  std::vector<markov::StateId> stages;
+  for (unsigned i = 0; i < k; ++i) {
+    stages.push_back(c.add_state("r" + std::to_string(i)));
+  }
+  c.add_transition(cu, stages[0], lam);
+  for (unsigned i = 0; i + 1 < k; ++i) {
+    c.add_transition(stages[i], stages[i + 1], stage_rate);
+  }
+  c.add_transition(stages[k - 1], cu, stage_rate);
+
+  for (double t : {3.0, 10.0, 40.0}) {
+    const double a_smp = s.transient(up_s, t, 1200)[up_s];
+    const double a_ctmc = c.transient(c.point_mass(cu), t)[cu];
+    EXPECT_NEAR(a_smp, a_ctmc, 3e-3) << "t=" << t;
+  }
+  // Steady state matches to solver precision.
+  const auto pi_s = s.steady_state();
+  const auto pi_c = c.steady_state();
+  EXPECT_NEAR(pi_s[up_s], pi_c[cu], 1e-9);
+}
+
+TEST(CrossModel, HierarchyReproducesMonolithicOnIndependentSubsystems) {
+  // 3 independent duplex subsystems: hierarchical (CTMC per subsystem +
+  // series RBD) vs one composite CTMC over 27 states.
+  const double lam = 0.01, mu = 0.3;
+
+  // Hierarchical.
+  markov::Ctmc sub;
+  sub.add_states(3);
+  sub.add_transition(0, 1, 2 * lam);
+  sub.add_transition(1, 2, lam);
+  sub.add_transition(1, 0, mu);
+  sub.add_transition(2, 1, mu);
+  const auto sub_pi = sub.steady_state();
+  const double a_sub = sub_pi[0] + sub_pi[1];
+  const double hier = a_sub * a_sub * a_sub;
+
+  // Monolithic: state = base-3 encoding of #down per subsystem.
+  markov::Ctmc mono;
+  mono.add_states(27);
+  const std::size_t pow3[] = {1, 3, 9};
+  for (std::size_t st = 0; st < 27; ++st) {
+    for (int j = 0; j < 3; ++j) {
+      const int digit = static_cast<int>(st / pow3[j]) % 3;
+      if (digit < 2) mono.add_transition(st, st + pow3[j], (2 - digit) * lam);
+      if (digit > 0) mono.add_transition(st, st - pow3[j], mu);
+    }
+  }
+  const auto pi = mono.steady_state();
+  double a_mono = 0.0;
+  for (std::size_t st = 0; st < 27; ++st) {
+    bool up = true;
+    for (int j = 0; j < 3; ++j) {
+      if (static_cast<int>(st / pow3[j]) % 3 == 2) up = false;
+    }
+    if (up) a_mono += pi[st];
+  }
+  EXPECT_NEAR(hier, a_mono, 1e-12);
+}
+
+TEST(CrossModel, UncertaintyIntervalCoversPlugInForFaultTree) {
+  // Propagate posterior uncertainty through a fault tree; the plug-in
+  // estimate must lie inside the 95% interval.
+  const auto top = ftree::Node::or_gate(
+      {ftree::Node::and_gate(
+           {ftree::Node::basic("A"), ftree::Node::basic("B")}),
+       ftree::Node::basic("C")});
+  const auto model = [&top](const std::map<std::string, double>& p) {
+    const ftree::FaultTree tree(
+        top, {{"A", ftree::EventModel::fixed(1.0 - p.at("qa"))},
+              {"B", ftree::EventModel::fixed(1.0 - p.at("qa"))},
+              {"C", ftree::EventModel::fixed(1.0 - p.at("qc"))}});
+    return tree.top_probability_limit();
+  };
+  Rng rng(77);
+  const std::vector<uncertainty::ParamSpec> params{
+      {"qa", uncertainty::probability_posterior(5, 100)},
+      {"qc", uncertainty::probability_posterior(1, 1000)}};
+  const auto res = uncertainty::propagate(params, model, 2000, rng);
+  std::map<std::string, double> plug;
+  for (const auto& p : params) plug[p.name] = p.dist->mean();
+  const double point = model(plug);
+  const auto [lo, hi] = res.interval(0.95);
+  EXPECT_LT(lo, point);
+  EXPECT_GT(hi, point);
+}
+
+TEST(CrossModel, BoundsBracketTimeDependentFaultTree) {
+  // Bounds hold pointwise in time for lifetime-driven events.
+  const auto gen = ftree::generate_wide_tree(8, 2, 3, 0.5);  // q replaced
+  std::map<std::string, ftree::EventModel> events;
+  int i = 0;
+  for (const auto& [name, model] : gen.events) {
+    events.emplace(name, ftree::EventModel::with_lifetime(
+                             weibull(1.2, 100.0 + 10.0 * (i++ % 5))));
+  }
+  const ftree::FaultTree tree(gen.top, events);
+  const auto cuts = tree.manager().minimal_solutions(tree.top_ref());
+  for (double t : {10.0, 50.0, 120.0}) {
+    const double exact = tree.top_probability(t);
+    const auto q = tree.event_probs(t);
+    const Interval b2 = ftree::bonferroni_bound(cuts, q, 2);
+    EXPECT_LE(b2.lo, exact + 1e-10) << "t=" << t;
+    EXPECT_GE(b2.hi, exact - 1e-10) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace relkit

@@ -1,0 +1,196 @@
+// Tests for the Markov regenerative process solver: degeneracy to plain
+// CTMCs and SMPs, the rejuvenation MRGP against the race-mode SMP, and
+// validation paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "markov/ctmc.hpp"
+#include "semimarkov/mrgp.hpp"
+#include "semimarkov/smp.hpp"
+
+namespace relkit::semimarkov {
+namespace {
+
+TEST(MrgpBasics, NoTimerDegeneratesToAlternatingRenewal) {
+  // Subordinated chain: up -> exit_down (rate lambda); regeneration "up"
+  // has no timer; exit routes to regeneration "down" whose chain is
+  // down -> exit_up (rate mu). Steady state = classic mu/(l+mu).
+  const double lambda = 0.05, mu = 0.8;
+  markov::Ctmc c;
+  const auto up = c.add_state("up");
+  const auto exit_down = c.add_state("exit_down");
+  const auto down = c.add_state("down");
+  const auto exit_up = c.add_state("exit_up");
+  c.add_transition(up, exit_down, lambda);
+  c.add_transition(down, exit_up, mu);
+
+  Mrgp mrgp(std::move(c));
+  const auto r_up = mrgp.add_regeneration(up, {});
+  const auto r_down = mrgp.add_regeneration(down, {});
+  mrgp.set_exit_branch(exit_down, r_down);
+  mrgp.set_exit_branch(exit_up, r_up);
+
+  const auto pi = mrgp.steady_state();
+  EXPECT_NEAR(pi[up], mu / (lambda + mu), 1e-12);
+  EXPECT_NEAR(pi[down], lambda / (lambda + mu), 1e-12);
+  EXPECT_NEAR(pi[exit_down], 0.0, 1e-15);  // exits are instantaneous
+}
+
+TEST(MrgpBasics, ExponentialTimerMatchesPlainCtmc) {
+  // An exponential "timer" is just another Markov transition: the MRGP
+  // must match the CTMC with that extra edge.
+  const double lambda = 0.2, mu = 1.0, nu_rate = 0.5;
+  // MRGP: one regeneration at "a"; subordinated a -> b_exit (lambda);
+  // timer Exp(nu) fires -> back to regeneration a... plus from exit b, a
+  // second regeneration with plain exponential return.
+  markov::Ctmc sub;
+  const auto a = sub.add_state("a");
+  const auto b_exit = sub.add_state("b_exit");
+  const auto b = sub.add_state("b");
+  const auto a_exit = sub.add_state("a_exit");
+  sub.add_transition(a, b_exit, lambda);
+  sub.add_transition(b, a_exit, mu);
+
+  Mrgp mrgp(std::move(sub));
+  RegenerationRule rule;
+  rule.timer = exponential(nu_rate);
+  rule.timer_branch.assign(4, 0);  // timer firing restarts cycle at a
+  const auto ra = mrgp.add_regeneration(a, rule);
+  const auto rb = mrgp.add_regeneration(b, {});
+  mrgp.set_exit_branch(b_exit, rb);
+  mrgp.set_exit_branch(a_exit, ra);
+
+  // Equivalent plain CTMC: timer restart is invisible in state "a" (it
+  // re-enters a), so the chain is just a <-> b with rates lambda, mu.
+  const double expect_a = mu / (lambda + mu);
+  const auto pi = mrgp.steady_state();
+  EXPECT_NEAR(pi[0], expect_a, 2e-3);  // quadrature tolerance
+  EXPECT_NEAR(pi[2], 1.0 - expect_a, 2e-3);
+}
+
+TEST(MrgpRejuvenation, DeterministicTimerMatchesSmpRace) {
+  // Single-state aging: healthy -> failed (Exp(lambda)); deterministic
+  // rejuvenation timer d restarts healthy after an Erlang rejuvenation;
+  // failure repairs with lognormal. Compare against the SMP race model
+  // (identical structure, exact kernel).
+  const double lambda = 1.0 / 300.0;
+  const double d = 150.0;
+  const auto rejuv_time = erlang(4, 4.0 / 0.2);
+  const auto repair_time = lognormal(0.5, 0.7);
+
+  // --- MRGP.
+  markov::Ctmc sub2;
+  const auto h2 = sub2.add_state("healthy");
+  const auto fe2 = sub2.add_state("fail_exit");
+  const auto rj2 = sub2.add_state("rejuvenating");
+  const auto rd2 = sub2.add_state("rejuv_done");
+  const auto rp2 = sub2.add_state("repairing");
+  const auto pd2 = sub2.add_state("repair_done");
+  sub2.add_transition(h2, fe2, lambda);
+  sub2.add_transition(rj2, rd2, 1.0 / rejuv_time->mean());
+  sub2.add_transition(rp2, pd2, 1.0 / repair_time->mean());
+  Mrgp model(std::move(sub2));
+  RegenerationRule hr;
+  hr.timer = deterministic(d);
+  hr.timer_branch.assign(6, 1);  // timer -> regeneration 1 (rejuv)
+  const auto reg_h = model.add_regeneration(h2, hr);
+  const auto reg_rejuv = model.add_regeneration(rj2, {});
+  const auto reg_repair = model.add_regeneration(rp2, {});
+  ASSERT_EQ(reg_h, 0u);
+  ASSERT_EQ(reg_rejuv, 1u);
+  ASSERT_EQ(reg_repair, 2u);
+  model.set_exit_branch(fe2, reg_repair);
+  model.set_exit_branch(rd2, reg_h);
+  model.set_exit_branch(pd2, reg_h);
+
+  const auto pi = model.steady_state();
+
+  // --- SMP race equivalent (exponential sojourns for rejuv/repair match
+  // the subordinated chains above in distribution only through the mean;
+  // use exponential there for an apples-to-apples comparison).
+  SemiMarkov smp;
+  const auto s_h = smp.add_state("healthy");
+  const auto s_rj = smp.add_state("rejuvenating");
+  const auto s_rp = smp.add_state("repairing");
+  smp.add_race_transition(s_h, s_rp, exponential(lambda));
+  smp.add_race_transition(s_h, s_rj, deterministic(d));
+  smp.add_transition(s_rj, s_h, 1.0, exponential(1.0 / rejuv_time->mean()));
+  smp.add_transition(s_rp, s_h, 1.0, exponential(1.0 / repair_time->mean()));
+  const auto smp_pi = smp.steady_state();
+
+  EXPECT_NEAR(pi[h2], smp_pi[s_h], 1e-6);
+  EXPECT_NEAR(pi[rj2], smp_pi[s_rj], 1e-6);
+  EXPECT_NEAR(pi[rp2], smp_pi[s_rp], 1e-6);
+}
+
+TEST(MrgpRejuvenation, MultiStateSubordinatedChain) {
+  // The real MRGP power: the subordinated chain has INTERNAL exponential
+  // structure (robust -> fragile aging) under ONE non-resetting timer —
+  // not expressible as an SMP race (the race would reset at the robust ->
+  // fragile jump). Checks basic sanity + reward accounting.
+  const double aging = 1.0 / 100.0, fail = 1.0 / 50.0;
+  const double d = 120.0;
+  markov::Ctmc sub;
+  const auto robust = sub.add_state("robust");
+  const auto fragile = sub.add_state("fragile");
+  const auto crashed = sub.add_state("crashed");   // exit
+  const auto rejuving = sub.add_state("rejuving");
+  const auto rejuv_ok = sub.add_state("rejuv_ok"); // exit
+  const auto repaired = sub.add_state("repaired"); // exit
+  const auto fixing = sub.add_state("fixing");
+  sub.add_transition(robust, fragile, aging);
+  sub.add_transition(fragile, crashed, fail);
+  sub.add_transition(rejuving, rejuv_ok, 0.5);
+  sub.add_transition(fixing, repaired, 0.1);
+
+  Mrgp model(std::move(sub));
+  RegenerationRule live_rule;
+  live_rule.timer = deterministic(d);
+  live_rule.timer_branch.assign(7, 1);  // timer -> rejuvenation cycle
+  const auto reg_live = model.add_regeneration(robust, live_rule);
+  [[maybe_unused]] const auto reg_rejuv = model.add_regeneration(rejuving, {});
+  const auto reg_fix = model.add_regeneration(fixing, {});
+  ASSERT_EQ(reg_live, 0u);
+  model.set_exit_branch(crashed, reg_fix);
+  model.set_exit_branch(rejuv_ok, reg_live);
+  model.set_exit_branch(repaired, reg_live);
+
+  const auto pi = model.steady_state();
+  double total = 0.0;
+  for (double x : pi) total += x;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Availability = robust + fragile.
+  const double avail = pi[robust] + pi[fragile];
+  EXPECT_GT(avail, 0.5);
+  EXPECT_LT(avail, 1.0);
+  EXPECT_NEAR(avail,
+              model.steady_state_reward({1, 1, 0, 0, 0, 0, 0}), 1e-12);
+  // Exit states carry no long-run probability.
+  EXPECT_NEAR(pi[crashed] + pi[rejuv_ok] + pi[repaired], 0.0, 1e-15);
+  (void)fragile;
+}
+
+TEST(MrgpValidation, Errors) {
+  markov::Ctmc c;
+  const auto a = c.add_state("a");
+  const auto exit = c.add_state("exit");
+  c.add_transition(a, exit, 1.0);
+  Mrgp m(std::move(c));
+  // Entry must be transient.
+  EXPECT_THROW(m.add_regeneration(exit, {}), ModelError);
+  // Exit branch must name an absorbing state.
+  EXPECT_THROW(m.set_exit_branch(a, 0), ModelError);
+  // Undeclared exit branch surfaces at solve time.
+  m.add_regeneration(a, {});
+  EXPECT_THROW(m.steady_state(), ModelError);
+  // Timer rule with wrong branch size.
+  RegenerationRule bad;
+  bad.timer = deterministic(1.0);
+  bad.timer_branch = {0};  // wrong length
+  EXPECT_THROW(m.add_regeneration(a, bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace relkit::semimarkov

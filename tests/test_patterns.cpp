@@ -1,0 +1,129 @@
+// Tests for the SRN pattern templates and the MTTA sensitivity solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "markov/builders.hpp"
+#include "markov/ctmc.hpp"
+#include "spn/patterns.hpp"
+
+namespace relkit::spn {
+namespace {
+
+TEST(MachineRepairmanPattern, MatchesBuilderChain) {
+  const auto pattern = machine_repairman(5, 0.03, 0.6, 1);
+  const auto builder = markov::k_of_n_shared_repair(5, 4, 0.03, 0.6, 1);
+  EXPECT_NEAR(pattern.availability(4), builder.availability(), 1e-12);
+}
+
+TEST(MachineRepairmanPattern, MultipleCrewsExpectedDown) {
+  // With crews == machines the units are independent: E[down] =
+  // n * lambda/(lambda+mu).
+  const double lambda = 0.1, mu = 0.7;
+  const auto pattern = machine_repairman(4, lambda, mu, 4);
+  EXPECT_NEAR(pattern.expected_down(), 4.0 * lambda / (lambda + mu), 1e-12);
+}
+
+TEST(MachineRepairmanPattern, Validation) {
+  EXPECT_THROW(machine_repairman(0, 0.1, 1.0), InvalidArgument);
+  EXPECT_THROW(machine_repairman(2, 0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(machine_repairman(2, 0.1, 1.0, 0), InvalidArgument);
+}
+
+TEST(FailoverPattern, AvailabilityImprovesWithCoverage) {
+  double prev = 0.0;
+  for (double c : {0.5, 0.8, 0.95, 0.999}) {
+    const auto pair = failover_pair(0.01, 0.5, c, 2.0);
+    const double a = pair.availability();
+    EXPECT_GT(a, prev) << "coverage " << c;
+    EXPECT_LT(a, 1.0);
+    prev = a;
+  }
+}
+
+TEST(FailoverPattern, HighCoverageNearDuplex) {
+  // As coverage -> 1 the pair approaches a plain duplex-with-spare model;
+  // sanity bound: availability far above single-unit availability.
+  const double lambda = 0.01, mu = 0.5;
+  const auto pair = failover_pair(lambda, mu, 0.9999, 10.0);
+  const double single = mu / (lambda + mu);
+  EXPECT_GT(pair.availability(), single);
+}
+
+TEST(FailoverPattern, RejectsPerfectCoverage) {
+  EXPECT_THROW(failover_pair(0.01, 0.5, 1.0, 1.0), InvalidArgument);
+}
+
+TEST(RejuvenationPattern, MatchesMarkovBuilder) {
+  const double aging = 1.0 / 240.0, fail = 1.0 / 120.0, repair = 1.0 / 8.0;
+  const double rejuv = 1.0 / 168.0, done = 6.0;
+  const auto net = rejuvenation_net(aging, fail, repair, rejuv, done);
+  const auto chain =
+      markov::software_rejuvenation(aging, fail, repair, rejuv, done);
+  EXPECT_NEAR(net.availability(), chain.availability(), 1e-12);
+}
+
+TEST(RejuvenationPattern, GeneratesFourMarkings) {
+  const auto net = rejuvenation_net(0.01, 0.02, 0.2, 0.005, 5.0);
+  EXPECT_EQ(net.net.generate().markings.size(), 4u);
+}
+
+}  // namespace
+}  // namespace relkit::spn
+
+namespace relkit::markov {
+namespace {
+
+TEST(MttaSensitivity, MatchesFiniteDifferenceDuplex) {
+  // Duplex MTTF = (3 lambda + mu) / (2 lambda^2); closed-form derivatives:
+  // d/dmu = 1/(2 lambda^2), d/dlambda = (-3 lambda - 2 mu)/(2 lambda^3).
+  const double lambda = 0.01, mu = 1.0;
+  const auto build = [](double l, double m) {
+    Ctmc c;
+    c.add_states(3);
+    c.add_transition(0, 1, 2 * l);
+    c.add_transition(1, 0, m);
+    c.add_transition(1, 2, l);
+    return c;
+  };
+  const Ctmc c = build(lambda, mu);
+
+  Matrix dq_mu(3, 3);
+  dq_mu(1, 0) = 1.0;
+  dq_mu(1, 1) = -1.0;
+  const double s_mu = mtta_sensitivity(c, dq_mu, c.point_mass(0));
+  EXPECT_NEAR(s_mu, 1.0 / (2 * lambda * lambda), 1e-6);
+
+  Matrix dq_l(3, 3);
+  dq_l(0, 1) = 2.0;
+  dq_l(0, 0) = -2.0;
+  dq_l(1, 2) = 1.0;
+  dq_l(1, 1) = -1.0;
+  const double s_l = mtta_sensitivity(c, dq_l, c.point_mass(0));
+  const double expect =
+      (-3.0 * lambda - 2.0 * mu) / (2.0 * lambda * lambda * lambda);
+  EXPECT_NEAR(s_l, expect, std::abs(expect) * 1e-9);
+
+  // Cross-check with central differences on the full model.
+  const double h = 1e-7;
+  const double fd =
+      (build(lambda, mu + h).absorbing_analysis({1, 0, 0})
+           .mean_time_to_absorption -
+       build(lambda, mu - h).absorbing_analysis({1, 0, 0})
+           .mean_time_to_absorption) /
+      (2 * h);
+  EXPECT_NEAR(s_mu, fd, std::abs(fd) * 1e-5);
+}
+
+TEST(MttaSensitivity, ErgodicChainRejected) {
+  Ctmc c;
+  c.add_states(2);
+  c.add_transition(0, 1, 1.0);
+  c.add_transition(1, 0, 1.0);
+  Matrix dq(2, 2);
+  EXPECT_THROW(mtta_sensitivity(c, dq, c.point_mass(0)), ModelError);
+}
+
+}  // namespace
+}  // namespace relkit::markov

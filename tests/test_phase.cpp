@@ -1,0 +1,185 @@
+// Unit + property tests for phase-type distributions: canonical forms match
+// closed-form distributions, closure operations, moment matching fits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/distributions.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+#include "phase/phase_type.hpp"
+
+namespace relkit::phase {
+namespace {
+
+TEST(PhBasics, ExponentialMatchesClosedForm) {
+  const PhaseType ph = PhaseType::exponential(2.0);
+  const Exponential e(2.0);
+  for (double t : {0.1, 0.5, 1.0, 3.0}) {
+    EXPECT_NEAR(ph.cdf(t), e.cdf(t), 1e-10) << "t=" << t;
+    EXPECT_NEAR(ph.pdf(t), e.pdf(t), 1e-9) << "t=" << t;
+  }
+  EXPECT_NEAR(ph.mean(), 0.5, 1e-12);
+  EXPECT_NEAR(ph.variance(), 0.25, 1e-12);
+}
+
+TEST(PhBasics, ErlangMatchesClosedForm) {
+  const PhaseType ph = PhaseType::erlang(4, 3.0);
+  const Erlang e(4, 3.0);
+  for (double t : {0.2, 1.0, 2.0, 4.0}) {
+    EXPECT_NEAR(ph.cdf(t), e.cdf(t), 1e-9) << "t=" << t;
+  }
+  EXPECT_NEAR(ph.mean(), e.mean(), 1e-12);
+  EXPECT_NEAR(ph.variance(), e.variance(), 1e-11);
+}
+
+TEST(PhBasics, HyperExponentialMatchesClosedForm) {
+  const PhaseType ph =
+      PhaseType::hyperexponential({0.4, 0.6}, {1.0, 5.0});
+  const HyperExponential h({0.4, 0.6}, {1.0, 5.0});
+  for (double t : {0.1, 0.5, 2.0}) {
+    EXPECT_NEAR(ph.cdf(t), h.cdf(t), 1e-10);
+  }
+  EXPECT_NEAR(ph.mean(), h.mean(), 1e-12);
+  EXPECT_NEAR(ph.variance(), h.variance(), 1e-11);
+}
+
+TEST(PhBasics, MomentFormula) {
+  // Erlang(k, r): E[X^2] = k(k+1)/r^2, E[X^3] = k(k+1)(k+2)/r^3.
+  const PhaseType ph = PhaseType::erlang(3, 2.0);
+  EXPECT_NEAR(ph.moment(1), 1.5, 1e-12);
+  EXPECT_NEAR(ph.moment(2), 3.0, 1e-12);
+  EXPECT_NEAR(ph.moment(3), 7.5, 1e-11);
+}
+
+TEST(PhBasics, ValidationErrors) {
+  Matrix bad(1, 1);
+  bad(0, 0) = 0.5;  // positive diagonal
+  EXPECT_THROW(PhaseType({1.0}, bad), InvalidArgument);
+  Matrix t(1, 1);
+  t(0, 0) = -1.0;
+  EXPECT_THROW(PhaseType({1.5}, t), InvalidArgument);  // alpha > 1
+  EXPECT_THROW(PhaseType({1.0}, Matrix(2, 2)), InvalidArgument);
+}
+
+TEST(PhClosure, ConvolutionOfExponentialsIsHypoexp) {
+  const PhaseType conv = PhaseType::convolve(PhaseType::exponential(1.0),
+                                             PhaseType::exponential(3.0));
+  const HypoExponential h({1.0, 3.0});
+  for (double t : {0.2, 1.0, 2.5}) {
+    EXPECT_NEAR(conv.cdf(t), h.cdf(t), 1e-9) << "t=" << t;
+  }
+  EXPECT_NEAR(conv.mean(), h.mean(), 1e-12);
+}
+
+TEST(PhClosure, MixtureMatchesWeightedCdf) {
+  const PhaseType a = PhaseType::erlang(2, 1.0);
+  const PhaseType b = PhaseType::exponential(0.5);
+  const PhaseType mix = PhaseType::mixture(0.3, a, b);
+  for (double t : {0.5, 1.0, 4.0}) {
+    EXPECT_NEAR(mix.cdf(t), 0.3 * a.cdf(t) + 0.7 * b.cdf(t), 1e-9);
+  }
+}
+
+TEST(PhClosure, MinimumOfExponentialsIsExponential) {
+  // min(Exp(a), Exp(b)) = Exp(a + b).
+  const PhaseType mn = PhaseType::minimum(PhaseType::exponential(1.2),
+                                          PhaseType::exponential(0.8));
+  const Exponential e(2.0);
+  for (double t : {0.1, 0.6, 2.0}) {
+    EXPECT_NEAR(mn.cdf(t), e.cdf(t), 1e-9) << "t=" << t;
+  }
+  EXPECT_NEAR(mn.mean(), 0.5, 1e-10);
+}
+
+TEST(PhClosure, MaximumOfExponentials) {
+  // P(max <= t) = (1 - e^-at)(1 - e^-bt).
+  const double a = 1.5, b = 0.7;
+  const PhaseType mx = PhaseType::maximum(PhaseType::exponential(a),
+                                          PhaseType::exponential(b));
+  for (double t : {0.3, 1.0, 3.0}) {
+    const double expect =
+        (1.0 - std::exp(-a * t)) * (1.0 - std::exp(-b * t));
+    EXPECT_NEAR(mx.cdf(t), expect, 1e-9) << "t=" << t;
+  }
+  // E[max] = 1/a + 1/b - 1/(a+b).
+  EXPECT_NEAR(mx.mean(), 1.0 / a + 1.0 / b - 1.0 / (a + b), 1e-10);
+}
+
+TEST(PhClosure, MinMaxBracketComponents) {
+  const PhaseType x = PhaseType::erlang(3, 2.0);
+  const PhaseType y = PhaseType::hyperexponential({0.5, 0.5}, {0.8, 4.0});
+  const PhaseType mn = PhaseType::minimum(x, y);
+  const PhaseType mx = PhaseType::maximum(x, y);
+  EXPECT_LE(mn.mean(), std::min(x.mean(), y.mean()) + 1e-9);
+  EXPECT_GE(mx.mean(), std::max(x.mean(), y.mean()) - 1e-9);
+  // E[min] + E[max] = E[X] + E[Y].
+  EXPECT_NEAR(mn.mean() + mx.mean(), x.mean() + y.mean(), 1e-9);
+}
+
+TEST(PhSample, MomentsMatch) {
+  const PhaseType ph = PhaseType::hypoexponential({1.0, 2.0, 4.0});
+  Rng rng(321);
+  OnlineStats s;
+  for (int i = 0; i < 50000; ++i) s.add(ph.sample(rng));
+  EXPECT_NEAR(s.mean(), ph.mean(), 5.0 * s.std_error());
+}
+
+// ---- fitting ---------------------------------------------------------------
+
+struct FitCase {
+  const char* label;
+  double mean;
+  double cv;
+};
+
+class FitSweep : public ::testing::TestWithParam<FitCase> {};
+
+TEST_P(FitSweep, FirstTwoMomentsReproduced) {
+  const auto& c = GetParam();
+  const PhaseType ph = fit_moments(c.mean, c.cv);
+  EXPECT_NEAR(ph.mean(), c.mean, 1e-8 * c.mean) << c.label;
+  EXPECT_NEAR(ph.cv(), c.cv, 1e-6 * c.cv + 1e-9) << c.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FitSweep,
+    ::testing::Values(FitCase{"cv_low", 5.0, 0.3},
+                      FitCase{"cv_very_low", 2.0, 0.1},
+                      FitCase{"cv_one", 1.0, 1.0},
+                      FitCase{"cv_high", 10.0, 2.0},
+                      FitCase{"cv_very_high", 0.5, 5.0},
+                      FitCase{"cv_just_below", 3.0, 0.95},
+                      FitCase{"cv_just_above", 3.0, 1.05}),
+    [](const ::testing::TestParamInfo<FitCase>& info) {
+      return info.param.label;
+    });
+
+TEST(Fit, WeibullCdfApproximation) {
+  // The 2-moment fit of a Weibull(2, 1) should track its cdf reasonably.
+  const Weibull w(2.0, 1.0);
+  const PhaseType ph = fit_distribution(w);
+  EXPECT_NEAR(ph.mean(), w.mean(), 1e-9);
+  const double dist = cdf_distance(w, ph);
+  EXPECT_LT(dist, 0.08);  // 2-moment fits are coarse but bounded
+}
+
+TEST(Fit, DeterministicApproximationImprovesWithLowCv) {
+  // fit_moments with small cv gives a many-stage Erlang whose cdf
+  // approaches a step at the mean.
+  const PhaseType tight = fit_moments(1.0, 0.15);
+  const PhaseType loose = fit_moments(1.0, 0.6);
+  // cdf spread between quantile-like points around the mean:
+  const double tight_spread = tight.cdf(1.3) - tight.cdf(0.7);
+  const double loose_spread = loose.cdf(1.3) - loose.cdf(0.7);
+  EXPECT_GT(tight_spread, loose_spread);
+}
+
+TEST(Fit, RejectsBadArguments) {
+  EXPECT_THROW(fit_moments(0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(fit_moments(1.0, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace relkit::phase

@@ -1,0 +1,208 @@
+// Unit + property tests for semi-Markov processes: exponential SMPs must
+// agree with CTMCs; general sojourns follow the embedded-chain formulas;
+// race mode derives correct branch probabilities; transient solves the
+// Markov renewal equation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "markov/ctmc.hpp"
+#include "semimarkov/smp.hpp"
+
+namespace relkit::semimarkov {
+namespace {
+
+TEST(SmpBasics, StateManagement) {
+  SemiMarkov s;
+  const StateId a = s.add_state("a");
+  EXPECT_EQ(s.state_index("a"), a);
+  EXPECT_THROW(s.add_state("a"), InvalidArgument);
+  EXPECT_TRUE(s.is_absorbing(a));
+  // Mixing kernel and race mode in one state is rejected.
+  const StateId b = s.add_state("b");
+  s.add_transition(a, b, 1.0, exponential(1.0));
+  EXPECT_THROW(s.add_race_transition(a, b, exponential(1.0)),
+               InvalidArgument);
+}
+
+TEST(SmpSteady, ExponentialSojournMatchesCtmc) {
+  // 2-state kernel-mode SMP with exponential sojourns == CTMC.
+  const double lambda = 0.05, mu = 0.8;
+  SemiMarkov s;
+  const StateId up = s.add_state("up");
+  const StateId down = s.add_state("down");
+  s.add_transition(up, down, 1.0, exponential(lambda));
+  s.add_transition(down, up, 1.0, exponential(mu));
+  const auto pi = s.steady_state();
+  EXPECT_NEAR(pi[up], mu / (lambda + mu), 1e-12);
+  EXPECT_NEAR(pi[down], lambda / (lambda + mu), 1e-12);
+}
+
+TEST(SmpSteady, GeneralSojournUsesMeansOnly) {
+  // Long-run occupancy depends only on mean sojourns: Weibull up-time with
+  // mean m_u, lognormal repair with mean m_d: A = m_u / (m_u + m_d).
+  SemiMarkov s;
+  const StateId up = s.add_state("up");
+  const StateId down = s.add_state("down");
+  const auto uptime = weibull(2.0, 100.0);
+  const auto repair = lognormal(0.5, 0.8);
+  s.add_transition(up, down, 1.0, uptime);
+  s.add_transition(down, up, 1.0, repair);
+  const auto pi = s.steady_state();
+  const double expect = uptime->mean() / (uptime->mean() + repair->mean());
+  EXPECT_NEAR(pi[up], expect, 1e-9);
+}
+
+TEST(SmpSteady, ThreeStateBranching) {
+  // up -> (degraded with 0.7 | down with 0.3); both return to up.
+  SemiMarkov s;
+  const StateId up = s.add_state("up");
+  const StateId deg = s.add_state("degraded");
+  const StateId down = s.add_state("down");
+  s.add_transition(up, deg, 0.7, exponential(0.1));
+  s.add_transition(up, down, 0.3, exponential(0.1));
+  s.add_transition(deg, up, 1.0, deterministic(2.0));
+  s.add_transition(down, up, 1.0, uniform(1.0, 3.0));
+  const auto pi = s.steady_state();
+  // nu: visits ratio up:deg:down = 1 : 0.7 : 0.3 per cycle.
+  // mean sojourns: up = 10, deg = 2, down = 2.
+  const double wu = 10.0, wd = 0.7 * 2.0, wn = 0.3 * 2.0;
+  const double total = wu + wd + wn;
+  EXPECT_NEAR(pi[up], wu / total, 1e-9);
+  EXPECT_NEAR(pi[deg], wd / total, 1e-9);
+  EXPECT_NEAR(pi[down], wn / total, 1e-9);
+}
+
+TEST(SmpSteady, KernelProbsMustSumToOne) {
+  SemiMarkov s;
+  const StateId a = s.add_state("a");
+  const StateId b = s.add_state("b");
+  s.add_transition(a, b, 0.5, exponential(1.0));
+  s.add_transition(b, a, 1.0, exponential(1.0));
+  EXPECT_THROW(s.steady_state(), ModelError);
+}
+
+TEST(SmpRace, ExponentialRaceBranchProbabilities) {
+  // Race of Exp(a) vs Exp(b): P(first) = a/(a+b), sojourn Exp(a+b).
+  const double a = 2.0, b = 3.0;
+  SemiMarkov s;
+  const StateId src = s.add_state("src");
+  const StateId win_a = s.add_state("A");
+  const StateId win_b = s.add_state("B");
+  s.add_race_transition(src, win_a, exponential(a));
+  s.add_race_transition(src, win_b, exponential(b));
+  const auto probs = s.branch_probabilities(src);
+  ASSERT_EQ(probs.size(), 2u);
+  EXPECT_NEAR(probs[0].second, a / (a + b), 1e-8);
+  EXPECT_NEAR(probs[1].second, b / (a + b), 1e-8);
+  EXPECT_NEAR(s.mean_sojourn(src), 1.0 / (a + b), 1e-8);
+  EXPECT_NEAR(s.sojourn_survival(src, 0.4), std::exp(-(a + b) * 0.4), 1e-12);
+}
+
+TEST(SmpRace, DeterministicTimerVsExponentialFailure) {
+  // The rejuvenation pattern: deterministic timer d races Exp(lambda).
+  // P(timer wins) = e^{-lambda d}.
+  const double lambda = 0.3, d = 2.0;
+  SemiMarkov s;
+  const StateId up = s.add_state("up");
+  const StateId rejuv = s.add_state("rejuv");
+  const StateId failed = s.add_state("failed");
+  s.add_race_transition(up, failed, exponential(lambda));
+  s.add_race_transition(up, rejuv, deterministic(d));
+  const auto probs = s.branch_probabilities(up);
+  double p_fail = 0, p_rejuv = 0;
+  for (const auto& [to, p] : probs) {
+    if (to == failed) p_fail = p;
+    if (to == rejuv) p_rejuv = p;
+  }
+  EXPECT_NEAR(p_rejuv, std::exp(-lambda * d), 1e-6);
+  EXPECT_NEAR(p_fail, 1.0 - std::exp(-lambda * d), 1e-6);
+  // Mean sojourn = E[min(Exp, d)] = (1 - e^{-lambda d}) / lambda.
+  EXPECT_NEAR(s.mean_sojourn(up), (1.0 - std::exp(-lambda * d)) / lambda,
+              1e-6);
+}
+
+TEST(SmpFirstPassage, ExponentialChainMttf) {
+  // up -> down (rate l), matches CTMC MTTF = 1/l; with repair detour the
+  // duplex formula must hold.
+  const double lambda = 0.01, mu = 1.0;
+  SemiMarkov s;
+  const StateId s2 = s.add_state("2up");
+  const StateId s1 = s.add_state("1up");
+  const StateId s0 = s.add_state("0up");
+  // Sojourn in s2: Exp(2 lambda), always to s1.
+  s.add_transition(s2, s1, 1.0, exponential(2 * lambda));
+  // In s1: race between repair (mu) and second failure (lambda).
+  s.add_race_transition(s1, s2, exponential(mu));
+  s.add_race_transition(s1, s0, exponential(lambda));
+  const auto mfp = s.mean_first_passage({false, false, true});
+  const double expect = (3 * lambda + mu) / (2 * lambda * lambda);
+  EXPECT_NEAR(mfp[s2], expect, expect * 1e-6);
+  EXPECT_DOUBLE_EQ(mfp[s0], 0.0);
+}
+
+TEST(SmpFirstPassage, UnreachableTargetThrows) {
+  SemiMarkov s;
+  const StateId a = s.add_state("a");
+  const StateId b = s.add_state("b");
+  const StateId c = s.add_state("c");
+  s.add_transition(a, b, 1.0, exponential(1.0));
+  s.add_transition(b, a, 1.0, exponential(1.0));
+  // c unreachable, but also absorbing outside target -> model error.
+  EXPECT_THROW(s.mean_first_passage({false, false, true}),
+               ModelError);
+  (void)c;
+}
+
+TEST(SmpTransient, ExponentialMatchesCtmcUniformization) {
+  const double lambda = 0.4, mu = 1.1;
+  SemiMarkov s;
+  const StateId up = s.add_state("up");
+  const StateId down = s.add_state("down");
+  s.add_transition(up, down, 1.0, exponential(lambda));
+  s.add_transition(down, up, 1.0, exponential(mu));
+
+  markov::Ctmc c;
+  c.add_states(2);
+  c.add_transition(0, 1, lambda);
+  c.add_transition(1, 0, mu);
+
+  for (double t : {0.5, 1.0, 3.0}) {
+    const auto smp_pi = s.transient(up, t, 1200);
+    const auto ctmc_pi = c.transient(c.point_mass(0), t);
+    EXPECT_NEAR(smp_pi[0], ctmc_pi[0], 2e-3) << "t=" << t;
+  }
+}
+
+TEST(SmpTransient, DeterministicSojournSteps) {
+  // up with deterministic(1.0) sojourn to down (absorbing):
+  // P(up at t) = 1 for t < 1, 0 after.
+  SemiMarkov s;
+  const StateId up = s.add_state("up");
+  const StateId down = s.add_state("down");
+  s.add_transition(up, down, 1.0, deterministic(1.0));
+  const auto before = s.transient(up, 0.8, 400);
+  EXPECT_NEAR(before[up], 1.0, 1e-9);
+  const auto after = s.transient(up, 1.3, 400);
+  EXPECT_NEAR(after[down], 1.0, 5e-3);
+}
+
+TEST(SmpTransient, WeibullRepairAvailabilityDipsAndRecovers) {
+  // Weibull wear-out failures with slow lognormal repair: availability at
+  // moderate t must lie strictly between 0 and 1 and exceed steady state
+  // early on.
+  SemiMarkov s;
+  const StateId up = s.add_state("up");
+  const StateId down = s.add_state("down");
+  s.add_transition(up, down, 1.0, weibull(2.0, 10.0));
+  s.add_transition(down, up, 1.0, lognormal(0.0, 0.5));
+  const auto pi_early = s.transient(up, 2.0, 600);
+  const auto pi_late = s.transient(up, 60.0, 600);
+  const auto pi_inf = s.steady_state();
+  EXPECT_GT(pi_early[up], pi_inf[up]);
+  EXPECT_NEAR(pi_late[up], pi_inf[up], 0.05);
+}
+
+}  // namespace
+}  // namespace relkit::semimarkov

@@ -1,0 +1,159 @@
+// Tests for the discrete-event simulator, cross-validated against closed
+// forms and analytic solvers (experiment E9's foundation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sim/simulator.hpp"
+
+namespace relkit::sim {
+namespace {
+
+StructureFn series_fn() {
+  return [](const std::vector<bool>& s) {
+    for (bool b : s) {
+      if (!b) return false;
+    }
+    return true;
+  };
+}
+
+StructureFn parallel_fn() {
+  return [](const std::vector<bool>& s) {
+    for (bool b : s) {
+      if (b) return true;
+    }
+    return false;
+  };
+}
+
+TEST(SystemSim, NonRepairableSeriesReliability) {
+  // Series of two exponentials: R(t) = e^{-(l1+l2)t}.
+  SystemSimulator sim({{exponential(0.02), nullptr},
+                       {exponential(0.03), nullptr}},
+                      series_fn());
+  const auto est = sim.reliability(10.0, 4000, 1);
+  EXPECT_NEAR(est.mean, std::exp(-0.5), 3.0 * est.half_width + 0.01);
+}
+
+TEST(SystemSim, NonRepairableParallelMttf) {
+  // Two-unit parallel, equal rate l: MTTF = 1.5/l.
+  const double l = 0.1;
+  SystemSimulator sim({{exponential(l), nullptr}, {exponential(l), nullptr}},
+                      parallel_fn());
+  const auto est = sim.mttf(4000, 2);
+  EXPECT_NEAR(est.mean, 1.5 / l, 4.0 * est.half_width + 0.3);
+}
+
+TEST(SystemSim, RepairableAvailabilityMatchesClosedForm) {
+  const double lambda = 0.1, mu = 1.0;
+  SystemSimulator sim({{exponential(lambda), exponential(mu)}},
+                      series_fn());
+  const double t = 30.0;  // effectively steady state
+  const auto est = sim.availability_at(t, 6000, 3);
+  EXPECT_NEAR(est.mean, mu / (lambda + mu), 3.5 * est.half_width + 0.005);
+}
+
+TEST(SystemSim, IntervalAvailabilityBetweenPointAndOne) {
+  const double lambda = 0.2, mu = 2.0;
+  SystemSimulator sim({{exponential(lambda), exponential(mu)}},
+                      series_fn());
+  const auto ia = sim.interval_availability(20.0, 3000, 4);
+  const double steady = mu / (lambda + mu);
+  EXPECT_GT(ia.mean, steady);  // starts up
+  EXPECT_LT(ia.mean, 1.0);
+}
+
+TEST(SystemSim, WeibullComponentsSupported) {
+  // Non-exponential lifetimes: P(up at t) for one Weibull unit without
+  // repair equals its survival.
+  SystemSimulator sim({{weibull(2.0, 10.0), nullptr}}, series_fn());
+  const auto est = sim.availability_at(8.0, 6000, 5);
+  const double expect = std::exp(-std::pow(0.8, 2.0));
+  EXPECT_NEAR(est.mean, expect, 3.5 * est.half_width + 0.005);
+}
+
+TEST(SystemSim, ReliabilityLessEqualAvailabilityForRepairable) {
+  const double lambda = 0.3, mu = 1.5;
+  SystemSimulator sim({{exponential(lambda), exponential(mu)}},
+                      series_fn());
+  const auto rel = sim.reliability(5.0, 3000, 6);
+  const auto avail = sim.availability_at(5.0, 3000, 6);
+  EXPECT_LT(rel.mean, avail.mean);
+  // Reliability of a single unit ignores repair: R(t) = e^{-lambda t}.
+  EXPECT_NEAR(rel.mean, std::exp(-1.5), 3.5 * rel.half_width + 0.01);
+}
+
+TEST(SystemSim, DeterministicSeedReproducible) {
+  SystemSimulator sim({{exponential(0.1), exponential(1.0)}}, series_fn());
+  const auto a = sim.availability_at(10.0, 500, 42);
+  const auto b = sim.availability_at(10.0, 500, 42);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+}
+
+TEST(SystemSim, Validation) {
+  EXPECT_THROW(SystemSimulator({}, series_fn()), InvalidArgument);
+  EXPECT_THROW(SystemSimulator({{nullptr, nullptr}}, series_fn()),
+               InvalidArgument);
+  // Structure function that is down with everything up is rejected.
+  EXPECT_THROW(SystemSimulator({{exponential(1.0), nullptr}},
+                               [](const std::vector<bool>&) { return false; }),
+               ModelError);
+}
+
+TEST(SrnSim, TwoStateAvailabilityMatchesAnalytic) {
+  const double lambda = 0.2, mu = 2.0;
+  spn::Srn net;
+  const auto up = net.add_place("up", 1);
+  const auto down = net.add_place("down", 0);
+  const auto fail = net.add_timed("fail", lambda);
+  net.add_input_arc(fail, up);
+  net.add_output_arc(fail, down);
+  const auto repair = net.add_timed("repair", mu);
+  net.add_input_arc(repair, down);
+  net.add_output_arc(repair, up);
+
+  const auto reward = [up](const spn::Marking& m) {
+    return m[up] == 1 ? 1.0 : 0.0;
+  };
+  const double t = 1.3;
+  const double analytic = net.transient_reward(reward, t);
+  SrnSimulator sim(net);
+  const auto est = sim.transient_reward(reward, t, 8000, 11);
+  EXPECT_NEAR(est.mean, analytic, 3.5 * est.half_width + 0.005);
+
+  const double acc_analytic = net.accumulated_reward(reward, 5.0);
+  const auto acc = sim.accumulated_reward(reward, 5.0, 4000, 12);
+  EXPECT_NEAR(acc.mean, acc_analytic, 3.5 * acc.half_width + 0.02);
+}
+
+TEST(SrnSim, ImmediateCoverageBranching) {
+  // Coverage choice net (as in test_spn): tangible distribution after one
+  // failure must put ~c on the spare and ~(1-c) on down.
+  const double lambda = 5.0, cov = 0.8;
+  spn::Srn net;
+  const auto up = net.add_place("up", 1);
+  const auto choosing = net.add_place("choosing", 0);
+  const auto spare = net.add_place("spare", 0);
+  const auto down = net.add_place("down", 0);
+  const auto fail = net.add_timed("fail", lambda);
+  net.add_input_arc(fail, up);
+  net.add_output_arc(fail, choosing);
+  const auto covered = net.add_immediate("covered", cov);
+  net.add_input_arc(covered, choosing);
+  net.add_output_arc(covered, spare);
+  const auto uncovered = net.add_immediate("uncovered", 1.0 - cov);
+  net.add_input_arc(uncovered, choosing);
+  net.add_output_arc(uncovered, down);
+
+  SrnSimulator sim(net);
+  // By t = 3 the failure has almost surely happened.
+  const auto est = sim.transient_reward(
+      [spare](const spn::Marking& m) { return m[spare] == 1 ? 1.0 : 0.0; },
+      3.0, 8000, 21);
+  EXPECT_NEAR(est.mean, cov, 3.5 * est.half_width + 0.01);
+}
+
+}  // namespace
+}  // namespace relkit::sim

@@ -1,0 +1,121 @@
+// Unit + statistical tests for parametric uncertainty propagation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "uncertainty/uncertainty.hpp"
+
+namespace relkit::uncertainty {
+namespace {
+
+TEST(Posteriors, GammaRateUpdatesWithData) {
+  const auto post = rate_posterior(10.0, 1000.0);
+  // Posterior mean ~ (0.5 + 10) / (1000) ~ 0.0105.
+  EXPECT_NEAR(post->mean(), 10.5 / 1000.0, 1e-6);
+  // More data -> narrower posterior (smaller cv).
+  const auto more = rate_posterior(100.0, 10000.0);
+  EXPECT_LT(more->cv(), post->cv());
+}
+
+TEST(Posteriors, BetaProbabilityUpdatesWithData) {
+  const auto post = probability_posterior(90.0, 100.0);
+  EXPECT_NEAR(post->mean(), 91.0 / 102.0, 1e-12);
+  EXPECT_THROW(probability_posterior(5.0, 3.0), InvalidArgument);
+}
+
+TEST(Propagate, IdentityModelRecoversInputDistribution) {
+  Rng rng(42);
+  const std::vector<ParamSpec> params{{"x", gamma_dist(4.0, 2.0)}};
+  const auto res = propagate(
+      params, [](const std::map<std::string, double>& p) {
+        return p.at("x");
+      },
+      4000, rng, Sampling::kMonteCarlo);
+  EXPECT_NEAR(res.mean, 2.0, 0.1);
+  EXPECT_NEAR(res.stddev, 1.0, 0.1);
+  EXPECT_EQ(res.samples.size(), 4000u);
+}
+
+TEST(Propagate, LatinHypercubeReducesMeanError) {
+  // For a monotone model, LHS mean error should be far below MC at equal n.
+  const std::vector<ParamSpec> params{{"x", exponential(1.0)}};
+  const auto model = [](const std::map<std::string, double>& p) {
+    return p.at("x");
+  };
+  double mc_err = 0.0, lhs_err = 0.0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng r1(seed), r2(seed);
+    mc_err += std::abs(
+        propagate(params, model, 500, r1, Sampling::kMonteCarlo).mean - 1.0);
+    lhs_err += std::abs(
+        propagate(params, model, 500, r2, Sampling::kLatinHypercube).mean -
+        1.0);
+  }
+  EXPECT_LT(lhs_err, mc_err);
+}
+
+TEST(Propagate, PercentilesAndIntervals) {
+  Rng rng(7);
+  const std::vector<ParamSpec> params{{"u", uniform(0.0 + 1e-9, 1.0)}};
+  const auto res = propagate(
+      params,
+      [](const std::map<std::string, double>& p) { return p.at("u"); },
+      5000, rng);
+  EXPECT_NEAR(res.percentile(0.5), 0.5, 0.02);
+  const auto [lo, hi] = res.interval(0.90);
+  EXPECT_NEAR(lo, 0.05, 0.02);
+  EXPECT_NEAR(hi, 0.95, 0.02);
+  EXPECT_THROW(res.interval(0.0), InvalidArgument);
+}
+
+TEST(Propagate, MultiParameterAvailabilityModel) {
+  // The tutorial's E7 pattern: A = mu/(lambda+mu) under posterior
+  // uncertainty in both rates. The CI must contain the plug-in value.
+  Rng rng(99);
+  const std::vector<ParamSpec> params{
+      {"lambda", rate_posterior(20.0, 20000.0)},
+      {"mu", rate_posterior(20.0, 40.0)}};
+  const auto res = propagate(
+      params,
+      [](const std::map<std::string, double>& p) {
+        return p.at("mu") / (p.at("lambda") + p.at("mu"));
+      },
+      3000, rng);
+  const double plug_in = 0.5125 / (0.001025 + 0.5125);
+  const auto [lo, hi] = res.interval(0.95);
+  EXPECT_LT(lo, plug_in);
+  EXPECT_GT(hi, plug_in);
+  EXPECT_GT(lo, 0.99);  // availability stays high over the whole posterior
+}
+
+TEST(Propagate, MoreDataNarrowsOutputInterval) {
+  const auto model = [](const std::map<std::string, double>& p) {
+    return 1.0 / (1.0 + p.at("lambda"));
+  };
+  Rng r1(5), r2(5);
+  const auto scarce = propagate({{"lambda", rate_posterior(3.0, 300.0)}},
+                                model, 2000, r1);
+  const auto rich = propagate({{"lambda", rate_posterior(300.0, 30000.0)}},
+                              model, 2000, r2);
+  const auto [s_lo, s_hi] = scarce.interval(0.9);
+  const auto [r_lo, r_hi] = rich.interval(0.9);
+  EXPECT_LT(r_hi - r_lo, s_hi - s_lo);
+}
+
+TEST(Propagate, Validation) {
+  Rng rng(1);
+  const auto ok = [](const std::map<std::string, double>&) { return 1.0; };
+  EXPECT_THROW(propagate({}, ok, 100, rng), InvalidArgument);
+  EXPECT_THROW(propagate({{"x", exponential(1.0)}}, ok, 1, rng),
+               InvalidArgument);
+  EXPECT_THROW(propagate({{"x", nullptr}}, ok, 100, rng), InvalidArgument);
+  const auto bad = [](const std::map<std::string, double>&) {
+    return std::nan("");
+  };
+  EXPECT_THROW(propagate({{"x", exponential(1.0)}}, bad, 100, rng),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace relkit::uncertainty
