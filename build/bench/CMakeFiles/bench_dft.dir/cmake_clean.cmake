@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dft.dir/bench_dft.cpp.o"
+  "CMakeFiles/bench_dft.dir/bench_dft.cpp.o.d"
+  "bench_dft"
+  "bench_dft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

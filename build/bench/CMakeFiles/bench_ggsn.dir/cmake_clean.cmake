@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ggsn.dir/bench_ggsn.cpp.o"
+  "CMakeFiles/bench_ggsn.dir/bench_ggsn.cpp.o.d"
+  "bench_ggsn"
+  "bench_ggsn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ggsn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nonexp.dir/bench_nonexp.cpp.o"
+  "CMakeFiles/bench_nonexp.dir/bench_nonexp.cpp.o.d"
+  "bench_nonexp"
+  "bench_nonexp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nonexp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nonstate_scaling.dir/bench_nonstate_scaling.cpp.o"
+  "CMakeFiles/bench_nonstate_scaling.dir/bench_nonstate_scaling.cpp.o.d"
+  "bench_nonstate_scaling"
+  "bench_nonstate_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nonstate_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

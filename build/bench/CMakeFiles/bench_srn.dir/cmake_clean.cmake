@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_srn.dir/bench_srn.cpp.o"
+  "CMakeFiles/bench_srn.dir/bench_srn.cpp.o.d"
+  "bench_srn"
+  "bench_srn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_srn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

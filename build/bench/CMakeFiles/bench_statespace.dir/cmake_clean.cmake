@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_statespace.dir/bench_statespace.cpp.o"
+  "CMakeFiles/bench_statespace.dir/bench_statespace.cpp.o.d"
+  "bench_statespace"
+  "bench_statespace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_statespace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

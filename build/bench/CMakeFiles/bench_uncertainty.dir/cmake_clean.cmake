@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_uncertainty.dir/bench_uncertainty.cpp.o"
+  "CMakeFiles/bench_uncertainty.dir/bench_uncertainty.cpp.o.d"
+  "bench_uncertainty"
+  "bench_uncertainty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_uncertainty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

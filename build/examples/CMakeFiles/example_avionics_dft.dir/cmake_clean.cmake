@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_avionics_dft.dir/avionics_dft.cpp.o"
+  "CMakeFiles/example_avionics_dft.dir/avionics_dft.cpp.o.d"
+  "example_avionics_dft"
+  "example_avionics_dft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_avionics_dft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bladecenter.dir/bladecenter.cpp.o"
+  "CMakeFiles/example_bladecenter.dir/bladecenter.cpp.o.d"
+  "example_bladecenter"
+  "example_bladecenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bladecenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_boeing_bounds.dir/boeing_bounds.cpp.o"
+  "CMakeFiles/example_boeing_bounds.dir/boeing_bounds.cpp.o.d"
+  "example_boeing_bounds"
+  "example_boeing_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_boeing_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

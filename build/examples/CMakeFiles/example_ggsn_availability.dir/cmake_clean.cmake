@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ggsn_availability.dir/ggsn_availability.cpp.o"
+  "CMakeFiles/example_ggsn_availability.dir/ggsn_availability.cpp.o.d"
+  "example_ggsn_availability"
+  "example_ggsn_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ggsn_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_rejuvenation.dir/rejuvenation.cpp.o"
+  "CMakeFiles/example_rejuvenation.dir/rejuvenation.cpp.o.d"
+  "example_rejuvenation"
+  "example_rejuvenation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_rejuvenation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sip_uncertainty.dir/sip_uncertainty.cpp.o"
+  "CMakeFiles/example_sip_uncertainty.dir/sip_uncertainty.cpp.o.d"
+  "example_sip_uncertainty"
+  "example_sip_uncertainty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sip_uncertainty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

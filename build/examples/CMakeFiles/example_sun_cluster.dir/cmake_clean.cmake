@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sun_cluster.dir/sun_cluster.cpp.o"
+  "CMakeFiles/example_sun_cluster.dir/sun_cluster.cpp.o.d"
+  "example_sun_cluster"
+  "example_sun_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sun_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

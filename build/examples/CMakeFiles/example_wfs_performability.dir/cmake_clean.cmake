@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_wfs_performability.dir/wfs_performability.cpp.o"
+  "CMakeFiles/example_wfs_performability.dir/wfs_performability.cpp.o.d"
+  "example_wfs_performability"
+  "example_wfs_performability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_wfs_performability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

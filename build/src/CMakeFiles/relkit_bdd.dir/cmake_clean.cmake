@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relkit_bdd.dir/bdd/bdd.cpp.o"
+  "CMakeFiles/relkit_bdd.dir/bdd/bdd.cpp.o.d"
+  "librelkit_bdd.a"
+  "librelkit_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relkit_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/distributions.cpp" "src/CMakeFiles/relkit_common.dir/common/distributions.cpp.o" "gcc" "src/CMakeFiles/relkit_common.dir/common/distributions.cpp.o.d"
+  "/root/repo/src/common/linsolve.cpp" "src/CMakeFiles/relkit_common.dir/common/linsolve.cpp.o" "gcc" "src/CMakeFiles/relkit_common.dir/common/linsolve.cpp.o.d"
+  "/root/repo/src/common/matrix.cpp" "src/CMakeFiles/relkit_common.dir/common/matrix.cpp.o" "gcc" "src/CMakeFiles/relkit_common.dir/common/matrix.cpp.o.d"
+  "/root/repo/src/common/poisson_weights.cpp" "src/CMakeFiles/relkit_common.dir/common/poisson_weights.cpp.o" "gcc" "src/CMakeFiles/relkit_common.dir/common/poisson_weights.cpp.o.d"
+  "/root/repo/src/common/quadrature.cpp" "src/CMakeFiles/relkit_common.dir/common/quadrature.cpp.o" "gcc" "src/CMakeFiles/relkit_common.dir/common/quadrature.cpp.o.d"
+  "/root/repo/src/common/sparse.cpp" "src/CMakeFiles/relkit_common.dir/common/sparse.cpp.o" "gcc" "src/CMakeFiles/relkit_common.dir/common/sparse.cpp.o.d"
+  "/root/repo/src/common/special.cpp" "src/CMakeFiles/relkit_common.dir/common/special.cpp.o" "gcc" "src/CMakeFiles/relkit_common.dir/common/special.cpp.o.d"
+  "/root/repo/src/common/statistics.cpp" "src/CMakeFiles/relkit_common.dir/common/statistics.cpp.o" "gcc" "src/CMakeFiles/relkit_common.dir/common/statistics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

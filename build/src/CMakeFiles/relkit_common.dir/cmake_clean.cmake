@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relkit_common.dir/common/distributions.cpp.o"
+  "CMakeFiles/relkit_common.dir/common/distributions.cpp.o.d"
+  "CMakeFiles/relkit_common.dir/common/linsolve.cpp.o"
+  "CMakeFiles/relkit_common.dir/common/linsolve.cpp.o.d"
+  "CMakeFiles/relkit_common.dir/common/matrix.cpp.o"
+  "CMakeFiles/relkit_common.dir/common/matrix.cpp.o.d"
+  "CMakeFiles/relkit_common.dir/common/poisson_weights.cpp.o"
+  "CMakeFiles/relkit_common.dir/common/poisson_weights.cpp.o.d"
+  "CMakeFiles/relkit_common.dir/common/quadrature.cpp.o"
+  "CMakeFiles/relkit_common.dir/common/quadrature.cpp.o.d"
+  "CMakeFiles/relkit_common.dir/common/sparse.cpp.o"
+  "CMakeFiles/relkit_common.dir/common/sparse.cpp.o.d"
+  "CMakeFiles/relkit_common.dir/common/special.cpp.o"
+  "CMakeFiles/relkit_common.dir/common/special.cpp.o.d"
+  "CMakeFiles/relkit_common.dir/common/statistics.cpp.o"
+  "CMakeFiles/relkit_common.dir/common/statistics.cpp.o.d"
+  "librelkit_common.a"
+  "librelkit_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relkit_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relkit_core.dir/core/hierarchy.cpp.o"
+  "CMakeFiles/relkit_core.dir/core/hierarchy.cpp.o.d"
+  "librelkit_core.a"
+  "librelkit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relkit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relkit_dft.dir/dft/dft.cpp.o"
+  "CMakeFiles/relkit_dft.dir/dft/dft.cpp.o.d"
+  "librelkit_dft.a"
+  "librelkit_dft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relkit_dft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

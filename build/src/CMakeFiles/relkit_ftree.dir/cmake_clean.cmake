@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relkit_ftree.dir/ftree/bounds.cpp.o"
+  "CMakeFiles/relkit_ftree.dir/ftree/bounds.cpp.o.d"
+  "CMakeFiles/relkit_ftree.dir/ftree/fault_tree.cpp.o"
+  "CMakeFiles/relkit_ftree.dir/ftree/fault_tree.cpp.o.d"
+  "librelkit_ftree.a"
+  "librelkit_ftree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relkit_ftree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

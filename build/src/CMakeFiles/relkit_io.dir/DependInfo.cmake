@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/graphviz.cpp" "src/CMakeFiles/relkit_io.dir/io/graphviz.cpp.o" "gcc" "src/CMakeFiles/relkit_io.dir/io/graphviz.cpp.o.d"
+  "/root/repo/src/io/model_parser.cpp" "src/CMakeFiles/relkit_io.dir/io/model_parser.cpp.o" "gcc" "src/CMakeFiles/relkit_io.dir/io/model_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/relkit_ftree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/relkit_rbd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/relkit_relgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/relkit_spn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/relkit_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/relkit_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/relkit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relkit_io.dir/io/graphviz.cpp.o"
+  "CMakeFiles/relkit_io.dir/io/graphviz.cpp.o.d"
+  "CMakeFiles/relkit_io.dir/io/model_parser.cpp.o"
+  "CMakeFiles/relkit_io.dir/io/model_parser.cpp.o.d"
+  "librelkit_io.a"
+  "librelkit_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relkit_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

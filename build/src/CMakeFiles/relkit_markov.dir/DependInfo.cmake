@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/markov/builders.cpp" "src/CMakeFiles/relkit_markov.dir/markov/builders.cpp.o" "gcc" "src/CMakeFiles/relkit_markov.dir/markov/builders.cpp.o.d"
+  "/root/repo/src/markov/ctmc.cpp" "src/CMakeFiles/relkit_markov.dir/markov/ctmc.cpp.o" "gcc" "src/CMakeFiles/relkit_markov.dir/markov/ctmc.cpp.o.d"
+  "/root/repo/src/markov/dtmc.cpp" "src/CMakeFiles/relkit_markov.dir/markov/dtmc.cpp.o" "gcc" "src/CMakeFiles/relkit_markov.dir/markov/dtmc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/relkit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

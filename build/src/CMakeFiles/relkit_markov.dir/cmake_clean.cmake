@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relkit_markov.dir/markov/builders.cpp.o"
+  "CMakeFiles/relkit_markov.dir/markov/builders.cpp.o.d"
+  "CMakeFiles/relkit_markov.dir/markov/ctmc.cpp.o"
+  "CMakeFiles/relkit_markov.dir/markov/ctmc.cpp.o.d"
+  "CMakeFiles/relkit_markov.dir/markov/dtmc.cpp.o"
+  "CMakeFiles/relkit_markov.dir/markov/dtmc.cpp.o.d"
+  "librelkit_markov.a"
+  "librelkit_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relkit_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

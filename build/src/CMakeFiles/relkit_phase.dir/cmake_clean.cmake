@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relkit_phase.dir/phase/phase_type.cpp.o"
+  "CMakeFiles/relkit_phase.dir/phase/phase_type.cpp.o.d"
+  "librelkit_phase.a"
+  "librelkit_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relkit_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

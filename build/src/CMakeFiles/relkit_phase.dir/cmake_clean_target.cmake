@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librelkit_phase.a"
+)

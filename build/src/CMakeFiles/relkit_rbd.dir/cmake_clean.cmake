@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relkit_rbd.dir/rbd/rbd.cpp.o"
+  "CMakeFiles/relkit_rbd.dir/rbd/rbd.cpp.o.d"
+  "librelkit_rbd.a"
+  "librelkit_rbd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relkit_rbd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

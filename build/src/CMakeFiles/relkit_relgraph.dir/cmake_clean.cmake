@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relkit_relgraph.dir/relgraph/relgraph.cpp.o"
+  "CMakeFiles/relkit_relgraph.dir/relgraph/relgraph.cpp.o.d"
+  "librelkit_relgraph.a"
+  "librelkit_relgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relkit_relgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/semimarkov/mrgp.cpp" "src/CMakeFiles/relkit_semimarkov.dir/semimarkov/mrgp.cpp.o" "gcc" "src/CMakeFiles/relkit_semimarkov.dir/semimarkov/mrgp.cpp.o.d"
+  "/root/repo/src/semimarkov/smp.cpp" "src/CMakeFiles/relkit_semimarkov.dir/semimarkov/smp.cpp.o" "gcc" "src/CMakeFiles/relkit_semimarkov.dir/semimarkov/smp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/relkit_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/relkit_phase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/relkit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

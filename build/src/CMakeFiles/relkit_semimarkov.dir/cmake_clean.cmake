@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relkit_semimarkov.dir/semimarkov/mrgp.cpp.o"
+  "CMakeFiles/relkit_semimarkov.dir/semimarkov/mrgp.cpp.o.d"
+  "CMakeFiles/relkit_semimarkov.dir/semimarkov/smp.cpp.o"
+  "CMakeFiles/relkit_semimarkov.dir/semimarkov/smp.cpp.o.d"
+  "librelkit_semimarkov.a"
+  "librelkit_semimarkov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relkit_semimarkov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

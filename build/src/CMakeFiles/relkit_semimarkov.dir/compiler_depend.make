@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for relkit_semimarkov.
+# This may be replaced when dependencies are built.

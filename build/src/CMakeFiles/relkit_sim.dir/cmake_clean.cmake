@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relkit_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/relkit_sim.dir/sim/simulator.cpp.o.d"
+  "librelkit_sim.a"
+  "librelkit_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relkit_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spn/patterns.cpp" "src/CMakeFiles/relkit_spn.dir/spn/patterns.cpp.o" "gcc" "src/CMakeFiles/relkit_spn.dir/spn/patterns.cpp.o.d"
+  "/root/repo/src/spn/srn.cpp" "src/CMakeFiles/relkit_spn.dir/spn/srn.cpp.o" "gcc" "src/CMakeFiles/relkit_spn.dir/spn/srn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/relkit_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/relkit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

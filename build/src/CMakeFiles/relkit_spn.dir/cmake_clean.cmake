@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relkit_spn.dir/spn/patterns.cpp.o"
+  "CMakeFiles/relkit_spn.dir/spn/patterns.cpp.o.d"
+  "CMakeFiles/relkit_spn.dir/spn/srn.cpp.o"
+  "CMakeFiles/relkit_spn.dir/spn/srn.cpp.o.d"
+  "librelkit_spn.a"
+  "librelkit_spn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relkit_spn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for relkit_spn.
+# This may be replaced when dependencies are built.

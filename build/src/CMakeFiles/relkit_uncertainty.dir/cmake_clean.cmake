@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relkit_uncertainty.dir/uncertainty/estimation.cpp.o"
+  "CMakeFiles/relkit_uncertainty.dir/uncertainty/estimation.cpp.o.d"
+  "CMakeFiles/relkit_uncertainty.dir/uncertainty/uncertainty.cpp.o"
+  "CMakeFiles/relkit_uncertainty.dir/uncertainty/uncertainty.cpp.o.d"
+  "librelkit_uncertainty.a"
+  "librelkit_uncertainty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relkit_uncertainty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bdd.cpp" "tests/CMakeFiles/test_bdd.dir/test_bdd.cpp.o" "gcc" "tests/CMakeFiles/test_bdd.dir/test_bdd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/relkit_uncertainty.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/relkit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/relkit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/relkit_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/relkit_rbd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/relkit_relgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/relkit_spn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/relkit_semimarkov.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/relkit_phase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/relkit_dft.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/relkit_ftree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/relkit_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/relkit_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/relkit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dtmc.dir/test_dtmc.cpp.o"
+  "CMakeFiles/test_dtmc.dir/test_dtmc.cpp.o.d"
+  "test_dtmc"
+  "test_dtmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dtmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

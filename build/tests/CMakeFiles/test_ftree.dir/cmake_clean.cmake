@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ftree.dir/test_ftree.cpp.o"
+  "CMakeFiles/test_ftree.dir/test_ftree.cpp.o.d"
+  "test_ftree"
+  "test_ftree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ftree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mrgp.dir/test_mrgp.cpp.o"
+  "CMakeFiles/test_mrgp.dir/test_mrgp.cpp.o.d"
+  "test_mrgp"
+  "test_mrgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mrgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

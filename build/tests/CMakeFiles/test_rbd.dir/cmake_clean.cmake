@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rbd.dir/test_rbd.cpp.o"
+  "CMakeFiles/test_rbd.dir/test_rbd.cpp.o.d"
+  "test_rbd"
+  "test_rbd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rbd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

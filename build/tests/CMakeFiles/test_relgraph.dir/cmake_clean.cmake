@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relgraph.dir/test_relgraph.cpp.o"
+  "CMakeFiles/test_relgraph.dir/test_relgraph.cpp.o.d"
+  "test_relgraph"
+  "test_relgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_semimarkov.dir/test_semimarkov.cpp.o"
+  "CMakeFiles/test_semimarkov.dir/test_semimarkov.cpp.o.d"
+  "test_semimarkov"
+  "test_semimarkov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_semimarkov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

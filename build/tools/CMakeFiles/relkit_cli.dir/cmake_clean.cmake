@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relkit_cli.dir/relkit_cli.cpp.o"
+  "CMakeFiles/relkit_cli.dir/relkit_cli.cpp.o.d"
+  "relkit_cli"
+  "relkit_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relkit_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
