@@ -1,10 +1,23 @@
 #include "common/linsolve.hpp"
 
+#include <chrono>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
+#include "robust/fault_injection.hpp"
 
 namespace relkit {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
 
 std::vector<double> gth_steady_state(Matrix q) {
   const std::size_t n = q.rows();
@@ -68,6 +81,14 @@ SorResult sor_steady_state(const SparseMatrix& qt,
                     "absorbing states in an irreducible chain)");
   }
 
+  auto& injector = testing::FaultInjector::instance();
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t max_iters =
+      injector.cap("sor.max_iters", opts.budget.cap_iterations(opts.max_iters));
+
+  robust::SolveReport report;
+  report.note_attempt("sor");
+
   std::vector<double> pi(n, 1.0 / static_cast<double>(n));
   double omega = opts.omega;
   double omega_cap = 1.6;  // halves toward 1.0 whenever SOR diverges
@@ -85,9 +106,21 @@ SorResult sor_steady_state(const SparseMatrix& qt,
     return worst;
   };
 
-  double prev_res = residual_of(pi);
+  // Best (lowest-residual) iterate so far, so non-convergence can still hand
+  // back the most trustworthy partial result.
+  std::vector<double> best = pi;
+  double best_res = residual_of(pi);
+  double prev_res = best_res;
+
+  auto give_up = [&](const std::string& why) -> robust::ConvergenceError {
+    report.residual = best_res;
+    report.wall_seconds = seconds_since(start);
+    robust::record_last_report(report);
+    return robust::ConvergenceError(why, best, report);
+  };
+
   SorResult out;
-  for (std::size_t it = 1; it <= opts.max_iters; ++it) {
+  for (std::size_t it = 1; it <= max_iters; ++it) {
     // One SOR sweep: pi_i <- (1-w) pi_i + w * (sum_{j != i} pi_j Q_ji)/(-Q_ii).
     // Alternate sweep direction so information propagates both ways along
     // chain-structured models (symmetric Gauss-Seidel), which otherwise
@@ -108,15 +141,42 @@ SorResult sor_steady_state(const SparseMatrix& qt,
     // Normalize every sweep; the homogeneous system is defined up to scale.
     double total = 0.0;
     for (double x : pi) total += x;
-    if (total <= 0.0) throw NumericalError("sor_steady_state: vector collapsed");
+    total = injector.tap("sor.sweep-total", total);
+    if (!std::isfinite(total) || total <= 0.0) {
+      report.iterations = it;
+      report.warn("sweep " + std::to_string(it) +
+                  " produced a non-finite or collapsed iterate");
+      throw give_up("sor_steady_state: iterate became non-finite or "
+                    "collapsed at sweep " +
+                    std::to_string(it));
+    }
     for (double& x : pi) x /= total;
 
     if (it % 8 == 0 || it <= 4) {
+      if (opts.budget.deadline.expired()) {
+        report.iterations = it;
+        report.warn("deadline expired after " + std::to_string(it) +
+                    " sweeps");
+        throw give_up("sor_steady_state: deadline expired after " +
+                      std::to_string(it) + " sweeps (best residual " +
+                      std::to_string(best_res) + ")");
+      }
       const double res = residual_of(pi);
+      if (std::isfinite(res) && res < best_res) {
+        best = pi;
+        best_res = res;
+      }
       if (res < opts.tol) {
         out.pi = std::move(pi);
         out.iterations = it;
         out.residual = res;
+        report.method = "sor";
+        report.iterations = it;
+        report.residual = res;
+        report.converged = true;
+        report.wall_seconds = seconds_since(start);
+        out.report = report;
+        robust::record_last_report(out.report);
         return out;
       }
       // Crude adaptive relaxation: push omega up while the residual keeps
@@ -141,32 +201,98 @@ SorResult sor_steady_state(const SparseMatrix& qt,
       prev_res = res;
     }
   }
-  throw NumericalError("sor_steady_state: no convergence after " +
-                       std::to_string(opts.max_iters) + " sweeps (residual " +
-                       std::to_string(prev_res) + ")");
+  report.iterations = max_iters;
+  report.warn("sweep budget exhausted");
+  throw give_up("sor_steady_state: no convergence after " +
+                std::to_string(max_iters) + " sweeps (best residual " +
+                std::to_string(best_res) + ")");
 }
 
-std::vector<double> power_steady_state(const SparseMatrix& p, double tol,
-                                       std::size_t max_iters, double theta) {
+PowerResult power_steady_state(const SparseMatrix& p,
+                               const PowerOptions& opts) {
   const std::size_t n = p.rows();
   detail::require(p.cols() == n, "power_steady_state: P must be square");
-  detail::require(theta > 0.0 && theta <= 1.0,
+  detail::require(opts.theta > 0.0 && opts.theta <= 1.0,
                   "power_steady_state: theta in (0,1]");
+
+  auto& injector = testing::FaultInjector::instance();
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t max_iters = injector.cap(
+      "power.max_iters", opts.budget.cap_iterations(opts.max_iters));
+
+  robust::SolveReport report;
+  report.note_attempt("power");
+
   std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> best = pi;
+  double best_delta = std::numeric_limits<double>::infinity();
+
+  auto give_up = [&](const std::string& why,
+                     std::size_t it) -> robust::ConvergenceError {
+    report.iterations = it;
+    report.residual = best_delta;
+    report.wall_seconds = seconds_since(start);
+    robust::record_last_report(report);
+    return robust::ConvergenceError(why, best, report);
+  };
+
   for (std::size_t it = 0; it < max_iters; ++it) {
     std::vector<double> next = p.multiply_left(pi);
     double delta = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      next[i] = (1.0 - theta) * pi[i] + theta * next[i];
+      next[i] = (1.0 - opts.theta) * pi[i] + opts.theta * next[i];
       delta = std::max(delta, std::abs(next[i] - pi[i]));
     }
+    delta = injector.tap("power.delta", delta);
     double total = 0.0;
     for (double x : next) total += x;
+    if (!std::isfinite(total) || total <= 0.0 || !std::isfinite(delta)) {
+      report.warn("iterate became non-finite at step " + std::to_string(it));
+      throw give_up("power_steady_state: iterate became non-finite at step " +
+                        std::to_string(it),
+                    it);
+    }
     for (double& x : next) x /= total;
     pi.swap(next);
-    if (delta < tol) return pi;
+    if (delta < best_delta) {
+      best = pi;
+      best_delta = delta;
+    }
+    if (delta < opts.tol) {
+      PowerResult out;
+      out.pi = std::move(pi);
+      out.iterations = it + 1;
+      out.delta = delta;
+      report.method = "power";
+      report.iterations = it + 1;
+      report.residual = delta;
+      report.converged = true;
+      report.wall_seconds = seconds_since(start);
+      out.report = report;
+      robust::record_last_report(out.report);
+      return out;
+    }
+    if ((it & 63u) == 0 && opts.budget.deadline.expired()) {
+      report.warn("deadline expired after " + std::to_string(it) + " steps");
+      throw give_up("power_steady_state: deadline expired after " +
+                        std::to_string(it) + " steps",
+                    it);
+    }
   }
-  throw NumericalError("power_steady_state: no convergence");
+  report.warn("iteration budget exhausted");
+  throw give_up("power_steady_state: no convergence after " +
+                    std::to_string(max_iters) + " steps (best delta " +
+                    std::to_string(best_delta) + ")",
+                max_iters);
+}
+
+std::vector<double> power_steady_state(const SparseMatrix& p, double tol,
+                                       std::size_t max_iters, double theta) {
+  PowerOptions opts;
+  opts.tol = tol;
+  opts.max_iters = max_iters;
+  opts.theta = theta;
+  return power_steady_state(p, opts).pi;
 }
 
 }  // namespace relkit

@@ -6,6 +6,11 @@
 //    exact for stochastic matrices;
 //  * large sparse chains — successive over-relaxation (SOR) / Gauss-Seidel
 //    sweeps on pi Q = 0 with periodic normalization.
+//
+// Iterative solvers honor a robust::Budget (wall-clock deadline and/or
+// iteration cap) and on non-convergence throw robust::ConvergenceError
+// carrying the best iterate and a SolveReport instead of discarding work.
+// For automatic fallback between methods use robust::robust_steady_state.
 #pragma once
 
 #include <cstddef>
@@ -13,6 +18,8 @@
 
 #include "common/matrix.hpp"
 #include "common/sparse.hpp"
+#include "robust/budget.hpp"
+#include "robust/report.hpp"
 
 namespace relkit {
 
@@ -31,6 +38,7 @@ struct SorOptions {
   double tol = 1e-12;        ///< Convergence: max |pi Q| componentwise.
   std::size_t max_iters = 200000;
   bool adaptive_omega = true;  ///< Probe omega in [1.0, 1.9] while iterating.
+  robust::Budget budget;       ///< Deadline / sweep cap (default unlimited).
 };
 
 /// Result of the iterative solver.
@@ -38,18 +46,43 @@ struct SorResult {
   std::vector<double> pi;
   std::size_t iterations = 0;
   double residual = 0.0;
+  robust::SolveReport report;
 };
 
 /// Stationary distribution of an irreducible CTMC given the *transposed*
-/// generator in CSR form (row i of `qt` holds column i of Q) and the diagonal
-/// of Q. Throws NumericalError if the iteration does not reach tol.
+/// generator in CSR form (row i of `qt` holds column i of Q, off-diagonal
+/// entries only) and the diagonal of Q. Throws robust::ConvergenceError —
+/// carrying the best iterate and a report — if the iteration does not reach
+/// tol within the sweep budget or the deadline, or if the iterate becomes
+/// non-finite.
 SorResult sor_steady_state(const SparseMatrix& qt,
                            const std::vector<double>& diag,
                            const SorOptions& opts = {});
 
+/// Options for power iteration on a DTMC.
+struct PowerOptions {
+  double tol = 1e-13;
+  std::size_t max_iters = 500000;
+  /// Damping: pi <- (1-theta) pi + theta pi P breaks periodicity
+  /// (theta in (0, 1]).
+  double theta = 0.9;
+  robust::Budget budget;
+};
+
+/// Result of power iteration.
+struct PowerResult {
+  std::vector<double> pi;
+  std::size_t iterations = 0;
+  double delta = 0.0;  ///< last max-norm change between iterates
+  robust::SolveReport report;
+};
+
 /// Power iteration for the stationary vector of a DTMC in CSR form.
-/// Applies the damped update pi <- (1-theta) pi + theta pi P to break
-/// periodicity (theta in (0, 1]).
+/// Throws robust::ConvergenceError (best iterate + report) on failure.
+PowerResult power_steady_state(const SparseMatrix& p,
+                               const PowerOptions& opts);
+
+/// Convenience wrapper with the historical signature.
 std::vector<double> power_steady_state(const SparseMatrix& p,
                                        double tol = 1e-13,
                                        std::size_t max_iters = 500000,

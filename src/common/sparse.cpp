@@ -35,6 +35,19 @@ std::vector<double> SparseMatrix::multiply_left(
   return y;
 }
 
+bool SparseMatrix::all_finite() const {
+  for (const double v : values_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+double SparseMatrix::max_abs() const {
+  double worst = 0.0;
+  for (const double v : values_) worst = std::max(worst, std::abs(v));
+  return worst;
+}
+
 double SparseMatrix::at(std::size_t r, std::size_t c) const {
   detail::require(r < rows_ && c < cols_, "SparseMatrix::at: out of range");
   const auto first = cols_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);

@@ -42,6 +42,14 @@ class SparseMatrix {
   /// Transposed copy (CSR of A^T).
   SparseMatrix transposed() const;
 
+  /// True when every stored value is finite (no NaN/Inf). Used by the
+  /// robustness layer to reject corrupted generators before solving.
+  bool all_finite() const;
+
+  /// Largest absolute stored value (0 for an empty matrix); the natural
+  /// rate scale for residual acceptance thresholds.
+  double max_abs() const;
+
   /// Dense copy (tests / small direct solves).
   std::vector<std::vector<double>> to_dense() const;
 

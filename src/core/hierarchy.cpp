@@ -1,8 +1,12 @@
 #include "core/hierarchy.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
+#include "robust/fault_injection.hpp"
 
 namespace relkit::core {
 
@@ -67,31 +71,130 @@ FixedPointResult Hierarchy::solve_fixed_point(
                                        name + "'");
   }
 
+  detail::require(opts.max_damping >= opts.damping &&
+                      opts.max_damping < 1.0,
+                  "solve_fixed_point: max_damping in [damping, 1)");
+
+  auto& injector = relkit::testing::FaultInjector::instance();
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t max_iterations = injector.cap(
+      "fixed_point.max_iters",
+      opts.budget.cap_iterations(opts.max_iterations));
+
+  robust::SolveReport report;
+  report.note_attempt("fixed-point");
+
+  auto snapshot = [&] {
+    std::vector<double> values;
+    values.reserve(updates.size());
+    for (const auto& [name, fn] : updates) {
+      values.push_back(parameters_.at(name));
+    }
+    return values;
+  };
+  auto restore = [&](const std::vector<double>& values) {
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      parameters_[updates[i].first] = values[i];
+    }
+    invalidate();
+  };
+
+  double damping = opts.damping;
+  // Stall/divergence detector: if the residual has not improved on its best
+  // by at least 1% for this many consecutive iterations, the iteration is
+  // oscillating or diverging and damping is escalated.
+  constexpr std::size_t kStallWindow = 8;
+  std::size_t stalled = 0;
+  double best_residual = std::numeric_limits<double>::infinity();
+  std::vector<double> best_values = snapshot();
+
   FixedPointResult result;
-  for (std::size_t it = 1; it <= opts.max_iterations; ++it) {
+  result.final_damping = damping;
+
+  auto finish_report = [&](bool converged) {
+    report.iterations = result.iterations;
+    report.residual = result.residual;
+    report.converged = converged;
+    report.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    robust::record_last_report(report);
+  };
+  auto fail = [&](const std::string& why) -> robust::ConvergenceError {
+    finish_report(false);
+    // Hand back the best-seen values both in the exception and in the
+    // hierarchy itself, so callers can inspect a consistent state.
+    restore(best_values);
+    return robust::ConvergenceError("solve_fixed_point: " + why, best_values,
+                                    report);
+  };
+  auto escalate = [&](const char* reason) -> bool {
+    if (!opts.adaptive_damping || damping >= opts.max_damping) return false;
+    damping = damping == 0.0
+                  ? 0.5
+                  : std::min(opts.max_damping, 0.5 * (1.0 + damping));
+    ++result.damping_escalations;
+    result.final_damping = damping;
+    report.note_fallback("fixed-point",
+                         "damping=" + std::to_string(damping));
+    report.warn(std::string(reason) + " — damping escalated to " +
+                std::to_string(damping));
+    stalled = 0;
+    best_residual = std::numeric_limits<double>::infinity();
+    return true;
+  };
+
+  for (std::size_t it = 1; it <= max_iterations; ++it) {
+    if (opts.budget.deadline.expired()) {
+      report.warn("deadline expired after " + std::to_string(it - 1) +
+                  " iterations");
+      throw fail("deadline expired (residual " +
+                 std::to_string(result.residual) + ")");
+    }
     double residual = 0.0;
+    bool finite = true;
     // Gauss-Seidel style: each update sees the newest values of the others.
     for (const auto& [name, fn] : updates) {
       const double old_value = parameters_.at(name);
       invalidate();
-      const double raw = fn(*this);
-      const double next =
-          opts.damping * old_value + (1.0 - opts.damping) * raw;
+      const double raw = injector.tap("fixed_point.update", fn(*this));
+      const double next = damping * old_value + (1.0 - damping) * raw;
+      finite &= std::isfinite(next);
       parameters_[name] = next;
       residual = std::max(residual, std::abs(next - old_value));
     }
     result.iterations = it;
     result.residual = residual;
+
+    if (!finite || !std::isfinite(residual)) {
+      // A non-finite iterate poisons every later evaluation: rewind to the
+      // best-known point and retry more conservatively.
+      restore(best_values);
+      if (!escalate("iterate became non-finite")) {
+        throw fail("iterate became non-finite at iteration " +
+                   std::to_string(it));
+      }
+      continue;
+    }
     if (residual < opts.tol) {
       result.converged = true;
       invalidate();
+      finish_report(true);
+      result.report = report;
       return result;
     }
+    if (residual < 0.99 * best_residual) {
+      best_residual = residual;
+      best_values = snapshot();
+      stalled = 0;
+    } else if (++stalled >= kStallWindow) {
+      escalate("residual stalled (oscillation or divergence)");
+    }
   }
-  throw NumericalError(
-      "solve_fixed_point: no convergence after " +
-      std::to_string(opts.max_iterations) +
-      " iterations (residual " + std::to_string(result.residual) + ")");
+  throw fail("no convergence after " + std::to_string(max_iterations) +
+             " iterations (residual " + std::to_string(result.residual) +
+             ")");
 }
 
 double availability_from_mttf_mttr(double mttf, double mttr) {

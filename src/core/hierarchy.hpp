@@ -26,6 +26,9 @@
 #include <string>
 #include <vector>
 
+#include "robust/budget.hpp"
+#include "robust/report.hpp"
+
 namespace relkit::core {
 
 class Hierarchy;
@@ -38,6 +41,11 @@ struct FixedPointResult {
   std::size_t iterations = 0;
   double residual = 0.0;  ///< max |x_new - x_old| over iterated variables
   bool converged = false;
+  /// Damping actually in effect at the end (adaptive escalation may have
+  /// raised it above FixedPointOptions::damping).
+  double final_damping = 0.0;
+  std::size_t damping_escalations = 0;
+  robust::SolveReport report;
 };
 
 /// Options for solve_fixed_point().
@@ -46,6 +54,14 @@ struct FixedPointOptions {
   std::size_t max_iterations = 1000;
   /// x <- (1-damping) x_new + damping x_old; 0 = plain substitution.
   double damping = 0.0;
+  /// When the iteration stalls, oscillates, or produces non-finite values,
+  /// escalate damping automatically (0 -> 0.5 -> 0.75 -> ... -> max_damping)
+  /// instead of grinding to max_iterations.
+  bool adaptive_damping = true;
+  double max_damping = 0.9375;
+  /// Wall-clock / iteration budget (default unlimited). On exhaustion a
+  /// robust::ConvergenceError carries the current variable values.
+  robust::Budget budget;
 };
 
 class Hierarchy {
@@ -71,6 +87,12 @@ class Hierarchy {
   /// Solves the cyclic system over `variables`: each variable must be both
   /// a parameter (its current value is the starting guess) and have a
   /// definition registered under "<name>.update" or be listed in `updates`.
+  ///
+  /// Divergence and oscillation are detected (no residual improvement over
+  /// a window) and answered by escalating damping when
+  /// opts.adaptive_damping is set. On failure throws
+  /// robust::ConvergenceError whose partial_result() holds the best-seen
+  /// variable values in `updates` order.
   ///
   /// Simpler overload: give explicit update functions per variable.
   FixedPointResult solve_fixed_point(

@@ -13,6 +13,8 @@
 //   spn/         stochastic reward nets -> CTMC
 //   semimarkov/  semi-Markov processes
 //   core/        hierarchical composition + fixed-point iteration
+//   robust/      solver resilience: diagnostics, fallbacks, budgets,
+//                fault injection
 //   uncertainty/ parametric uncertainty propagation
 //   sim/         discrete-event simulation cross-validator
 #pragma once
@@ -42,6 +44,10 @@
 #include "phase/phase_type.hpp"
 #include "rbd/rbd.hpp"
 #include "relgraph/relgraph.hpp"
+#include "robust/budget.hpp"
+#include "robust/fault_injection.hpp"
+#include "robust/report.hpp"
+#include "robust/robust.hpp"
 #include "semimarkov/mrgp.hpp"
 #include "semimarkov/smp.hpp"
 #include "sim/simulator.hpp"

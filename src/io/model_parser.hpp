@@ -28,7 +28,10 @@
 //
 // and no gates/top are allowed.
 //
-// Parse errors throw relkit::ModelError with a line number.
+// Parse errors throw relkit::ModelError positioned at a 1-based line and
+// column. The parser keeps scanning after a bad line and reports every
+// diagnostic in the file at once (one per line after the headline), so a
+// model can be fixed in a single round trip.
 #pragma once
 
 #include <iosfwd>
@@ -50,7 +53,8 @@ struct ParsedModel {
 };
 
 /// Parses a model from a stream. Throws ModelError on syntax or semantic
-/// errors (message includes the 1-based line number).
+/// errors; the message includes the 1-based line and column of every
+/// problem found in the input, not just the first.
 ParsedModel parse_model(std::istream& input);
 
 /// Parses a model from a string (convenience for tests).

@@ -6,8 +6,21 @@
 
 #include "common/error.hpp"
 #include "common/poisson_weights.hpp"
+#include "robust/fault_injection.hpp"
 
 namespace relkit::markov {
+
+namespace {
+
+/// Uniformization refuses Poisson means beyond this: the number of vector-
+/// matrix products grows linearly with q*t, so anything larger is hours of
+/// compute and a sign the caller wants steady_state() instead. Stiff
+/// shipped workloads legitimately reach ~1e8 (e.g. the rejuvenation study's
+/// PH-expanded timer chain), so the guard only rejects clearly infeasible
+/// means.
+constexpr double kMaxPoissonMean = 1e9;
+
+}  // namespace
 
 StateId Ctmc::add_state(std::string name) {
   detail::require(!name.empty(), "Ctmc::add_state: empty name");
@@ -59,20 +72,24 @@ bool Ctmc::is_absorbing(StateId s) const { return exit_rate(s) == 0.0; }
 
 Matrix Ctmc::dense_generator() const {
   const std::size_t n = state_count();
+  auto& injector = testing::FaultInjector::instance();
   Matrix q(n, n);
   for (const auto& t : transitions_) {
-    q(t.from, t.to) += t.rate;
-    q(t.from, t.from) -= t.rate;
+    const double rate = injector.tap("ctmc.rate", t.rate);
+    q(t.from, t.to) += rate;
+    q(t.from, t.from) -= rate;
   }
   return q;
 }
 
 SparseMatrix Ctmc::sparse_generator() const {
   const std::size_t n = state_count();
+  auto& injector = testing::FaultInjector::instance();
   SparseBuilder b(n, n);
   for (const auto& t : transitions_) {
-    b.add(t.from, t.to, t.rate);
-    b.add(t.from, t.from, -t.rate);
+    const double rate = injector.tap("ctmc.rate", t.rate);
+    b.add(t.from, t.to, rate);
+    b.add(t.from, t.from, -rate);
   }
   return b.build();
 }
@@ -96,20 +113,45 @@ void Ctmc::check_distribution(const std::vector<double>& pi0) const {
                   "Ctmc: distribution does not sum to 1");
 }
 
-std::vector<double> Ctmc::steady_state(const SteadyStateOptions& opts) const {
+std::vector<double> Ctmc::steady_state(const SteadyStateOptions& opts,
+                                       robust::SolveReport* report) const {
   const std::size_t n = state_count();
   detail::require_model(n >= 1, "Ctmc::steady_state: no states");
-  if (n <= opts.dense_threshold) {
-    return gth_steady_state(dense_generator());
-  }
-  // SOR on the transposed sparse generator.
+
+  // Transposed off-diagonal generator + diagonal, the form every method in
+  // the fallback chain consumes.
+  auto& injector = testing::FaultInjector::instance();
   SparseBuilder bt(n, n);
   std::vector<double> diag(n, 0.0);
   for (const auto& t : transitions_) {
-    bt.add(t.to, t.from, t.rate);
-    diag[t.from] -= t.rate;
+    const double rate = injector.tap("ctmc.rate", t.rate);
+    bt.add(t.to, t.from, rate);
+    diag[t.from] -= rate;
   }
-  return sor_steady_state(bt.build(), diag, opts.sor).pi;
+
+  robust::RobustSteadyOptions robust_opts;
+  robust_opts.dense_primary = opts.dense_threshold;
+  robust_opts.dense_fallback =
+      opts.enable_fallbacks
+          ? std::max(opts.dense_threshold, opts.gth_fallback_threshold)
+          : opts.dense_threshold;
+  robust_opts.sor = opts.sor;
+  robust_opts.budget = opts.budget;
+  if (!opts.enable_fallbacks) {
+    // Raw single-method behavior: GTH below the threshold, plain SOR above.
+    if (n <= opts.dense_threshold) {
+      auto pi = gth_steady_state(dense_generator());
+      if (report) *report = robust::SolveReport{};
+      return pi;
+    }
+    SorResult r = sor_steady_state(bt.build(), diag, opts.sor);
+    if (report) *report = r.report;
+    return std::move(r.pi);
+  }
+  robust::RobustResult r =
+      robust::robust_steady_state(bt.build(), diag, robust_opts);
+  if (report) *report = r.report;
+  return std::move(r.pi);
 }
 
 namespace {
@@ -148,26 +190,74 @@ Uniformized uniformize(const SparseMatrix& generator,
 
 }  // namespace
 
+namespace {
+
+/// Overflow guard shared by the uniformization solvers: rejects Poisson
+/// means that are non-finite or large enough to make the step loop
+/// effectively unbounded. Throws ConvergenceError carrying `partial`.
+double guarded_poisson_mean(double q, double t, const char* context,
+                            const std::vector<double>& partial) {
+  double mean = testing::FaultInjector::instance().tap("uniformize.qt",
+                                                       q * t);
+  if (!std::isfinite(mean) || mean < 0.0 || mean > kMaxPoissonMean) {
+    robust::SolveReport report;
+    report.method = "uniformization";
+    report.attempts = {"uniformization"};
+    report.warn("q*t = " + std::to_string(mean) +
+                " exceeds the uniformization guard (max " +
+                std::to_string(kMaxPoissonMean) + ")");
+    robust::record_last_report(report);
+    throw robust::ConvergenceError(
+        std::string(context) + ": uniformization infeasible, q*t = " +
+            std::to_string(mean) +
+            " (stiff chain x long horizon); use steady_state() or split "
+            "the interval",
+        partial, report);
+  }
+  return mean;
+}
+
+}  // namespace
+
 std::vector<double> Ctmc::transient(const std::vector<double>& pi0, double t,
                                     double eps) const {
   check_distribution(pi0);
   detail::require(t >= 0.0, "Ctmc::transient: t must be >= 0");
   if (t == 0.0) return pi0;
 
+  auto& injector = testing::FaultInjector::instance();
   const auto [p, q] = uniformize(sparse_generator(), exit_rates_);
-  const PoissonWeights pw = poisson_weights(q * t, eps);
+  const double mean = guarded_poisson_mean(q, t, "Ctmc::transient", pi0);
+  const PoissonWeights pw = poisson_weights(mean, eps);
 
   std::vector<double> v = pi0;  // pi0 P^n
   std::vector<double> out(state_count(), 0.0);
   const std::size_t steps = pw.left + pw.weights.size();
   for (std::size_t n = 0; n < steps; ++n) {
     if (n >= pw.left) {
-      const double w = pw.weights[n - pw.left];
+      const double w =
+          injector.tap("uniformize.weight", pw.weights[n - pw.left]);
       for (std::size_t i = 0; i < out.size(); ++i) out[i] += w * v[i];
     }
     if (n + 1 == steps) break;
     v = p.multiply_left(v);
   }
+
+  // Post-solve verification: the result must be a finite probability
+  // vector; small drift is renormalized, NaN/Inf is never returned.
+  robust::SolveReport report;
+  report.method = "uniformization";
+  report.attempts = {"uniformization"};
+  report.iterations = steps;
+  const double mass = [&] {
+    double s = 0.0;
+    for (const double x : out) s += x;
+    return s;
+  }();
+  report.residual = std::abs(mass - 1.0);
+  robust::repair_distribution(out, report, "Ctmc::transient");
+  report.converged = true;
+  robust::record_last_report(report);
   return out;
 }
 
@@ -179,16 +269,21 @@ std::vector<double> Ctmc::cumulative_time(const std::vector<double>& pi0,
   if (t == 0.0) return acc;
 
   const auto [p, q] = uniformize(sparse_generator(), exit_rates_);
-  const PoissonWeights pw = poisson_weights(q * t, eps);
+  const double mean = guarded_poisson_mean(q, t, "Ctmc::cumulative_time",
+                                           acc);
+  const PoissonWeights pw = poisson_weights(mean, eps);
 
   // L(t) = (1/q) sum_{n>=0} (1 - CDF_Poisson(n)) pi0 P^n.
   // With the normalized window, CDF(n) = sum of weights up to n; beyond the
   // window's right end the factor is 0, so iterate to the window end.
+  auto& injector = testing::FaultInjector::instance();
   std::vector<double> v = pi0;
   double cdf = 0.0;
   const std::size_t steps = pw.left + pw.weights.size();
   for (std::size_t n = 0; n < steps; ++n) {
-    if (n >= pw.left) cdf += pw.weights[n - pw.left];
+    if (n >= pw.left) {
+      cdf += injector.tap("uniformize.weight", pw.weights[n - pw.left]);
+    }
     const double factor = (1.0 - cdf) / q;
     if (factor > 0.0) {
       for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += factor * v[i];
@@ -196,6 +291,35 @@ std::vector<double> Ctmc::cumulative_time(const std::vector<double>& pi0,
     if (n + 1 == steps) break;
     v = p.multiply_left(v);
   }
+
+  // Verification: total sojourn time over [0, t] must equal t; repair small
+  // drift by rescaling, never return NaN/Inf.
+  robust::SolveReport report;
+  report.method = "uniformization";
+  report.attempts = {"uniformization"};
+  report.iterations = steps;
+  if (!robust::all_finite(acc)) {
+    report.warn("cumulative_time: non-finite entries in result");
+    robust::record_last_report(report);
+    throw robust::ConvergenceError(
+        "Ctmc::cumulative_time: result contains NaN/Inf — refusing to "
+        "return it silently",
+        acc, report);
+  }
+  double total = 0.0;
+  for (double& x : acc) {
+    if (x < 0.0) x = 0.0;
+    total += x;
+  }
+  report.residual = std::abs(total - t) / t;
+  if (total > 0.0 && report.residual > 1e-9) {
+    report.warn("cumulative_time: rescaled (sum of sojourns drifted to " +
+                std::to_string(total) + " over horizon " +
+                std::to_string(t) + ")");
+    for (double& x : acc) x *= t / total;
+  }
+  report.converged = true;
+  robust::record_last_report(report);
   return acc;
 }
 

@@ -28,6 +28,9 @@
 #include "common/linsolve.hpp"
 #include "common/matrix.hpp"
 #include "common/sparse.hpp"
+#include "robust/budget.hpp"
+#include "robust/report.hpp"
+#include "robust/robust.hpp"
 
 namespace relkit::markov {
 
@@ -38,6 +41,15 @@ struct SteadyStateOptions {
   /// Use dense GTH when state count <= this, SOR otherwise.
   std::size_t dense_threshold = 512;
   SorOptions sor;
+  /// Route non-converging iterative solves through the fallback chain
+  /// (SOR -> omega reset -> power iteration -> dense GTH when the chain is
+  /// small enough). Disable to get the raw single-method behavior.
+  bool enable_fallbacks = true;
+  /// Dense GTH is allowed as a *last resort* up to this size even when the
+  /// chain is above dense_threshold (O(n^3) beats no answer).
+  std::size_t gth_fallback_threshold = 2048;
+  /// Wall-clock / sweep budget for the whole solve (default unlimited).
+  robust::Budget budget;
 };
 
 /// Result of analyzing a CTMC with absorbing states.
@@ -73,9 +85,13 @@ class Ctmc {
   /// True if the state has no outgoing transitions.
   bool is_absorbing(StateId s) const;
 
-  /// Stationary distribution (requires an irreducible chain).
-  std::vector<double> steady_state(
-      const SteadyStateOptions& opts = {}) const;
+  /// Stationary distribution (requires an irreducible chain). Solves via
+  /// the verified fallback chain (see src/robust/); diagnostics of the
+  /// solve are written to `report` when non-null and always recorded as
+  /// robust::last_report().
+  std::vector<double> steady_state(const SteadyStateOptions& opts = {},
+                                   robust::SolveReport* report = nullptr)
+      const;
 
   /// State distribution at time t from initial distribution pi0
   /// (uniformization; eps is the Poisson truncation mass).

@@ -1,0 +1,67 @@
+// Solve budgets: wall-clock deadlines and iteration caps.
+//
+// Every long-running RelKit solver (SOR, power iteration, fixed-point
+// iteration, the Monte Carlo simulator) accepts a Budget so production
+// callers can bound worst-case latency. When a budget is exhausted the
+// solver throws robust::ConvergenceError carrying its best partial result
+// and a SolveReport instead of discarding the work done so far.
+//
+// Header-only so the base `common` module can use it without a link
+// dependency on the robust module.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <limits>
+
+namespace relkit::robust {
+
+/// Wall-clock deadline. Default-constructed deadlines are unlimited.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  /// Deadline `seconds` from now (negative = already expired).
+  static Deadline after_seconds(double seconds) {
+    Deadline d;
+    d.armed_ = true;
+    d.end_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  bool unlimited() const { return !armed_; }
+  bool expired() const { return armed_ && Clock::now() >= end_; }
+
+  /// Seconds left (+inf when unlimited, <= 0 when expired).
+  double remaining_seconds() const {
+    if (!armed_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(end_ - Clock::now()).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool armed_ = false;
+  Clock::time_point end_{};
+};
+
+/// Combined wall-clock / iteration budget threaded through solvers.
+/// `max_iterations` counts whatever unit the solver iterates over (SOR
+/// sweeps, power steps, fixed-point rounds, simulation replications);
+/// 0 means "use the solver's own default".
+struct Budget {
+  Deadline deadline;
+  std::size_t max_iterations = 0;
+
+  bool unlimited() const {
+    return deadline.unlimited() && max_iterations == 0;
+  }
+
+  /// The effective iteration limit given a solver's own default.
+  std::size_t cap_iterations(std::size_t solver_default) const {
+    if (max_iterations == 0) return solver_default;
+    return max_iterations < solver_default ? max_iterations : solver_default;
+  }
+};
+
+}  // namespace relkit::robust

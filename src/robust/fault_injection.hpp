@@ -1,0 +1,158 @@
+// Deterministic fault injection for robustness tests.
+//
+// Solvers are instrumented with named probe points; tests arm the global
+// FaultInjector to corrupt values (NaN/Inf/override/scale), clamp iteration
+// budgets, or force whole methods to fail, proving that every fallback edge
+// of the resilience layer actually fires. When nothing is armed every hook
+// is a single branch on a bool, so production code pays ~nothing.
+//
+// Probe points currently instrumented:
+//   "ctmc.rate"          every transition rate read during generator assembly
+//   "sor.max_iters"      SOR sweep budget (cap)
+//   "sor.sweep-total"    normalization mass after each SOR sweep
+//   "power.max_iters"    power-iteration budget (cap)
+//   "power.delta"        per-step power-iteration delta
+//   "uniformize.qt"      the Poisson mean q*t before weight computation
+//   "uniformize.weight"  each Poisson weight consumed by transient()
+//   "fixed_point.update" each raw fixed-point update value
+//   "fixed_point.max_iters"  fixed-point iteration budget (cap)
+//   "sim.replications"   simulator replication budget (cap)
+// Failable methods: "gth", "sor", "power" (checked by the fallback chain).
+//
+// Header-only (Meyers singleton) so the base `common` module can call hooks
+// without a link dependency on the robust module. Not thread-safe: intended
+// for single-threaded test processes.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <string>
+
+namespace relkit::testing {
+
+class FaultInjector {
+ public:
+  static FaultInjector& instance() {
+    static FaultInjector injector;
+    return injector;
+  }
+
+  /// Disarms everything and clears hit counters.
+  void reset() {
+    value_faults_.clear();
+    caps_.clear();
+    method_failures_.clear();
+    hits_.clear();
+    active_ = false;
+  }
+
+  // ---- arming (called by tests) -------------------------------------------
+
+  /// Replace the value at `point` with NaN on its `at_hit`-th visit (0-based).
+  void inject_nan(const std::string& point, std::size_t at_hit = 0) {
+    arm_value(point, std::numeric_limits<double>::quiet_NaN(), at_hit, false);
+  }
+
+  /// Replace the value at `point` with +Inf on its `at_hit`-th visit.
+  void inject_inf(const std::string& point, std::size_t at_hit = 0) {
+    arm_value(point, std::numeric_limits<double>::infinity(), at_hit, false);
+  }
+
+  /// Replace the value at `point` with `value` on its `at_hit`-th visit.
+  void inject_value(const std::string& point, double value,
+                    std::size_t at_hit = 0) {
+    arm_value(point, value, at_hit, false);
+  }
+
+  /// Multiply every value passing `point` by `factor` (generator
+  /// perturbation studies).
+  void scale(const std::string& point, double factor) {
+    arm_value(point, factor, 0, true);
+  }
+
+  /// Clamp any iteration budget passing `point` to at most `cap`.
+  void clamp_iterations(const std::string& point, std::size_t cap) {
+    caps_[point] = cap;
+    active_ = true;
+  }
+
+  /// Force the named method to report failure `times` times (default:
+  /// every time) when the fallback chain consults should_fail().
+  void fail_method(const std::string& method,
+                   std::size_t times = std::numeric_limits<std::size_t>::max()) {
+    method_failures_[method] = times;
+    active_ = true;
+  }
+
+  // ---- hooks (called by instrumented solvers) -----------------------------
+
+  /// Passes `value` through `point`, applying any armed corruption.
+  double tap(const char* point, double value) {
+    if (!active_) return value;
+    const std::string key(point);
+    const std::size_t hit = hits_[key]++;
+    const auto it = value_faults_.find(key);
+    if (it == value_faults_.end()) return value;
+    if (it->second.every_hit_scale) return value * it->second.value;
+    if (hit != it->second.at_hit) return value;
+    return it->second.value;
+  }
+
+  /// Passes an iteration budget through `point`, applying any armed clamp.
+  std::size_t cap(const char* point, std::size_t iterations) {
+    if (!active_) return iterations;
+    const std::string key(point);
+    ++hits_[key];
+    const auto it = caps_.find(key);
+    if (it == caps_.end()) return iterations;
+    return iterations < it->second ? iterations : it->second;
+  }
+
+  /// True if the named method is armed to fail (consumes one charge).
+  bool should_fail(const char* method) {
+    if (!active_) return false;
+    const auto it = method_failures_.find(method);
+    if (it == method_failures_.end() || it->second == 0) return false;
+    if (it->second != std::numeric_limits<std::size_t>::max()) --it->second;
+    return true;
+  }
+
+  /// Times `point` has been visited while the injector was active.
+  std::size_t hits(const std::string& point) const {
+    const auto it = hits_.find(point);
+    return it == hits_.end() ? 0 : it->second;
+  }
+
+  bool active() const { return active_; }
+
+ private:
+  struct ValueFault {
+    double value = 0.0;
+    std::size_t at_hit = 0;
+    bool every_hit_scale = false;
+  };
+
+  void arm_value(const std::string& point, double value, std::size_t at_hit,
+                 bool every_hit_scale) {
+    value_faults_[point] = {value, at_hit, every_hit_scale};
+    active_ = true;
+  }
+
+  std::map<std::string, ValueFault> value_faults_;
+  std::map<std::string, std::size_t> caps_;
+  std::map<std::string, std::size_t> method_failures_;
+  std::map<std::string, std::size_t> hits_;
+  bool active_ = false;
+};
+
+/// RAII guard: resets the injector when a test scope ends.
+struct FaultInjectionScope {
+  FaultInjectionScope() { FaultInjector::instance().reset(); }
+  ~FaultInjectionScope() { FaultInjector::instance().reset(); }
+  FaultInjector& operator*() const { return FaultInjector::instance(); }
+  FaultInjector* operator->() const { return &FaultInjector::instance(); }
+};
+
+}  // namespace relkit::testing

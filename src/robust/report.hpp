@@ -1,0 +1,119 @@
+// Solve diagnostics: SolveReport and ConvergenceError.
+//
+// Every solver that can fail numerically produces a SolveReport recording
+// which methods were attempted, which fallback edges were taken, iteration
+// counts, the final residual, wall time, and any warnings (renormalization,
+// non-finite values repaired, budget stops). The report of the most recent
+// solve on the current thread is retrievable via last_report() — this is
+// what the CLI's --diagnostics flag prints.
+//
+// ConvergenceError extends NumericalError with the best partial result the
+// solver produced and the full report, so callers can degrade gracefully
+// instead of losing all the work (tutorial practice: cross-check partial
+// iterative results against a second method before trusting them).
+//
+// Header-only so the base `common` module can use it without a link
+// dependency on the robust module.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace relkit::robust {
+
+/// Diagnostics of one (possibly multi-method) solve.
+struct SolveReport {
+  /// Method that produced the returned result ("gth", "sor", "power",
+  /// "uniformization", "fixed-point", "monte-carlo"); empty on failure.
+  std::string method;
+  /// Methods attempted, in order.
+  std::vector<std::string> attempts;
+  /// Fallback edges taken, e.g. "sor->power".
+  std::vector<std::string> fallbacks;
+  /// Non-fatal anomalies: renormalization drift, repaired values, budget
+  /// stops, injected faults.
+  std::vector<std::string> warnings;
+  std::size_t iterations = 0;  ///< total across all attempts
+  double residual = 0.0;       ///< verified post-solve residual
+  double wall_seconds = 0.0;
+  bool converged = false;
+
+  void note_attempt(std::string m) { attempts.push_back(std::move(m)); }
+  void note_fallback(const std::string& from, const std::string& to) {
+    fallbacks.push_back(from + "->" + to);
+  }
+  void warn(std::string message) { warnings.push_back(std::move(message)); }
+
+  /// Multi-line human-readable rendering (CLI --diagnostics).
+  std::string summary() const {
+    std::string out;
+    out += "method:     " + (method.empty() ? std::string("<none>") : method);
+    out += converged ? " (converged)\n" : " (NOT converged)\n";
+    out += "iterations: " + std::to_string(iterations) + "\n";
+    out += "residual:   " + std::to_string(residual) + "\n";
+    out += "wall time:  " + std::to_string(wall_seconds) + " s\n";
+    if (!attempts.empty()) {
+      out += "attempts:  ";
+      for (const auto& a : attempts) out += " " + a;
+      out += "\n";
+    }
+    if (!fallbacks.empty()) {
+      out += "fallbacks: ";
+      for (const auto& f : fallbacks) out += " " + f;
+      out += "\n";
+    }
+    for (const auto& w : warnings) out += "warning: " + w + "\n";
+    return out;
+  }
+};
+
+namespace detail {
+struct LastReportSlot {
+  SolveReport report;
+  bool valid = false;
+};
+inline LastReportSlot& last_report_slot() {
+  thread_local LastReportSlot slot;
+  return slot;
+}
+}  // namespace detail
+
+/// Records `r` as the current thread's most recent solve report.
+inline void record_last_report(const SolveReport& r) {
+  detail::last_report_slot() = {r, true};
+}
+
+/// True once any solver on this thread has recorded a report.
+inline bool has_last_report() { return detail::last_report_slot().valid; }
+
+/// The most recent report (valid only if has_last_report()).
+inline const SolveReport& last_report() {
+  return detail::last_report_slot().report;
+}
+
+/// An iterative method ran out of budget or accuracy. Carries the best
+/// partial result produced (may be empty when no iterate was ever finite)
+/// and the full diagnostics report.
+class ConvergenceError : public NumericalError {
+ public:
+  ConvergenceError(const std::string& what, std::vector<double> partial,
+                   SolveReport report)
+      : NumericalError(what),
+        partial_(std::move(partial)),
+        report_(std::move(report)) {}
+
+  /// Best iterate at the time of failure (solver-specific interpretation;
+  /// unnormalized quantities are normalized where meaningful).
+  const std::vector<double>& partial_result() const { return partial_; }
+  const SolveReport& report() const { return report_; }
+
+ private:
+  std::vector<double> partial_;
+  SolveReport report_;
+};
+
+}  // namespace relkit::robust

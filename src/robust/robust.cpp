@@ -1,0 +1,351 @@
+#include "robust/robust.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/matrix.hpp"
+#include "robust/fault_injection.hpp"
+
+namespace relkit::robust {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Dense Q reconstructed from its transposed sparse off-diagonal part.
+Matrix densify(const SparseMatrix& qt, const std::vector<double>& diag) {
+  const std::size_t n = qt.rows();
+  Matrix q(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = qt.row_begin(i); k < qt.row_end(i); ++k) {
+      q(qt.col(k), i) += qt.value(k);  // qt row i holds column i of Q
+    }
+    q(i, i) = diag[i];
+  }
+  return q;
+}
+
+/// Uniformized DTMC P = I + Q/q built from the transposed generator;
+/// returned in natural (row = row of P) orientation for multiply_left.
+SparseMatrix uniformized_dtmc(const SparseMatrix& qt,
+                              const std::vector<double>& diag) {
+  const std::size_t n = qt.rows();
+  double qmax = 0.0;
+  for (const double d : diag) qmax = std::max(qmax, -d);
+  const double q = qmax > 0.0 ? qmax * 1.02 : 1.0;
+  SparseBuilder bt(n, n);  // builds P^T, transposed at the end
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = qt.row_begin(i); k < qt.row_end(i); ++k) {
+      bt.add(i, qt.col(k), qt.value(k) / q);
+    }
+    bt.add(i, i, 1.0 + diag[i] / q);
+  }
+  return bt.build().transposed();
+}
+
+}  // namespace
+
+bool all_finite(const std::vector<double>& v) {
+  for (const double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+double steady_state_residual(const SparseMatrix& qt,
+                             const std::vector<double>& diag,
+                             const std::vector<double>& pi) {
+  const std::size_t n = qt.rows();
+  relkit::detail::require(diag.size() == n && pi.size() == n,
+                  "steady_state_residual: size mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = diag[i] * pi[i];
+    for (std::size_t k = qt.row_begin(i); k < qt.row_end(i); ++k) {
+      acc += qt.value(k) * pi[qt.col(k)];
+    }
+    worst = std::max(worst, std::abs(acc));
+  }
+  return worst;
+}
+
+void repair_distribution(std::vector<double>& v, SolveReport& report,
+                         const char* context, double drift_warn) {
+  if (!all_finite(v)) {
+    report.warn(std::string(context) + ": non-finite entries in result");
+    record_last_report(report);
+    throw ConvergenceError(
+        std::string(context) +
+            ": result contains NaN/Inf — refusing to return it silently",
+        v, report);
+  }
+  double negative_mass = 0.0;
+  double total = 0.0;
+  for (double& x : v) {
+    if (x < 0.0) {
+      negative_mass -= x;
+      x = 0.0;
+    }
+    total += x;
+  }
+  if (total <= 0.0) {
+    report.warn(std::string(context) + ": probability mass collapsed to 0");
+    record_last_report(report);
+    throw ConvergenceError(
+        std::string(context) + ": probability mass collapsed to 0", v,
+        report);
+  }
+  if (negative_mass > drift_warn) {
+    report.warn(std::string(context) + ": clamped negative mass " +
+                std::to_string(negative_mass));
+  }
+  if (std::abs(total - 1.0) > drift_warn) {
+    report.warn(std::string(context) + ": renormalized (sum drifted to " +
+                std::to_string(total) + ")");
+  }
+  for (double& x : v) x /= total;
+}
+
+RobustResult robust_steady_state(const SparseMatrix& qt,
+                                 const std::vector<double>& diag,
+                                 const RobustSteadyOptions& opts) {
+  const std::size_t n = qt.rows();
+  relkit::detail::require(qt.cols() == n, "robust_steady_state: Q^T must be square");
+  relkit::detail::require(diag.size() == n,
+                  "robust_steady_state: diag size mismatch");
+  relkit::detail::require(n >= 1, "robust_steady_state: empty generator");
+
+  const auto start = std::chrono::steady_clock::now();
+  auto& injector = testing::FaultInjector::instance();
+  SolveReport report;
+
+  if (!qt.all_finite() || !all_finite(diag)) {
+    throw NumericalError(
+        "robust_steady_state: generator contains non-finite entries "
+        "(NaN/Inf) — check the model's rates");
+  }
+
+  if (n == 1) {
+    report.method = "trivial";
+    report.attempts = {"trivial"};
+    report.converged = true;
+    report.wall_seconds = seconds_since(start);
+    record_last_report(report);
+    return {{1.0}, report};
+  }
+
+  const double rate_scale = std::max({1.0, qt.max_abs(), [&] {
+                                        double worst = 0.0;
+                                        for (const double d : diag) {
+                                          worst = std::max(worst,
+                                                           std::abs(d));
+                                        }
+                                        return worst;
+                                      }()});
+  const double accept_res = opts.verify_tol * rate_scale;
+
+  // Best (lowest-residual) candidate across all attempts, for the partial
+  // result of a total failure.
+  std::vector<double> best;
+  double best_res = std::numeric_limits<double>::infinity();
+  auto consider = [&](const std::vector<double>& v) {
+    if (v.size() != n || !all_finite(v)) return;
+    std::vector<double> copy = v;
+    double total = 0.0;
+    for (double& x : copy) {
+      if (x < 0.0) x = 0.0;
+      total += x;
+    }
+    if (total <= 0.0) return;
+    for (double& x : copy) x /= total;
+    const double res = steady_state_residual(qt, diag, copy);
+    if (std::isfinite(res) && res < best_res) {
+      best = std::move(copy);
+      best_res = res;
+    }
+  };
+
+  std::string prev_method;
+  auto begin_attempt = [&](const std::string& method) {
+    report.note_attempt(method);
+    if (!prev_method.empty()) report.note_fallback(prev_method, method);
+    prev_method = method;
+  };
+
+  // Accepts a candidate if it survives verification; otherwise records why
+  // it was rejected and keeps it as a partial-result candidate.
+  auto accept = [&](std::vector<double> pi, const std::string& method,
+                    std::size_t iterations)
+      -> std::optional<RobustResult> {
+    report.iterations += iterations;
+    if (!all_finite(pi)) {
+      report.warn(method + ": produced non-finite entries; rejected");
+      return std::nullopt;
+    }
+    double total = 0.0;
+    for (double& x : pi) {
+      if (x < 0.0) x = 0.0;
+      total += x;
+    }
+    if (total <= 0.0) {
+      report.warn(method + ": probability mass collapsed; rejected");
+      return std::nullopt;
+    }
+    for (double& x : pi) x /= total;
+    const double res = steady_state_residual(qt, diag, pi);
+    if (!std::isfinite(res) || res > accept_res) {
+      report.warn(method + ": residual " + std::to_string(res) +
+                  " fails verification (accept <= " +
+                  std::to_string(accept_res) + ")");
+      consider(pi);
+      return std::nullopt;
+    }
+    report.method = method;
+    report.converged = true;
+    report.residual = res;
+    report.wall_seconds = seconds_since(start);
+    record_last_report(report);
+    return RobustResult{std::move(pi), report};
+  };
+
+  auto total_failure = [&](const std::string& why) -> ConvergenceError {
+    report.residual = best_res;
+    report.wall_seconds = seconds_since(start);
+    record_last_report(report);
+    std::vector<double> partial = best;
+    if (partial.empty()) {
+      partial.assign(n, 1.0 / static_cast<double>(n));
+    }
+    std::string message = "robust_steady_state: " + why +
+                          " (best residual " + std::to_string(best_res) +
+                          ")";
+    for (const auto& w : report.warnings) message += "\n  note: " + w;
+    return ConvergenceError(message, std::move(partial), report);
+  };
+
+  // An absorbing (zero-diagonal) state makes the chain reducible; the
+  // iterative methods cannot run (they divide by the diagonal), so only
+  // dense GTH gets a chance to produce its informative error.
+  bool has_zero_diag = false;
+  for (const double d : diag) has_zero_diag |= (d >= 0.0);
+  if (has_zero_diag && n > opts.dense_fallback) {
+    // Too large to densify just to produce GTH's diagnosis.
+    throw NumericalError(
+        "robust_steady_state: chain has a state with no exit rate "
+        "(absorbing => reducible); the stationary distribution is not "
+        "unique");
+  }
+
+  bool gth_tried = false;
+  std::string gth_error;
+
+  auto try_gth = [&]() -> std::optional<RobustResult> {
+    begin_attempt("gth");
+    gth_tried = true;
+    if (injector.should_fail("gth")) {
+      report.warn("fault injection: gth forced to fail");
+      return std::nullopt;
+    }
+    try {
+      return accept(gth_steady_state(densify(qt, diag)), "gth", n);
+    } catch (const NumericalError& e) {
+      gth_error = e.what();
+      report.warn(std::string("gth: ") + e.what());
+      return std::nullopt;
+    }
+  };
+
+  // ---- primary dense method for small chains ------------------------------
+  if (n <= opts.dense_primary || has_zero_diag) {
+    if (auto r = try_gth()) return *r;
+    if (has_zero_diag) {
+      // Iterative methods are structurally inapplicable; report the GTH
+      // diagnosis (usually "chain is reducible") directly.
+      throw total_failure(gth_error.empty()
+                              ? "chain has an absorbing state (reducible)"
+                              : gth_error);
+    }
+  }
+
+  // ---- SOR ---------------------------------------------------------------
+  const auto deadline_expired = [&] { return opts.budget.deadline.expired(); };
+  auto try_sor = [&](const SorOptions& sor_opts,
+                     const std::string& label) -> std::optional<RobustResult> {
+    begin_attempt(label);
+    if (injector.should_fail("sor")) {
+      report.warn("fault injection: " + label + " forced to fail");
+      return std::nullopt;
+    }
+    try {
+      SorResult r = sor_steady_state(qt, diag, sor_opts);
+      return accept(std::move(r.pi), label, r.iterations);
+    } catch (const ConvergenceError& e) {
+      report.iterations += e.report().iterations;
+      report.warn(label + ": " + e.what());
+      consider(e.partial_result());
+      return std::nullopt;
+    }
+  };
+
+  SorOptions sor_opts = opts.sor;
+  if (opts.budget.max_iterations != 0 || !opts.budget.deadline.unlimited()) {
+    sor_opts.budget = opts.budget;
+  }
+  if (auto r = try_sor(sor_opts, "sor")) return *r;
+  if (deadline_expired()) throw total_failure("deadline expired during sor");
+
+  // Retry once with over-relaxation disabled: stiff chains sometimes
+  // tolerate no omega > 1 at all, and the adaptive probe can have burned
+  // sweeps before settling.
+  if (opts.sor.omega != 1.0 || opts.sor.adaptive_omega) {
+    SorOptions reset = sor_opts;
+    reset.omega = 1.0;
+    reset.adaptive_omega = false;
+    if (auto r = try_sor(reset, "sor(omega-reset)")) return *r;
+    if (deadline_expired()) {
+      throw total_failure("deadline expired during sor retry");
+    }
+  }
+
+  // ---- power iteration on the uniformized DTMC ---------------------------
+  begin_attempt("power");
+  if (injector.should_fail("power")) {
+    report.warn("fault injection: power forced to fail");
+  } else {
+    PowerOptions power_opts = opts.power;
+    if (opts.budget.max_iterations != 0 ||
+        !opts.budget.deadline.unlimited()) {
+      power_opts.budget = opts.budget;
+    }
+    try {
+      PowerResult r = power_steady_state(uniformized_dtmc(qt, diag),
+                                         power_opts);
+      if (auto ok = accept(std::move(r.pi), "power", r.iterations)) {
+        return *ok;
+      }
+    } catch (const ConvergenceError& e) {
+      report.iterations += e.report().iterations;
+      report.warn(std::string("power: ") + e.what());
+      consider(e.partial_result());
+    }
+  }
+  if (deadline_expired()) throw total_failure("deadline expired during power");
+
+  // ---- dense GTH as the last resort --------------------------------------
+  if (!gth_tried && n <= opts.dense_fallback) {
+    if (auto r = try_gth()) return *r;
+  }
+
+  throw total_failure("all methods failed");
+}
+
+}  // namespace relkit::robust

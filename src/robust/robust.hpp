@@ -1,0 +1,82 @@
+// Solver resilience layer: verified steady-state solves with automatic
+// fallback between methods.
+//
+// The tutorial's models are routinely stiff (rates spanning many orders of
+// magnitude) and near-reducible (clusters coupled by tiny rates) — exactly
+// the regime where a single iterative method silently stalls. The fallback
+// chain tries, in order:
+//
+//   gth (dense, exact)            when n <= dense_primary
+//   sor                           symmetric Gauss-Seidel / SOR sweeps
+//   sor (omega reset)             plain Gauss-Seidel retry if the first SOR
+//                                 attempt used over-relaxation
+//   power                         damped power iteration on the uniformized
+//                                 DTMC P = I + Q/q
+//   gth (dense, last resort)      when n <= dense_fallback
+//
+// Every candidate result is *verified* (finite, renormalized, residual
+// below verify_tol x rate-scale) before being accepted; a method whose
+// answer fails verification is treated as failed, so no solver path can
+// return NaN/Inf or a wrong fixed point silently. On total failure a
+// ConvergenceError carries the best (lowest-residual) iterate seen plus the
+// full SolveReport.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/linsolve.hpp"
+#include "common/sparse.hpp"
+#include "robust/budget.hpp"
+#include "robust/report.hpp"
+
+namespace relkit::robust {
+
+/// Options for the resilient steady-state solve.
+struct RobustSteadyOptions {
+  /// Use dense GTH as the *primary* method at or below this size.
+  std::size_t dense_primary = 512;
+  /// Allow dense GTH as the *last-resort* fallback at or below this size
+  /// (dense O(n^3) is acceptable when the iterative methods have failed).
+  std::size_t dense_fallback = 2048;
+  SorOptions sor;
+  PowerOptions power;
+  Budget budget;  ///< overall budget; also forwarded to each attempt
+  /// A candidate pi is accepted when max|pi Q| <= verify_tol * max(1, rate
+  /// scale). Looser than the iterative tol on purpose: this is the "is the
+  /// answer usable at all" bar, not the convergence target.
+  double verify_tol = 1e-6;
+};
+
+/// Result of a resilient solve: the distribution plus full diagnostics.
+struct RobustResult {
+  std::vector<double> pi;
+  SolveReport report;
+};
+
+/// Stationary distribution of an irreducible CTMC given the *transposed*
+/// generator (row i of `qt` = column i of Q, off-diagonal entries only) and
+/// the diagonal of Q. Runs the verified fallback chain described above.
+/// Throws NumericalError if the generator contains non-finite entries and
+/// ConvergenceError (best partial + report) if every method fails.
+RobustResult robust_steady_state(const SparseMatrix& qt,
+                                 const std::vector<double>& diag,
+                                 const RobustSteadyOptions& opts = {});
+
+/// max_i |(pi Q)_i| for a candidate stationary vector (qt/diag as above).
+double steady_state_residual(const SparseMatrix& qt,
+                             const std::vector<double>& diag,
+                             const std::vector<double>& pi);
+
+/// True when every element of `v` is finite.
+bool all_finite(const std::vector<double>& v);
+
+/// Repairs a probability vector in place: clamps tiny negatives to 0 and
+/// renormalizes to sum 1, recording a warning in `report` when the drift
+/// exceeds `drift_warn`. Throws ConvergenceError (carrying `v` as the
+/// partial result and `report`) when the vector is non-finite or has no
+/// positive mass — the "no silent NaN" guarantee.
+void repair_distribution(std::vector<double>& v, SolveReport& report,
+                         const char* context, double drift_warn = 1e-9);
+
+}  // namespace relkit::robust

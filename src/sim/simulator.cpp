@@ -1,11 +1,14 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <queue>
+#include <string>
 
 #include "common/error.hpp"
+#include "robust/fault_injection.hpp"
 
 namespace relkit::sim {
 
@@ -16,6 +19,67 @@ Estimate summarize(const OnlineStats& stats) {
   e.mean = stats.mean();
   e.half_width = stats.count() >= 2 ? stats.ci_halfwidth(0.95) : 0.0;
   e.replications = stats.count();
+  return e;
+}
+
+/// Runs up to `replications` independent replications of `one_rep` under
+/// the budget; each replication gets its own RNG stream split from `seed`.
+/// A budget stop with >= 2 completed replications returns the partial
+/// estimate (budget_stopped set, warning recorded); with fewer it throws
+/// robust::ConvergenceError carrying the partial mean.
+Estimate run_replications(const char* what, std::size_t replications,
+                          std::uint64_t seed, const robust::Budget& budget,
+                          const std::function<double(Rng&)>& one_rep) {
+  detail::require(replications >= 2,
+                  std::string(what) + ": need >= 2 reps");
+  auto& injector = testing::FaultInjector::instance();
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t target =
+      injector.cap("sim.replications", budget.cap_iterations(replications));
+
+  Rng master(seed);
+  OnlineStats stats;
+  bool stopped = false;
+  std::string stop_reason;
+  for (std::size_t r = 0; r < target; ++r) {
+    if (budget.deadline.expired()) {
+      stopped = true;
+      stop_reason = "deadline expired";
+      break;
+    }
+    Rng stream = master.split();
+    stats.add(one_rep(stream));
+  }
+  if (stats.count() < replications && !stopped) {
+    stopped = true;
+    stop_reason = "replication budget capped";
+  }
+
+  robust::SolveReport report;
+  report.method = "monte-carlo";
+  report.attempts = {"monte-carlo"};
+  report.iterations = stats.count();
+  report.converged = !stopped;
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (stopped) {
+    report.warn(std::string(what) + ": budget stop (" + stop_reason +
+                ") after " + std::to_string(stats.count()) + " of " +
+                std::to_string(replications) + " replications");
+  }
+  robust::record_last_report(report);
+
+  if (stats.count() < 2) {
+    throw robust::ConvergenceError(
+        std::string(what) + ": budget exhausted before 2 replications "
+        "completed — no confidence interval possible",
+        std::vector<double>(stats.count(), stats.count() ? stats.mean()
+                                                         : 0.0),
+        report);
+  }
+  Estimate e = summarize(stats);
+  e.budget_stopped = stopped;
   return e;
 }
 
@@ -88,71 +152,55 @@ SystemSimulator::RunResult SystemSimulator::run(double horizon,
 }
 
 Estimate SystemSimulator::availability_at(double t, std::size_t replications,
-                                          std::uint64_t seed) const {
+                                          std::uint64_t seed,
+                                          const robust::Budget& budget) const {
   detail::require(t >= 0.0, "availability_at: t must be >= 0");
-  detail::require(replications >= 2, "availability_at: need >= 2 reps");
-  Rng master(seed);
-  OnlineStats stats;
-  for (std::size_t r = 0; r < replications; ++r) {
-    Rng stream = master.split();
-    const RunResult res = run(t, false, stream);
-    stats.add(res.up_at_horizon ? 1.0 : 0.0);
-  }
-  return summarize(stats);
+  return run_replications("availability_at", replications, seed, budget,
+                          [&](Rng& stream) {
+                            const RunResult res = run(t, false, stream);
+                            return res.up_at_horizon ? 1.0 : 0.0;
+                          });
 }
 
-Estimate SystemSimulator::interval_availability(double t,
-                                                std::size_t replications,
-                                                std::uint64_t seed) const {
+Estimate SystemSimulator::interval_availability(
+    double t, std::size_t replications, std::uint64_t seed,
+    const robust::Budget& budget) const {
   detail::require(t > 0.0, "interval_availability: t must be > 0");
-  detail::require(replications >= 2, "interval_availability: need >= 2 reps");
-  Rng master(seed);
-  OnlineStats stats;
-  for (std::size_t r = 0; r < replications; ++r) {
-    Rng stream = master.split();
-    const RunResult res = run(t, false, stream);
-    stats.add(res.up_time / t);
-  }
-  return summarize(stats);
+  return run_replications("interval_availability", replications, seed,
+                          budget, [&](Rng& stream) {
+                            const RunResult res = run(t, false, stream);
+                            return res.up_time / t;
+                          });
 }
 
 Estimate SystemSimulator::reliability(double t, std::size_t replications,
-                                      std::uint64_t seed) const {
+                                      std::uint64_t seed,
+                                      const robust::Budget& budget) const {
   detail::require(t >= 0.0, "reliability: t must be >= 0");
-  detail::require(replications >= 2, "reliability: need >= 2 reps");
-  Rng master(seed);
-  OnlineStats stats;
-  for (std::size_t r = 0; r < replications; ++r) {
-    Rng stream = master.split();
-    const RunResult res = run(t, true, stream);
-    stats.add(res.first_failure > t ? 1.0 : 0.0);
-  }
-  return summarize(stats);
+  return run_replications("reliability", replications, seed, budget,
+                          [&](Rng& stream) {
+                            const RunResult res = run(t, true, stream);
+                            return res.first_failure > t ? 1.0 : 0.0;
+                          });
 }
 
-Estimate SystemSimulator::mttf(std::size_t replications,
-                               std::uint64_t seed) const {
-  detail::require(replications >= 2, "mttf: need >= 2 reps");
-  Rng master(seed);
-  OnlineStats stats;
-  for (std::size_t r = 0; r < replications; ++r) {
-    Rng stream = master.split();
-    // Simulate until failure; expand the horizon geometrically if needed.
-    double horizon = 1.0;
-    for (int attempt = 0; attempt < 64; ++attempt) {
-      Rng attempt_stream = stream;  // same randomness, longer horizon
-      const RunResult res = run(horizon, true, attempt_stream);
-      if (std::isfinite(res.first_failure)) {
-        stats.add(res.first_failure);
-        break;
-      }
-      horizon *= 8.0;
-      if (attempt == 63) {
-        throw NumericalError("mttf: system never failed within horizon");
-      }
-    }
-  }
-  return summarize(stats);
+Estimate SystemSimulator::mttf(std::size_t replications, std::uint64_t seed,
+                               const robust::Budget& budget) const {
+  return run_replications(
+      "mttf", replications, seed, budget, [&](Rng& stream) {
+        // Simulate until failure; expand the horizon geometrically if
+        // needed.
+        double horizon = 1.0;
+        for (int attempt = 0;; ++attempt) {
+          Rng attempt_stream = stream;  // same randomness, longer horizon
+          const RunResult res = run(horizon, true, attempt_stream);
+          if (std::isfinite(res.first_failure)) return res.first_failure;
+          if (attempt >= 63) {
+            throw NumericalError("mttf: system never failed within horizon");
+          }
+          horizon *= 8.0;
+        }
+      });
 }
 
 SrnSimulator::SrnSimulator(const spn::Srn& net) : net_(net) {}
@@ -233,37 +281,31 @@ spn::Marking SrnSimulator::play(
 
 Estimate SrnSimulator::transient_reward(const spn::RewardFn& reward, double t,
                                         std::size_t replications,
-                                        std::uint64_t seed) const {
+                                        std::uint64_t seed,
+                                        const robust::Budget& budget) const {
   detail::require(reward != nullptr, "transient_reward: null reward");
-  detail::require(replications >= 2, "transient_reward: need >= 2 reps");
-  Rng master(seed);
-  OnlineStats stats;
-  for (std::size_t r = 0; r < replications; ++r) {
-    Rng stream = master.split();
-    const spn::Marking at_t =
-        play(t, stream, [](double, const spn::Marking&) {});
-    stats.add(reward(at_t));
-  }
-  return summarize(stats);
+  return run_replications(
+      "transient_reward", replications, seed, budget, [&](Rng& stream) {
+        const spn::Marking at_t =
+            play(t, stream, [](double, const spn::Marking&) {});
+        return reward(at_t);
+      });
 }
 
 Estimate SrnSimulator::accumulated_reward(const spn::RewardFn& reward,
                                           double t, std::size_t replications,
-                                          std::uint64_t seed) const {
+                                          std::uint64_t seed,
+                                          const robust::Budget& budget) const {
   detail::require(reward != nullptr, "accumulated_reward: null reward");
   detail::require(t > 0.0, "accumulated_reward: t must be > 0");
-  detail::require(replications >= 2, "accumulated_reward: need >= 2 reps");
-  Rng master(seed);
-  OnlineStats stats;
-  for (std::size_t r = 0; r < replications; ++r) {
-    Rng stream = master.split();
-    double acc = 0.0;
-    play(t, stream, [&](double interval, const spn::Marking& m) {
-      acc += interval * reward(m);
-    });
-    stats.add(acc);
-  }
-  return summarize(stats);
+  return run_replications(
+      "accumulated_reward", replications, seed, budget, [&](Rng& stream) {
+        double acc = 0.0;
+        play(t, stream, [&](double interval, const spn::Marking& m) {
+          acc += interval * reward(m);
+        });
+        return acc;
+      });
 }
 
 }  // namespace relkit::sim

@@ -23,6 +23,8 @@
 #include "common/distributions.hpp"
 #include "common/rng.hpp"
 #include "common/statistics.hpp"
+#include "robust/budget.hpp"
+#include "robust/report.hpp"
 #include "spn/srn.hpp"
 
 namespace relkit::sim {
@@ -32,6 +34,10 @@ struct Estimate {
   double mean = 0.0;
   double half_width = 0.0;  ///< 95% normal-approximation half-width
   std::size_t replications = 0;
+  /// True when a budget (deadline or replication cap) stopped the run
+  /// before the requested replication count; the estimate is still valid,
+  /// just wider. Details are in robust::last_report().
+  bool budget_stopped = false;
 
   double lo() const { return mean - half_width; }
   double hi() const { return mean + half_width; }
@@ -52,21 +58,29 @@ class SystemSimulator {
  public:
   SystemSimulator(std::vector<SimComponent> components, StructureFn system_up);
 
-  /// P(system up at time t).
+  /// P(system up at time t). All estimators honor `budget`
+  /// (budget.max_iterations caps replications, the deadline stops the run
+  /// early); a budget stop with >= 2 completed replications returns the
+  /// partial estimate with budget_stopped set, fewer throws
+  /// robust::ConvergenceError.
   Estimate availability_at(double t, std::size_t replications,
-                           std::uint64_t seed) const;
+                           std::uint64_t seed,
+                           const robust::Budget& budget = {}) const;
 
   /// Fraction of [0, t] the system is up (expected interval availability).
   Estimate interval_availability(double t, std::size_t replications,
-                                 std::uint64_t seed) const;
+                                 std::uint64_t seed,
+                                 const robust::Budget& budget = {}) const;
 
   /// P(system never down during [0, t]) — reliability with repairable
   /// components; equal to availability_at for non-repairable ones.
   Estimate reliability(double t, std::size_t replications,
-                       std::uint64_t seed) const;
+                       std::uint64_t seed,
+                       const robust::Budget& budget = {}) const;
 
   /// Mean time to first system failure.
-  Estimate mttf(std::size_t replications, std::uint64_t seed) const;
+  Estimate mttf(std::size_t replications, std::uint64_t seed,
+                const robust::Budget& budget = {}) const;
 
  private:
   struct RunResult {
@@ -89,13 +103,13 @@ class SrnSimulator {
 
   /// E[reward rate at time t].
   Estimate transient_reward(const spn::RewardFn& reward, double t,
-                            std::size_t replications,
-                            std::uint64_t seed) const;
+                            std::size_t replications, std::uint64_t seed,
+                            const robust::Budget& budget = {}) const;
 
   /// E[integral of reward over [0, t]].
   Estimate accumulated_reward(const spn::RewardFn& reward, double t,
-                              std::size_t replications,
-                              std::uint64_t seed) const;
+                              std::size_t replications, std::uint64_t seed,
+                              const robust::Budget& budget = {}) const;
 
  private:
   /// Advances the marking to time t; calls `observe(interval, marking)` for

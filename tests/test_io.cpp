@@ -107,6 +107,37 @@ TEST(ParseErrors, ReportLineNumbers) {
   }
 }
 
+TEST(ParseErrors, ReportColumns) {
+  try {
+    parse_model_string("model ftree m\nevent a rate nope\ntop a\n");
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& e) {
+    // "rate nope" — the bad token starts at column 14.
+    EXPECT_NE(std::string(e.what()).find("line 2, col 14"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ParseErrors, CollectsAllErrorsInOnePass) {
+  try {
+    parse_model_string(
+        "model ftree m\n"
+        "event a prob 1.5\n"   // line 2: probability out of range
+        "event b rate nope\n"  // line 3: bad rate token
+        "frobnicate\n"         // line 4: unknown directive
+        "event c prob 0.5\n"
+        "top c\n");
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("and 2 more"), std::string::npos) << what;
+  }
+}
+
 TEST(ParseErrors, StructuralProblems) {
   // Missing model directive.
   EXPECT_THROW(parse_model_string("event a prob 0.5\ntop a\n"), ModelError);

@@ -1,14 +1,17 @@
 // relkit_cli — analyze a fault-tree / RBD model file from the command line.
 //
 //   relkit_cli <model-file> [--time t1 t2 ...] [--cuts] [--importance]
+//              [--diagnostics]
 //
 // Prints, depending on the model's component specifications:
 //   * steady-state availability / top-event probability,
 //   * reliability / unreliability at the requested time points,
 //   * MTTF when the model is purely lifetime-driven,
-//   * minimal cut sets (--cuts) and importance measures (--importance).
+//   * minimal cut sets (--cuts) and importance measures (--importance),
+//   * the last solver's SolveReport (--diagnostics).
 //
-// Exit codes: 0 success, 1 usage error, 2 model error.
+// Exit codes: 0 success, 1 usage error, 2 model error, 3 numerical error
+// (including convergence failures), 4 invalid argument.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -22,7 +25,7 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: relkit_cli <model-file> [--time t ...] [--cuts] "
-               "[--importance]\n");
+               "[--importance] [--diagnostics]\n");
 }
 
 void print_cuts(const std::vector<std::vector<std::string>>& cuts) {
@@ -33,6 +36,20 @@ void print_cuts(const std::vector<std::vector<std::string>>& cuts) {
       std::printf("%s%s", i ? ", " : " ", cut[i].c_str());
     }
     std::printf(" }\n");
+  }
+}
+
+/// Prints the most recent solver diagnostics (or where they came from, when
+/// failing out of an exception handler).
+void print_diagnostics() {
+  if (relkit::robust::has_last_report()) {
+    std::printf("--- solver diagnostics ---\n%s",
+                relkit::robust::last_report().summary().c_str());
+  } else {
+    std::printf(
+        "--- solver diagnostics ---\n"
+        "no solve recorded (the analysis used closed-form/BDD paths "
+        "only)\n");
   }
 }
 
@@ -47,6 +64,7 @@ int main(int argc, char** argv) {
   std::vector<double> times;
   bool want_cuts = false;
   bool want_importance = false;
+  bool want_diagnostics = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--time") == 0) {
       while (i + 1 < argc && argv[i + 1][0] != '-') {
@@ -56,6 +74,8 @@ int main(int argc, char** argv) {
       want_cuts = true;
     } else if (std::strcmp(argv[i], "--importance") == 0) {
       want_importance = true;
+    } else if (std::strcmp(argv[i], "--diagnostics") == 0) {
+      want_diagnostics = true;
     } else if (argv[i][0] == '-') {
       usage();
       return 1;
@@ -132,6 +152,24 @@ int main(int argc, char** argv) {
         }
       }
     }
+    if (want_diagnostics) print_diagnostics();
+  } catch (const relkit::robust::ConvergenceError& e) {
+    std::fprintf(stderr, "numerical error: %s\n", e.what());
+    if (want_diagnostics) {
+      std::fprintf(stderr, "--- solver diagnostics ---\n%s",
+                   e.report().summary().c_str());
+    }
+    return 3;
+  } catch (const relkit::ModelError& e) {
+    std::fprintf(stderr, "model error: %s\n", e.what());
+    return 2;
+  } catch (const relkit::NumericalError& e) {
+    std::fprintf(stderr, "numerical error: %s\n", e.what());
+    if (want_diagnostics) print_diagnostics();
+    return 3;
+  } catch (const relkit::InvalidArgument& e) {
+    std::fprintf(stderr, "invalid argument: %s\n", e.what());
+    return 4;
   } catch (const relkit::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
