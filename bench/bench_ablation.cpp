@@ -10,6 +10,8 @@
 //       size on a stiff transient.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <cstdio>
 
 #include "core/relkit.hpp"
@@ -144,8 +146,11 @@ BENCHMARK(BM_SorOmega)->Arg(10)->Arg(13)->Arg(16)->Arg(0);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const benchjson::Options opts = benchjson::init(&argc, argv);
   print_table();
+  if (opts.table_only) return 0;
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
   return 0;
 }

@@ -7,6 +7,8 @@
 // Bonferroni interval tightens rapidly with depth.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <chrono>
 #include <cstdio>
 
@@ -106,8 +108,11 @@ BENCHMARK(BM_EsaryProschan)->RangeMultiplier(2)->Range(10, 160);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const benchjson::Options opts = benchjson::init(&argc, argv);
   print_table();
+  if (opts.table_only) return 0;
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
   return 0;
 }

@@ -4,6 +4,8 @@
 // vs true spare dormancy is quantified.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <cstdio>
 
 #include "core/relkit.hpp"
@@ -78,8 +80,11 @@ BENCHMARK(BM_DftUnreliabilityOnly);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const benchjson::Options opts = benchjson::init(&argc, argv);
   print_table();
+  if (opts.table_only) return 0;
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
   return 0;
 }

@@ -8,6 +8,8 @@
 // of magnitude of downtime.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <cstdio>
 
 #include "core/relkit.hpp"
@@ -125,8 +127,11 @@ BENCHMARK(BM_GgsnTransientWeek);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const benchjson::Options opts = benchjson::init(&argc, argv);
   print_table();
+  if (opts.table_only) return 0;
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
   return 0;
 }

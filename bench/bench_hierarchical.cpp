@@ -13,6 +13,8 @@
 // Cisco/IBM-style fixed-point pattern.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <chrono>
 #include <cstdio>
 #include <cmath>
@@ -156,8 +158,11 @@ BENCHMARK(BM_Hierarchical)->DenseRange(2, 7);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const benchjson::Options opts = benchjson::init(&argc, argv);
   print_table();
+  if (opts.table_only) return 0;
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
   return 0;
 }

@@ -7,6 +7,8 @@
 // these structures) rather than exploding like a state space would (2^n).
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <chrono>
 #include <cstdio>
 
@@ -107,8 +109,11 @@ BENCHMARK(BM_ProbEvalOnly)->RangeMultiplier(4)->Range(16, 1024);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const benchjson::Options opts = benchjson::init(&argc, argv);
   print_table();
+  if (opts.table_only) return 0;
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
   return 0;
 }

@@ -8,6 +8,8 @@
 // the 1/sqrt(n) CI shrink.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <cmath>
 #include <cstdio>
 
@@ -184,8 +186,11 @@ BENCHMARK(BM_AnalyticEquivalent);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const benchjson::Options opts = benchjson::init(&argc, argv);
   print_table();
+  if (opts.table_only) return 0;
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
   return 0;
 }

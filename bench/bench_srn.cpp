@@ -9,6 +9,8 @@
 // Also reports reachability-graph generation cost as the token count grows.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <chrono>
 #include <cstdio>
 #include <cmath>
@@ -120,8 +122,11 @@ BENCHMARK(BM_SrnGenerateAndSolve)->RangeMultiplier(2)->Range(4, 256);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const benchjson::Options opts = benchjson::init(&argc, argv);
   print_table();
+  if (opts.table_only) return 0;
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
   return 0;
 }

@@ -9,6 +9,8 @@
 //       proportional to q t.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <chrono>
 #include <cstdio>
 
@@ -114,8 +116,11 @@ BENCHMARK(BM_TransientUniformization)->RangeMultiplier(4)->Range(1, 256);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const benchjson::Options opts = benchjson::init(&argc, argv);
   print_table();
+  if (opts.table_only) return 0;
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
   return 0;
 }

@@ -1,0 +1,80 @@
+// Shared command-line handling for the bench_* binaries.
+//
+// Every bench accepts, in addition to the native google-benchmark flags:
+//
+//   --json OUT      (or --json=OUT)  write machine-readable results to OUT
+//                                    in google-benchmark's JSON schema
+//   --table-only                     print the experiment table and exit
+//                                    (skips the microbenchmark loop)
+//
+// bench/run_all.sh uses --json to regenerate the BENCH_<name>.json files
+// referenced from EXPERIMENTS.md.
+//
+// google-benchmark rejects flags it does not know, so init() consumes the
+// RelKit flags before benchmark::Initialize sees argv: --json is rewritten
+// into --benchmark_out=OUT plus --benchmark_out_format=json, --table-only
+// is stripped. A malformed value (missing or empty OUT) prints usage and
+// exits with code 4, matching relkit_cli's invalid-argument convention.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace benchjson {
+
+struct Options {
+  std::string json_path;    ///< empty = no JSON output requested
+  bool table_only = false;  ///< print the table, skip the benchmark loop
+};
+
+[[noreturn]] inline void usage_exit(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--json OUT] [--table-only] "
+               "[google-benchmark flags]\n",
+               prog);
+  std::exit(4);
+}
+
+/// Consumes the RelKit bench flags from argc/argv (rewriting --json into
+/// the native --benchmark_out flags); call before benchmark::Initialize.
+inline Options init(int* argc, char** argv) {
+  Options opts;
+  // Rewritten flag strings must outlive argv consumers; reserve so the
+  // char* pointers handed to argv never move.
+  static std::vector<std::string> storage;
+  storage.reserve(static_cast<std::size_t>(2 * *argc) + 2);
+  std::vector<char*> keep;
+  keep.push_back(argv[0]);
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0 ||
+        std::strncmp(arg, "--json=", 7) == 0) {
+      if (arg[6] == '=') {
+        opts.json_path = arg + 7;
+      } else if (i + 1 < *argc) {
+        opts.json_path = argv[++i];
+      }
+      if (opts.json_path.empty()) {
+        std::fprintf(stderr, "%s: --json needs an output file\n", argv[0]);
+        usage_exit(argv[0]);
+      }
+      storage.push_back("--benchmark_out=" + opts.json_path);
+      keep.push_back(storage.back().data());
+      storage.push_back("--benchmark_out_format=json");
+      keep.push_back(storage.back().data());
+    } else if (std::strcmp(arg, "--table-only") == 0) {
+      opts.table_only = true;
+    } else {
+      keep.push_back(argv[i]);
+    }
+  }
+  for (std::size_t i = 0; i < keep.size(); ++i) argv[i] = keep[i];
+  *argc = static_cast<int>(keep.size());
+  argv[*argc] = nullptr;
+  return opts;
+}
+
+}  // namespace benchjson

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Regenerates every BENCH_<name>.json referenced from EXPERIMENTS.md.
+#
+#   bench/run_all.sh [build-dir] [output-dir]
+#
+# Builds nothing: expects the bench binaries to exist under
+# <build-dir>/bench (default: build). JSON files land in <output-dir>
+# (default: the repo root), one BENCH_<name>.json per bench_<name> binary,
+# in google-benchmark's JSON schema. The human-readable experiment tables
+# still go to stdout.
+set -eu
+
+build_dir="${1:-build}"
+out_dir="${2:-.}"
+bench_dir="$build_dir/bench"
+
+if [ ! -d "$bench_dir" ]; then
+  echo "run_all.sh: no bench binaries in $bench_dir (build first:" \
+       "cmake -B $build_dir -S . && cmake --build $build_dir -j)" >&2
+  exit 1
+fi
+
+found=0
+for bin in "$bench_dir"/bench_*; do
+  [ -x "$bin" ] || continue
+  found=1
+  name="$(basename "$bin")"
+  short="${name#bench_}"
+  out="$out_dir/BENCH_${short}.json"
+  echo "== $name -> $out"
+  "$bin" --json "$out" --benchmark_min_time=0.05s
+done
+
+if [ "$found" -eq 0 ]; then
+  echo "run_all.sh: no bench_* executables found in $bench_dir" >&2
+  exit 1
+fi
+echo "done: $(ls "$out_dir"/BENCH_*.json 2>/dev/null | wc -l) JSON files"

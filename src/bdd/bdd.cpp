@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace relkit::bdd {
 
@@ -22,6 +23,8 @@ NodeRef Manager::make_node(std::uint32_t level, NodeRef low, NodeRef high) {
   detail::require(nodes_.size() < 0xfffffff0u, "BDD node table overflow");
   nodes_.push_back({level, low, high});
   unique_.emplace(key, ref);
+  static obs::Counter& allocated = obs::counter("bdd.nodes_allocated");
+  allocated.add();
   return ref;
 }
 
@@ -36,6 +39,10 @@ NodeRef Manager::nvar(std::uint32_t level) {
 }
 
 NodeRef Manager::ite(NodeRef f, NodeRef g, NodeRef h) {
+  static obs::Counter& calls = obs::counter("bdd.ite_calls");
+  static obs::Counter& hits = obs::counter("bdd.ite_cache_hits");
+  calls.add();
+
   // Terminal cases.
   if (f == one()) return g;
   if (f == zero()) return h;
@@ -44,6 +51,7 @@ NodeRef Manager::ite(NodeRef f, NodeRef g, NodeRef h) {
 
   const IteKey key{f, g, h};
   if (const auto it = ite_cache_.find(key); it != ite_cache_.end()) {
+    hits.add();
     return it->second;
   }
 
@@ -176,6 +184,8 @@ NodeRef Manager::dual(NodeRef f) {
 }
 
 double Manager::prob(NodeRef f, std::span<const double> p) const {
+  static obs::Counter& evals = obs::counter("bdd.prob_evals");
+  evals.add();
   // Bottom-up over reachable nodes; iterative to avoid deep recursion.
   std::unordered_map<NodeRef, double> memo;
   memo[zero()] = 0.0;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 #include "robust/fault_injection.hpp"
 
 namespace relkit {
@@ -23,6 +24,10 @@ std::vector<double> gth_steady_state(Matrix q) {
   const std::size_t n = q.rows();
   detail::require(n == q.cols(), "gth_steady_state: Q must be square");
   detail::require(n >= 1, "gth_steady_state: empty generator");
+  obs::Span span("solver.gth");
+  span.set("n", n);
+  static obs::Counter& solves = obs::counter("markov.gth_solves");
+  solves.add();
 
   // Forward elimination: fold state k into states 0..k-1. GTH uses the row
   // sum of remaining off-diagonals as the pivot (never the possibly
@@ -86,6 +91,12 @@ SorResult sor_steady_state(const SparseMatrix& qt,
   const std::size_t max_iters =
       injector.cap("sor.max_iters", opts.budget.cap_iterations(opts.max_iters));
 
+  obs::Span span("solver.sor");
+  span.set("n", n);
+  static obs::Counter& sweeps_counter = obs::counter("markov.sor_sweeps");
+  static obs::Histogram& residual_hist =
+      obs::histogram("markov.sor_residual");
+
   robust::SolveReport report;
   report.note_attempt("sor");
 
@@ -115,12 +126,17 @@ SorResult sor_steady_state(const SparseMatrix& qt,
   auto give_up = [&](const std::string& why) -> robust::ConvergenceError {
     report.residual = best_res;
     report.wall_seconds = seconds_since(start);
+    report.note_attempt_result("sor", report.iterations, best_res, false);
+    span.set("iterations", report.iterations);
+    span.set("residual", best_res);
+    span.set("converged", false);
     robust::record_last_report(report);
     return robust::ConvergenceError(why, best, report);
   };
 
   SorResult out;
   for (std::size_t it = 1; it <= max_iters; ++it) {
+    sweeps_counter.add();
     // One SOR sweep: pi_i <- (1-w) pi_i + w * (sum_{j != i} pi_j Q_ji)/(-Q_ii).
     // Alternate sweep direction so information propagates both ways along
     // chain-structured models (symmetric Gauss-Seidel), which otherwise
@@ -162,6 +178,7 @@ SorResult sor_steady_state(const SparseMatrix& qt,
                       std::to_string(best_res) + ")");
       }
       const double res = residual_of(pi);
+      residual_hist.observe(res);
       if (std::isfinite(res) && res < best_res) {
         best = pi;
         best_res = res;
@@ -175,6 +192,11 @@ SorResult sor_steady_state(const SparseMatrix& qt,
         report.residual = res;
         report.converged = true;
         report.wall_seconds = seconds_since(start);
+        report.note_attempt_result("sor", it, res, true);
+        span.set("iterations", it);
+        span.set("residual", res);
+        span.set("omega", omega);
+        span.set("converged", true);
         out.report = report;
         robust::record_last_report(out.report);
         return out;
@@ -220,6 +242,10 @@ PowerResult power_steady_state(const SparseMatrix& p,
   const std::size_t max_iters = injector.cap(
       "power.max_iters", opts.budget.cap_iterations(opts.max_iters));
 
+  obs::Span span("solver.power");
+  span.set("n", n);
+  static obs::Counter& steps_counter = obs::counter("markov.power_steps");
+
   robust::SolveReport report;
   report.note_attempt("power");
 
@@ -232,11 +258,16 @@ PowerResult power_steady_state(const SparseMatrix& p,
     report.iterations = it;
     report.residual = best_delta;
     report.wall_seconds = seconds_since(start);
+    report.note_attempt_result("power", it, best_delta, false);
+    span.set("iterations", it);
+    span.set("delta", best_delta);
+    span.set("converged", false);
     robust::record_last_report(report);
     return robust::ConvergenceError(why, best, report);
   };
 
   for (std::size_t it = 0; it < max_iters; ++it) {
+    steps_counter.add();
     std::vector<double> next = p.multiply_left(pi);
     double delta = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -268,6 +299,10 @@ PowerResult power_steady_state(const SparseMatrix& p,
       report.residual = delta;
       report.converged = true;
       report.wall_seconds = seconds_since(start);
+      report.note_attempt_result("power", it + 1, delta, true);
+      span.set("iterations", it + 1);
+      span.set("delta", delta);
+      span.set("converged", true);
       out.report = report;
       robust::record_last_report(out.report);
       return out;

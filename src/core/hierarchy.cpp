@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 #include "robust/fault_injection.hpp"
 
 namespace relkit::core {
@@ -81,6 +82,11 @@ FixedPointResult Hierarchy::solve_fixed_point(
       "fixed_point.max_iters",
       opts.budget.cap_iterations(opts.max_iterations));
 
+  obs::Span span("hierarchy.fixed_point");
+  span.set("variables", static_cast<std::uint64_t>(updates.size()));
+  static obs::Counter& iter_counter = obs::counter("hierarchy.fp_iterations");
+  static obs::Counter& esc_counter = obs::counter("hierarchy.fp_escalations");
+
   robust::SolveReport report;
   report.note_attempt("fixed-point");
 
@@ -119,6 +125,12 @@ FixedPointResult Hierarchy::solve_fixed_point(
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
+    report.note_attempt_result("fixed-point", result.iterations,
+                               result.residual, converged);
+    span.set("iterations", result.iterations);
+    span.set("residual", result.residual);
+    span.set("damping", result.final_damping);
+    span.set("converged", converged);
     robust::record_last_report(report);
   };
   auto fail = [&](const std::string& why) -> robust::ConvergenceError {
@@ -135,6 +147,7 @@ FixedPointResult Hierarchy::solve_fixed_point(
                   ? 0.5
                   : std::min(opts.max_damping, 0.5 * (1.0 + damping));
     ++result.damping_escalations;
+    esc_counter.add();
     result.final_damping = damping;
     report.note_fallback("fixed-point",
                          "damping=" + std::to_string(damping));
@@ -146,6 +159,7 @@ FixedPointResult Hierarchy::solve_fixed_point(
   };
 
   for (std::size_t it = 1; it <= max_iterations; ++it) {
+    iter_counter.add();
     if (opts.budget.deadline.expired()) {
       report.warn("deadline expired after " + std::to_string(it - 1) +
                   " iterations");

@@ -4,10 +4,13 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace relkit::ftree {
 
 double cut_probability(const CutSet& cut, const std::vector<double>& q) {
+  static obs::Counter& evals = obs::counter("bounds.cut_prob_evals");
+  evals.add();
   double p = 1.0;
   for (const auto i : cut) {
     detail::require(i < q.size(), "cut_probability: index out of range");
@@ -75,6 +78,10 @@ Interval bonferroni_bound(const std::vector<CutSet>& cuts,
                           const std::vector<double>& q, std::uint32_t depth) {
   detail::require(depth >= 1, "bonferroni_bound: depth must be >= 1");
   if (cuts.empty()) return Interval(0.0, 0.0);
+
+  obs::Span span("bounds.bonferroni");
+  span.set("cuts", static_cast<std::uint64_t>(cuts.size()));
+  span.set("depth", static_cast<std::uint64_t>(depth));
 
   // Guard against combinatorial blowup: C(m, depth) terms.
   double work = 1.0;

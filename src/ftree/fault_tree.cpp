@@ -7,6 +7,7 @@
 #include <set>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace relkit::ftree {
 
@@ -68,6 +69,9 @@ FaultTree::FaultTree(NodePtr top, std::map<std::string, EventModel> events)
   };
   collect(*root_);
 
+  obs::Span span("ftree.build");
+  span.set("events", static_cast<std::uint64_t>(names_.size()));
+
   std::function<bdd::NodeRef(const Node&)> build = [&](const Node& n) {
     switch (n.kind()) {
       case Node::Kind::kBasic:
@@ -96,6 +100,7 @@ FaultTree::FaultTree(NodePtr top, std::map<std::string, EventModel> events)
     return bdd::Manager::zero();
   };
   top_ref_ = build(*root_);
+  span.set("bdd_nodes", mgr_.node_count(top_ref_));
 }
 
 std::vector<double> FaultTree::event_probs(double t) const {

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "markov/ctmc.hpp"
+#include "obs/obs.hpp"
 
 namespace relkit::io {
 
@@ -139,9 +141,33 @@ double parse_number(const std::string& tok, std::size_t line, std::size_t col,
   }
 }
 
+/// Availability of an n-unit pool with per-unit failure rate lambda, one
+/// shared repairer of rate mu, up while >= k units are up: the steady state
+/// of the (n+1)-state birth-death CTMC over "number of failed units".
+double markov_pool_availability(const std::string& event_name, std::size_t n,
+                                std::size_t k, double lambda, double mu) {
+  obs::Span span("hier.submodel");
+  span.set("event", event_name);
+  span.set("n", n);
+  span.set("k", k);
+
+  markov::Ctmc chain;
+  chain.add_states(n + 1);  // state i = i units failed
+  for (std::size_t i = 0; i < n; ++i) {
+    chain.add_transition(i, i + 1, static_cast<double>(n - i) * lambda);
+    chain.add_transition(i + 1, i, mu);  // single repairer: rate mu, always
+  }
+  const std::vector<double> pi = chain.steady_state();
+  double avail = 0.0;
+  for (std::size_t i = 0; i + k <= n; ++i) avail += pi[i];
+  span.set("availability", avail);
+  return avail;
+}
+
 }  // namespace
 
 ParsedModel parse_model(std::istream& input) {
+  obs::Span parse_span("io.parse");
   std::string model_kind;
   std::string model_name;
   std::map<std::string, ComponentModel> events;
@@ -240,6 +266,32 @@ ParsedModel parse_model(std::istream& input) {
           const double sigma = parse_number(b, line_no, line.col(), "sigma");
           events.emplace(
               name, ComponentModel::with_lifetime(lognormal(mu, sigma)));
+        } else if (spec == "markov") {
+          const std::string a = line.expect("markov <n> <k> <lambda> <mu>");
+          const std::size_t n_col = line.col();
+          const double nv = parse_number(a, line_no, n_col, "n");
+          const std::string b = line.expect("markov <n> <k> <lambda> <mu>");
+          const std::size_t k_col = line.col();
+          const double kv = parse_number(b, line_no, k_col, "k");
+          const std::string c = line.expect("markov <n> <k> <lambda> <mu>");
+          const std::size_t rate_col = line.col();
+          const double lambda = parse_number(c, line_no, rate_col, "rate");
+          const std::string d = line.expect("markov <n> <k> <lambda> <mu>");
+          const double mu =
+              parse_number(d, line_no, line.col(), "repair rate");
+          if (nv < 1.0 || nv != std::floor(nv) || nv > 100000.0) {
+            fail(line_no, n_col, "n must be an integer in [1, 100000]");
+          }
+          if (kv < 1.0 || kv != std::floor(kv) || kv > nv) {
+            fail(line_no, k_col, "k must be an integer in [1, n]");
+          }
+          if (lambda <= 0.0 || mu <= 0.0) {
+            fail(line_no, rate_col, "rates must be > 0");
+          }
+          events.emplace(
+              name, ComponentModel::fixed(markov_pool_availability(
+                        name, static_cast<std::size_t>(nv),
+                        static_cast<std::size_t>(kv), lambda, mu)));
         } else {
           fail(line_no, line.col(), "unknown event spec '" + spec + "'");
         }
@@ -334,6 +386,8 @@ ParsedModel parse_model(std::istream& input) {
 
   ParsedModel out;
   out.name = model_name;
+  parse_span.set("model", model_name);
+  parse_span.set("kind", model_kind);
 
   if (model_kind == "relgraph") {
     const std::size_t end = line_no ? line_no : 1;

@@ -10,6 +10,15 @@
 //   event <name> rate <lambda> repair <mu>       # repairable
 //   event <name> weibull <shape> <scale>         # Weibull lifetime
 //   event <name> lognormal <mu> <sigma>          # lognormal lifetime
+//   event <name> markov <n> <k> <lambda> <mu>    # hierarchical submodel
+//
+// `markov` declares a k-of-n unit pool with a single shared repairer
+// (exponential failure rate lambda per unit, repair rate mu). It is solved
+// on the spot as an (n+1)-state birth-death CTMC through the robust
+// steady-state chain, and only the resulting availability enters the
+// combinatorial model — the tutorial's hierarchical composition, in one
+// directive. With tracing enabled the solve shows up as a `hier.submodel`
+// span containing the full solver-attempt subtree.
 //   gate <name> and <child> <child> ...          # children: events/gates
 //   gate <name> or  <child> ...
 //   gate <name> kofn <k> <child> ...

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/poisson_weights.hpp"
+#include "obs/obs.hpp"
 #include "robust/fault_injection.hpp"
 
 namespace relkit::markov {
@@ -118,6 +119,10 @@ std::vector<double> Ctmc::steady_state(const SteadyStateOptions& opts,
   const std::size_t n = state_count();
   detail::require_model(n >= 1, "Ctmc::steady_state: no states");
 
+  obs::Span span("markov.steady_state");
+  span.set("states", n);
+  span.set("transitions", static_cast<std::uint64_t>(transitions_.size()));
+
   // Transposed off-diagonal generator + diagonal, the form every method in
   // the fallback chain consumes.
   auto& injector = testing::FaultInjector::instance();
@@ -225,6 +230,12 @@ std::vector<double> Ctmc::transient(const std::vector<double>& pi0, double t,
   detail::require(t >= 0.0, "Ctmc::transient: t must be >= 0");
   if (t == 0.0) return pi0;
 
+  obs::Span span("markov.transient");
+  span.set("states", state_count());
+  span.set("t", t);
+  static obs::Counter& steps_counter =
+      obs::counter("markov.uniformization_steps");
+
   auto& injector = testing::FaultInjector::instance();
   const auto [p, q] = uniformize(sparse_generator(), exit_rates_);
   const double mean = guarded_poisson_mean(q, t, "Ctmc::transient", pi0);
@@ -233,6 +244,9 @@ std::vector<double> Ctmc::transient(const std::vector<double>& pi0, double t,
   std::vector<double> v = pi0;  // pi0 P^n
   std::vector<double> out(state_count(), 0.0);
   const std::size_t steps = pw.left + pw.weights.size();
+  steps_counter.add(steps);
+  span.set("steps", steps);
+  span.set("q", q);
   for (std::size_t n = 0; n < steps; ++n) {
     if (n >= pw.left) {
       const double w =
@@ -268,6 +282,12 @@ std::vector<double> Ctmc::cumulative_time(const std::vector<double>& pi0,
   std::vector<double> acc(state_count(), 0.0);
   if (t == 0.0) return acc;
 
+  obs::Span span("markov.cumulative");
+  span.set("states", state_count());
+  span.set("t", t);
+  static obs::Counter& steps_counter =
+      obs::counter("markov.uniformization_steps");
+
   const auto [p, q] = uniformize(sparse_generator(), exit_rates_);
   const double mean = guarded_poisson_mean(q, t, "Ctmc::cumulative_time",
                                            acc);
@@ -280,6 +300,9 @@ std::vector<double> Ctmc::cumulative_time(const std::vector<double>& pi0,
   std::vector<double> v = pi0;
   double cdf = 0.0;
   const std::size_t steps = pw.left + pw.weights.size();
+  steps_counter.add(steps);
+  span.set("steps", steps);
+  span.set("q", q);
   for (std::size_t n = 0; n < steps; ++n) {
     if (n >= pw.left) {
       cdf += injector.tap("uniformize.weight", pw.weights[n - pw.left]);

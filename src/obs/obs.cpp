@@ -1,0 +1,576 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+#include <deque>
+#include <limits>
+#include <map>
+#include <mutex>
+
+namespace relkit::obs {
+
+namespace {
+
+/// Per-thread CPU seconds (CLOCK_THREAD_CPUTIME_ID where available).
+double thread_cpu_seconds() {
+#if defined(__linux__) || defined(__APPLE__)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+  }
+#endif
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string format_double(double v) {
+  // Shortest-ish representation that still round-trips the magnitudes we
+  // care about (iteration counts, residuals, seconds).
+  char buf[32];
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
+/// Relaxed atomic min/max update via CAS.
+void update_extrema(std::atomic<double>& mn, std::atomic<double>& mx,
+                    std::atomic<bool>& has, double v) {
+  bool had = has.load(std::memory_order_relaxed);
+  if (!had && has.compare_exchange_strong(had, true,
+                                          std::memory_order_relaxed)) {
+    mn.store(v, std::memory_order_relaxed);
+    mx.store(v, std::memory_order_relaxed);
+    return;
+  }
+  double cur = mn.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !mn.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = mx.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !mx.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+// ---- Histogram -------------------------------------------------------------
+
+int Histogram::bucket_index(double v) {
+  if (!(v > 0.0)) return 0;  // non-positive and NaN
+  const int e = std::ilogb(v);
+  const int idx = 1 + (e - kMinExp);
+  return std::clamp(idx, 1, kBuckets - 1);
+}
+
+double Histogram::bucket_upper(int i) {
+  if (i <= 0) return 0.0;
+  if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, i - 1 + kMinExp + 1);
+}
+
+void Histogram::observe(double v) {
+  if (!enabled()) return;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  if (std::isfinite(v)) {
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    update_extrema(min_, max_, has_extrema_, v);
+  }
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::min() const {
+  return has_extrema_.load(std::memory_order_relaxed)
+             ? min_.load(std::memory_order_relaxed)
+             : std::numeric_limits<double>::infinity();
+}
+
+double Histogram::max() const {
+  return has_extrema_.load(std::memory_order_relaxed)
+             ? max_.load(std::memory_order_relaxed)
+             : -std::numeric_limits<double>::infinity();
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(n - 1));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += bucket(i);
+    if (seen > rank) {
+      const double upper = bucket_upper(i);
+      // Clamp the bucket edge into the observed range so tails stay honest.
+      return std::min(std::max(upper, min()), max());
+    }
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  has_extrema_.store(false, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+// ---- Registry --------------------------------------------------------------
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // std::map keeps iteration sorted and node addresses stable.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& Registry::instance() {
+  static Registry reg;
+  return reg;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  auto it = im.counters.find(name);
+  if (it == im.counters.end()) {
+    it = im.counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  auto it = im.gauges.find(name);
+  if (it == im.gauges.end()) {
+    it = im.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  auto it = im.histograms.find(name);
+  if (it == im.histograms.end()) {
+    it = im.histograms
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<std::string> Registry::names() const {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  std::vector<std::string> out;
+  for (const auto& [name, c] : im.counters) out.push_back(name);
+  for (const auto& [name, g] : im.gauges) out.push_back(name);
+  for (const auto& [name, h] : im.histograms) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string Registry::render_text() const {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  std::string out;
+  for (const auto& [name, c] : im.counters) {
+    if (c->value() == 0) continue;
+    out += "counter   " + name + " = " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : im.gauges) {
+    if (g->value() == 0.0) continue;
+    out += "gauge     " + name + " = " + format_double(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : im.histograms) {
+    if (h->count() == 0) continue;
+    out += "histogram " + name + ": count " + std::to_string(h->count()) +
+           ", mean " +
+           format_double(h->sum() / static_cast<double>(h->count())) +
+           ", min " + format_double(h->min()) + ", p50 " +
+           format_double(h->quantile(0.5)) + ", p99 " +
+           format_double(h->quantile(0.99)) + ", max " +
+           format_double(h->max()) + "\n";
+  }
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+std::string Registry::to_json() const {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : im.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":" + std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : im.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":" + format_double(g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : im.histograms) {
+    if (!first) out += ",";
+    first = false;
+    const double n = static_cast<double>(h->count());
+    out += "\"" + json_escape(name) + "\":{\"count\":" +
+           std::to_string(h->count()) + ",\"sum\":" + format_double(h->sum()) +
+           ",\"mean\":" + format_double(n > 0 ? h->sum() / n : 0.0) +
+           ",\"min\":" + format_double(h->count() ? h->min() : 0.0) +
+           ",\"max\":" + format_double(h->count() ? h->max() : 0.0) +
+           ",\"p50\":" + format_double(h->quantile(0.5)) +
+           ",\"p90\":" + format_double(h->quantile(0.9)) +
+           ",\"p99\":" + format_double(h->quantile(0.99)) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void Registry::reset_values() {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  for (auto& [name, c] : im.counters) c->reset();
+  for (auto& [name, g] : im.gauges) g->reset();
+  for (auto& [name, h] : im.histograms) h->reset();
+}
+
+// ---- SpanRecord ------------------------------------------------------------
+
+const std::string* SpanRecord::attr(std::string_view key) const {
+  for (const auto& [k, v] : attrs) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+// ---- sinks -----------------------------------------------------------------
+
+struct RingBufferSink::Impl {
+  mutable std::mutex mu;
+  std::size_t capacity;
+  std::deque<SpanRecord> records;
+  std::uint64_t dropped = 0;
+};
+
+RingBufferSink::RingBufferSink(std::size_t capacity)
+    : impl_(std::make_shared<Impl>()) {
+  impl_->capacity = capacity == 0 ? 1 : capacity;
+}
+
+void RingBufferSink::on_span(const SpanRecord& record) {
+  std::lock_guard lock(impl_->mu);
+  if (impl_->records.size() >= impl_->capacity) {
+    impl_->records.pop_front();
+    ++impl_->dropped;
+  }
+  impl_->records.push_back(record);
+}
+
+std::vector<SpanRecord> RingBufferSink::snapshot() const {
+  std::lock_guard lock(impl_->mu);
+  return {impl_->records.begin(), impl_->records.end()};
+}
+
+std::uint64_t RingBufferSink::dropped() const {
+  std::lock_guard lock(impl_->mu);
+  return impl_->dropped;
+}
+
+void RingBufferSink::clear() {
+  std::lock_guard lock(impl_->mu);
+  impl_->records.clear();
+  impl_->dropped = 0;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct JsonlSink::Impl {
+  std::mutex mu;
+  std::FILE* file = nullptr;
+  ~Impl() {
+    if (file) std::fclose(file);
+  }
+};
+
+JsonlSink::JsonlSink(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+JsonlSink::~JsonlSink() = default;
+
+std::unique_ptr<JsonlSink> JsonlSink::open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return nullptr;
+  auto impl = std::make_unique<Impl>();
+  impl->file = f;
+  return std::unique_ptr<JsonlSink>(new JsonlSink(std::move(impl)));
+}
+
+void JsonlSink::on_span(const SpanRecord& r) {
+  std::string line = "{\"id\":" + std::to_string(r.id) +
+                     ",\"parent\":" + std::to_string(r.parent) +
+                     ",\"depth\":" + std::to_string(r.depth) +
+                     ",\"thread\":" + std::to_string(r.thread) +
+                     ",\"name\":\"" + json_escape(r.name) + "\"" +
+                     ",\"start_s\":" + format_double(r.start_s) +
+                     ",\"wall_s\":" + format_double(r.wall_s) +
+                     ",\"cpu_s\":" + format_double(r.cpu_s) + ",\"attrs\":{";
+  bool first = true;
+  for (const auto& [k, v] : r.attrs) {
+    if (!first) line += ",";
+    first = false;
+    line += "\"" + json_escape(k) + "\":\"" + json_escape(v) + "\"";
+  }
+  line += "}}\n";
+  std::lock_guard lock(impl_->mu);
+  std::fwrite(line.data(), 1, line.size(), impl_->file);
+}
+
+void JsonlSink::flush() {
+  std::lock_guard lock(impl_->mu);
+  std::fflush(impl_->file);
+}
+
+// ---- Tracer ----------------------------------------------------------------
+
+struct Tracer::Impl {
+  mutable std::mutex mu;
+  std::vector<std::shared_ptr<Sink>> sinks;
+  std::atomic<bool> any_sink{false};
+  std::atomic<std::uint64_t> next_id{1};
+  std::atomic<std::uint64_t> next_thread{0};
+  double epoch = steady_seconds();
+};
+
+Tracer::Tracer() = default;
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::Impl& Tracer::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+void Tracer::add_sink(std::shared_ptr<Sink> sink) {
+  if (!sink) return;
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  im.sinks.push_back(std::move(sink));
+  im.any_sink.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::remove_all_sinks() {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  im.sinks.clear();
+  im.any_sink.store(false, std::memory_order_relaxed);
+}
+
+bool Tracer::has_sinks() const {
+  return impl().any_sink.load(std::memory_order_relaxed);
+}
+
+double Tracer::now_s() const { return steady_seconds() - impl().epoch; }
+
+void Tracer::emit(const SpanRecord& record) {
+  Impl& im = impl();
+  // Copy the sink list under the lock, call outside it: a sink callback may
+  // itself take locks (file IO) and must not serialize unrelated threads.
+  std::vector<std::shared_ptr<Sink>> sinks;
+  {
+    std::lock_guard lock(im.mu);
+    sinks = im.sinks;
+  }
+  for (const auto& sink : sinks) sink->on_span(record);
+}
+
+std::uint64_t Tracer::next_id() {
+  return impl().next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::thread_index() {
+  thread_local std::uint64_t index =
+      impl().next_thread.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+namespace {
+/// Per-thread stack of open span ids — the nesting mechanism.
+std::vector<std::uint64_t>& span_stack() {
+  thread_local std::vector<std::uint64_t> stack;
+  return stack;
+}
+}  // namespace
+
+// ---- Span ------------------------------------------------------------------
+
+Span::Span(std::string_view name) {
+  if (!enabled()) return;
+  Tracer& tracer = Tracer::instance();
+  active_ = true;
+  record_.id = tracer.next_id();
+  record_.name = name;
+  record_.thread = tracer.thread_index();
+  auto& stack = span_stack();
+  record_.parent = stack.empty() ? 0 : stack.back();
+  record_.depth = static_cast<std::uint32_t>(stack.size());
+  stack.push_back(record_.id);
+  record_.start_s = tracer.now_s();
+  wall_start_raw_ = steady_seconds();
+  cpu_start_ = thread_cpu_seconds();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  record_.wall_s = steady_seconds() - wall_start_raw_;
+  record_.cpu_s = thread_cpu_seconds() - cpu_start_;
+  auto& stack = span_stack();
+  // Pop this span; tolerate (and repair) out-of-order destruction.
+  while (!stack.empty() && stack.back() != record_.id) stack.pop_back();
+  if (!stack.empty()) stack.pop_back();
+  Tracer::instance().emit(record_);
+}
+
+void Span::set(std::string_view key, std::string_view value) {
+  if (!active_) return;
+  record_.attrs.emplace_back(std::string(key), std::string(value));
+}
+
+void Span::set(std::string_view key, const char* value) {
+  set(key, std::string_view(value));
+}
+
+void Span::set(std::string_view key, double value) {
+  if (!active_) return;
+  record_.attrs.emplace_back(std::string(key), format_double(value));
+}
+
+void Span::set(std::string_view key, std::uint64_t value) {
+  if (!active_) return;
+  record_.attrs.emplace_back(std::string(key), std::to_string(value));
+}
+
+void Span::set(std::string_view key, int value) {
+  if (!active_) return;
+  record_.attrs.emplace_back(std::string(key), std::to_string(value));
+}
+
+void Span::set(std::string_view key, bool value) {
+  set(key, value ? std::string_view("true") : std::string_view("false"));
+}
+
+// ---- tree rendering --------------------------------------------------------
+
+namespace {
+
+std::string format_seconds(double s) {
+  char buf[32];
+  if (s >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", s);
+  } else if (s >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fus", s * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string render_trace_tree(const std::vector<SpanRecord>& records) {
+  if (records.empty()) return "(no spans recorded)\n";
+  std::map<std::uint64_t, const SpanRecord*> by_id;
+  for (const auto& r : records) by_id.emplace(r.id, &r);
+  std::map<std::uint64_t, std::vector<const SpanRecord*>> children;
+  std::vector<const SpanRecord*> roots;
+  for (const auto& r : records) {
+    if (r.parent != 0 && by_id.count(r.parent)) {
+      children[r.parent].push_back(&r);
+    } else {
+      roots.push_back(&r);
+    }
+  }
+  auto by_start = [](const SpanRecord* a, const SpanRecord* b) {
+    return a->start_s < b->start_s;
+  };
+  std::sort(roots.begin(), roots.end(), by_start);
+  for (auto& [id, kids] : children) {
+    std::sort(kids.begin(), kids.end(), by_start);
+  }
+
+  std::string out;
+  auto render = [&](auto&& self, const SpanRecord& r, int indent) -> void {
+    std::string line(static_cast<std::size_t>(indent) * 2, ' ');
+    line += r.name;
+    if (line.size() < 44) line.resize(44, ' ');
+    line += "  wall " + format_seconds(r.wall_s);
+    line += "  cpu " + format_seconds(r.cpu_s);
+    if (!r.attrs.empty()) {
+      line += "  [";
+      bool first = true;
+      for (const auto& [k, v] : r.attrs) {
+        if (!first) line += " ";
+        first = false;
+        line += k + "=" + v;
+      }
+      line += "]";
+    }
+    out += line + "\n";
+    if (auto it = children.find(r.id); it != children.end()) {
+      for (const SpanRecord* kid : it->second) self(self, *kid, indent + 1);
+    }
+  };
+  for (const SpanRecord* root : roots) render(render, *root, 0);
+  return out;
+}
+
+}  // namespace relkit::obs

@@ -14,8 +14,16 @@
 //
 // Header-only so the base `common` module can use it without a link
 // dependency on the robust module.
+//
+// Since the obs layer landed, SolveReport is no longer a parallel
+// diagnostics mechanism: the robust solvers emit one obs::Span per attempt
+// (carrying the same iterations/residual via span attributes), fill the
+// matching AttemptDetail here from the same instrumentation point, and
+// record_last_report() simply retains the final structured summary for
+// last_report() / ConvergenceError consumers.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <string>
 #include <utility>
@@ -27,11 +35,25 @@ namespace relkit::robust {
 
 /// Diagnostics of one (possibly multi-method) solve.
 struct SolveReport {
+  /// Per-attempt cost breakdown: one entry per method tried, in order —
+  /// the same data the matching obs::Span carries as attributes.
+  struct AttemptDetail {
+    std::string method;
+    std::size_t iterations = 0;
+    /// Residual (or last delta) at the end of the attempt; NaN = unknown
+    /// (e.g. the method threw before measuring one).
+    double residual = std::nan("");
+    bool accepted = false;  ///< true for the attempt whose answer was used
+  };
+
   /// Method that produced the returned result ("gth", "sor", "power",
   /// "uniformization", "fixed-point", "monte-carlo"); empty on failure.
   std::string method;
   /// Methods attempted, in order.
   std::vector<std::string> attempts;
+  /// Per-attempt iteration counts / final residuals, parallel to
+  /// `attempts` when the solver records them (the robust chain does).
+  std::vector<AttemptDetail> attempt_details;
   /// Fallback edges taken, e.g. "sor->power".
   std::vector<std::string> fallbacks;
   /// Non-fatal anomalies: renormalization drift, repaired values, budget
@@ -48,6 +70,13 @@ struct SolveReport {
   }
   void warn(std::string message) { warnings.push_back(std::move(message)); }
 
+  /// Records the outcome of one attempt (iterations spent, final residual,
+  /// whether its answer was accepted). Call after note_attempt.
+  void note_attempt_result(const std::string& m, std::size_t its,
+                           double res, bool accepted) {
+    attempt_details.push_back({m, its, res, accepted});
+  }
+
   /// Multi-line human-readable rendering (CLI --diagnostics).
   std::string summary() const {
     std::string out;
@@ -56,7 +85,16 @@ struct SolveReport {
     out += "iterations: " + std::to_string(iterations) + "\n";
     out += "residual:   " + std::to_string(residual) + "\n";
     out += "wall time:  " + std::to_string(wall_seconds) + " s\n";
-    if (!attempts.empty()) {
+    if (!attempt_details.empty()) {
+      out += "attempts:\n";
+      for (const auto& a : attempt_details) {
+        out += "  " + a.method + ": " + std::to_string(a.iterations) +
+               " iterations, residual " +
+               (std::isnan(a.residual) ? std::string("n/a")
+                                       : std::to_string(a.residual)) +
+               (a.accepted ? " (accepted)\n" : " (rejected)\n");
+      }
+    } else if (!attempts.empty()) {
       out += "attempts:  ";
       for (const auto& a : attempts) out += " " + a;
       out += "\n";

@@ -9,6 +9,7 @@
 
 #include "common/error.hpp"
 #include "common/matrix.hpp"
+#include "obs/obs.hpp"
 #include "robust/fault_injection.hpp"
 
 namespace relkit::robust {
@@ -128,6 +129,11 @@ RobustResult robust_steady_state(const SparseMatrix& qt,
   auto& injector = testing::FaultInjector::instance();
   SolveReport report;
 
+  // One span for the whole verified solve; each attempt below opens a child
+  // span so every fallback edge is visible in the trace with its residual.
+  obs::Span solve_span("robust.steady_state");
+  solve_span.set("n", n);
+
   if (!qt.all_finite() || !all_finite(diag)) {
     throw NumericalError(
         "robust_steady_state: generator contains non-finite entries "
@@ -137,6 +143,7 @@ RobustResult robust_steady_state(const SparseMatrix& qt,
   if (n == 1) {
     report.method = "trivial";
     report.attempts = {"trivial"};
+    report.note_attempt_result("trivial", 0, 0.0, true);
     report.converged = true;
     report.wall_seconds = seconds_since(start);
     record_last_report(report);
@@ -175,20 +182,38 @@ RobustResult robust_steady_state(const SparseMatrix& qt,
   };
 
   std::string prev_method;
-  auto begin_attempt = [&](const std::string& method) {
+  auto begin_attempt = [&](const std::string& method, obs::Span& span) {
     report.note_attempt(method);
-    if (!prev_method.empty()) report.note_fallback(prev_method, method);
+    span.set("method", method);
+    if (!prev_method.empty()) {
+      report.note_fallback(prev_method, method);
+      span.set("fallback_from", prev_method);
+    }
     prev_method = method;
+  };
+
+  // Closes the books on one attempt: per-attempt detail in the report and
+  // the same numbers as attributes on the attempt's span.
+  auto finish_attempt = [&](obs::Span* span, const std::string& method,
+                            std::size_t iterations, double res,
+                            bool accepted) {
+    report.note_attempt_result(method, iterations, res, accepted);
+    if (span) {
+      span->set("iterations", iterations);
+      if (!std::isnan(res)) span->set("residual", res);
+      span->set("accepted", accepted);
+    }
   };
 
   // Accepts a candidate if it survives verification; otherwise records why
   // it was rejected and keeps it as a partial-result candidate.
   auto accept = [&](std::vector<double> pi, const std::string& method,
-                    std::size_t iterations)
+                    std::size_t iterations, obs::Span* span)
       -> std::optional<RobustResult> {
     report.iterations += iterations;
     if (!all_finite(pi)) {
       report.warn(method + ": produced non-finite entries; rejected");
+      finish_attempt(span, method, iterations, std::nan(""), false);
       return std::nullopt;
     }
     double total = 0.0;
@@ -198,6 +223,7 @@ RobustResult robust_steady_state(const SparseMatrix& qt,
     }
     if (total <= 0.0) {
       report.warn(method + ": probability mass collapsed; rejected");
+      finish_attempt(span, method, iterations, std::nan(""), false);
       return std::nullopt;
     }
     for (double& x : pi) x /= total;
@@ -206,13 +232,19 @@ RobustResult robust_steady_state(const SparseMatrix& qt,
       report.warn(method + ": residual " + std::to_string(res) +
                   " fails verification (accept <= " +
                   std::to_string(accept_res) + ")");
+      finish_attempt(span, method, iterations, res, false);
       consider(pi);
       return std::nullopt;
     }
+    finish_attempt(span, method, iterations, res, true);
     report.method = method;
     report.converged = true;
     report.residual = res;
     report.wall_seconds = seconds_since(start);
+    solve_span.set("method", method);
+    solve_span.set("iterations", report.iterations);
+    solve_span.set("residual", res);
+    solve_span.set("converged", true);
     record_last_report(report);
     return RobustResult{std::move(pi), report};
   };
@@ -220,6 +252,9 @@ RobustResult robust_steady_state(const SparseMatrix& qt,
   auto total_failure = [&](const std::string& why) -> ConvergenceError {
     report.residual = best_res;
     report.wall_seconds = seconds_since(start);
+    solve_span.set("iterations", report.iterations);
+    solve_span.set("residual", best_res);
+    solve_span.set("converged", false);
     record_last_report(report);
     std::vector<double> partial = best;
     if (partial.empty()) {
@@ -249,17 +284,20 @@ RobustResult robust_steady_state(const SparseMatrix& qt,
   std::string gth_error;
 
   auto try_gth = [&]() -> std::optional<RobustResult> {
-    begin_attempt("gth");
+    obs::Span span("robust.attempt");
+    begin_attempt("gth", span);
     gth_tried = true;
     if (injector.should_fail("gth")) {
       report.warn("fault injection: gth forced to fail");
+      finish_attempt(&span, "gth", 0, std::nan(""), false);
       return std::nullopt;
     }
     try {
-      return accept(gth_steady_state(densify(qt, diag)), "gth", n);
+      return accept(gth_steady_state(densify(qt, diag)), "gth", n, &span);
     } catch (const NumericalError& e) {
       gth_error = e.what();
       report.warn(std::string("gth: ") + e.what());
+      finish_attempt(&span, "gth", 0, std::nan(""), false);
       return std::nullopt;
     }
   };
@@ -280,17 +318,21 @@ RobustResult robust_steady_state(const SparseMatrix& qt,
   const auto deadline_expired = [&] { return opts.budget.deadline.expired(); };
   auto try_sor = [&](const SorOptions& sor_opts,
                      const std::string& label) -> std::optional<RobustResult> {
-    begin_attempt(label);
+    obs::Span span("robust.attempt");
+    begin_attempt(label, span);
     if (injector.should_fail("sor")) {
       report.warn("fault injection: " + label + " forced to fail");
+      finish_attempt(&span, label, 0, std::nan(""), false);
       return std::nullopt;
     }
     try {
       SorResult r = sor_steady_state(qt, diag, sor_opts);
-      return accept(std::move(r.pi), label, r.iterations);
+      return accept(std::move(r.pi), label, r.iterations, &span);
     } catch (const ConvergenceError& e) {
       report.iterations += e.report().iterations;
       report.warn(label + ": " + e.what());
+      finish_attempt(&span, label, e.report().iterations,
+                     e.report().residual, false);
       consider(e.partial_result());
       return std::nullopt;
     }
@@ -317,25 +359,31 @@ RobustResult robust_steady_state(const SparseMatrix& qt,
   }
 
   // ---- power iteration on the uniformized DTMC ---------------------------
-  begin_attempt("power");
-  if (injector.should_fail("power")) {
-    report.warn("fault injection: power forced to fail");
-  } else {
-    PowerOptions power_opts = opts.power;
-    if (opts.budget.max_iterations != 0 ||
-        !opts.budget.deadline.unlimited()) {
-      power_opts.budget = opts.budget;
-    }
-    try {
-      PowerResult r = power_steady_state(uniformized_dtmc(qt, diag),
-                                         power_opts);
-      if (auto ok = accept(std::move(r.pi), "power", r.iterations)) {
-        return *ok;
+  {
+    obs::Span span("robust.attempt");
+    begin_attempt("power", span);
+    if (injector.should_fail("power")) {
+      report.warn("fault injection: power forced to fail");
+      finish_attempt(&span, "power", 0, std::nan(""), false);
+    } else {
+      PowerOptions power_opts = opts.power;
+      if (opts.budget.max_iterations != 0 ||
+          !opts.budget.deadline.unlimited()) {
+        power_opts.budget = opts.budget;
       }
-    } catch (const ConvergenceError& e) {
-      report.iterations += e.report().iterations;
-      report.warn(std::string("power: ") + e.what());
-      consider(e.partial_result());
+      try {
+        PowerResult r = power_steady_state(uniformized_dtmc(qt, diag),
+                                           power_opts);
+        if (auto ok = accept(std::move(r.pi), "power", r.iterations, &span)) {
+          return *ok;
+        }
+      } catch (const ConvergenceError& e) {
+        report.iterations += e.report().iterations;
+        report.warn(std::string("power: ") + e.what());
+        finish_attempt(&span, "power", e.report().iterations,
+                       e.report().residual, false);
+        consider(e.partial_result());
+      }
     }
   }
   if (deadline_expired()) throw total_failure("deadline expired during power");

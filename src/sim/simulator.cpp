@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 #include "robust/fault_injection.hpp"
 
 namespace relkit::sim {
@@ -37,6 +38,11 @@ Estimate run_replications(const char* what, std::size_t replications,
   const std::size_t target =
       injector.cap("sim.replications", budget.cap_iterations(replications));
 
+  obs::Span span("sim.estimate");
+  span.set("what", what);
+  span.set("target", target);
+  static obs::Counter& rep_counter = obs::counter("sim.replications");
+
   Rng master(seed);
   OnlineStats stats;
   bool stopped = false;
@@ -49,6 +55,7 @@ Estimate run_replications(const char* what, std::size_t replications,
     }
     Rng stream = master.split();
     stats.add(one_rep(stream));
+    rep_counter.add();
   }
   if (stats.count() < replications && !stopped) {
     stopped = true;
@@ -68,6 +75,13 @@ Estimate run_replications(const char* what, std::size_t replications,
                 ") after " + std::to_string(stats.count()) + " of " +
                 std::to_string(replications) + " replications");
   }
+  report.note_attempt_result("monte-carlo", stats.count(),
+                             stats.count() >= 2 ? stats.ci_halfwidth(0.95)
+                                                : std::nan(""),
+                             !stopped);
+  span.set("replications", stats.count());
+  span.set("mean", stats.count() ? stats.mean() : 0.0);
+  span.set("budget_stopped", stopped);
   robust::record_last_report(report);
 
   if (stats.count() < 2) {
@@ -119,10 +133,12 @@ SystemSimulator::RunResult SystemSimulator::run(double horizon,
   bool system_up = true;
   double now = 0.0;
 
+  static obs::Counter& event_counter = obs::counter("sim.events");
   while (!events.empty()) {
     const auto [when, comp] = events.top();
     if (when > horizon) break;
     events.pop();
+    event_counter.add();
     if (system_up) result.up_time += when - now;
     now = when;
 
@@ -265,6 +281,8 @@ spn::Marking SrnSimulator::play(
     }
     observe(dwell, m);
     now += dwell;
+    static obs::Counter& firing_counter = obs::counter("sim.srn_firings");
+    firing_counter.add();
     double pick = rng.uniform() * total_rate;
     spn::TransId chosen = enabled.back().first;
     for (const auto& [tr, rate] : enabled) {

@@ -1,0 +1,347 @@
+// Tests for the observability layer (src/obs/): metric semantics, span
+// nesting and parenting (including across threads), sink round-trips, the
+// disabled-mode no-op guarantee, and the span tree produced when the robust
+// fallback chain degrades under injected faults.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "markov/ctmc.hpp"
+#include "obs/obs.hpp"
+#include "robust/fault_injection.hpp"
+
+namespace relkit {
+namespace {
+
+using relkit::testing::FaultInjectionScope;
+
+// Most tests need the hooks compiled in; with -DRELKIT_OBS=OFF the
+// enabled() gate is constexpr false and recording is (by design) a no-op.
+#define RELKIT_REQUIRE_OBS_COMPILED_IN()                                 \
+  if (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out (RELKIT_OBS=OFF)"
+
+/// Enables obs for the duration of a test and restores the disabled default
+/// (plus a clean sink list and zeroed metrics) afterwards.
+class ObsScope {
+ public:
+  ObsScope() {
+    obs::Registry::instance().reset_values();
+    obs::set_enabled(true);
+  }
+  ~ObsScope() {
+    obs::set_enabled(false);
+    obs::Tracer::instance().remove_all_sinks();
+    obs::Registry::instance().reset_values();
+  }
+};
+
+// ---- metric semantics -------------------------------------------------------
+
+TEST(Metrics, CounterAccumulatesAndResets) {
+  RELKIT_REQUIRE_OBS_COMPILED_IN();
+  ObsScope scope;
+  obs::Counter& c = obs::counter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, CounterIsNoOpWhenDisabled) {
+  obs::set_enabled(false);
+  obs::Counter& c = obs::counter("test.disabled_counter");
+  c.reset();
+  c.add(100);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, GaugeKeepsLastValue) {
+  RELKIT_REQUIRE_OBS_COMPILED_IN();
+  ObsScope scope;
+  obs::Gauge& g = obs::gauge("test.gauge");
+  g.set(1.5);
+  g.set(-3.25);
+  EXPECT_DOUBLE_EQ(g.value(), -3.25);
+}
+
+TEST(Metrics, HistogramStatsAndQuantiles) {
+  RELKIT_REQUIRE_OBS_COMPILED_IN();
+  ObsScope scope;
+  obs::Histogram& h = obs::histogram("test.hist");
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  // Bucketed quantiles are approximate: the upper edge of the bucket
+  // holding the rank. p50 of 1..100 lies in the bucket covering 50.
+  EXPECT_GE(h.quantile(0.5), 50.0);
+  EXPECT_LE(h.quantile(0.5), 64.0);  // base-2 bucket upper edge
+  EXPECT_GE(h.quantile(0.99), 99.0);
+}
+
+TEST(Metrics, HistogramBucketsCoverExtremes) {
+  RELKIT_REQUIRE_OBS_COMPILED_IN();
+  ObsScope scope;
+  obs::Histogram& h = obs::histogram("test.hist_extreme");
+  h.observe(0.0);      // non-positive -> bucket 0
+  h.observe(-5.0);     // non-positive -> bucket 0
+  h.observe(1e-300);   // below range -> clamped to first exponential bucket
+  h.observe(1e300);    // above range -> saturated top bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(obs::Histogram::kBuckets - 1), 1u);
+}
+
+TEST(Metrics, RegistryReturnsStableReferencesAndNames) {
+  ObsScope scope;
+  obs::Counter& a = obs::counter("test.stable");
+  obs::Counter& b = obs::counter("test.stable");
+  EXPECT_EQ(&a, &b);
+  const auto names = obs::Registry::instance().names();
+  bool found = false;
+  for (const auto& n : names) found |= (n == "test.stable");
+  EXPECT_TRUE(found);
+}
+
+TEST(Metrics, RegistryJsonIsWellFormedish) {
+  RELKIT_REQUIRE_OBS_COMPILED_IN();
+  ObsScope scope;
+  obs::counter("test.json_counter").add(7);
+  obs::histogram("test.json_hist").observe(2.0);
+  const std::string json = obs::Registry::instance().to_json();
+  EXPECT_NE(json.find("\"test.json_counter\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_hist\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+// ---- spans ------------------------------------------------------------------
+
+TEST(Spans, NestingRecordsParentAndDepth) {
+  RELKIT_REQUIRE_OBS_COMPILED_IN();
+  ObsScope scope;
+  auto ring = std::make_shared<obs::RingBufferSink>();
+  obs::Tracer::instance().add_sink(ring);
+  {
+    obs::Span outer("test.outer");
+    {
+      obs::Span inner("test.inner");
+      inner.set("k", 3);
+    }
+  }
+  const auto spans = ring->snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Spans are emitted on completion: inner first.
+  EXPECT_EQ(spans[0].name, "test.inner");
+  EXPECT_EQ(spans[1].name, "test.outer");
+  EXPECT_EQ(spans[0].parent, spans[1].id);
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[1].depth, 0u);
+  ASSERT_NE(spans[0].attr("k"), nullptr);
+  EXPECT_EQ(*spans[0].attr("k"), "3");
+  EXPECT_GE(spans[1].wall_s, spans[0].wall_s);
+}
+
+TEST(Spans, DisabledSpansEmitNothing) {
+  auto ring = std::make_shared<obs::RingBufferSink>();
+  obs::Tracer::instance().add_sink(ring);
+  obs::set_enabled(false);
+  {
+    obs::Span span("test.silent");
+    span.set("k", 1);
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_TRUE(ring->snapshot().empty());
+  obs::Tracer::instance().remove_all_sinks();
+}
+
+TEST(Spans, ThreadsGetIndependentStacksAndIndices) {
+  RELKIT_REQUIRE_OBS_COMPILED_IN();
+  ObsScope scope;
+  auto ring = std::make_shared<obs::RingBufferSink>();
+  obs::Tracer::instance().add_sink(ring);
+
+  auto worker = [](const char* outer, const char* inner) {
+    obs::Span o(outer);
+    obs::Span i(inner);
+  };
+  std::thread t1(worker, "test.t1_outer", "test.t1_inner");
+  std::thread t2(worker, "test.t2_outer", "test.t2_inner");
+  t1.join();
+  t2.join();
+
+  const auto spans = ring->snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  std::uint64_t t1_thread = 0, t2_thread = 0;
+  const obs::SpanRecord* records[4] = {};
+  for (const auto& s : spans) {
+    if (s.name == "test.t1_outer") records[0] = &s, t1_thread = s.thread;
+    if (s.name == "test.t1_inner") records[1] = &s;
+    if (s.name == "test.t2_outer") records[2] = &s, t2_thread = s.thread;
+    if (s.name == "test.t2_inner") records[3] = &s;
+  }
+  for (const auto* r : records) ASSERT_NE(r, nullptr);
+  EXPECT_NE(t1_thread, t2_thread);
+  // Each inner span parents to its own thread's outer span, never across.
+  EXPECT_EQ(records[1]->parent, records[0]->id);
+  EXPECT_EQ(records[3]->parent, records[2]->id);
+  EXPECT_EQ(records[1]->thread, t1_thread);
+  EXPECT_EQ(records[3]->thread, t2_thread);
+  EXPECT_EQ(records[0]->parent, 0u);
+  EXPECT_EQ(records[2]->parent, 0u);
+}
+
+TEST(Spans, RingBufferDropsOldest) {
+  RELKIT_REQUIRE_OBS_COMPILED_IN();
+  ObsScope scope;
+  auto ring = std::make_shared<obs::RingBufferSink>(4);
+  obs::Tracer::instance().add_sink(ring);
+  for (int i = 0; i < 10; ++i) {
+    obs::Span span("test.ring" + std::to_string(i));
+  }
+  const auto spans = ring->snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(ring->dropped(), 6u);
+  EXPECT_EQ(spans.front().name, "test.ring6");
+  EXPECT_EQ(spans.back().name, "test.ring9");
+}
+
+TEST(Spans, JsonlRoundTrip) {
+  RELKIT_REQUIRE_OBS_COMPILED_IN();
+  ObsScope scope;
+  const std::string path = ::testing::TempDir() + "relkit_obs_spans.jsonl";
+  auto ring = std::make_shared<obs::RingBufferSink>();
+  {
+    std::shared_ptr<obs::JsonlSink> jsonl = obs::JsonlSink::open(path);
+    ASSERT_NE(jsonl, nullptr);
+    obs::Tracer::instance().add_sink(jsonl);
+    obs::Tracer::instance().add_sink(ring);
+    obs::Span outer("test.jsonl_outer");
+    {
+      obs::Span inner("test.jsonl_inner");
+      inner.set("method", "sor");
+      inner.set("residual", 1.25e-9);
+      inner.set("escaped", "a\"b\\c\n");
+    }
+    obs::Tracer::instance().remove_all_sinks();  // close + flush
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  // inner completed (and was written) before the sinks were removed; outer
+  // was still open at that point, so exactly one line.
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+  const auto spans = ring->snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_NE(line.find("\"name\":\"test.jsonl_inner\""), std::string::npos);
+  EXPECT_NE(line.find("\"id\":" + std::to_string(spans[0].id)),
+            std::string::npos);
+  EXPECT_NE(line.find("\"parent\":" + std::to_string(spans[0].parent)),
+            std::string::npos);
+  EXPECT_NE(line.find("\"method\":\"sor\""), std::string::npos);
+  EXPECT_NE(line.find("\"residual\":\"1.25e-09\""), std::string::npos);
+  EXPECT_NE(line.find("\\\"b\\\\c\\n"), std::string::npos);
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  std::remove(path.c_str());
+}
+
+// ---- integration: fallback chain under injected faults ---------------------
+
+TEST(Integration, FallbackChainProducesAttemptSpanTree) {
+  RELKIT_REQUIRE_OBS_COMPILED_IN();
+  ObsScope scope;
+  FaultInjectionScope faults;
+  faults->fail_method("sor");  // force sor -> power degradation
+
+  auto ring = std::make_shared<obs::RingBufferSink>();
+  obs::Tracer::instance().add_sink(ring);
+
+  markov::Ctmc chain;
+  chain.add_states(12);
+  for (std::size_t i = 0; i + 1 < 12; ++i) {
+    chain.add_transition(i, i + 1, 1.0);
+    chain.add_transition(i + 1, i, 2.0);
+  }
+  markov::SteadyStateOptions opts;
+  opts.dense_threshold = 0;         // no primary GTH
+  opts.gth_fallback_threshold = 0;  // no last-resort GTH
+  opts.sor.adaptive_omega = false;  // single sor attempt, then power
+  robust::SolveReport report;
+  const auto pi = chain.steady_state(opts, &report);
+  ASSERT_EQ(pi.size(), 12u);
+  EXPECT_TRUE(report.converged);
+
+  const auto spans = ring->snapshot();
+  const obs::SpanRecord* solve = nullptr;
+  std::vector<const obs::SpanRecord*> attempts;
+  for (const auto& s : spans) {
+    if (s.name == "robust.steady_state") solve = &s;
+    if (s.name == "robust.attempt") attempts.push_back(&s);
+  }
+  ASSERT_NE(solve, nullptr);
+  ASSERT_GE(attempts.size(), 2u);
+
+  // Every attempt is a child of the solve span and carries its verdict.
+  bool saw_failed_sor = false, saw_accepted_power = false;
+  for (const auto* a : attempts) {
+    EXPECT_EQ(a->parent, solve->id);
+    ASSERT_NE(a->attr("method"), nullptr);
+    ASSERT_NE(a->attr("accepted"), nullptr);
+    if (*a->attr("method") == "sor" && *a->attr("accepted") == "false") {
+      saw_failed_sor = true;
+    }
+    if (*a->attr("method") == "power" && *a->attr("accepted") == "true") {
+      saw_accepted_power = true;
+      EXPECT_NE(a->attr("residual"), nullptr);
+      EXPECT_NE(a->attr("iterations"), nullptr);
+    }
+  }
+  EXPECT_TRUE(saw_failed_sor);
+  EXPECT_TRUE(saw_accepted_power);
+
+  // The solve span records the accepted method, and the SolveReport's
+  // attempt details mirror the span attributes (same instrumentation
+  // points).
+  ASSERT_NE(solve->attr("method"), nullptr);
+  EXPECT_EQ(*solve->attr("method"), "power");
+  ASSERT_GE(report.attempt_details.size(), 2u);
+  EXPECT_FALSE(report.attempt_details.front().accepted);
+  EXPECT_TRUE(report.attempt_details.back().accepted);
+  EXPECT_EQ(report.attempt_details.back().method, "power");
+
+  // And the rendered tree shows the nesting.
+  const std::string tree = obs::render_trace_tree(spans);
+  EXPECT_NE(tree.find("robust.steady_state"), std::string::npos);
+  EXPECT_NE(tree.find("  robust.attempt"), std::string::npos);
+}
+
+TEST(Integration, MetricsFireDuringSolve) {
+  RELKIT_REQUIRE_OBS_COMPILED_IN();
+  ObsScope scope;
+  markov::Ctmc chain;
+  chain.add_states(30);
+  for (std::size_t i = 0; i + 1 < 30; ++i) {
+    chain.add_transition(i, i + 1, 1.0);
+    chain.add_transition(i + 1, i, 2.0);
+  }
+  markov::SteadyStateOptions opts;
+  opts.dense_threshold = 0;  // force the iterative path
+  (void)chain.steady_state(opts);
+  EXPECT_GT(obs::counter("markov.sor_sweeps").value(), 0u);
+  EXPECT_GT(obs::histogram("markov.sor_residual").count(), 0u);
+}
+
+}  // namespace
+}  // namespace relkit

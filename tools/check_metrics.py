@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Docs lint: every obs metric and span name used in src/ must be documented.
+
+Scans src/ for obs::counter("...") / obs::gauge("...") / obs::histogram("...")
+registrations and obs::Span("...") names, then checks that each name appears
+verbatim in docs/observability.md. Exits non-zero listing any undocumented
+names, so the metric catalog cannot silently rot.
+
+Usage: check_metrics.py [repo-root]   (default: parent of this script's dir)
+"""
+
+import pathlib
+import re
+import sys
+
+METRIC_RE = re.compile(r'obs::(?:counter|gauge|histogram)\(\s*"([^"]+)"')
+SPAN_RE = re.compile(r'obs::Span\s+\w+\(\s*"([^"]+)"')
+
+
+def collect_names(src_dir: pathlib.Path) -> set[str]:
+    names: set[str] = set()
+    for path in sorted(src_dir.rglob("*.cpp")) + sorted(src_dir.rglob("*.hpp")):
+        text = path.read_text(encoding="utf-8")
+        names.update(METRIC_RE.findall(text))
+        names.update(SPAN_RE.findall(text))
+    return names
+
+
+def main() -> int:
+    root = (
+        pathlib.Path(sys.argv[1])
+        if len(sys.argv) > 1
+        else pathlib.Path(__file__).resolve().parent.parent
+    )
+    src = root / "src"
+    doc = root / "docs" / "observability.md"
+    if not src.is_dir():
+        print(f"check_metrics: no src/ under {root}", file=sys.stderr)
+        return 2
+    if not doc.is_file():
+        print(f"check_metrics: missing {doc}", file=sys.stderr)
+        return 2
+
+    names = collect_names(src)
+    # The obs self-API in src/obs is documentation examples, not real
+    # registrations; everything it mentions is still checked if a solver
+    # uses it, so no exclusions are needed beyond skipping obs's own docs
+    # comments — which use real names anyway.
+    doc_text = doc.read_text(encoding="utf-8")
+    missing = sorted(n for n in names if n not in doc_text)
+    if missing:
+        print("undocumented metric/span names (add to docs/observability.md):")
+        for name in missing:
+            print(f"  {name}")
+        return 1
+    print(f"check_metrics: all {len(names)} metric/span names documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

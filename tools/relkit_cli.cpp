@@ -1,31 +1,39 @@
 // relkit_cli — analyze a fault-tree / RBD model file from the command line.
 //
 //   relkit_cli <model-file> [--time t1 t2 ...] [--cuts] [--importance]
-//              [--diagnostics]
+//              [--diagnostics] [--trace[=FILE]] [--metrics[=FILE]]
 //
 // Prints, depending on the model's component specifications:
 //   * steady-state availability / top-event probability,
 //   * reliability / unreliability at the requested time points,
 //   * MTTF when the model is purely lifetime-driven,
 //   * minimal cut sets (--cuts) and importance measures (--importance),
-//   * the last solver's SolveReport (--diagnostics).
+//   * the last solver's SolveReport (--diagnostics),
+//   * a nested span tree of where the time went (--trace), or the same
+//     spans as JSON lines written to FILE (--trace=FILE),
+//   * the metrics registry (--metrics prints text, --metrics=FILE writes
+//     JSON).
 //
 // Exit codes: 0 success, 1 usage error, 2 model error, 3 numerical error
-// (including convergence failures), 4 invalid argument.
+// (including convergence failures), 4 invalid argument (malformed or
+// unusable --trace/--metrics values included).
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/relkit.hpp"
 #include "io/model_parser.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
 void usage() {
   std::fprintf(stderr,
                "usage: relkit_cli <model-file> [--time t ...] [--cuts] "
-               "[--importance] [--diagnostics]\n");
+               "[--importance] [--diagnostics] [--trace[=FILE]] "
+               "[--metrics[=FILE]]\n");
 }
 
 void print_cuts(const std::vector<std::vector<std::string>>& cuts) {
@@ -65,6 +73,10 @@ int main(int argc, char** argv) {
   bool want_cuts = false;
   bool want_importance = false;
   bool want_diagnostics = false;
+  bool want_trace = false;
+  bool want_metrics = false;
+  std::string trace_file;
+  std::string metrics_file;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--time") == 0) {
       while (i + 1 < argc && argv[i + 1][0] != '-') {
@@ -76,6 +88,29 @@ int main(int argc, char** argv) {
       want_importance = true;
     } else if (std::strcmp(argv[i], "--diagnostics") == 0) {
       want_diagnostics = true;
+    } else if (std::strncmp(argv[i], "--trace", 7) == 0 &&
+               (argv[i][7] == '\0' || argv[i][7] == '=')) {
+      want_trace = true;
+      if (argv[i][7] == '=') {
+        trace_file = argv[i] + 8;
+        if (trace_file.empty()) {
+          std::fprintf(stderr, "invalid argument: --trace= needs a file\n");
+          usage();
+          return 4;
+        }
+      }
+    } else if (std::strncmp(argv[i], "--metrics", 9) == 0 &&
+               (argv[i][9] == '\0' || argv[i][9] == '=')) {
+      want_metrics = true;
+      if (argv[i][9] == '=') {
+        metrics_file = argv[i] + 10;
+        if (metrics_file.empty()) {
+          std::fprintf(stderr,
+                       "invalid argument: --metrics= needs a file\n");
+          usage();
+          return 4;
+        }
+      }
     } else if (argv[i][0] == '-') {
       usage();
       return 1;
@@ -86,6 +121,26 @@ int main(int argc, char** argv) {
   if (path.empty()) {
     usage();
     return 1;
+  }
+
+  std::shared_ptr<relkit::obs::RingBufferSink> ring;
+  std::shared_ptr<relkit::obs::JsonlSink> trace_jsonl;
+  if (want_trace || want_metrics) relkit::obs::set_enabled(true);
+  if (want_trace) {
+    if (trace_file.empty()) {
+      ring = std::make_shared<relkit::obs::RingBufferSink>();
+      relkit::obs::Tracer::instance().add_sink(ring);
+    } else {
+      trace_jsonl = relkit::obs::JsonlSink::open(trace_file);
+      if (!trace_jsonl) {
+        std::fprintf(stderr,
+                     "invalid argument: cannot open trace file '%s'\n",
+                     trace_file.c_str());
+        usage();
+        return 4;
+      }
+      relkit::obs::Tracer::instance().add_sink(trace_jsonl);
+    }
   }
 
   try {
@@ -153,6 +208,40 @@ int main(int argc, char** argv) {
       }
     }
     if (want_diagnostics) print_diagnostics();
+    if (want_trace) {
+      if (ring) {
+        std::printf("--- trace ---\n%s",
+                    relkit::obs::render_trace_tree(ring->snapshot()).c_str());
+        if (ring->dropped() > 0) {
+          std::printf("(%llu older spans dropped from the ring buffer)\n",
+                      static_cast<unsigned long long>(ring->dropped()));
+        }
+      } else if (trace_jsonl) {
+        trace_jsonl->flush();
+        std::printf("trace written to %s\n", trace_file.c_str());
+      }
+    }
+    if (want_metrics) {
+      if (metrics_file.empty()) {
+        std::printf("--- metrics ---\n%s",
+                    relkit::obs::Registry::instance().render_text().c_str());
+      } else {
+        std::FILE* f = std::fopen(metrics_file.c_str(), "w");
+        if (f == nullptr) {
+          std::fprintf(stderr,
+                       "invalid argument: cannot open metrics file '%s'\n",
+                       metrics_file.c_str());
+          usage();
+          return 4;
+        }
+        const std::string json =
+            relkit::obs::Registry::instance().to_json() + "\n";
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("metrics written to %s\n", metrics_file.c_str());
+      }
+    }
+    relkit::obs::Tracer::instance().remove_all_sinks();
   } catch (const relkit::robust::ConvergenceError& e) {
     std::fprintf(stderr, "numerical error: %s\n", e.what());
     if (want_diagnostics) {
