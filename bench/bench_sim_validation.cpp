@@ -10,14 +10,45 @@
 
 #include "bench_util.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 
 #include "core/relkit.hpp"
+#include "parallel/pool.hpp"
 
 using namespace relkit;
 
 namespace {
+
+/// Threads column: wall time and speedup of the 20k-replication duplex
+/// availability estimate for jobs = 1/2/4. The jobs >= 2 estimates are
+/// identical by the determinism contract (docs/parallelism.md); jobs = 1
+/// is the historical sequential path bit for bit. Restores `restore_jobs`
+/// (the --jobs flag) afterwards so the microbenchmarks run as requested.
+void print_threads_table(unsigned restore_jobs) {
+  std::printf("Parallel scaling (duplex availability_at, 20000 reps):\n");
+  std::printf("%-6s %-12s %-9s %-12s\n", "jobs", "wall (ms)", "speedup",
+              "mean");
+  sim::SystemSimulator simulator(
+      {{exponential(0.1), exponential(1.0)},
+       {exponential(0.1), exponential(1.0)}},
+      [](const std::vector<bool>& s) { return s[0] || s[1]; });
+  double base_ms = 0.0;
+  for (const unsigned jobs : {1u, 2u, 4u}) {
+    parallel::set_default_jobs(jobs);
+    const auto start = std::chrono::steady_clock::now();
+    const auto est = simulator.availability_at(10.0, 20000, 106);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    if (jobs == 1) base_ms = ms;
+    std::printf("%-6u %-12.2f %-9.2f %-12.6f\n", jobs, ms,
+                base_ms / ms, est.mean);
+  }
+  parallel::set_default_jobs(restore_jobs);
+  std::printf("\n");
+}
 
 void print_table() {
   std::printf("== E9: analytic vs simulation ==============================\n");
@@ -169,6 +200,25 @@ void BM_SimAvailability(benchmark::State& state) {
 }
 BENCHMARK(BM_SimAvailability)->RangeMultiplier(4)->Range(250, 16000);
 
+void BM_SimAvailabilityJobs(benchmark::State& state) {
+  sim::SystemSimulator simulator(
+      {{exponential(0.1), exponential(1.0)},
+       {exponential(0.1), exponential(1.0)}},
+      [](const std::vector<bool>& s) { return s[0] || s[1]; });
+  const auto reps = static_cast<std::size_t>(state.range(0));
+  const auto jobs = static_cast<unsigned>(state.range(1));
+  const unsigned before = parallel::default_jobs();
+  parallel::set_default_jobs(jobs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.availability_at(10.0, reps, 7));
+  }
+  parallel::set_default_jobs(before);
+}
+BENCHMARK(BM_SimAvailabilityJobs)
+    ->Args({16000, 1})
+    ->Args({16000, 2})
+    ->Args({16000, 4});
+
 void BM_AnalyticEquivalent(benchmark::State& state) {
   markov::Ctmc chain;
   chain.add_states(3);
@@ -188,6 +238,7 @@ BENCHMARK(BM_AnalyticEquivalent);
 int main(int argc, char** argv) {
   const benchjson::Options opts = benchjson::init(&argc, argv);
   print_table();
+  print_threads_table(opts.jobs);
   if (opts.table_only) return 0;
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

@@ -10,9 +10,11 @@
 
 #include "bench_util.hpp"
 
+#include <chrono>
 #include <cstdio>
 
 #include "core/relkit.hpp"
+#include "parallel/pool.hpp"
 
 using namespace relkit;
 
@@ -66,6 +68,26 @@ void print_table() {
     std::printf("%3.0fx (%3.0f failures)    %.8f [%.6f,%.6f] %-14.3e\n",
                 scale, 5 * scale, res.mean, lo, hi, hi - lo);
   }
+  std::printf("\n(c) parallel scaling (LHS, 6400 samples, explicit jobs)\n");
+  std::printf("%-6s %-12s %-9s %-14s\n", "jobs", "wall (ms)", "speedup",
+              "mean A");
+  {
+    double base_ms = 0.0;
+    for (const std::size_t jobs : {1u, 2u, 4u}) {
+      Rng rng(17);
+      const auto start = std::chrono::steady_clock::now();
+      const auto res = uncertainty::propagate(
+          params, duplex_availability, 6400, rng,
+          uncertainty::Sampling::kLatinHypercube, jobs);
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+      if (jobs == 1) base_ms = ms;
+      std::printf("%-6zu %-12.2f %-9.2f %-14.8f\n", jobs, ms, base_ms / ms,
+                  res.mean);
+    }
+  }
+
   std::printf("\nShape check: both samplers' width estimates stabilize by\n"
               "~1-2k samples (LHS's variance reduction appears on the MEAN,\n"
               "not the percentile width — see test_uncertainty); quadrupling\n"
@@ -100,6 +122,24 @@ void BM_PropagateLhs(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PropagateLhs)->RangeMultiplier(4)->Range(100, 6400);
+
+void BM_PropagateLhsJobs(benchmark::State& state) {
+  const std::vector<uncertainty::ParamSpec> params{
+      {"lambda", uncertainty::rate_posterior(20, 20000.0)},
+      {"mu", uncertainty::rate_posterior(20, 50.0)}};
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto jobs = static_cast<std::size_t>(state.range(1));
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        uncertainty::propagate(params, duplex_availability, n, rng,
+                               uncertainty::Sampling::kLatinHypercube, jobs));
+  }
+}
+BENCHMARK(BM_PropagateLhsJobs)
+    ->Args({6400, 1})
+    ->Args({6400, 2})
+    ->Args({6400, 4});
 
 }  // namespace
 

@@ -6,6 +6,11 @@
 //                                    in google-benchmark's JSON schema
 //   --table-only                     print the experiment table and exit
 //                                    (skips the microbenchmark loop)
+//   --jobs N        (or --jobs=N)    parallelism degree for the fan-out
+//                                    paths (sets parallel::set_default_jobs;
+//                                    default 1 = sequential). Recorded into
+//                                    the JSON context as "jobs" so
+//                                    BENCH_*.json files say how they ran.
 //
 // bench/run_all.sh uses --json to regenerate the BENCH_<name>.json files
 // referenced from EXPERIMENTS.md.
@@ -13,9 +18,12 @@
 // google-benchmark rejects flags it does not know, so init() consumes the
 // RelKit flags before benchmark::Initialize sees argv: --json is rewritten
 // into --benchmark_out=OUT plus --benchmark_out_format=json, --table-only
-// is stripped. A malformed value (missing or empty OUT) prints usage and
-// exits with code 4, matching relkit_cli's invalid-argument convention.
+// and --jobs are stripped. A malformed value (missing/empty OUT, non-integer
+// or zero jobs) prints usage and exits with code 4, matching relkit_cli's
+// invalid-argument convention.
 #pragma once
+
+#include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,16 +31,19 @@
 #include <string>
 #include <vector>
 
+#include "parallel/pool.hpp"
+
 namespace benchjson {
 
 struct Options {
   std::string json_path;    ///< empty = no JSON output requested
   bool table_only = false;  ///< print the table, skip the benchmark loop
+  unsigned jobs = 1;        ///< effective parallelism degree
 };
 
 [[noreturn]] inline void usage_exit(const char* prog) {
   std::fprintf(stderr,
-               "usage: %s [--json OUT] [--table-only] "
+               "usage: %s [--json OUT] [--table-only] [--jobs N] "
                "[google-benchmark flags]\n",
                prog);
   std::exit(4);
@@ -67,6 +78,23 @@ inline Options init(int* argc, char** argv) {
       keep.push_back(storage.back().data());
     } else if (std::strcmp(arg, "--table-only") == 0) {
       opts.table_only = true;
+    } else if (std::strcmp(arg, "--jobs") == 0 ||
+               std::strncmp(arg, "--jobs=", 7) == 0) {
+      const char* value = nullptr;
+      if (arg[6] == '=') {
+        value = arg + 7;
+      } else if (i + 1 < *argc) {
+        value = argv[++i];
+      }
+      char* rest = nullptr;
+      const unsigned long parsed =
+          value ? std::strtoul(value, &rest, 10) : 0;
+      if (value == nullptr || rest == value || *rest != '\0' || parsed == 0) {
+        std::fprintf(stderr, "%s: --jobs needs a positive integer\n",
+                     argv[0]);
+        usage_exit(argv[0]);
+      }
+      opts.jobs = static_cast<unsigned>(parsed);
     } else {
       keep.push_back(argv[i]);
     }
@@ -74,6 +102,10 @@ inline Options init(int* argc, char** argv) {
   for (std::size_t i = 0; i < keep.size(); ++i) argv[i] = keep[i];
   *argc = static_cast<int>(keep.size());
   argv[*argc] = nullptr;
+  relkit::parallel::set_default_jobs(opts.jobs);
+  // Every BENCH_*.json records how parallel its run was, so speedup tables
+  // in EXPERIMENTS.md are reproducible from the context alone.
+  benchmark::AddCustomContext("jobs", std::to_string(opts.jobs));
   return opts;
 }
 

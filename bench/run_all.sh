@@ -8,11 +8,19 @@
 # (default: the repo root), one BENCH_<name>.json per bench_<name> binary,
 # in google-benchmark's JSON schema. The human-readable experiment tables
 # still go to stdout.
-set -eu
+#
+# Parallelism: RELKIT_BENCH_JOBS (default: nproc) is passed to every bench
+# as --jobs and recorded into each JSON file's context, so the archived
+# numbers say how parallel the run was.
+#
+# Every bench runs even if an earlier one fails; the script exits non-zero
+# at the end listing the failures instead of continuing silently.
+set -u
 
 build_dir="${1:-build}"
 out_dir="${2:-.}"
 bench_dir="$build_dir/bench"
+jobs="${RELKIT_BENCH_JOBS:-$(nproc 2>/dev/null || echo 1)}"
 
 if [ ! -d "$bench_dir" ]; then
   echo "run_all.sh: no bench binaries in $bench_dir (build first:" \
@@ -21,18 +29,26 @@ if [ ! -d "$bench_dir" ]; then
 fi
 
 found=0
+failed=""
 for bin in "$bench_dir"/bench_*; do
   [ -x "$bin" ] || continue
   found=1
   name="$(basename "$bin")"
   short="${name#bench_}"
   out="$out_dir/BENCH_${short}.json"
-  echo "== $name -> $out"
-  "$bin" --json "$out" --benchmark_min_time=0.05s
+  echo "== $name -> $out (jobs=$jobs)"
+  if ! "$bin" --json "$out" --jobs "$jobs" --benchmark_min_time=0.05s; then
+    echo "run_all.sh: $name exited non-zero" >&2
+    failed="$failed $name"
+  fi
 done
 
 if [ "$found" -eq 0 ]; then
   echo "run_all.sh: no bench_* executables found in $bench_dir" >&2
+  exit 1
+fi
+if [ -n "$failed" ]; then
+  echo "run_all.sh: FAILED benches:$failed" >&2
   exit 1
 fi
 echo "done: $(ls "$out_dir"/BENCH_*.json 2>/dev/null | wc -l) JSON files"

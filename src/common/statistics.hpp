@@ -13,6 +13,12 @@ class OnlineStats {
   /// Adds one observation.
   void add(double x);
 
+  /// Folds another accumulator in (Chan et al. parallel combine). Used by
+  /// the parallel simulator / uncertainty paths to merge per-chunk
+  /// accumulators; merging in a fixed chunk order keeps the result
+  /// deterministic for any worker count.
+  void merge(const OnlineStats& other);
+
   std::size_t count() const { return n_; }
   double mean() const { return mean_; }
   /// Unbiased sample variance (0 if fewer than 2 observations).

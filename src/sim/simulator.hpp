@@ -14,7 +14,13 @@
 //     by priority/weight) and estimates transient and accumulated rewards.
 //
 // Replications are driven by independent RNG streams split from one seed,
-// so results are reproducible.
+// so results are reproducible. When parallel::default_jobs() > 1 the
+// replications fan out across the process-wide thread pool: streams are
+// still split in replication order and per-chunk accumulators merge in a
+// fixed chunk order, so for a given seed the estimate is identical for any
+// worker count >= 2, and jobs == 1 remains bit-identical to the historical
+// sequential loop (determinism contract: docs/parallelism.md). Budget
+// deadlines are polled between chunks, so cancellation keeps working.
 #pragma once
 
 #include <functional>

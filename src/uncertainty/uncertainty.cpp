@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/error.hpp"
 #include "common/statistics.hpp"
+#include "obs/obs.hpp"
+#include "parallel/pool.hpp"
 
 namespace relkit::uncertainty {
 
@@ -21,7 +24,7 @@ std::pair<double, double> UncertaintyResult::interval(double level) const {
 
 UncertaintyResult propagate(const std::vector<ParamSpec>& params,
                             const ModelFn& model, std::size_t n, Rng& rng,
-                            Sampling sampling) {
+                            Sampling sampling, std::size_t jobs) {
   detail::require(!params.empty(), "propagate: no parameters");
   detail::require(model != nullptr, "propagate: null model");
   detail::require(n >= 2, "propagate: need at least 2 samples");
@@ -30,6 +33,7 @@ UncertaintyResult propagate(const std::vector<ParamSpec>& params,
                     "propagate: null distribution for '" + p.name + "'");
     detail::require(!p.name.empty(), "propagate: empty parameter name");
   }
+  if (jobs == 0) jobs = parallel::default_jobs();
 
   const std::size_t k = params.size();
 
@@ -48,29 +52,83 @@ UncertaintyResult propagate(const std::vector<ParamSpec>& params,
   }
 
   UncertaintyResult out;
-  out.samples.reserve(n);
   OnlineStats stats;
-  std::map<std::string, double> assignment;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < k; ++j) {
-      double draw;
-      if (sampling == Sampling::kLatinHypercube) {
-        // Uniform within the assigned stratum, inverse-cdf transform.
-        const double u =
-            (static_cast<double>(strata[j][i]) + rng.uniform()) /
-            static_cast<double>(n);
-        const double clamped = std::min(std::max(u, 1e-12), 1.0 - 1e-12);
-        draw = params[j].dist->quantile(clamped);
-      } else {
-        draw = params[j].dist->sample(rng);
+  if (jobs <= 1) {
+    out.samples.reserve(n);
+    std::map<std::string, double> assignment;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        double draw;
+        if (sampling == Sampling::kLatinHypercube) {
+          // Uniform within the assigned stratum, inverse-cdf transform.
+          const double u =
+              (static_cast<double>(strata[j][i]) + rng.uniform()) /
+              static_cast<double>(n);
+          const double clamped = std::min(std::max(u, 1e-12), 1.0 - 1e-12);
+          draw = params[j].dist->quantile(clamped);
+        } else {
+          draw = params[j].dist->sample(rng);
+        }
+        assignment[params[j].name] = draw;
       }
-      assignment[params[j].name] = draw;
+      const double y = model(assignment);
+      detail::require(std::isfinite(y),
+                      "propagate: model returned a non-finite value");
+      out.samples.push_back(y);
+      stats.add(y);
     }
-    const double y = model(assignment);
-    detail::require(std::isfinite(y),
-                    "propagate: model returned a non-finite value");
-    out.samples.push_back(y);
-    stats.add(y);
+  } else {
+    // Parallel path: each sample draws from its own sub-stream split from
+    // `rng` in sample order, so sample i's parameter values depend only on
+    // the seed and i — never on the worker count. Sample outputs land at
+    // their index, and per-chunk moment accumulators merge in chunk order
+    // (see docs/parallelism.md for the determinism contract).
+    obs::Span span("uncertainty.propagate");
+    span.set("samples", n);
+    span.set("jobs", static_cast<std::uint64_t>(jobs));
+    std::vector<Rng> streams;
+    streams.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) streams.push_back(rng.split());
+    out.samples.assign(n, 0.0);
+    // Reuse the process-wide pool when it matches; a caller asking for a
+    // different explicit degree gets a pool of its own for this call.
+    std::unique_ptr<parallel::ThreadPool> local_pool;
+    if (jobs != parallel::default_jobs()) {
+      local_pool = std::make_unique<parallel::ThreadPool>(
+          static_cast<unsigned>(jobs));
+    }
+    parallel::ThreadPool& pool =
+        local_pool ? *local_pool : parallel::global_pool();
+    stats = parallel::reduce_chunks<OnlineStats>(
+        pool, n, parallel::default_chunk(n), OnlineStats{},
+        [&](std::size_t begin, std::size_t end) {
+          OnlineStats local;
+          std::map<std::string, double> assignment;
+          for (std::size_t i = begin; i < end; ++i) {
+            for (std::size_t j = 0; j < k; ++j) {
+              double draw;
+              if (sampling == Sampling::kLatinHypercube) {
+                const double u =
+                    (static_cast<double>(strata[j][i]) +
+                     streams[i].uniform()) /
+                    static_cast<double>(n);
+                const double clamped =
+                    std::min(std::max(u, 1e-12), 1.0 - 1e-12);
+                draw = params[j].dist->quantile(clamped);
+              } else {
+                draw = params[j].dist->sample(streams[i]);
+              }
+              assignment[params[j].name] = draw;
+            }
+            const double y = model(assignment);
+            detail::require(std::isfinite(y),
+                            "propagate: model returned a non-finite value");
+            out.samples[i] = y;
+            local.add(y);
+          }
+          return local;
+        },
+        [](OnlineStats& acc, const OnlineStats& chunk) { acc.merge(chunk); });
   }
   out.mean = stats.mean();
   out.stddev = stats.stddev();

@@ -138,6 +138,93 @@ TEST(ParseErrors, CollectsAllErrorsInOnePass) {
   }
 }
 
+TEST(ParseMarkovDirective, PoolAvailabilityMatchesBirthDeathClosedForm) {
+  const auto model = parse_model_string(R"(
+model rbd m
+event pool markov 2 1 0.1 1.0
+top pool
+)");
+  ASSERT_NE(model.rbd, nullptr);
+  // Birth-death over failed units with one shared repairer:
+  // pi1 = (2 lambda / mu) pi0, pi2 = (lambda / mu) pi1; up while <= 1 failed.
+  const double lam = 0.1, mu = 1.0;
+  const double p1 = 2 * lam / mu, p2 = p1 * lam / mu;
+  const double expect = (1.0 + p1) / (1.0 + p1 + p2);
+  EXPECT_NEAR(model.rbd->availability(), expect, 1e-12);
+}
+
+TEST(ParseMarkovDirective, KGreaterThanNReportsLineAndColumn) {
+  try {
+    parse_model_string(
+        "model rbd m\n"
+        "event pool markov 4 9 0.01 1.0\n"
+        "top pool\n");
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& e) {
+    // "9" (k) starts at column 21 of line 2.
+    EXPECT_NE(std::string(e.what()).find("line 2, col 21"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("k must be an integer in [1, n]"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ParseMarkovDirective, NonNumericRateReportsLineAndColumn) {
+  try {
+    parse_model_string(
+        "model rbd m\n"
+        "event pool markov 4 2 abc 1.0\n"
+        "top pool\n");
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& e) {
+    // "abc" (lambda) starts at column 23 of line 2.
+    EXPECT_NE(std::string(e.what()).find("line 2, col 23"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("bad rate 'abc'"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ParseMarkovDirective, RecoveryCollectsEveryBadDirective) {
+  // Error recovery: one bad markov line must not hide the next one, and a
+  // later well-formed event still parses (its name can be referenced).
+  try {
+    parse_model_string(
+        "model rbd m\n"
+        "event p1 markov 2.5 1 0.1 1.0\n"   // line 2: non-integer n
+        "event p2 markov 3 1 0.1 -2.0\n"    // line 3: negative repair rate
+        "event ok rate 0.5 repair 1.0\n"
+        "top ok\n");
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2, col 17"), std::string::npos) << what;
+    EXPECT_NE(what.find("n must be an integer in [1, 100000]"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("rates must be > 0"), std::string::npos) << what;
+  }
+}
+
+TEST(ParseMarkovDirective, MissingOperandPointsPastLineEnd) {
+  try {
+    parse_model_string(
+        "model rbd m\n"
+        "event pool markov 4 2 0.01\n"  // mu missing
+        "top pool\n");
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& e) {
+    EXPECT_NE(std::string(e.what()).find(
+                  "expected: markov <n> <k> <lambda> <mu>"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(ParseErrors, StructuralProblems) {
   // Missing model directive.
   EXPECT_THROW(parse_model_string("event a prob 0.5\ntop a\n"), ModelError);

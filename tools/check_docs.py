@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Docs lint: the documentation site under docs/ must stay navigable.
+
+Checks, across every *.md file under docs/ (plus README.md for its links
+into docs/):
+
+  1. every docs page is reachable from docs/index.md — linked directly or
+     transitively through other docs pages;
+  2. every relative markdown link resolves to an existing file;
+  3. every intra-docs anchor (#fragment) resolves to a heading in the
+     target page (GitHub slug rules: lowercase, spaces -> dashes,
+     punctuation stripped).
+
+External links (http/https/mailto) are not fetched. Exits non-zero
+listing every violation, so the docs cannot silently rot.
+
+Usage: check_docs.py [repo-root]   (default: parent of this script's dir)
+"""
+
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip markdown, lowercase, spaces to dashes."""
+    text = re.sub(r"[`*_\[\]()]", "", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_in(path: pathlib.Path) -> set[str]:
+    text = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    return {github_slug(h) for h in HEADING_RE.findall(text)}
+
+
+def links_in(path: pathlib.Path) -> list[str]:
+    text = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    return LINK_RE.findall(text)
+
+
+def main() -> int:
+    root = (
+        pathlib.Path(sys.argv[1])
+        if len(sys.argv) > 1
+        else pathlib.Path(__file__).resolve().parent.parent
+    )
+    docs = root / "docs"
+    index = docs / "index.md"
+    problems: list[str] = []
+    if not docs.is_dir():
+        print(f"check_docs: no docs/ under {root}", file=sys.stderr)
+        return 2
+    if not index.is_file():
+        print("check_docs: docs/index.md is missing", file=sys.stderr)
+        return 2
+
+    pages = sorted(docs.rglob("*.md"))
+    sources = pages + [root / "README.md"]
+
+    # Link/anchor validity for every page (and README's links into docs/).
+    for page in sources:
+        if not page.is_file():
+            continue
+        for link in links_in(page):
+            if link.startswith(("http://", "https://", "mailto:")):
+                continue
+            target_part, _, fragment = link.partition("#")
+            target = (
+                (page.parent / target_part).resolve()
+                if target_part
+                else page.resolve()
+            )
+            rel = page.relative_to(root)
+            if target_part and not target.exists():
+                problems.append(f"{rel}: dead link '{link}'")
+                continue
+            if fragment and target.suffix == ".md":
+                if github_slug(fragment) not in anchors_in(target):
+                    problems.append(f"{rel}: dead anchor '{link}'")
+
+    # Reachability: walk docs-internal links from index.md.
+    reachable = {index.resolve()}
+    queue = [index]
+    while queue:
+        page = queue.pop()
+        for link in links_in(page):
+            if link.startswith(("http://", "https://", "mailto:")):
+                continue
+            target_part = link.partition("#")[0]
+            if not target_part:
+                continue
+            target = (page.parent / target_part).resolve()
+            if (
+                target.suffix == ".md"
+                and target.is_file()
+                and docs.resolve() in target.parents
+                and target not in reachable
+            ):
+                reachable.add(target)
+                queue.append(target)
+    for page in pages:
+        if page.resolve() not in reachable:
+            problems.append(
+                f"{page.relative_to(root)}: not reachable from docs/index.md"
+            )
+
+    if problems:
+        print("check_docs: documentation problems:", file=sys.stderr)
+        for p in sorted(problems):
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(f"check_docs: {len(pages)} pages OK, all reachable from index.md")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

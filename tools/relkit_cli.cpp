@@ -1,12 +1,14 @@
-// relkit_cli — analyze a fault-tree / RBD model file from the command line.
+// relkit_cli — analyze fault-tree / RBD / relgraph model files from the
+// command line.
 //
 //   relkit_cli <model-file> [--time t1 t2 ...] [--cuts] [--importance]
 //              [--diagnostics] [--trace[=FILE]] [--metrics[=FILE]]
+//              [--jobs N]
+//   relkit_cli --batch LIST [--time t ...] [--jobs N]
 //
 // Prints, depending on the model's component specifications:
 //   * steady-state availability / top-event probability,
 //   * reliability / unreliability at the requested time points,
-//   * MTTF when the model is purely lifetime-driven,
 //   * minimal cut sets (--cuts) and importance measures (--importance),
 //   * the last solver's SolveReport (--diagnostics),
 //   * a nested span tree of where the time went (--trace), or the same
@@ -14,18 +16,31 @@
 //   * the metrics registry (--metrics prints text, --metrics=FILE writes
 //     JSON).
 //
+// --jobs N sets the process-wide parallelism degree (default: hardware
+// concurrency; the library default without the CLI is sequential).
+// --batch LIST reads one model path per line from LIST ('#' comments and
+// blank lines skipped), solves the models concurrently on the thread
+// pool, and streams one JSON object per model to stdout as each finishes
+// (fields: index, model, ok, and either name/kind/steady/at or
+// error_class/error). Full reference: docs/cli.md.
+//
 // Exit codes: 0 success, 1 usage error, 2 model error, 3 numerical error
 // (including convergence failures), 4 invalid argument (malformed or
-// unusable --trace/--metrics values included).
+// unusable --trace/--metrics/--jobs/--batch values included). Batch mode
+// exits 0 only when every model solved; otherwise it uses the exit class
+// of the first failing model in input order.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/relkit.hpp"
 #include "io/model_parser.hpp"
 #include "obs/obs.hpp"
+#include "parallel/pool.hpp"
 
 namespace {
 
@@ -33,7 +48,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: relkit_cli <model-file> [--time t ...] [--cuts] "
                "[--importance] [--diagnostics] [--trace[=FILE]] "
-               "[--metrics[=FILE]]\n");
+               "[--metrics[=FILE]] [--jobs N]\n"
+               "       relkit_cli --batch LIST [--time t ...] [--jobs N]\n");
 }
 
 void print_cuts(const std::vector<std::vector<std::string>>& cuts) {
@@ -61,6 +77,127 @@ void print_diagnostics() {
   }
 }
 
+// ---- batch mode ------------------------------------------------------------
+
+/// One model's outcome in --batch mode: a self-contained JSON line plus
+/// the exit class (0 ok, 2/3/4 per the error taxonomy above).
+struct BatchOutcome {
+  int exit_class = 0;
+  std::string json;
+};
+
+std::string json_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+/// Parses and solves one model file; never throws. The returned JSON line
+/// carries everything a consumer needs to correlate out-of-order results.
+BatchOutcome solve_one(const std::string& path,
+                       const std::vector<double>& times, std::size_t index) {
+  BatchOutcome out;
+  std::string head = "{\"index\":" + std::to_string(index) + ",\"model\":\"" +
+                     relkit::obs::json_escape(path) + "\"";
+  try {
+    const relkit::io::ParsedModel model =
+        relkit::io::parse_model_file(path);
+    std::string kind;
+    double steady = 0.0;
+    std::string at = "[";
+    if (model.fault_tree) {
+      kind = "ftree";
+      steady = model.fault_tree->top_probability_limit();
+      for (std::size_t i = 0; i < times.size(); ++i) {
+        at += (i ? "," : "") + std::string("{\"t\":") +
+              json_number(times[i]) + ",\"value\":" +
+              json_number(model.fault_tree->top_probability(times[i])) + "}";
+      }
+    } else if (model.graph) {
+      kind = "relgraph";
+      steady = model.graph->reliability(-1.0);
+      for (std::size_t i = 0; i < times.size(); ++i) {
+        at += (i ? "," : "") + std::string("{\"t\":") +
+              json_number(times[i]) + ",\"value\":" +
+              json_number(model.graph->reliability(times[i])) + "}";
+      }
+    } else {
+      kind = "rbd";
+      steady = model.rbd->availability();
+      for (std::size_t i = 0; i < times.size(); ++i) {
+        at += (i ? "," : "") + std::string("{\"t\":") +
+              json_number(times[i]) + ",\"value\":" +
+              json_number(model.rbd->reliability(times[i])) + "}";
+      }
+    }
+    at += "]";
+    out.json = head + ",\"ok\":true,\"name\":\"" +
+               relkit::obs::json_escape(model.name) + "\",\"kind\":\"" +
+               kind + "\",\"steady\":" + json_number(steady) +
+               ",\"at\":" + at + "}";
+  } catch (const relkit::ModelError& e) {
+    out.exit_class = 2;
+    out.json = head + ",\"ok\":false,\"error_class\":\"model\",\"error\":\"" +
+               relkit::obs::json_escape(e.what()) + "\"}";
+  } catch (const relkit::NumericalError& e) {
+    out.exit_class = 3;
+    out.json = head +
+               ",\"ok\":false,\"error_class\":\"numerical\",\"error\":\"" +
+               relkit::obs::json_escape(e.what()) + "\"}";
+  } catch (const relkit::InvalidArgument& e) {
+    out.exit_class = 4;
+    out.json = head + ",\"ok\":false,\"error_class\":\"invalid\",\"error\":\"" +
+               relkit::obs::json_escape(e.what()) + "\"}";
+  } catch (const std::exception& e) {
+    out.exit_class = 2;
+    out.json = head + ",\"ok\":false,\"error_class\":\"error\",\"error\":\"" +
+               relkit::obs::json_escape(e.what()) + "\"}";
+  }
+  return out;
+}
+
+/// Solves every model listed in `list_path` concurrently on the global
+/// pool, streaming one JSON line per model as it completes. Returns the
+/// process exit code.
+int run_batch(const std::string& list_path, const std::vector<double>& times) {
+  std::ifstream list(list_path);
+  if (!list.good()) {
+    std::fprintf(stderr, "invalid argument: cannot open batch list '%s'\n",
+                 list_path.c_str());
+    return 4;
+  }
+  std::vector<std::string> paths;
+  std::string line;
+  while (std::getline(list, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    const auto end = line.find_last_not_of(" \t\r");
+    paths.push_back(line.substr(begin, end - begin + 1));
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "invalid argument: batch list '%s' names no models\n",
+                 list_path.c_str());
+    return 4;
+  }
+
+  std::vector<int> exit_classes(paths.size(), 0);
+  std::mutex print_mu;
+  relkit::parallel::global_pool().for_chunks(
+      paths.size(), 1, [&](std::size_t begin, std::size_t) {
+        const BatchOutcome outcome = solve_one(paths[begin], times, begin);
+        exit_classes[begin] = outcome.exit_class;
+        std::lock_guard<std::mutex> lock(print_mu);
+        std::printf("%s\n", outcome.json.c_str());
+        std::fflush(stdout);
+      });
+  for (const int cls : exit_classes) {
+    if (cls != 0) return cls;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -77,8 +214,44 @@ int main(int argc, char** argv) {
   bool want_metrics = false;
   std::string trace_file;
   std::string metrics_file;
+  std::string batch_file;
+  unsigned jobs = 0;  // 0 = hardware concurrency
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--time") == 0) {
+    if (std::strcmp(argv[i], "--jobs") == 0 ||
+        std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      const char* value = argv[i][6] == '=' ? argv[i] + 7 : nullptr;
+      if (value == nullptr) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "invalid argument: --jobs needs a count\n");
+          usage();
+          return 4;
+        }
+        value = argv[++i];
+      }
+      char* rest = nullptr;
+      const unsigned long parsed = std::strtoul(value, &rest, 10);
+      if (rest == value || *rest != '\0' || parsed == 0 || parsed > 4096) {
+        std::fprintf(stderr,
+                     "invalid argument: --jobs needs an integer in "
+                     "[1, 4096], got '%s'\n",
+                     value);
+        usage();
+        return 4;
+      }
+      jobs = static_cast<unsigned>(parsed);
+    } else if (std::strcmp(argv[i], "--batch") == 0 ||
+               std::strncmp(argv[i], "--batch=", 8) == 0) {
+      if (argv[i][7] == '=') {
+        batch_file = argv[i] + 8;
+      } else if (i + 1 < argc) {
+        batch_file = argv[++i];
+      }
+      if (batch_file.empty()) {
+        std::fprintf(stderr, "invalid argument: --batch needs a list file\n");
+        usage();
+        return 4;
+      }
+    } else if (std::strcmp(argv[i], "--time") == 0) {
       while (i + 1 < argc && argv[i + 1][0] != '-') {
         times.push_back(std::atof(argv[++i]));
       }
@@ -118,6 +291,22 @@ int main(int argc, char** argv) {
       path = argv[i];
     }
   }
+  // Parallelism degree: the CLI (unlike the library) defaults to the
+  // hardware concurrency — it is a leaf process, not a building block.
+  relkit::parallel::set_default_jobs(jobs);
+
+  if (!batch_file.empty()) {
+    if (!path.empty() || want_cuts || want_importance || want_diagnostics ||
+        want_trace || want_metrics) {
+      std::fprintf(stderr,
+                   "invalid argument: --batch combines only with --time "
+                   "and --jobs\n");
+      usage();
+      return 4;
+    }
+    return run_batch(batch_file, times);
+  }
+
   if (path.empty()) {
     usage();
     return 1;
