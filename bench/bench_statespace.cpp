@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "core/relkit.hpp"
+#include "markov/solution_cache.hpp"
 
 using namespace relkit;
 
@@ -80,6 +81,73 @@ void print_table() {
               "chain diameter). Uniformization cost grows linearly in qt.\n\n");
 }
 
+// Threads table: the parallel state-space kernels (SOR residual, power
+// matvec, uniformization matvec) at jobs = 1/2/4 on one large chain. The
+// solution cache is held off so every row measures a real solve; results
+// are identical across rows by the determinism contract
+// (docs/parallelism.md).
+void print_threads_table() {
+  const std::size_t n = 5000;
+  const markov::Ctmc c = birth_death(n);
+  const auto pi0 = c.point_mass(0);
+  std::printf("== parallel state-space kernels (%zu-state chain) =========\n",
+              n);
+  std::printf("%-7s %-14s %-16s %-14s\n", "jobs", "SOR [ms]",
+              "transient [ms]", "pi[0] match");
+  markov::SolutionCache::instance().set_enabled(false);
+  double pi0_ref = -1.0;
+  for (unsigned jobs : {1u, 2u, 4u}) {
+    markov::SteadyStateOptions opts;
+    opts.dense_threshold = 0;
+    opts.sor.tol = 1e-10;
+    opts.jobs = jobs;
+    auto t0 = std::chrono::steady_clock::now();
+    const double pi0_sor = c.steady_state(opts)[0];
+    const double t_sor = ms(t0);
+    if (jobs == 1) pi0_ref = pi0_sor;
+    t0 = std::chrono::steady_clock::now();
+    const auto pi = c.transient(pi0, 50.0, 1e-12, jobs);
+    benchmark::DoNotOptimize(pi);
+    const double t_tr = ms(t0);
+    std::printf("%-7u %-14.2f %-16.2f %-14s\n", jobs, t_sor, t_tr,
+                pi0_sor == pi0_ref ? "yes" : "NO");
+  }
+  markov::SolutionCache::instance().set_enabled(true);
+  std::printf("\n");
+}
+
+// Cache ablation: the same steady-state solve repeated with the
+// SolutionCache off (every repeat pays the full solve) and on (repeats are
+// served from the cache).
+void print_cache_table() {
+  const std::size_t n = 3000;
+  const markov::Ctmc c = birth_death(n);
+  markov::SteadyStateOptions opts;
+  opts.dense_threshold = 0;
+  opts.sor.tol = 1e-10;
+  auto& cache = markov::SolutionCache::instance();
+  std::printf("== solution cache ablation (%zu-state chain, 5 repeats) ===\n",
+              n);
+  std::printf("%-10s %-14s %-14s %-8s\n", "cache", "total [ms]",
+              "per-solve [ms]", "hits");
+  for (const bool enabled : {false, true}) {
+    cache.clear();
+    cache.set_enabled(enabled);
+    const std::uint64_t hits_before = cache.hits();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < 5; ++rep) {
+      benchmark::DoNotOptimize(c.steady_state(opts));
+    }
+    const double total = ms(t0);
+    std::printf("%-10s %-14.2f %-14.2f %-8llu\n", enabled ? "on" : "off",
+                total, total / 5.0,
+                static_cast<unsigned long long>(cache.hits() - hits_before));
+  }
+  cache.set_enabled(true);
+  cache.clear();
+  std::printf("\n");
+}
+
 void BM_GthSteadyState(benchmark::State& state) {
   const markov::Ctmc c = birth_death(static_cast<std::size_t>(state.range(0)));
   markov::SteadyStateOptions opts;
@@ -118,7 +186,12 @@ BENCHMARK(BM_TransientUniformization)->RangeMultiplier(4)->Range(1, 256);
 int main(int argc, char** argv) {
   const benchjson::Options opts = benchjson::init(&argc, argv);
   print_table();
+  print_threads_table();
+  print_cache_table();
   if (opts.table_only) return 0;
+  // The BM_ loops re-solve identical chains; keep the cache out of the
+  // measurement so they report solver cost, not lookup cost.
+  markov::SolutionCache::instance().set_enabled(false);
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();

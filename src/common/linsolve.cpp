@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "obs/obs.hpp"
+#include "parallel/pool.hpp"
 #include "robust/fault_injection.hpp"
 
 namespace relkit {
@@ -16,6 +17,31 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+/// max_i |(pi Q)_i| from the transposed generator, row-chunked when a pool
+/// is given. Each row's accumulation stays in sequential order and the
+/// chunk maxima fold in chunk-index order, so the value is independent of
+/// the worker count.
+double steady_residual(const SparseMatrix& qt, const std::vector<double>& diag,
+                       const std::vector<double>& v,
+                       parallel::ThreadPool* pool) {
+  const std::size_t n = qt.rows();
+  auto worst_in = [&](std::size_t begin, std::size_t end) {
+    double worst = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      double acc = diag[i] * v[i];
+      for (std::size_t k = qt.row_begin(i); k < qt.row_end(i); ++k) {
+        acc += qt.value(k) * v[qt.col(k)];
+      }
+      worst = std::max(worst, std::abs(acc));
+    }
+    return worst;
+  };
+  if (pool == nullptr || pool->jobs() <= 1) return worst_in(0, n);
+  return parallel::reduce_chunks<double>(
+      *pool, n, parallel::default_chunk(n), 0.0, worst_in,
+      [](double& acc, double part) { acc = std::max(acc, part); });
 }
 
 }  // namespace
@@ -91,8 +117,10 @@ SorResult sor_steady_state(const SparseMatrix& qt,
   const std::size_t max_iters =
       injector.cap("sor.max_iters", opts.budget.cap_iterations(opts.max_iters));
 
+  const parallel::PoolLease lease(opts.jobs);
   obs::Span span("solver.sor");
   span.set("n", n);
+  span.set("jobs", static_cast<std::uint64_t>(lease.jobs()));
   static obs::Counter& sweeps_counter = obs::counter("markov.sor_sweeps");
   static obs::Histogram& residual_hist =
       obs::histogram("markov.sor_residual");
@@ -104,17 +132,11 @@ SorResult sor_steady_state(const SparseMatrix& qt,
   double omega = opts.omega;
   double omega_cap = 1.6;  // halves toward 1.0 whenever SOR diverges
 
+  // r_i = sum_j v_j Q_ji = (Q^T v)_i ; includes the diagonal term. The
+  // sweep mutates pi in place (Gauss-Seidel), but the residual reads a
+  // fixed vector — a Jacobi-style pass — so it chunks across the pool.
   auto residual_of = [&](const std::vector<double>& v) {
-    // r_i = sum_j v_j Q_ji = (Q^T v)_i ; includes the diagonal term.
-    double worst = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      double acc = diag[i] * v[i];
-      for (std::size_t k = qt.row_begin(i); k < qt.row_end(i); ++k) {
-        acc += qt.value(k) * v[qt.col(k)];
-      }
-      worst = std::max(worst, std::abs(acc));
-    }
-    return worst;
+    return steady_residual(qt, diag, v, lease.get());
   };
 
   // Best (lowest-residual) iterate so far, so non-convergence can still hand
@@ -242,8 +264,10 @@ PowerResult power_steady_state(const SparseMatrix& p,
   const std::size_t max_iters = injector.cap(
       "power.max_iters", opts.budget.cap_iterations(opts.max_iters));
 
+  const parallel::PoolLease lease(opts.jobs);
   obs::Span span("solver.power");
   span.set("n", n);
+  span.set("jobs", static_cast<std::uint64_t>(lease.jobs()));
   static obs::Counter& steps_counter = obs::counter("markov.power_steps");
 
   robust::SolveReport report;
@@ -268,7 +292,7 @@ PowerResult power_steady_state(const SparseMatrix& p,
 
   for (std::size_t it = 0; it < max_iters; ++it) {
     steps_counter.add();
-    std::vector<double> next = p.multiply_left(pi);
+    std::vector<double> next = p.multiply_left(pi, lease.get());
     double delta = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       next[i] = (1.0 - opts.theta) * pi[i] + opts.theta * next[i];

@@ -39,6 +39,11 @@ struct SorOptions {
   std::size_t max_iters = 200000;
   bool adaptive_omega = true;  ///< Probe omega in [1.0, 1.9] while iterating.
   robust::Budget budget;       ///< Deadline / sweep cap (default unlimited).
+  /// Parallelism degree for the residual evaluation (the Gauss-Seidel
+  /// sweep itself is inherently sequential; the residual is a Jacobi-style
+  /// pass over fixed pi, so its rows chunk freely). 0 = the process-wide
+  /// parallel::default_jobs(); 1 = force sequential.
+  unsigned jobs = 0;
 };
 
 /// Result of the iterative solver.
@@ -67,6 +72,10 @@ struct PowerOptions {
   /// (theta in (0, 1]).
   double theta = 0.9;
   robust::Budget budget;
+  /// Parallelism degree for the per-step vector-matrix product.
+  /// 0 = parallel::default_jobs(); 1 = force sequential (the historical
+  /// bit-identical path).
+  unsigned jobs = 0;
 };
 
 /// Result of power iteration.

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
+#include "parallel/pool.hpp"
 
 namespace relkit {
 
@@ -33,6 +35,69 @@ std::vector<double> SparseMatrix::multiply_left(
     }
   }
   return y;
+}
+
+std::vector<double> SparseMatrix::multiply(const std::vector<double>& x,
+                                           parallel::ThreadPool* pool) const {
+  if (pool == nullptr || pool->jobs() <= 1) return multiply(x);
+  detail::require(x.size() == cols_, "SparseMatrix::multiply: size mismatch");
+
+  obs::Span span("markov.matvec");
+  span.set("rows", rows_);
+  span.set("nnz", nnz());
+  span.set("jobs", static_cast<std::uint64_t>(pool->jobs()));
+  span.set("kind", "right");
+
+  // Row-parallel: y[r] is written by exactly one chunk and every in-row
+  // accumulation keeps the sequential order, so the product is bit-identical
+  // to the pool-free path for any worker count.
+  std::vector<double> y(rows_, 0.0);
+  pool->for_chunks(rows_, parallel::default_chunk(rows_),
+                   [&](std::size_t begin, std::size_t end) {
+                     for (std::size_t r = begin; r < end; ++r) {
+                       double acc = 0.0;
+                       for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1];
+                            ++k) {
+                         acc += values_[k] * x[cols_idx_[k]];
+                       }
+                       y[r] = acc;
+                     }
+                   });
+  return y;
+}
+
+std::vector<double> SparseMatrix::multiply_left(
+    const std::vector<double>& x, parallel::ThreadPool* pool) const {
+  if (pool == nullptr || pool->jobs() <= 1) return multiply_left(x);
+  detail::require(x.size() == rows_,
+                  "SparseMatrix::multiply_left: size mismatch");
+
+  obs::Span span("markov.matvec");
+  span.set("rows", rows_);
+  span.set("nnz", nnz());
+  span.set("jobs", static_cast<std::uint64_t>(pool->jobs()));
+  span.set("kind", "left");
+
+  // Scatter product: each chunk accumulates into a private vector; partials
+  // merge in chunk-index order, which replays the sequential per-entry
+  // accumulation order (rows ascend within a chunk and across chunks).
+  return parallel::reduce_chunks<std::vector<double>>(
+      *pool, rows_, parallel::default_chunk(rows_),
+      std::vector<double>(cols_, 0.0),
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<double> part(cols_, 0.0);
+        for (std::size_t r = begin; r < end; ++r) {
+          const double xr = x[r];
+          if (xr == 0.0) continue;
+          for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+            part[cols_idx_[k]] += xr * values_[k];
+          }
+        }
+        return part;
+      },
+      [](std::vector<double>& acc, const std::vector<double>& part) {
+        for (std::size_t c = 0; c < acc.size(); ++c) acc[c] += part[c];
+      });
 }
 
 bool SparseMatrix::all_finite() const {

@@ -3,10 +3,21 @@
 // State-space solvers (CTMC steady-state via SOR, transient via
 // uniformization) need only row-oriented access and matrix-vector products,
 // so RelKit uses a plain CSR representation assembled from triplets.
+//
+// The matvec products accept an optional parallel::ThreadPool and then run
+// row-chunked on it. Determinism contract (docs/parallelism.md): a null
+// pool (or a 1-job pool) is the verbatim historical sequential loop, and
+// any worker count produces the same result because chunk boundaries
+// depend only on the row count and per-chunk partials merge in chunk-index
+// order.
 #pragma once
 
 #include <cstddef>
 #include <vector>
+
+namespace relkit::parallel {
+class ThreadPool;
+}  // namespace relkit::parallel
 
 namespace relkit {
 
@@ -35,6 +46,19 @@ class SparseMatrix {
   /// y = x A  (row vector times matrix; the natural product for probability
   /// vectors over a generator/transition matrix).
   std::vector<double> multiply_left(const std::vector<double>& x) const;
+
+  /// y = A x, row-chunked on `pool` (each output entry is produced by
+  /// exactly one chunk, so the result is bit-identical to the sequential
+  /// product for every worker count). pool == nullptr runs sequentially.
+  std::vector<double> multiply(const std::vector<double>& x,
+                               parallel::ThreadPool* pool) const;
+
+  /// y = x A on `pool`: each row chunk scatters into a private partial
+  /// vector and the partials are summed in chunk-index order, which
+  /// reproduces the sequential accumulation order per output entry.
+  /// pool == nullptr runs sequentially (the historical loop, verbatim).
+  std::vector<double> multiply_left(const std::vector<double>& x,
+                                    parallel::ThreadPool* pool) const;
 
   /// Entry (r, c), or 0 if absent (binary search within the row).
   double at(std::size_t r, std::size_t c) const;

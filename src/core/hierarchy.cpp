@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "markov/solution_cache.hpp"
 #include "obs/obs.hpp"
 #include "robust/fault_injection.hpp"
 
@@ -84,6 +85,11 @@ FixedPointResult Hierarchy::solve_fixed_point(
 
   obs::Span span("hierarchy.fixed_point");
   span.set("variables", static_cast<std::uint64_t>(updates.size()));
+  // Submodel solves repeat across iterations; the SolutionCache deltas show
+  // how much of the fixed point was served from memoized results.
+  auto& solution_cache = markov::SolutionCache::instance();
+  const std::uint64_t cache_hits_before = solution_cache.hits();
+  const std::uint64_t cache_misses_before = solution_cache.misses();
   static obs::Counter& iter_counter = obs::counter("hierarchy.fp_iterations");
   static obs::Counter& esc_counter = obs::counter("hierarchy.fp_escalations");
 
@@ -131,6 +137,9 @@ FixedPointResult Hierarchy::solve_fixed_point(
     span.set("residual", result.residual);
     span.set("damping", result.final_damping);
     span.set("converged", converged);
+    span.set("cache_hits", solution_cache.hits() - cache_hits_before);
+    span.set("cache_misses",
+             solution_cache.misses() - cache_misses_before);
     robust::record_last_report(report);
   };
   auto fail = [&](const std::string& why) -> robust::ConvergenceError {

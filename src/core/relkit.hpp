@@ -41,6 +41,7 @@
 #include "markov/builders.hpp"
 #include "markov/ctmc.hpp"
 #include "markov/dtmc.hpp"
+#include "markov/solution_cache.hpp"
 #include "phase/phase_type.hpp"
 #include "rbd/rbd.hpp"
 #include "relgraph/relgraph.hpp"

@@ -326,6 +326,11 @@ ParsedModel parse_model(std::istream& input) {
         if (g.kind == "not" && g.children.size() != 1) {
           fail(line_no, name_col, "'not' gate takes exactly one child");
         }
+        if (g.kind == "kofn" && g.k > g.children.size()) {
+          fail(line_no, name_col,
+               "k-of-n gate has k = " + std::to_string(g.k) + " but only " +
+                   std::to_string(g.children.size()) + " children");
+        }
         gates.emplace(name, std::move(g));
       } else if (keyword == "vertices") {
         const std::string n = line.expect("vertices <n>");

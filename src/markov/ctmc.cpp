@@ -6,7 +6,9 @@
 
 #include "common/error.hpp"
 #include "common/poisson_weights.hpp"
+#include "markov/solution_cache.hpp"
 #include "obs/obs.hpp"
+#include "parallel/pool.hpp"
 #include "robust/fault_injection.hpp"
 
 namespace relkit::markov {
@@ -114,6 +116,22 @@ void Ctmc::check_distribution(const std::vector<double>& pi0) const {
                   "Ctmc: distribution does not sum to 1");
 }
 
+namespace {
+
+/// Serializes the solver options that can change a steady-state answer.
+/// Budgets and `jobs` are deliberately excluded (see solution_cache.hpp).
+void key_steady_options(CacheKey& key, const SteadyStateOptions& opts) {
+  key.add(opts.dense_threshold);
+  key.add(opts.enable_fallbacks);
+  key.add(opts.gth_fallback_threshold);
+  key.add(opts.sor.omega);
+  key.add(opts.sor.tol);
+  key.add(opts.sor.max_iters);
+  key.add(opts.sor.adaptive_omega);
+}
+
+}  // namespace
+
 std::vector<double> Ctmc::steady_state(const SteadyStateOptions& opts,
                                        robust::SolveReport* report) const {
   const std::size_t n = state_count();
@@ -123,9 +141,36 @@ std::vector<double> Ctmc::steady_state(const SteadyStateOptions& opts,
   span.set("states", n);
   span.set("transitions", static_cast<std::uint64_t>(transitions_.size()));
 
+  // Memoization: exact-keyed on (generator structure, rates, options).
+  // Bypassed while fault injection is armed — injected failures act inside
+  // the solver, where the key cannot see them (and with the injector idle,
+  // tapped rates equal the raw rates the key uses).
+  auto& injector = testing::FaultInjector::instance();
+  auto& cache = SolutionCache::instance();
+  const bool use_cache =
+      opts.use_cache && cache.enabled() && !injector.active();
+  CacheKey key;
+  if (use_cache) {
+    key.add(SolutionCache::kSteadyTag);
+    key.add(n);
+    for (const auto& t : transitions_) {
+      key.add(t.from);
+      key.add(t.to);
+      key.add(t.rate);
+    }
+    key_steady_options(key, opts);
+    if (auto hit = cache.lookup(key)) {
+      hit->report.cache_hit = true;
+      span.set("cache", "hit");
+      robust::record_last_report(hit->report);
+      if (report) *report = std::move(hit->report);
+      return std::move(hit->result);
+    }
+    span.set("cache", "miss");
+  }
+
   // Transposed off-diagonal generator + diagonal, the form every method in
   // the fallback chain consumes.
-  auto& injector = testing::FaultInjector::instance();
   SparseBuilder bt(n, n);
   std::vector<double> diag(n, 0.0);
   for (const auto& t : transitions_) {
@@ -142,19 +187,25 @@ std::vector<double> Ctmc::steady_state(const SteadyStateOptions& opts,
           : opts.dense_threshold;
   robust_opts.sor = opts.sor;
   robust_opts.budget = opts.budget;
+  robust_opts.jobs = opts.jobs;
   if (!opts.enable_fallbacks) {
     // Raw single-method behavior: GTH below the threshold, plain SOR above.
     if (n <= opts.dense_threshold) {
       auto pi = gth_steady_state(dense_generator());
+      if (use_cache) cache.insert(std::move(key), {pi, {}});
       if (report) *report = robust::SolveReport{};
       return pi;
     }
-    SorResult r = sor_steady_state(bt.build(), diag, opts.sor);
+    SorOptions sor_opts = opts.sor;
+    if (sor_opts.jobs == 0) sor_opts.jobs = opts.jobs;
+    SorResult r = sor_steady_state(bt.build(), diag, sor_opts);
+    if (use_cache) cache.insert(std::move(key), {r.pi, r.report});
     if (report) *report = r.report;
     return std::move(r.pi);
   }
   robust::RobustResult r =
       robust::robust_steady_state(bt.build(), diag, robust_opts);
+  if (use_cache) cache.insert(std::move(key), {r.pi, r.report});
   if (report) *report = r.report;
   return std::move(r.pi);
 }
@@ -225,7 +276,7 @@ double guarded_poisson_mean(double q, double t, const char* context,
 }  // namespace
 
 std::vector<double> Ctmc::transient(const std::vector<double>& pi0, double t,
-                                    double eps) const {
+                                    double eps, unsigned jobs) const {
   check_distribution(pi0);
   detail::require(t >= 0.0, "Ctmc::transient: t must be >= 0");
   if (t == 0.0) return pi0;
@@ -237,6 +288,31 @@ std::vector<double> Ctmc::transient(const std::vector<double>& pi0, double t,
       obs::counter("markov.uniformization_steps");
 
   auto& injector = testing::FaultInjector::instance();
+  auto& cache = SolutionCache::instance();
+  const bool use_cache = cache.enabled() && !injector.active();
+  CacheKey key;
+  if (use_cache) {
+    key.add(SolutionCache::kTransientTag);
+    key.add(state_count());
+    for (const auto& tr : transitions_) {
+      key.add(tr.from);
+      key.add(tr.to);
+      key.add(tr.rate);
+    }
+    key.add(t);
+    key.add(eps);
+    for (const double x : pi0) key.add(x);
+    if (auto hit = cache.lookup(key)) {
+      hit->report.cache_hit = true;
+      span.set("cache", "hit");
+      robust::record_last_report(hit->report);
+      return std::move(hit->result);
+    }
+    span.set("cache", "miss");
+  }
+
+  const parallel::PoolLease lease(jobs);
+  span.set("jobs", static_cast<std::uint64_t>(lease.jobs()));
   const auto [p, q] = uniformize(sparse_generator(), exit_rates_);
   const double mean = guarded_poisson_mean(q, t, "Ctmc::transient", pi0);
   const PoissonWeights pw = poisson_weights(mean, eps);
@@ -254,7 +330,7 @@ std::vector<double> Ctmc::transient(const std::vector<double>& pi0, double t,
       for (std::size_t i = 0; i < out.size(); ++i) out[i] += w * v[i];
     }
     if (n + 1 == steps) break;
-    v = p.multiply_left(v);
+    v = p.multiply_left(v, lease.get());
   }
 
   // Post-solve verification: the result must be a finite probability
@@ -272,11 +348,13 @@ std::vector<double> Ctmc::transient(const std::vector<double>& pi0, double t,
   robust::repair_distribution(out, report, "Ctmc::transient");
   report.converged = true;
   robust::record_last_report(report);
+  if (use_cache) cache.insert(std::move(key), {out, report});
   return out;
 }
 
 std::vector<double> Ctmc::cumulative_time(const std::vector<double>& pi0,
-                                          double t, double eps) const {
+                                          double t, double eps,
+                                          unsigned jobs) const {
   check_distribution(pi0);
   detail::require(t >= 0.0, "Ctmc::cumulative_time: t must be >= 0");
   std::vector<double> acc(state_count(), 0.0);
@@ -288,6 +366,8 @@ std::vector<double> Ctmc::cumulative_time(const std::vector<double>& pi0,
   static obs::Counter& steps_counter =
       obs::counter("markov.uniformization_steps");
 
+  const parallel::PoolLease lease(jobs);
+  span.set("jobs", static_cast<std::uint64_t>(lease.jobs()));
   const auto [p, q] = uniformize(sparse_generator(), exit_rates_);
   const double mean = guarded_poisson_mean(q, t, "Ctmc::cumulative_time",
                                            acc);
@@ -312,7 +392,7 @@ std::vector<double> Ctmc::cumulative_time(const std::vector<double>& pi0,
       for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += factor * v[i];
     }
     if (n + 1 == steps) break;
-    v = p.multiply_left(v);
+    v = p.multiply_left(v, lease.get());
   }
 
   // Verification: total sojourn time over [0, t] must equal t; repair small

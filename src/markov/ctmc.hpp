@@ -50,6 +50,15 @@ struct SteadyStateOptions {
   std::size_t gth_fallback_threshold = 2048;
   /// Wall-clock / sweep budget for the whole solve (default unlimited).
   robust::Budget budget;
+  /// Parallelism degree for the state-space kernels (SOR residual
+  /// evaluation, power-iteration matvec, verification residual).
+  /// 0 = parallel::default_jobs(); 1 = force the bit-identical sequential
+  /// path. Never part of the solution-cache key (results are
+  /// jobs-independent by the determinism contract).
+  unsigned jobs = 0;
+  /// Consult/populate the process-wide markov::SolutionCache. The cache can
+  /// also be disabled globally (CLI --no-solver-cache).
+  bool use_cache = true;
 };
 
 /// Result of analyzing a CTMC with absorbing states.
@@ -94,13 +103,17 @@ class Ctmc {
       const;
 
   /// State distribution at time t from initial distribution pi0
-  /// (uniformization; eps is the Poisson truncation mass).
+  /// (uniformization; eps is the Poisson truncation mass). `jobs`
+  /// parallelizes the per-step vector-matrix product (0 = default_jobs(),
+  /// 1 = sequential); results are memoized in the SolutionCache.
   std::vector<double> transient(const std::vector<double>& pi0, double t,
-                                double eps = 1e-12) const;
+                                double eps = 1e-12, unsigned jobs = 0) const;
 
-  /// Expected total time spent in each state during [0, t].
+  /// Expected total time spent in each state during [0, t]. `jobs` as in
+  /// transient().
   std::vector<double> cumulative_time(const std::vector<double>& pi0,
-                                      double t, double eps = 1e-12) const;
+                                      double t, double eps = 1e-12,
+                                      unsigned jobs = 0) const;
 
   /// Absorbing-chain analysis from initial distribution pi0. Throws
   /// ModelError if the chain has no absorbing state reachable or if a

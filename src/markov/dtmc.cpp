@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/linsolve.hpp"
+#include "parallel/pool.hpp"
 
 namespace relkit::markov {
 
@@ -89,21 +90,25 @@ std::vector<double> Dtmc::point_mass(std::size_t s) const {
   return pi0;
 }
 
-std::vector<double> Dtmc::steady_state(std::size_t dense_threshold) const {
+std::vector<double> Dtmc::steady_state(std::size_t dense_threshold,
+                                       unsigned jobs) const {
   validate_rows();
   if (names_.size() <= dense_threshold) {
     return gth_steady_state_dtmc(dense_matrix());
   }
-  return power_steady_state(sparse_matrix());
+  PowerOptions opts;
+  opts.jobs = jobs;
+  return power_steady_state(sparse_matrix(), opts).pi;
 }
 
 std::vector<double> Dtmc::transient(const std::vector<double>& pi0,
-                                    std::size_t steps) const {
+                                    std::size_t steps, unsigned jobs) const {
   detail::require(pi0.size() == names_.size(),
                   "Dtmc::transient: distribution size mismatch");
   const SparseMatrix p = sparse_matrix();
+  const parallel::PoolLease lease(jobs);
   std::vector<double> v = pi0;
-  for (std::size_t i = 0; i < steps; ++i) v = p.multiply_left(v);
+  for (std::size_t i = 0; i < steps; ++i) v = p.multiply_left(v, lease.get());
   return v;
 }
 

@@ -47,12 +47,15 @@ class Dtmc {
   /// True if the state has no explicit outgoing transitions.
   bool is_absorbing(std::size_t s) const;
 
-  /// Stationary distribution of an irreducible aperiodic chain.
-  std::vector<double> steady_state(std::size_t dense_threshold = 512) const;
+  /// Stationary distribution of an irreducible aperiodic chain. `jobs`
+  /// parallelizes the power-iteration matvec above the dense threshold
+  /// (0 = parallel::default_jobs(), 1 = sequential).
+  std::vector<double> steady_state(std::size_t dense_threshold = 512,
+                                   unsigned jobs = 0) const;
 
-  /// Distribution after n steps from pi0.
+  /// Distribution after n steps from pi0. `jobs` as in steady_state().
   std::vector<double> transient(const std::vector<double>& pi0,
-                                std::size_t steps) const;
+                                std::size_t steps, unsigned jobs = 0) const;
 
   /// Absorbing-chain analysis from pi0 (mass on transient states only).
   DtmcAbsorbingAnalysis absorbing_analysis(

@@ -1,0 +1,77 @@
+#include "markov/solution_cache.hpp"
+
+#include "obs/obs.hpp"
+
+namespace relkit::markov {
+
+SolutionCache& SolutionCache::instance() {
+  static SolutionCache cache;
+  return cache;
+}
+
+std::optional<SolutionCache::Entry> SolutionCache::lookup(
+    const CacheKey& key) {
+  if (!enabled()) return std::nullopt;
+  static obs::Counter& hit_counter = obs::counter("markov.cache.hits");
+  static obs::Counter& miss_counter = obs::counter("markov.cache.misses");
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [first, last] = index_.equal_range(key.hash());
+  for (auto it = first; it != last; ++it) {
+    if (it->second->key == key.words()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      hit_counter.add();
+      return it->second->entry;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  miss_counter.add();
+  return std::nullopt;
+}
+
+void SolutionCache::insert(CacheKey key, Entry entry) {
+  if (!enabled()) return;
+  const std::size_t words = key.words().size() + entry.result.size();
+  if (words > kMaxTotalWords) return;  // pathological; never cacheable
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t hash = key.hash();
+  const auto [first, last] = index_.equal_range(hash);
+  for (auto it = first; it != last; ++it) {
+    if (it->second->key == key.words()) return;  // already cached
+  }
+
+  while (!lru_.empty() &&
+         (lru_.size() >= kMaxEntries ||
+          total_words_ + words > kMaxTotalWords)) {
+    const Node& victim = lru_.back();
+    const auto [vfirst, vlast] = index_.equal_range(victim.hash);
+    for (auto it = vfirst; it != vlast; ++it) {
+      if (&*it->second == &victim) {
+        index_.erase(it);
+        break;
+      }
+    }
+    total_words_ -= victim.words;
+    lru_.pop_back();
+  }
+
+  lru_.push_front(Node{hash, key.take_words(), std::move(entry), words});
+  index_.emplace(hash, lru_.begin());
+  total_words_ += words;
+}
+
+std::size_t SolutionCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+void SolutionCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  total_words_ = 0;
+}
+
+}  // namespace relkit::markov

@@ -33,6 +33,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -122,5 +123,37 @@ void set_default_jobs(unsigned jobs);
 /// (recreated) on the next call after set_default_jobs changes the degree;
 /// the same "no concurrent regions" caveat applies.
 ThreadPool& global_pool();
+
+/// Resolves a `jobs` request (the convention every solver option struct
+/// uses: 0 = default_jobs(), 1 = force sequential, N = N threads) to a pool
+/// for the duration of one solve. When the requested degree matches the
+/// process-wide default the shared global_pool() is used; otherwise a
+/// private pool is spun up and torn down with the lease, so an explicit
+/// per-solve `jobs` never perturbs the global pool other callers may be
+/// using concurrently.
+class PoolLease {
+ public:
+  explicit PoolLease(unsigned jobs) {
+    jobs_ = jobs != 0 ? jobs : default_jobs();
+    if (jobs_ <= 1) return;
+    if (jobs_ == default_jobs()) {
+      pool_ = &global_pool();
+    } else {
+      owned_ = std::make_unique<ThreadPool>(jobs_);
+      pool_ = owned_.get();
+    }
+  }
+
+  /// The pool to run on, or nullptr when the solve should stay on the
+  /// caller's thread (the bit-identical historical sequential path).
+  ThreadPool* get() const { return pool_; }
+  /// Effective parallelism degree (>= 1).
+  unsigned jobs() const { return jobs_; }
+
+ private:
+  unsigned jobs_ = 1;
+  ThreadPool* pool_ = nullptr;
+  std::unique_ptr<ThreadPool> owned_;
+};
 
 }  // namespace relkit::parallel

@@ -63,6 +63,9 @@ struct SolveReport {
   double residual = 0.0;       ///< verified post-solve residual
   double wall_seconds = 0.0;
   bool converged = false;
+  /// True when the result was served from the markov::SolutionCache rather
+  /// than recomputed; `method`/`attempts` then describe the original solve.
+  bool cache_hit = false;
 
   void note_attempt(std::string m) { attempts.push_back(std::move(m)); }
   void note_fallback(const std::string& from, const std::string& to) {
@@ -81,6 +84,7 @@ struct SolveReport {
   std::string summary() const {
     std::string out;
     out += "method:     " + (method.empty() ? std::string("<none>") : method);
+    if (cache_hit) out += " (cached)";
     out += converged ? " (converged)\n" : " (NOT converged)\n";
     out += "iterations: " + std::to_string(iterations) + "\n";
     out += "residual:   " + std::to_string(residual) + "\n";

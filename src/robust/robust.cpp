@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "common/matrix.hpp"
 #include "obs/obs.hpp"
+#include "parallel/pool.hpp"
 #include "robust/fault_injection.hpp"
 
 namespace relkit::robust {
@@ -65,18 +66,31 @@ bool all_finite(const std::vector<double>& v) {
 double steady_state_residual(const SparseMatrix& qt,
                              const std::vector<double>& diag,
                              const std::vector<double>& pi) {
+  return steady_state_residual(qt, diag, pi, nullptr);
+}
+
+double steady_state_residual(const SparseMatrix& qt,
+                             const std::vector<double>& diag,
+                             const std::vector<double>& pi,
+                             parallel::ThreadPool* pool) {
   const std::size_t n = qt.rows();
   relkit::detail::require(diag.size() == n && pi.size() == n,
                   "steady_state_residual: size mismatch");
-  double worst = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    double acc = diag[i] * pi[i];
-    for (std::size_t k = qt.row_begin(i); k < qt.row_end(i); ++k) {
-      acc += qt.value(k) * pi[qt.col(k)];
+  auto worst_in = [&](std::size_t begin, std::size_t end) {
+    double worst = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      double acc = diag[i] * pi[i];
+      for (std::size_t k = qt.row_begin(i); k < qt.row_end(i); ++k) {
+        acc += qt.value(k) * pi[qt.col(k)];
+      }
+      worst = std::max(worst, std::abs(acc));
     }
-    worst = std::max(worst, std::abs(acc));
-  }
-  return worst;
+    return worst;
+  };
+  if (pool == nullptr || pool->jobs() <= 1) return worst_in(0, n);
+  return parallel::reduce_chunks<double>(
+      *pool, n, parallel::default_chunk(n), 0.0, worst_in,
+      [](double& acc, double part) { acc = std::max(acc, part); });
 }
 
 void repair_distribution(std::vector<double>& v, SolveReport& report,
@@ -129,10 +143,15 @@ RobustResult robust_steady_state(const SparseMatrix& qt,
   auto& injector = testing::FaultInjector::instance();
   SolveReport report;
 
+  // One pool lease for the whole chain: every attempt (SOR residuals,
+  // power matvecs) and the verification residual share it.
+  const parallel::PoolLease lease(opts.jobs);
+
   // One span for the whole verified solve; each attempt below opens a child
   // span so every fallback edge is visible in the trace with its residual.
   obs::Span solve_span("robust.steady_state");
   solve_span.set("n", n);
+  solve_span.set("jobs", static_cast<std::uint64_t>(lease.jobs()));
 
   if (!qt.all_finite() || !all_finite(diag)) {
     throw NumericalError(
@@ -174,7 +193,7 @@ RobustResult robust_steady_state(const SparseMatrix& qt,
     }
     if (total <= 0.0) return;
     for (double& x : copy) x /= total;
-    const double res = steady_state_residual(qt, diag, copy);
+    const double res = steady_state_residual(qt, diag, copy, lease.get());
     if (std::isfinite(res) && res < best_res) {
       best = std::move(copy);
       best_res = res;
@@ -227,7 +246,7 @@ RobustResult robust_steady_state(const SparseMatrix& qt,
       return std::nullopt;
     }
     for (double& x : pi) x /= total;
-    const double res = steady_state_residual(qt, diag, pi);
+    const double res = steady_state_residual(qt, diag, pi, lease.get());
     if (!std::isfinite(res) || res > accept_res) {
       report.warn(method + ": residual " + std::to_string(res) +
                   " fails verification (accept <= " +
@@ -339,6 +358,7 @@ RobustResult robust_steady_state(const SparseMatrix& qt,
   };
 
   SorOptions sor_opts = opts.sor;
+  if (sor_opts.jobs == 0) sor_opts.jobs = opts.jobs;
   if (opts.budget.max_iterations != 0 || !opts.budget.deadline.unlimited()) {
     sor_opts.budget = opts.budget;
   }
@@ -367,6 +387,7 @@ RobustResult robust_steady_state(const SparseMatrix& qt,
       finish_attempt(&span, "power", 0, std::nan(""), false);
     } else {
       PowerOptions power_opts = opts.power;
+      if (power_opts.jobs == 0) power_opts.jobs = opts.jobs;
       if (opts.budget.max_iterations != 0 ||
           !opts.budget.deadline.unlimited()) {
         power_opts.budget = opts.budget;

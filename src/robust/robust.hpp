@@ -46,6 +46,10 @@ struct RobustSteadyOptions {
   /// scale). Looser than the iterative tol on purpose: this is the "is the
   /// answer usable at all" bar, not the convergence target.
   double verify_tol = 1e-6;
+  /// Parallelism degree passed through to every attempt (SOR residual
+  /// evaluation, power-iteration matvec) and to the verification residual.
+  /// 0 = parallel::default_jobs(); 1 = force sequential.
+  unsigned jobs = 0;
 };
 
 /// Result of a resilient solve: the distribution plus full diagnostics.
@@ -67,6 +71,14 @@ RobustResult robust_steady_state(const SparseMatrix& qt,
 double steady_state_residual(const SparseMatrix& qt,
                              const std::vector<double>& diag,
                              const std::vector<double>& pi);
+
+/// Same, row-chunked on `pool` (nullptr = sequential). The value is
+/// independent of the worker count: per-row accumulation order is fixed and
+/// the chunk maxima fold in chunk-index order.
+double steady_state_residual(const SparseMatrix& qt,
+                             const std::vector<double>& diag,
+                             const std::vector<double>& pi,
+                             parallel::ThreadPool* pool);
 
 /// True when every element of `v` is finite.
 bool all_finite(const std::vector<double>& v);

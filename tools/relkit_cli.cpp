@@ -3,8 +3,8 @@
 //
 //   relkit_cli <model-file> [--time t1 t2 ...] [--cuts] [--importance]
 //              [--diagnostics] [--trace[=FILE]] [--metrics[=FILE]]
-//              [--jobs N]
-//   relkit_cli --batch LIST [--time t ...] [--jobs N]
+//              [--jobs N] [--no-solver-cache]
+//   relkit_cli --batch LIST [--time t ...] [--jobs N] [--no-solver-cache]
 //
 // Prints, depending on the model's component specifications:
 //   * steady-state availability / top-event probability,
@@ -18,6 +18,8 @@
 //
 // --jobs N sets the process-wide parallelism degree (default: hardware
 // concurrency; the library default without the CLI is sequential).
+// --no-solver-cache disables the process-wide CTMC solution cache
+// (markov::SolutionCache) — the escape hatch when every solve must run.
 // --batch LIST reads one model path per line from LIST ('#' comments and
 // blank lines skipped), solves the models concurrently on the thread
 // pool, and streams one JSON object per model to stdout as each finishes
@@ -39,6 +41,7 @@
 
 #include "core/relkit.hpp"
 #include "io/model_parser.hpp"
+#include "markov/solution_cache.hpp"
 #include "obs/obs.hpp"
 #include "parallel/pool.hpp"
 
@@ -48,8 +51,9 @@ void usage() {
   std::fprintf(stderr,
                "usage: relkit_cli <model-file> [--time t ...] [--cuts] "
                "[--importance] [--diagnostics] [--trace[=FILE]] "
-               "[--metrics[=FILE]] [--jobs N]\n"
-               "       relkit_cli --batch LIST [--time t ...] [--jobs N]\n");
+               "[--metrics[=FILE]] [--jobs N] [--no-solver-cache]\n"
+               "       relkit_cli --batch LIST [--time t ...] [--jobs N] "
+               "[--no-solver-cache]\n");
 }
 
 void print_cuts(const std::vector<std::vector<std::string>>& cuts) {
@@ -215,6 +219,7 @@ int main(int argc, char** argv) {
   std::string trace_file;
   std::string metrics_file;
   std::string batch_file;
+  bool no_solver_cache = false;
   unsigned jobs = 0;  // 0 = hardware concurrency
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 ||
@@ -261,6 +266,8 @@ int main(int argc, char** argv) {
       want_importance = true;
     } else if (std::strcmp(argv[i], "--diagnostics") == 0) {
       want_diagnostics = true;
+    } else if (std::strcmp(argv[i], "--no-solver-cache") == 0) {
+      no_solver_cache = true;
     } else if (std::strncmp(argv[i], "--trace", 7) == 0 &&
                (argv[i][7] == '\0' || argv[i][7] == '=')) {
       want_trace = true;
@@ -294,13 +301,16 @@ int main(int argc, char** argv) {
   // Parallelism degree: the CLI (unlike the library) defaults to the
   // hardware concurrency — it is a leaf process, not a building block.
   relkit::parallel::set_default_jobs(jobs);
+  if (no_solver_cache) {
+    relkit::markov::SolutionCache::instance().set_enabled(false);
+  }
 
   if (!batch_file.empty()) {
     if (!path.empty() || want_cuts || want_importance || want_diagnostics ||
         want_trace || want_metrics) {
       std::fprintf(stderr,
-                   "invalid argument: --batch combines only with --time "
-                   "and --jobs\n");
+                   "invalid argument: --batch combines only with --time, "
+                   "--jobs, and --no-solver-cache\n");
       usage();
       return 4;
     }

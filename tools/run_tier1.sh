@@ -1,0 +1,16 @@
+#!/bin/sh
+# Tier-1 verify, exactly as ROADMAP.md specifies:
+#
+#   cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+#
+# Run from anywhere; the build tree is <repo>/build. Any failing step
+# fails the script (and CI) immediately.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd -- "$repo"
+
+cmake -B build -S .
+cmake --build build -j
+cd build
+ctest --output-on-failure -j
