@@ -14,7 +14,11 @@
 //   3. per-hook cost of a disabled Counter::add() measured in a tight
 //      loop, giving a deterministic estimate
 //        overhead = hooks/iter x cost/hook / workload time
-//      that does not depend on run-to-run scheduler jitter.
+//      that does not depend on run-to-run scheduler jitter;
+//   4. sink ablation: the same workload with a RingBufferSink and with a
+//      ChromeTraceSink attached, plus tight-loop per-span costs for each
+//      sink — what --trace / --trace-format=chrome add on top of
+//      "enabled, no sink".
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"
@@ -22,6 +26,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "core/relkit.hpp"
@@ -79,6 +84,24 @@ void print_table() {
   obs::set_enabled(true);
   const double enabled_s = time_workload(kReps);
 
+  // Sink ablation: same workload, spans now reach an attached sink.
+  auto& tracer = obs::Tracer::instance();
+  const auto ring = std::make_shared<obs::RingBufferSink>();
+  tracer.add_sink(ring);
+  const double ring_s = time_workload(kReps);
+  tracer.remove_sink(ring);
+  const char* chrome_path = "bench_obs_overhead.chrome.tmp.json";
+  std::shared_ptr<obs::ChromeTraceSink> chrome =
+      obs::ChromeTraceSink::open(chrome_path);
+  double chrome_s = 0.0;
+  if (chrome) {
+    tracer.add_sink(chrome);
+    chrome_s = time_workload(kReps);
+    tracer.remove_sink(chrome);
+    chrome.reset();  // finalizes the file
+    std::remove(chrome_path);
+  }
+
   // Hook density of one iteration.
   auto& registry = obs::Registry::instance();
   registry.reset_values();
@@ -110,6 +133,12 @@ void print_table() {
               disabled_s * 1e6);
   std::printf("%-42s %10.1f us\n", "median iteration, obs enabled (no sink)",
               enabled_s * 1e6);
+  std::printf("%-42s %10.1f us\n", "median iteration, enabled + ring sink",
+              ring_s * 1e6);
+  if (chrome_s > 0.0) {
+    std::printf("%-42s %10.1f us\n",
+                "median iteration, enabled + chrome sink", chrome_s * 1e6);
+  }
   std::printf("%-42s %10.2f %%\n", "enabled-vs-disabled A/B delta", ab_pct);
   std::printf("%-42s %10llu\n", "hooks fired per iteration",
               static_cast<unsigned long long>(hooks_per_iter));
@@ -165,6 +194,51 @@ void BM_SpanDisabled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabledRingSink(benchmark::State& state) {
+  if (!obs::kCompiledIn) {
+    state.SkipWithError("obs compiled out");
+    return;
+  }
+  obs::set_enabled(true);
+  const auto sink = std::make_shared<obs::RingBufferSink>();
+  obs::Tracer::instance().add_sink(sink);
+  for (auto _ : state) {
+    obs::Span span("bench.obs_span");
+    benchmark::DoNotOptimize(&span);
+  }
+  obs::Tracer::instance().remove_sink(sink);
+  obs::set_enabled(false);
+}
+BENCHMARK(BM_SpanEnabledRingSink);
+
+// Fixed iteration count: the chrome sink buffers every span until flush
+// (the object format has no valid incremental prefix), so an open-ended
+// benchmark loop would grow memory without bound.
+void BM_SpanEnabledChromeSink(benchmark::State& state) {
+  if (!obs::kCompiledIn) {
+    state.SkipWithError("obs compiled out");
+    return;
+  }
+  const char* path = "bench_obs_overhead.chrome.bm.tmp.json";
+  std::shared_ptr<obs::ChromeTraceSink> sink =
+      obs::ChromeTraceSink::open(path);
+  if (!sink) {
+    state.SkipWithError("cannot open temp trace file");
+    return;
+  }
+  obs::set_enabled(true);
+  obs::Tracer::instance().add_sink(sink);
+  for (auto _ : state) {
+    obs::Span span("bench.obs_span");
+    benchmark::DoNotOptimize(&span);
+  }
+  obs::Tracer::instance().remove_sink(sink);
+  sink.reset();  // finalizes and closes the file
+  std::remove(path);
+  obs::set_enabled(false);
+}
+BENCHMARK(BM_SpanEnabledChromeSink)->Iterations(1 << 16);
 
 }  // namespace
 

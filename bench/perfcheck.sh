@@ -1,0 +1,66 @@
+#!/bin/sh
+# Quick perf gate, registered with ctest under the "perfcheck" label:
+#
+#   bench/perfcheck.sh [build-dir]
+#
+# Runs bench_obs_overhead into a temp dir and diffs it against the
+# committed baseline (bench/baselines/BENCH_obs_overhead.json) with
+# tools/bench_compare.py. Two verdicts with different strictness:
+#
+#   * the instrumentation contract ("disabled overhead meets 2% target",
+#     printed by the bench itself) always gates — a MISSES line fails;
+#   * the baseline comparison is report-only by default, because shared CI
+#     machines make wall-clock gating flaky; set RELKIT_PERFCHECK_STRICT=1
+#     to make regressions fail too. bench/run_all.sh --compare is the
+#     strict full-set lane.
+set -u
+
+build_dir="${1:-build}"
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd -- "$repo"
+
+bench="$build_dir/bench/bench_obs_overhead"
+if [ ! -x "$bench" ]; then
+  echo "perfcheck: $bench not built" >&2
+  exit 1
+fi
+if [ ! -f bench/baselines/BENCH_obs_overhead.json ]; then
+  echo "perfcheck: no baseline (run bench/run_all.sh $build_dir" \
+       "bench/baselines)" >&2
+  exit 1
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+mkdir -p "$tmp/fresh"
+
+table="$tmp/table.txt"
+if ! "$bench" --json "$tmp/fresh/BENCH_obs_overhead.json" \
+     --jobs "${RELKIT_BENCH_JOBS:-$(nproc 2>/dev/null || echo 1)}" \
+     --benchmark_min_time=0.05s >"$table" 2>&1; then
+  cat "$table" >&2
+  echo "perfcheck: bench_obs_overhead exited non-zero" >&2
+  exit 1
+fi
+cat "$table"
+
+# Contract line: the bench prints "disabled overhead meets 2% target: PASS"
+# (or MISSES ... FAIL). Absent line = obs compiled out = nothing to gate.
+if grep -q "MISSES" "$table"; then
+  echo "perfcheck: FAIL — disabled-hook overhead misses the 2% target" >&2
+  exit 1
+fi
+
+# Baseline comparison against only this bench's baseline (the other
+# BENCH_*.json files were not regenerated here and must not read as
+# missing).
+mkdir -p "$tmp/baseline"
+cp bench/baselines/BENCH_obs_overhead.json "$tmp/baseline/"
+[ -f bench/baselines/thresholds.json ] && \
+  cp bench/baselines/thresholds.json "$tmp/baseline/"
+
+strict_flag="--report-only"
+[ "${RELKIT_PERFCHECK_STRICT:-0}" = "1" ] && strict_flag=""
+# shellcheck disable=SC2086
+python3 tools/bench_compare.py compare "$tmp/fresh" "$tmp/baseline" \
+  $strict_flag

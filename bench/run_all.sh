@@ -1,7 +1,11 @@
 #!/bin/sh
 # Regenerates every BENCH_<name>.json referenced from EXPERIMENTS.md.
 #
-#   bench/run_all.sh [build-dir] [output-dir]
+#   bench/run_all.sh [--compare] [build-dir] [output-dir]
+#
+# --compare: after regenerating, diff the fresh JSON against the committed
+# baselines in bench/baselines/ with tools/bench_compare.py (strict: any
+# regression beyond its threshold exits non-zero listing the offenders).
 #
 # Builds nothing: expects the bench binaries to exist under
 # <build-dir>/bench (default: build). JSON files land in <output-dir>
@@ -17,6 +21,11 @@
 # at the end listing the failures instead of continuing silently.
 set -u
 
+compare=0
+if [ "${1:-}" = "--compare" ]; then
+  compare=1
+  shift
+fi
 build_dir="${1:-build}"
 out_dir="${2:-.}"
 bench_dir="$build_dir/bench"
@@ -52,3 +61,9 @@ if [ -n "$failed" ]; then
   exit 1
 fi
 echo "done: $(ls "$out_dir"/BENCH_*.json 2>/dev/null | wc -l) JSON files"
+
+if [ "$compare" -eq 1 ]; then
+  script_dir=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+  python3 "$script_dir/../tools/bench_compare.py" compare \
+    "$out_dir" "$script_dir/baselines"
+fi

@@ -201,6 +201,7 @@ SorResult sor_steady_state(const SparseMatrix& qt,
       }
       const double res = residual_of(pi);
       residual_hist.observe(res);
+      report.convergence.record(it, res);
       if (std::isfinite(res) && res < best_res) {
         best = pi;
         best_res = res;
@@ -299,6 +300,7 @@ PowerResult power_steady_state(const SparseMatrix& p,
       delta = std::max(delta, std::abs(next[i] - pi[i]));
     }
     delta = injector.tap("power.delta", delta);
+    report.convergence.record(it + 1, delta);
     double total = 0.0;
     for (double x : next) total += x;
     if (!std::isfinite(total) || total <= 0.0 || !std::isfinite(delta)) {

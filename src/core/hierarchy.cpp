@@ -189,6 +189,7 @@ FixedPointResult Hierarchy::solve_fixed_point(
     }
     result.iterations = it;
     result.residual = residual;
+    report.convergence.record(it, residual);
 
     if (!finite || !std::isfinite(residual)) {
       // A non-finite iterate poisons every later evaluation: rewind to the

@@ -317,18 +317,24 @@ std::vector<double> Ctmc::transient(const std::vector<double>& pi0, double t,
   const double mean = guarded_poisson_mean(q, t, "Ctmc::transient", pi0);
   const PoissonWeights pw = poisson_weights(mean, eps);
 
+  // The convergence series of a uniformized solve is the unprocessed
+  // Poisson tail mass, which decays from 1 toward eps as the window closes.
+  robust::ConvergenceTrace trace;
   std::vector<double> v = pi0;  // pi0 P^n
   std::vector<double> out(state_count(), 0.0);
   const std::size_t steps = pw.left + pw.weights.size();
   steps_counter.add(steps);
   span.set("steps", steps);
   span.set("q", q);
+  double window_mass = 0.0;
   for (std::size_t n = 0; n < steps; ++n) {
     if (n >= pw.left) {
       const double w =
           injector.tap("uniformize.weight", pw.weights[n - pw.left]);
+      window_mass += w;
       for (std::size_t i = 0; i < out.size(); ++i) out[i] += w * v[i];
     }
+    trace.record(n + 1, std::max(0.0, 1.0 - window_mass));
     if (n + 1 == steps) break;
     v = p.multiply_left(v, lease.get());
   }
@@ -336,6 +342,7 @@ std::vector<double> Ctmc::transient(const std::vector<double>& pi0, double t,
   // Post-solve verification: the result must be a finite probability
   // vector; small drift is renormalized, NaN/Inf is never returned.
   robust::SolveReport report;
+  report.convergence = std::move(trace);
   report.method = "uniformization";
   report.attempts = {"uniformization"};
   report.iterations = steps;
@@ -377,6 +384,7 @@ std::vector<double> Ctmc::cumulative_time(const std::vector<double>& pi0,
   // With the normalized window, CDF(n) = sum of weights up to n; beyond the
   // window's right end the factor is 0, so iterate to the window end.
   auto& injector = testing::FaultInjector::instance();
+  robust::ConvergenceTrace trace;
   std::vector<double> v = pi0;
   double cdf = 0.0;
   const std::size_t steps = pw.left + pw.weights.size();
@@ -387,6 +395,7 @@ std::vector<double> Ctmc::cumulative_time(const std::vector<double>& pi0,
     if (n >= pw.left) {
       cdf += injector.tap("uniformize.weight", pw.weights[n - pw.left]);
     }
+    trace.record(n + 1, std::max(0.0, 1.0 - cdf));
     const double factor = (1.0 - cdf) / q;
     if (factor > 0.0) {
       for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += factor * v[i];
@@ -398,6 +407,7 @@ std::vector<double> Ctmc::cumulative_time(const std::vector<double>& pi0,
   // Verification: total sojourn time over [0, t] must equal t; repair small
   // drift by rescaling, never return NaN/Inf.
   robust::SolveReport report;
+  report.convergence = std::move(trace);
   report.method = "uniformization";
   report.attempts = {"uniformization"};
   report.iterations = steps;

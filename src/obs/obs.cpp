@@ -253,6 +253,86 @@ std::string Registry::to_json() const {
   return out;
 }
 
+std::string sanitize_metric_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+namespace {
+
+/// HELP text escaping per the OpenMetrics ABNF: backslash and line feed.
+std::string openmetrics_escape_help(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Exact, locale-free rendering of a histogram bucket edge; the `le` label
+/// values must be strictly increasing strings that parse back to the same
+/// doubles.
+std::string format_le(double upper) {
+  if (upper == std::numeric_limits<double>::infinity()) return "+Inf";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", upper);
+  return buf;
+}
+
+}  // namespace
+
+std::string Registry::to_openmetrics() const {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  std::string out;
+  auto header = [&](const std::string& name, const char* kind,
+                    const std::string& sanitized) {
+    out += "# HELP " + sanitized + " RelKit " + kind + " '" +
+           openmetrics_escape_help(name) + "'\n";
+    out += "# TYPE " + sanitized + " " + kind + "\n";
+  };
+  for (const auto& [name, c] : im.counters) {
+    const std::string s = sanitize_metric_name(name);
+    header(name, "counter", s);
+    out += s + "_total " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : im.gauges) {
+    const std::string s = sanitize_metric_name(name);
+    header(name, "gauge", s);
+    out += s + " " + format_double(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : im.histograms) {
+    const std::string s = sanitize_metric_name(name);
+    header(name, "histogram", s);
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      cumulative += h->bucket(i);
+      out += s + "_bucket{le=\"" + format_le(Histogram::bucket_upper(i)) +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += s + "_count " + std::to_string(h->count()) + "\n";
+    out += s + "_sum " + format_double(h->sum()) + "\n";
+  }
+  out += "# EOF\n";
+  return out;
+}
+
 void Registry::reset_values() {
   Impl& im = impl();
   std::lock_guard lock(im.mu);
@@ -377,6 +457,101 @@ void JsonlSink::flush() {
   std::fflush(impl_->file);
 }
 
+// ---- Chrome trace ----------------------------------------------------------
+
+std::string to_chrome_json(const std::vector<SpanRecord>& records) {
+  // Stable thread set + start-time ordering so the timeline nests the way
+  // render_trace_tree() does.
+  std::vector<const SpanRecord*> sorted;
+  sorted.reserve(records.size());
+  std::vector<std::uint64_t> threads;
+  for (const auto& r : records) {
+    sorted.push_back(&r);
+    if (std::find(threads.begin(), threads.end(), r.thread) ==
+        threads.end()) {
+      threads.push_back(r.thread);
+    }
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SpanRecord* a, const SpanRecord* b) {
+              return a->start_s < b->start_s;
+            });
+  std::sort(threads.begin(), threads.end());
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& event) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n" + event;
+  };
+  for (const std::uint64_t t : threads) {
+    emit("{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(t) +
+         ",\"name\":\"thread_name\",\"args\":{\"name\":\"relkit thread " +
+         std::to_string(t) + "\"}}");
+  }
+  char num[40];
+  for (const SpanRecord* r : sorted) {
+    std::string event = "{\"ph\":\"X\",\"pid\":1,\"tid\":" +
+                        std::to_string(r->thread) + ",\"name\":\"" +
+                        json_escape(r->name) + "\",\"cat\":\"relkit\"";
+    std::snprintf(num, sizeof(num), "%.3f", r->start_s * 1e6);
+    event += std::string(",\"ts\":") + num;
+    std::snprintf(num, sizeof(num), "%.3f", r->wall_s * 1e6);
+    event += std::string(",\"dur\":") + num;
+    event += ",\"args\":{\"span_id\":\"" + std::to_string(r->id) +
+             "\",\"parent\":\"" + std::to_string(r->parent) + "\"";
+    std::snprintf(num, sizeof(num), "%.3f", r->cpu_s * 1e6);
+    event += std::string(",\"cpu_us\":\"") + num + "\"";
+    for (const auto& [k, v] : r->attrs) {
+      event += ",\"" + json_escape(k) + "\":\"" + json_escape(v) + "\"";
+    }
+    event += "}}";
+    emit(event);
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+struct ChromeTraceSink::Impl {
+  std::mutex mu;
+  std::FILE* file = nullptr;
+  std::vector<SpanRecord> buffer;
+  bool finalized = false;
+  ~Impl() {
+    if (file) std::fclose(file);
+  }
+};
+
+ChromeTraceSink::ChromeTraceSink(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+std::unique_ptr<ChromeTraceSink> ChromeTraceSink::open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return nullptr;
+  auto impl = std::make_unique<Impl>();
+  impl->file = f;
+  return std::unique_ptr<ChromeTraceSink>(
+      new ChromeTraceSink(std::move(impl)));
+}
+
+ChromeTraceSink::~ChromeTraceSink() { flush(); }
+
+void ChromeTraceSink::on_span(const SpanRecord& record) {
+  std::lock_guard lock(impl_->mu);
+  if (!impl_->finalized) impl_->buffer.push_back(record);
+}
+
+void ChromeTraceSink::flush() {
+  std::lock_guard lock(impl_->mu);
+  if (impl_->finalized) return;
+  impl_->finalized = true;
+  const std::string json = to_chrome_json(impl_->buffer);
+  std::fwrite(json.data(), 1, json.size(), impl_->file);
+  std::fflush(impl_->file);
+}
+
 // ---- Tracer ----------------------------------------------------------------
 
 struct Tracer::Impl {
@@ -406,6 +581,14 @@ void Tracer::add_sink(std::shared_ptr<Sink> sink) {
   std::lock_guard lock(im.mu);
   im.sinks.push_back(std::move(sink));
   im.any_sink.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::remove_sink(const std::shared_ptr<Sink>& sink) {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  im.sinks.erase(std::remove(im.sinks.begin(), im.sinks.end(), sink),
+                 im.sinks.end());
+  im.any_sink.store(!im.sinks.empty(), std::memory_order_relaxed);
 }
 
 void Tracer::remove_all_sinks() {
@@ -570,6 +753,96 @@ std::string render_trace_tree(const std::vector<SpanRecord>& records) {
     }
   };
   for (const SpanRecord* root : roots) render(render, *root, 0);
+  return out;
+}
+
+// ---- profiling -------------------------------------------------------------
+
+const ProfileRow* ProfileReport::row(std::string_view name) const {
+  for (const auto& r : rows) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+ProfileReport build_profile(const std::vector<SpanRecord>& records) {
+  ProfileReport profile;
+  std::map<std::uint64_t, const SpanRecord*> by_id;
+  for (const auto& r : records) by_id.emplace(r.id, &r);
+
+  // Per-span child wall time, to subtract for exclusive times.
+  std::map<std::uint64_t, double> child_wall;
+  for (const auto& r : records) {
+    if (r.parent != 0 && by_id.count(r.parent)) {
+      child_wall[r.parent] += r.wall_s;
+    } else {
+      profile.total_wall += r.wall_s;
+    }
+  }
+
+  std::map<std::string, ProfileRow, std::less<>> rows;
+  for (const auto& r : records) {
+    ProfileRow& row = rows[r.name];
+    row.name = r.name;
+    row.count += 1;
+    row.inclusive_wall += r.wall_s;
+    row.inclusive_cpu += r.cpu_s;
+    // Per-span exclusive time; clock jitter can push the children's sum a
+    // hair past the parent's wall, so clamp each span at zero.
+    const auto it = child_wall.find(r.id);
+    const double in_children = it == child_wall.end() ? 0.0 : it->second;
+    row.exclusive_wall += std::max(0.0, r.wall_s - in_children);
+  }
+  for (auto& [name, row] : rows) {
+    row.percent = profile.total_wall > 0.0
+                      ? row.inclusive_wall / profile.total_wall * 100.0
+                      : 0.0;
+    profile.rows.push_back(std::move(row));
+  }
+  std::sort(profile.rows.begin(), profile.rows.end(),
+            [](const ProfileRow& a, const ProfileRow& b) {
+              return a.inclusive_wall > b.inclusive_wall;
+            });
+  return profile;
+}
+
+std::string render_profile_table(const ProfileReport& profile) {
+  if (profile.rows.empty()) return "(no spans recorded)\n";
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-40s %7s %11s %11s %11s %7s\n",
+                "span", "calls", "incl wall", "excl wall", "incl cpu",
+                "% tot");
+  out += line;
+  for (const auto& r : profile.rows) {
+    std::snprintf(line, sizeof(line),
+                  "%-40s %7llu %11s %11s %11s %6.1f%%\n", r.name.c_str(),
+                  static_cast<unsigned long long>(r.count),
+                  format_seconds(r.inclusive_wall).c_str(),
+                  format_seconds(r.exclusive_wall).c_str(),
+                  format_seconds(r.inclusive_cpu).c_str(), r.percent);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "%-40s %7s %11s\n", "total (roots)", "",
+                format_seconds(profile.total_wall).c_str());
+  out += line;
+  return out;
+}
+
+std::string profile_to_json(const ProfileReport& profile) {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& r : profile.rows) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + json_escape(r.name) +
+           "\",\"count\":" + std::to_string(r.count) +
+           ",\"wall_s\":" + format_double(r.inclusive_wall) +
+           ",\"excl_s\":" + format_double(r.exclusive_wall) +
+           ",\"cpu_s\":" + format_double(r.inclusive_cpu) +
+           ",\"pct\":" + format_double(r.percent) + "}";
+  }
+  out += "]";
   return out;
 }
 

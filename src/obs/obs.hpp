@@ -157,6 +157,15 @@ class Registry {
   /// max,p50,p90,p99}}}.
   std::string to_json() const;
 
+  /// OpenMetrics text exposition (Prometheus-scrapable): per metric a
+  /// `# HELP` line carrying the original dotted name, a `# TYPE` line, and
+  /// sample lines — counters as `<name>_total`, histograms as cumulative
+  /// `<name>_bucket{le="..."}` series over the base-2 bucket edges plus
+  /// `_count`/`_sum`, terminated by `# EOF`. Names pass through
+  /// sanitize_metric_name(); every registered metric is exposed, including
+  /// zero-valued ones (scrapers want stable series).
+  std::string to_openmetrics() const;
+
   /// Zeroes every metric value; registrations (and cached references)
   /// survive. Intended for tests and for the CLI's per-run scoping.
   void reset_values();
@@ -166,6 +175,13 @@ class Registry {
   struct Impl;
   Impl& impl() const;
 };
+
+/// Maps a RelKit metric name onto the OpenMetrics charset
+/// [a-zA-Z_:][a-zA-Z0-9_:]*: '.' and every other invalid byte become '_',
+/// and a leading digit gains a '_' prefix. Deterministic and idempotent;
+/// tools/check_metrics.py enforces that the mapping stays injective over
+/// the documented catalog (no two metrics may silently merge).
+std::string sanitize_metric_name(std::string_view name);
 
 // Convenience accessors; see Registry::counter for the hot-path pattern.
 inline Counter& counter(std::string_view name) {
@@ -239,6 +255,34 @@ class JsonlSink : public Sink {
   std::unique_ptr<Impl> impl_;
 };
 
+/// Serializes completed spans as Chrome trace-event JSON (the JSON Object
+/// Format: {"traceEvents":[...]}), loadable in Perfetto / chrome://tracing:
+/// one complete "X" event per span (ts/dur in microseconds, pid 1, tid =
+/// span thread index, attrs as args, cpu time as args.cpu_us) plus one
+/// "M" thread_name metadata event per thread. Events are sorted by start
+/// time so the timeline nests exactly like render_trace_tree().
+std::string to_chrome_json(const std::vector<SpanRecord>& records);
+
+/// Buffers completed spans and writes them as Chrome trace-event JSON on
+/// flush()/destruction (the object format needs the full batch — there is
+/// no valid incremental prefix).
+class ChromeTraceSink : public Sink {
+ public:
+  /// Opens `path` for writing; nullptr when the file cannot be opened
+  /// (same error policy as JsonlSink::open).
+  static std::unique_ptr<ChromeTraceSink> open(const std::string& path);
+  ~ChromeTraceSink() override;
+  void on_span(const SpanRecord& record) override;
+  /// Writes the buffered events; idempotent (later spans are dropped once
+  /// the file is finalized).
+  void flush();
+
+ private:
+  struct Impl;
+  explicit ChromeTraceSink(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
 /// JSON-escape a string (shared by JsonlSink and Registry::to_json).
 std::string json_escape(std::string_view s);
 
@@ -247,6 +291,9 @@ class Tracer {
  public:
   static Tracer& instance();
   void add_sink(std::shared_ptr<Sink> sink);
+  /// Removes one sink previously added (no-op when absent) — the batch
+  /// CLI attaches a per-model collector and must detach only its own.
+  void remove_sink(const std::shared_ptr<Sink>& sink);
   void remove_all_sinks();
   bool has_sinks() const;
   /// Seconds since the tracer was first touched.
@@ -296,5 +343,41 @@ class Span {
 /// time and attributes — the CLI's --trace output. Spans whose parent is
 /// missing from `records` (ring-buffer overflow) render as roots.
 std::string render_trace_tree(const std::vector<SpanRecord>& records);
+
+// ---- profiling -------------------------------------------------------------
+
+/// Aggregate of all completed spans sharing one name — the per-phase cost
+/// table behind the CLI's --profile flag.
+struct ProfileRow {
+  std::string name;
+  std::uint64_t count = 0;     ///< completed spans with this name
+  double inclusive_wall = 0.0; ///< sum of span wall times
+  double exclusive_wall = 0.0; ///< inclusive minus time in child spans
+  double inclusive_cpu = 0.0;  ///< sum of per-thread CPU times
+  double percent = 0.0;        ///< inclusive wall as % of total root wall
+};
+
+/// One solve's profile: rows sorted by inclusive wall time (descending)
+/// plus the total, which is the summed wall time of root spans.
+struct ProfileReport {
+  std::vector<ProfileRow> rows;
+  double total_wall = 0.0;
+
+  const ProfileRow* row(std::string_view name) const;
+};
+
+/// Aggregates completed spans by name. Exclusive time subtracts only
+/// children present in `records`; a span whose parent is missing (ring
+/// overflow) counts as a root. Invariant: for every name, inclusive_wall
+/// equals the exact sum of that name's span wall times.
+ProfileReport build_profile(const std::vector<SpanRecord>& records);
+
+/// Fixed-width table (CLI --profile): name, calls, inclusive/exclusive
+/// wall, CPU, and % of total, one row per name.
+std::string render_profile_table(const ProfileReport& profile);
+
+/// JSON array of row objects, embedded in batch-mode output lines:
+/// [{"name":..,"count":..,"wall_s":..,"excl_s":..,"cpu_s":..,"pct":..},..].
+std::string profile_to_json(const ProfileReport& profile);
 
 }  // namespace relkit::obs

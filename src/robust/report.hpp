@@ -25,11 +25,13 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdio>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/error.hpp"
+#include "robust/convergence_trace.hpp"
 
 namespace relkit::robust {
 
@@ -66,6 +68,10 @@ struct SolveReport {
   /// True when the result was served from the markov::SolutionCache rather
   /// than recomputed; `method`/`attempts` then describe the original solve.
   bool cache_hit = false;
+  /// Bounded residual/iteration trajectory of the accepted (or last)
+  /// iterative attempt — at most ConvergenceTrace::kMaxSamples points via
+  /// stride doubling. Empty for direct methods (GTH) and cache hits.
+  ConvergenceTrace convergence;
 
   void note_attempt(std::string m) { attempts.push_back(std::move(m)); }
   void note_fallback(const std::string& from, const std::string& to) {
@@ -106,6 +112,28 @@ struct SolveReport {
     if (!fallbacks.empty()) {
       out += "fallbacks: ";
       for (const auto& f : fallbacks) out += " " + f;
+      out += "\n";
+    }
+    if (!convergence.empty()) {
+      const auto samples = convergence.samples();
+      out += "convergence: " + std::to_string(convergence.recorded()) +
+             " checks recorded, " + std::to_string(samples.size()) +
+             " kept (stride " + std::to_string(convergence.stride()) + ")\n";
+      // Compact trajectory: up to 8 evenly spaced points ending on the
+      // final residual, so --diagnostics shows the shape of the decay.
+      constexpr std::size_t kShow = 8;
+      const std::size_t step =
+          samples.size() <= kShow ? 1 : (samples.size() - 1) / (kShow - 1);
+      out += "  it->residual:";
+      auto show = [&](std::size_t i) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), " %llu:%.3g",
+                      static_cast<unsigned long long>(samples[i].iteration),
+                      samples[i].value);
+        out += buf;
+      };
+      for (std::size_t i = 0; i < samples.size(); i += step) show(i);
+      if ((samples.size() - 1) % step != 0) show(samples.size() - 1);
       out += "\n";
     }
     for (const auto& w : warnings) out += "warning: " + w + "\n";

@@ -312,7 +312,11 @@ RobustResult robust_steady_state(const SparseMatrix& qt,
       return std::nullopt;
     }
     try {
-      return accept(gth_steady_state(densify(qt, diag)), "gth", n, &span);
+      auto pi = gth_steady_state(densify(qt, diag));
+      // GTH is direct: if accepted, any trajectory left over from a
+      // rejected iterative attempt does not describe the answer.
+      report.convergence.clear();
+      return accept(std::move(pi), "gth", n, &span);
     } catch (const NumericalError& e) {
       gth_error = e.what();
       report.warn(std::string("gth: ") + e.what());
@@ -346,9 +350,14 @@ RobustResult robust_steady_state(const SparseMatrix& qt,
     }
     try {
       SorResult r = sor_steady_state(qt, diag, sor_opts);
+      // Keep the attempt's residual trajectory: if the candidate is
+      // accepted it is the solve's trajectory; if rejected, a later
+      // attempt overwrites it.
+      report.convergence = r.report.convergence;
       return accept(std::move(r.pi), label, r.iterations, &span);
     } catch (const ConvergenceError& e) {
       report.iterations += e.report().iterations;
+      report.convergence = e.report().convergence;
       report.warn(label + ": " + e.what());
       finish_attempt(&span, label, e.report().iterations,
                      e.report().residual, false);
@@ -395,11 +404,13 @@ RobustResult robust_steady_state(const SparseMatrix& qt,
       try {
         PowerResult r = power_steady_state(uniformized_dtmc(qt, diag),
                                            power_opts);
+        report.convergence = r.report.convergence;
         if (auto ok = accept(std::move(r.pi), "power", r.iterations, &span)) {
           return *ok;
         }
       } catch (const ConvergenceError& e) {
         report.iterations += e.report().iterations;
+        report.convergence = e.report().convergence;
         report.warn(std::string("power: ") + e.what());
         finish_attempt(&span, "power", e.report().iterations,
                        e.report().residual, false);

@@ -5,13 +5,17 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/linsolve.hpp"
+#include "common/sparse.hpp"
 #include "markov/ctmc.hpp"
 #include "obs/obs.hpp"
+#include "robust/convergence_trace.hpp"
 #include "robust/fault_injection.hpp"
 
 namespace relkit {
@@ -325,6 +329,342 @@ TEST(Integration, FallbackChainProducesAttemptSpanTree) {
   const std::string tree = obs::render_trace_tree(spans);
   EXPECT_NE(tree.find("robust.steady_state"), std::string::npos);
   EXPECT_NE(tree.find("  robust.attempt"), std::string::npos);
+}
+
+// ---- histogram quantile edge cases -----------------------------------------
+
+TEST(Metrics, HistogramQuantileEdgeCases) {
+  RELKIT_REQUIRE_OBS_COMPILED_IN();
+  ObsScope scope;
+  obs::Histogram& empty = obs::histogram("test.q_empty");
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);  // empty -> 0 by contract
+
+  obs::Histogram& one = obs::histogram("test.q_one");
+  one.observe(5.0);
+  // A single sample is every quantile; bucket edges are clamped into the
+  // observed range, so the answer is exact, not an edge.
+  EXPECT_DOUBLE_EQ(one.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 5.0);
+
+  obs::Histogram& tail = obs::histogram("test.q_tail");
+  tail.observe(1.0);
+  tail.observe(1e300);  // lands in the saturated +Inf-edge top bucket
+  EXPECT_DOUBLE_EQ(tail.quantile(1.0), 1e300);  // clamped to max, not inf
+  // Bucketed quantiles answer with the rank bucket's upper edge, clamped
+  // into the observed range: q=0 may overshoot min but never undershoots.
+  EXPECT_GE(tail.quantile(0.0), 1.0);
+  EXPECT_LE(tail.quantile(0.0), 2.0);  // base-2 edge above 1.0
+
+  obs::Histogram& h = obs::histogram("test.q_range");
+  for (int i = 1; i <= 10; ++i) h.observe(static_cast<double>(i));
+  EXPECT_GE(h.quantile(0.0), h.min());
+  EXPECT_LE(h.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), h.max());
+  // Out-of-range q clamps rather than indexing out of bounds.
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(1.5), h.quantile(1.0));
+}
+
+// ---- OpenMetrics exposition ------------------------------------------------
+
+TEST(OpenMetrics, SanitizeMetricName) {
+  EXPECT_EQ(obs::sanitize_metric_name("bdd.ite_calls"), "bdd_ite_calls");
+  EXPECT_EQ(obs::sanitize_metric_name("a-b c"), "a_b_c");
+  EXPECT_EQ(obs::sanitize_metric_name("9lives"), "_9lives");
+  EXPECT_EQ(obs::sanitize_metric_name(""), "_");
+  EXPECT_EQ(obs::sanitize_metric_name("ok_name:sub"), "ok_name:sub");
+  // Idempotent: sanitizing a sanitized name changes nothing.
+  const std::string once = obs::sanitize_metric_name("solver.ü.50%");
+  EXPECT_EQ(obs::sanitize_metric_name(once), once);
+}
+
+TEST(OpenMetrics, ExpositionFormat) {
+  RELKIT_REQUIRE_OBS_COMPILED_IN();
+  ObsScope scope;
+  obs::counter("test.om_counter").add(7);
+  obs::gauge("test.om_gauge").set(2.5);
+  obs::Histogram& h = obs::histogram("test.om_hist");
+  h.observe(1.0);
+  h.observe(1e300);
+  const std::string text = obs::Registry::instance().to_openmetrics();
+  const auto npos = std::string::npos;
+
+  EXPECT_NE(text.find("# HELP test_om_counter RelKit counter "
+                      "'test.om_counter'\n"),
+            npos);
+  EXPECT_NE(text.find("# TYPE test_om_counter counter\n"), npos);
+  EXPECT_NE(text.find("test_om_counter_total 7\n"), npos);
+  EXPECT_NE(text.find("# TYPE test_om_gauge gauge\n"), npos);
+  EXPECT_NE(text.find("test_om_gauge 2.5\n"), npos);
+  EXPECT_NE(text.find("# TYPE test_om_hist histogram\n"), npos);
+  EXPECT_NE(text.find("test_om_hist_bucket{le=\"+Inf\"} 2\n"), npos);
+  EXPECT_NE(text.find("test_om_hist_count 2\n"), npos);
+  EXPECT_NE(text.find("test_om_hist_sum"), npos);
+  // Terminated by the mandatory EOF marker.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+
+  // Bucket 'le' edges are strictly increasing and end at +Inf; cumulative
+  // counts never decrease.
+  const char* marker = "test_om_hist_bucket{le=\"";
+  double prev_edge = -1.0;
+  std::uint64_t prev_cum = 0;
+  bool saw_inf = false;
+  int buckets = 0;
+  for (std::size_t pos = text.find(marker); pos != npos;
+       pos = text.find(marker, pos)) {
+    pos += std::strlen(marker);
+    const std::size_t quote = text.find('"', pos);
+    const std::string le = text.substr(pos, quote - pos);
+    const std::uint64_t cum = std::stoull(text.substr(quote + 3));
+    EXPECT_GE(cum, prev_cum);
+    prev_cum = cum;
+    ++buckets;
+    if (le == "+Inf") {
+      saw_inf = true;
+    } else {
+      EXPECT_FALSE(saw_inf) << "+Inf must be the last bucket";
+      const double edge = std::stod(le);
+      EXPECT_GT(edge, prev_edge);
+      prev_edge = edge;
+    }
+  }
+  EXPECT_EQ(buckets, obs::Histogram::kBuckets);
+  EXPECT_TRUE(saw_inf);
+}
+
+TEST(OpenMetrics, HelpEscapesBackslashAndNewline) {
+  RELKIT_REQUIRE_OBS_COMPILED_IN();
+  ObsScope scope;
+  obs::counter("test.om_weird\\name\nx");
+  const std::string text = obs::Registry::instance().to_openmetrics();
+  // The raw dotted name appears in the HELP text with \ and newline
+  // escaped — never as a raw line break that would split the record.
+  EXPECT_NE(text.find("test.om_weird\\\\name\\nx"), std::string::npos);
+  EXPECT_EQ(text.find("test.om_weird\\name\nx"), std::string::npos);
+  // The sample name itself is fully sanitized.
+  EXPECT_NE(text.find("test_om_weird_name_x_total 0\n"), std::string::npos);
+}
+
+// ---- Chrome trace export ---------------------------------------------------
+
+/// Structural JSON sanity: balanced braces/brackets outside strings.
+void expect_balanced_json(const std::string& text) {
+  int braces = 0, brackets = 0;
+  bool in_string = false, escaped = false;
+  for (const char c : text) {
+    if (escaped) {
+      escaped = false;
+    } else if (c == '\\') {
+      escaped = true;
+    } else if (c == '"') {
+      in_string = !in_string;
+    } else if (!in_string) {
+      braces += (c == '{') - (c == '}');
+      brackets += (c == '[') - (c == ']');
+      EXPECT_GE(braces, 0);
+      EXPECT_GE(brackets, 0);
+    }
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(ChromeTrace, JsonNestsConsistentlyWithTree) {
+  RELKIT_REQUIRE_OBS_COMPILED_IN();
+  ObsScope scope;
+  auto ring = std::make_shared<obs::RingBufferSink>();
+  obs::Tracer::instance().add_sink(ring);
+  {
+    obs::Span outer("test.chrome_outer");
+    {
+      obs::Span inner("test.chrome_inner");
+      inner.set("escaped", "a\"b\nc\xC3\xA9");  // quote, newline, non-ASCII
+    }
+    { obs::Span inner2("test.chrome_inner2"); }
+  }
+  const auto records = ring->snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  const std::string json = obs::to_chrome_json(records);
+
+  expect_balanced_json(json);
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  // One complete event per record.
+  int x_events = 0;
+  for (std::size_t pos = json.find("\"ph\":\"X\""); pos != std::string::npos;
+       pos = json.find("\"ph\":\"X\"", pos + 1)) {
+    ++x_events;
+  }
+  EXPECT_EQ(x_events, 3);
+  // Attrs survive as escaped args (the raw newline must not appear inside
+  // a string — json_escape turns it into \n).
+  EXPECT_NE(json.find("a\\\"b\\nc"), std::string::npos);
+
+  // Nesting matches the span tree: each event's args carry the same
+  // parent ids render_trace_tree() nests by.
+  const obs::SpanRecord* outer = nullptr;
+  for (const auto& r : records) {
+    if (r.name == "test.chrome_outer") outer = &r;
+  }
+  ASSERT_NE(outer, nullptr);
+  EXPECT_NE(json.find("\"name\":\"test.chrome_inner\""), std::string::npos);
+  EXPECT_NE(
+      json.find("\"parent\":\"" + std::to_string(outer->id) + "\""),
+      std::string::npos);
+  // And timestamps nest: children start at or after the parent's ts and
+  // fit inside its duration (ts/dur are microseconds in trace-event JSON).
+  for (const auto& r : records) {
+    if (r.parent != outer->id) continue;
+    EXPECT_GE(r.start_s, outer->start_s - 1e-9);
+    EXPECT_LE(r.start_s + r.wall_s, outer->start_s + outer->wall_s + 1e-9);
+  }
+}
+
+TEST(ChromeTrace, SinkWritesLoadableFile) {
+  RELKIT_REQUIRE_OBS_COMPILED_IN();
+  ObsScope scope;
+  const std::string path = ::testing::TempDir() + "relkit_obs_chrome.json";
+  {
+    std::shared_ptr<obs::ChromeTraceSink> sink =
+        obs::ChromeTraceSink::open(path);
+    ASSERT_NE(sink, nullptr);
+    obs::Tracer::instance().add_sink(sink);
+    {
+      obs::Span outer("test.chrome_file_outer");
+      obs::Span inner("test.chrome_file_inner");
+    }
+    obs::Tracer::instance().remove_all_sinks();
+    sink->flush();
+    sink->flush();  // idempotent
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  expect_balanced_json(text);
+  EXPECT_EQ(text.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(text.find("test.chrome_file_outer"), std::string::npos);
+  EXPECT_NE(text.find("test.chrome_file_inner"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ---- profile reports -------------------------------------------------------
+
+TEST(Profile, InclusiveTimesSumConsistently) {
+  RELKIT_REQUIRE_OBS_COMPILED_IN();
+  ObsScope scope;
+  auto ring = std::make_shared<obs::RingBufferSink>();
+  obs::Tracer::instance().add_sink(ring);
+  {
+    obs::Span outer("test.prof_outer");
+    { obs::Span inner("test.prof_inner"); }
+    { obs::Span inner("test.prof_inner"); }
+  }
+  const auto records = ring->snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  const obs::ProfileReport profile = obs::build_profile(records);
+
+  const obs::ProfileRow* outer = profile.row("test.prof_outer");
+  const obs::ProfileRow* inner = profile.row("test.prof_inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 1u);
+  EXPECT_EQ(inner->count, 2u);
+
+  // Invariant: a name's inclusive wall is the exact sum of its span wall
+  // times, and the total is the sum over root spans.
+  double outer_wall = 0.0, inner_wall = 0.0;
+  for (const auto& r : records) {
+    if (r.name == "test.prof_outer") outer_wall += r.wall_s;
+    if (r.name == "test.prof_inner") inner_wall += r.wall_s;
+  }
+  EXPECT_DOUBLE_EQ(outer->inclusive_wall, outer_wall);
+  EXPECT_DOUBLE_EQ(inner->inclusive_wall, inner_wall);
+  EXPECT_DOUBLE_EQ(profile.total_wall, outer_wall);
+  EXPECT_NEAR(outer->percent, 100.0, 1e-9);
+
+  // Exclusive = inclusive minus children; leaves keep everything.
+  EXPECT_NEAR(outer->exclusive_wall, outer_wall - inner_wall, 1e-12);
+  EXPECT_DOUBLE_EQ(inner->exclusive_wall, inner->inclusive_wall);
+
+  const std::string table = obs::render_profile_table(profile);
+  EXPECT_NE(table.find("test.prof_outer"), std::string::npos);
+  EXPECT_NE(table.find("test.prof_inner"), std::string::npos);
+  const std::string json = obs::profile_to_json(profile);
+  expect_balanced_json(json);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"name\":\"test.prof_outer\""), std::string::npos);
+}
+
+// ---- convergence telemetry -------------------------------------------------
+
+TEST(Convergence, TraceDecimatesToSampleBound) {
+  robust::ConvergenceTrace trace;
+  const std::uint64_t kIters = 100000;
+  for (std::uint64_t it = 1; it <= kIters; ++it) {
+    trace.record(it, 1.0 / static_cast<double>(it));
+  }
+  EXPECT_EQ(trace.recorded(), kIters);
+  const auto samples = trace.samples();
+  ASSERT_FALSE(samples.empty());
+  EXPECT_LE(samples.size(), robust::ConvergenceTrace::kMaxSamples + 1);
+  // The first and the final points are always retained, and iterations
+  // stay strictly increasing through every decimation round.
+  EXPECT_EQ(samples.front().iteration, 1u);
+  EXPECT_EQ(samples.back().iteration, kIters);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GT(samples[i].iteration, samples[i - 1].iteration);
+  }
+  // Stride doubling: the kept-stride is a power of two.
+  EXPECT_EQ(trace.stride() & (trace.stride() - 1), 0u);
+}
+
+TEST(Convergence, HundredThousandIterationSolveStaysBounded) {
+  // tol = 0 is unreachable (delta < 0 never holds), so power iteration
+  // runs to max_iters and throws — with the full trajectory decimated
+  // into the report it carries.
+  SparseBuilder builder(3, 3);
+  builder.add(0, 1, 1.0);
+  builder.add(1, 2, 1.0);
+  builder.add(2, 0, 1.0);
+  PowerOptions opts;
+  opts.tol = 0.0;
+  opts.max_iters = 100000;
+  opts.jobs = 1;
+  try {
+    (void)power_steady_state(builder.build(), opts);
+    FAIL() << "tol=0 must not converge";
+  } catch (const robust::ConvergenceError& e) {
+    const auto& trace = e.report().convergence;
+    EXPECT_EQ(trace.recorded(), 100000u);
+    EXPECT_LE(trace.samples().size(),
+              robust::ConvergenceTrace::kMaxSamples + 1);
+    EXPECT_EQ(trace.samples().back().iteration, 100000u);
+  }
+}
+
+TEST(Convergence, SolveReportCarriesTrajectory) {
+  markov::Ctmc chain;
+  chain.add_states(30);
+  for (std::size_t i = 0; i + 1 < 30; ++i) {
+    chain.add_transition(i, i + 1, 1.0);
+    chain.add_transition(i + 1, i, 2.0);
+  }
+  markov::SteadyStateOptions opts;
+  opts.dense_threshold = 0;  // force the iterative path
+  opts.use_cache = false;    // a cache hit would skip the iteration
+  robust::SolveReport report;
+  (void)chain.steady_state(opts, &report);
+  ASSERT_FALSE(report.convergence.empty());
+  const auto samples = report.convergence.samples();
+  // The trajectory ends at the iteration that met the tolerance.
+  EXPECT_LT(samples.back().value, opts.sor.tol);
+  EXPECT_NE(report.summary().find("convergence:"), std::string::npos);
+  EXPECT_NE(report.summary().find("it->residual:"), std::string::npos);
 }
 
 TEST(Integration, MetricsFireDuringSolve) {

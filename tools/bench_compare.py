@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff fresh BENCH_*.json against committed baselines.
+
+Usage:
+    bench_compare.py compare NEW_DIR BASELINE_DIR [--threshold R]
+                     [--report-only]
+    bench_compare.py selftest
+
+`compare` walks every BENCH_*.json in BASELINE_DIR, pairs it with the same
+filename in NEW_DIR, and compares each benchmark's real_time (google-
+benchmark JSON schema, per-iteration rows only — aggregate rows and rows
+with error_occurred are skipped). A benchmark regresses when
+
+    (new - baseline) / baseline > threshold
+
+where the threshold is, in priority order: a per-benchmark override from
+BASELINE_DIR/thresholds.json, the "default" from that file, the
+--threshold flag, or 0.30 (wall-clock microbenchmarks are noisy; the gate
+exists to catch 2x cliffs, not 5% drift). Missing counterpart files and
+benchmarks present in the baseline but absent from the fresh run are
+regressions too — a deleted bench must be deleted from the baselines, not
+silently dropped.
+
+Exit codes: 0 no regressions, 1 regressions listed on stdout, 2 usage or
+unreadable input. --report-only always exits 0/2 (CI smoke lanes report
+without gating; bench/run_all.sh --compare is the strict lane).
+
+`selftest` exercises the comparator on synthetic fixtures (identical pair
+must pass; an injected 3x regression and a dropped benchmark must both be
+detected) so the gate itself is testable under ctest without timing noise.
+
+thresholds.json format (all fields optional):
+    {"default": 0.30, "overrides": {"BM_CounterAddDisabled": 0.60}}
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+
+DEFAULT_THRESHOLD = 0.30
+
+
+def load_benchmarks(path: pathlib.Path) -> dict[str, float]:
+    """Map benchmark name -> real_time for the comparable rows of one file."""
+    with path.open(encoding="utf-8") as fh:
+        data = json.load(fh)
+    rows: dict[str, float] = {}
+    for row in data.get("benchmarks", []):
+        if row.get("run_type", "iteration") != "iteration":
+            continue  # mean/median/stddev aggregates duplicate the samples
+        if row.get("error_occurred"):
+            continue
+        name = row.get("name")
+        time = row.get("real_time")
+        if isinstance(name, str) and isinstance(time, (int, float)) and time > 0:
+            rows[name] = float(time)
+    return rows
+
+
+def load_thresholds(baseline_dir: pathlib.Path, fallback: float):
+    cfg = baseline_dir / "thresholds.json"
+    default = fallback
+    overrides: dict[str, float] = {}
+    if cfg.is_file():
+        data = json.loads(cfg.read_text(encoding="utf-8"))
+        default = float(data.get("default", fallback))
+        overrides = {k: float(v) for k, v in data.get("overrides", {}).items()}
+    return default, overrides
+
+
+def compare_dirs(
+    new_dir: pathlib.Path, baseline_dir: pathlib.Path, threshold: float
+) -> tuple[list[str], int]:
+    """Returns (regression messages, metrics compared)."""
+    default, overrides = load_thresholds(baseline_dir, threshold)
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        raise FileNotFoundError(f"no BENCH_*.json baselines in {baseline_dir}")
+    regressions: list[str] = []
+    compared = 0
+    for base_path in baselines:
+        new_path = new_dir / base_path.name
+        if not new_path.is_file():
+            regressions.append(f"{base_path.name}: missing from {new_dir}")
+            continue
+        base = load_benchmarks(base_path)
+        new = load_benchmarks(new_path)
+        for name, base_time in sorted(base.items()):
+            limit = overrides.get(name, default)
+            if name not in new:
+                regressions.append(
+                    f"{base_path.name} {name}: benchmark dropped from fresh run"
+                )
+                continue
+            compared += 1
+            rel = (new[name] - base_time) / base_time
+            if rel > limit:
+                regressions.append(
+                    f"{base_path.name} {name}: {base_time:.1f} -> "
+                    f"{new[name]:.1f} ({rel:+.1%}, threshold +{limit:.0%})"
+                )
+    return regressions, compared
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    new_dir = pathlib.Path(args.new_dir)
+    baseline_dir = pathlib.Path(args.baseline_dir)
+    try:
+        regressions, compared = compare_dirs(new_dir, baseline_dir, args.threshold)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"bench_compare: {exc}", file=sys.stderr)
+        return 2
+    if regressions:
+        print(f"bench_compare: {len(regressions)} regression(s) "
+              f"({compared} metrics compared):")
+        for line in regressions:
+            print(f"  REGRESSION {line}")
+        if args.report_only:
+            print("bench_compare: report-only mode, not failing")
+            return 0
+        return 1
+    print(f"bench_compare: OK ({compared} metrics within thresholds)")
+    return 0
+
+
+def _fixture(times: dict[str, float]) -> str:
+    rows = [
+        {"name": name, "run_type": "iteration", "real_time": t,
+         "cpu_time": t, "time_unit": "ns"}
+        for name, t in times.items()
+    ]
+    # An aggregate row and an errored row, which the loader must ignore.
+    rows.append({"name": "BM_a_mean", "run_type": "aggregate",
+                 "real_time": 1e9})
+    rows.append({"name": "BM_broken", "run_type": "iteration",
+                 "error_occurred": True, "real_time": 1.0})
+    return json.dumps({"context": {}, "benchmarks": rows})
+
+
+def cmd_selftest(_: argparse.Namespace) -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        base = root / "base"
+        fresh = root / "fresh"
+        base.mkdir()
+        fresh.mkdir()
+        (base / "BENCH_x.json").write_text(
+            _fixture({"BM_a": 100.0, "BM_b": 200.0, "BM_gone": 5.0}))
+        (base / "thresholds.json").write_text(
+            json.dumps({"default": 0.30, "overrides": {"BM_b": 0.60}}))
+
+        # 1. identical copy (minus BM_gone) with noise inside thresholds
+        #    must pass except for the dropped benchmark.
+        (fresh / "BENCH_x.json").write_text(
+            _fixture({"BM_a": 120.0, "BM_b": 310.0}))
+        regressions, compared = compare_dirs(fresh, base, DEFAULT_THRESHOLD)
+        assert compared == 2, compared
+        assert len(regressions) == 1 and "dropped" in regressions[0], regressions
+
+        # 2. injected 3x regression on BM_a must be detected; BM_b's +55%
+        #    stays inside its 60% override.
+        (fresh / "BENCH_x.json").write_text(
+            _fixture({"BM_a": 300.0, "BM_b": 310.0, "BM_gone": 5.0}))
+        regressions, compared = compare_dirs(fresh, base, DEFAULT_THRESHOLD)
+        assert compared == 3, compared
+        assert len(regressions) == 1 and "BM_a" in regressions[0], regressions
+
+        # 3. missing counterpart file is a regression.
+        (fresh / "BENCH_x.json").unlink()
+        regressions, _ = compare_dirs(fresh, base, DEFAULT_THRESHOLD)
+        assert len(regressions) == 1 and "missing" in regressions[0], regressions
+    print("bench_compare: selftest OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    cmp_parser = sub.add_parser("compare")
+    cmp_parser.add_argument("new_dir")
+    cmp_parser.add_argument("baseline_dir")
+    cmp_parser.add_argument("--threshold", type=float,
+                            default=DEFAULT_THRESHOLD)
+    cmp_parser.add_argument("--report-only", action="store_true")
+    cmp_parser.set_defaults(func=cmd_compare)
+    selftest_parser = sub.add_parser("selftest")
+    selftest_parser.set_defaults(func=cmd_selftest)
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,13 @@ registrations and obs::Span("...") names, then checks that each name appears
 verbatim in docs/observability.md. Exits non-zero listing any undocumented
 names, so the metric catalog cannot silently rot.
 
+Additionally validates the catalog against the OpenMetrics exposition
+(Registry::to_openmetrics): every metric name must round-trip through the
+name sanitizer without a silent rename — the sanitized form must be a valid
+OpenMetrics name, no two catalog names may sanitize to the same exposed
+name (a collision merges two metrics in the exposition), and sanitizing
+must be idempotent.
+
 Usage: check_metrics.py [repo-root]   (default: parent of this script's dir)
 """
 
@@ -15,15 +22,52 @@ import sys
 
 METRIC_RE = re.compile(r'obs::(?:counter|gauge|histogram)\(\s*"([^"]+)"')
 SPAN_RE = re.compile(r'obs::Span\s+\w+\(\s*"([^"]+)"')
+# OpenMetrics metric-name charset; must match what the exposition emits.
+OPENMETRICS_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 
 
-def collect_names(src_dir: pathlib.Path) -> set[str]:
-    names: set[str] = set()
+def sanitize_metric_name(name: str) -> str:
+    """Python replica of obs::sanitize_metric_name (src/obs/obs.cpp)."""
+    out = "".join(
+        c if (c.isascii() and (c.isalnum() or c in "_:")) else "_"
+        for c in name
+    )
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def check_openmetrics_names(metric_names: set[str]) -> list[str]:
+    """Problems with the catalog -> exposition name mapping, if any."""
+    problems: list[str] = []
+    exposed: dict[str, str] = {}
+    for name in sorted(metric_names):
+        sanitized = sanitize_metric_name(name)
+        if not OPENMETRICS_NAME_RE.match(sanitized):
+            problems.append(
+                f"'{name}' sanitizes to invalid OpenMetrics name '{sanitized}'"
+            )
+        if sanitize_metric_name(sanitized) != sanitized:
+            problems.append(f"sanitizer is not idempotent on '{name}'")
+        if sanitized in exposed:
+            problems.append(
+                f"'{name}' and '{exposed[sanitized]}' both expose as "
+                f"'{sanitized}' — a silent rename merges them"
+            )
+        else:
+            exposed[sanitized] = name
+    return problems
+
+
+def collect_names(src_dir: pathlib.Path) -> tuple[set[str], set[str]]:
+    """(metric names, span names) registered anywhere under src/."""
+    metrics: set[str] = set()
+    spans: set[str] = set()
     for path in sorted(src_dir.rglob("*.cpp")) + sorted(src_dir.rglob("*.hpp")):
         text = path.read_text(encoding="utf-8")
-        names.update(METRIC_RE.findall(text))
-        names.update(SPAN_RE.findall(text))
-    return names
+        metrics.update(METRIC_RE.findall(text))
+        spans.update(SPAN_RE.findall(text))
+    return metrics, spans
 
 
 def main() -> int:
@@ -41,7 +85,8 @@ def main() -> int:
         print(f"check_metrics: missing {doc}", file=sys.stderr)
         return 2
 
-    names = collect_names(src)
+    metrics, spans = collect_names(src)
+    names = metrics | spans
     # The obs self-API in src/obs is documentation examples, not real
     # registrations; everything it mentions is still checked if a solver
     # uses it, so no exclusions are needed beyond skipping obs's own docs
@@ -53,7 +98,18 @@ def main() -> int:
         for name in missing:
             print(f"  {name}")
         return 1
-    print(f"check_metrics: all {len(names)} metric/span names documented")
+
+    problems = check_openmetrics_names(metrics)
+    if problems:
+        print("OpenMetrics exposition problems:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(
+        f"check_metrics: all {len(names)} metric/span names documented, "
+        f"{len(metrics)} metric names round-trip through the OpenMetrics "
+        "sanitizer"
+    )
     return 0
 
 

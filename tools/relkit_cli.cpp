@@ -2,19 +2,27 @@
 // command line.
 //
 //   relkit_cli <model-file> [--time t1 t2 ...] [--cuts] [--importance]
-//              [--diagnostics] [--trace[=FILE]] [--metrics[=FILE]]
+//              [--diagnostics] [--trace[=FILE]] [--trace-format=F]
+//              [--metrics[=FILE]] [--metrics-format=F] [--profile]
 //              [--jobs N] [--no-solver-cache]
-//   relkit_cli --batch LIST [--time t ...] [--jobs N] [--no-solver-cache]
+//   relkit_cli --batch LIST [--time t ...] [--profile] [--jobs N]
+//              [--no-solver-cache]
 //
 // Prints, depending on the model's component specifications:
 //   * steady-state availability / top-event probability,
 //   * reliability / unreliability at the requested time points,
 //   * minimal cut sets (--cuts) and importance measures (--importance),
-//   * the last solver's SolveReport (--diagnostics),
-//   * a nested span tree of where the time went (--trace), or the same
-//     spans as JSON lines written to FILE (--trace=FILE),
-//   * the metrics registry (--metrics prints text, --metrics=FILE writes
-//     JSON).
+//   * the last solver's SolveReport (--diagnostics), including the
+//     bounded residual/iteration convergence trajectory,
+//   * completed spans (--trace): as a nested tree (--trace-format=tree,
+//     the stdout default), JSON lines (jsonl, the --trace=FILE default),
+//     or Chrome trace-event JSON loadable in Perfetto (chrome),
+//   * the metrics registry (--metrics): as text (--metrics-format=text,
+//     the stdout default), a JSON object (json, the --metrics=FILE
+//     default), or an OpenMetrics text exposition (openmetrics),
+//   * a per-solve profile (--profile): completed spans aggregated by name
+//     into inclusive/exclusive wall + CPU time, call counts, and % of
+//     total.
 //
 // --jobs N sets the process-wide parallelism degree (default: hardware
 // concurrency; the library default without the CLI is sequential).
@@ -24,13 +32,14 @@
 // blank lines skipped), solves the models concurrently on the thread
 // pool, and streams one JSON object per model to stdout as each finishes
 // (fields: index, model, ok, and either name/kind/steady/at or
-// error_class/error). Full reference: docs/cli.md.
+// error_class/error; with --profile additionally profile and, when an
+// iterative solver ran, convergence). Full reference: docs/cli.md.
 //
 // Exit codes: 0 success, 1 usage error, 2 model error, 3 numerical error
 // (including convergence failures), 4 invalid argument (malformed or
-// unusable --trace/--metrics/--jobs/--batch values included). Batch mode
-// exits 0 only when every model solved; otherwise it uses the exit class
-// of the first failing model in input order.
+// unusable --trace/--metrics/--jobs/--batch/--*-format values included).
+// Batch mode exits 0 only when every model solved; otherwise it uses the
+// exit class of the first failing model in input order.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -51,10 +60,50 @@ void usage() {
   std::fprintf(stderr,
                "usage: relkit_cli <model-file> [--time t ...] [--cuts] "
                "[--importance] [--diagnostics] [--trace[=FILE]] "
-               "[--metrics[=FILE]] [--jobs N] [--no-solver-cache]\n"
-               "       relkit_cli --batch LIST [--time t ...] [--jobs N] "
-               "[--no-solver-cache]\n");
+               "[--trace-format=tree|jsonl|chrome] [--metrics[=FILE]] "
+               "[--metrics-format=text|json|openmetrics] [--profile] "
+               "[--jobs N] [--no-solver-cache]\n"
+               "       relkit_cli --batch LIST [--time t ...] [--profile] "
+               "[--jobs N] [--no-solver-cache]\n");
 }
+
+/// Convergence trajectory as a JSON array of [iteration, value] pairs.
+std::string convergence_json(const relkit::robust::ConvergenceTrace& trace) {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& s : trace.samples()) {
+    if (!first) out += ",";
+    first = false;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "[%llu,%.12g]",
+                  static_cast<unsigned long long>(s.iteration), s.value);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+/// Collects completed spans emitted by one pool thread — the per-model
+/// profile scope in batch mode, where each model is parsed and solved
+/// entirely on a single worker thread but all threads share one Tracer.
+class ThreadFilterSink : public relkit::obs::Sink {
+ public:
+  explicit ThreadFilterSink(std::uint64_t thread) : thread_(thread) {}
+  void on_span(const relkit::obs::SpanRecord& record) override {
+    if (record.thread != thread_) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back(record);
+  }
+  std::vector<relkit::obs::SpanRecord> take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(records_);
+  }
+
+ private:
+  std::uint64_t thread_;
+  std::mutex mu_;
+  std::vector<relkit::obs::SpanRecord> records_;
+};
 
 void print_cuts(const std::vector<std::vector<std::string>>& cuts) {
   std::printf("minimal cut sets (%zu):\n", cuts.size());
@@ -98,11 +147,40 @@ std::string json_number(double v) {
 
 /// Parses and solves one model file; never throws. The returned JSON line
 /// carries everything a consumer needs to correlate out-of-order results.
+/// With `profile` set, spans emitted by this thread during the solve are
+/// aggregated into a "profile" field (plus "convergence" when an iterative
+/// solver recorded a trajectory).
 BatchOutcome solve_one(const std::string& path,
-                       const std::vector<double>& times, std::size_t index) {
+                       const std::vector<double>& times, std::size_t index,
+                       bool profile) {
   BatchOutcome out;
   std::string head = "{\"index\":" + std::to_string(index) + ",\"model\":\"" +
                      relkit::obs::json_escape(path) + "\"";
+  // RAII so the collector detaches on every exit path, including throws.
+  struct ProfileScope {
+    std::shared_ptr<ThreadFilterSink> sink;
+    explicit ProfileScope(bool on) {
+      if (!on) return;
+      sink = std::make_shared<ThreadFilterSink>(
+          relkit::obs::Tracer::instance().thread_index());
+      relkit::obs::Tracer::instance().add_sink(sink);
+    }
+    ~ProfileScope() {
+      if (sink) relkit::obs::Tracer::instance().remove_sink(sink);
+    }
+  } profile_scope(profile);
+  auto profile_fields = [&]() -> std::string {
+    if (!profile_scope.sink) return "";
+    std::string fields =
+        ",\"profile\":" + relkit::obs::profile_to_json(relkit::obs::
+                              build_profile(profile_scope.sink->take()));
+    if (relkit::robust::has_last_report() &&
+        !relkit::robust::last_report().convergence.empty()) {
+      fields += ",\"convergence\":" +
+                convergence_json(relkit::robust::last_report().convergence);
+    }
+    return fields;
+  };
   try {
     const relkit::io::ParsedModel model =
         relkit::io::parse_model_file(path);
@@ -138,7 +216,7 @@ BatchOutcome solve_one(const std::string& path,
     out.json = head + ",\"ok\":true,\"name\":\"" +
                relkit::obs::json_escape(model.name) + "\",\"kind\":\"" +
                kind + "\",\"steady\":" + json_number(steady) +
-               ",\"at\":" + at + "}";
+               ",\"at\":" + at + profile_fields() + "}";
   } catch (const relkit::ModelError& e) {
     out.exit_class = 2;
     out.json = head + ",\"ok\":false,\"error_class\":\"model\",\"error\":\"" +
@@ -147,7 +225,8 @@ BatchOutcome solve_one(const std::string& path,
     out.exit_class = 3;
     out.json = head +
                ",\"ok\":false,\"error_class\":\"numerical\",\"error\":\"" +
-               relkit::obs::json_escape(e.what()) + "\"}";
+               relkit::obs::json_escape(e.what()) + "\"" + profile_fields() +
+               "}";
   } catch (const relkit::InvalidArgument& e) {
     out.exit_class = 4;
     out.json = head + ",\"ok\":false,\"error_class\":\"invalid\",\"error\":\"" +
@@ -163,7 +242,8 @@ BatchOutcome solve_one(const std::string& path,
 /// Solves every model listed in `list_path` concurrently on the global
 /// pool, streaming one JSON line per model as it completes. Returns the
 /// process exit code.
-int run_batch(const std::string& list_path, const std::vector<double>& times) {
+int run_batch(const std::string& list_path, const std::vector<double>& times,
+              bool profile) {
   std::ifstream list(list_path);
   if (!list.good()) {
     std::fprintf(stderr, "invalid argument: cannot open batch list '%s'\n",
@@ -186,11 +266,16 @@ int run_batch(const std::string& list_path, const std::vector<double>& times) {
     return 4;
   }
 
+  // Profiling needs span emission; each model's spans stay on its worker
+  // thread, so the per-model ThreadFilterSink sees only its own solve.
+  if (profile) relkit::obs::set_enabled(true);
+
   std::vector<int> exit_classes(paths.size(), 0);
   std::mutex print_mu;
   relkit::parallel::global_pool().for_chunks(
       paths.size(), 1, [&](std::size_t begin, std::size_t) {
-        const BatchOutcome outcome = solve_one(paths[begin], times, begin);
+        const BatchOutcome outcome =
+            solve_one(paths[begin], times, begin, profile);
         exit_classes[begin] = outcome.exit_class;
         std::lock_guard<std::mutex> lock(print_mu);
         std::printf("%s\n", outcome.json.c_str());
@@ -216,8 +301,11 @@ int main(int argc, char** argv) {
   bool want_diagnostics = false;
   bool want_trace = false;
   bool want_metrics = false;
+  bool want_profile = false;
   std::string trace_file;
   std::string metrics_file;
+  std::string trace_format;    // tree|jsonl|chrome; empty = pick by dest
+  std::string metrics_format;  // text|json|openmetrics; empty = pick by dest
   std::string batch_file;
   bool no_solver_cache = false;
   unsigned jobs = 0;  // 0 = hardware concurrency
@@ -268,6 +356,54 @@ int main(int argc, char** argv) {
       want_diagnostics = true;
     } else if (std::strcmp(argv[i], "--no-solver-cache") == 0) {
       no_solver_cache = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      want_profile = true;
+    } else if (std::strcmp(argv[i], "--trace-format") == 0 ||
+               std::strncmp(argv[i], "--trace-format=", 15) == 0) {
+      const char* value = argv[i][14] == '=' ? argv[i] + 15 : nullptr;
+      if (value == nullptr) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr,
+                       "invalid argument: --trace-format needs a value\n");
+          usage();
+          return 4;
+        }
+        value = argv[++i];
+      }
+      trace_format = value;
+      if (trace_format != "tree" && trace_format != "jsonl" &&
+          trace_format != "chrome") {
+        std::fprintf(stderr,
+                     "invalid argument: --trace-format must be tree, jsonl, "
+                     "or chrome, got '%s'\n",
+                     value);
+        usage();
+        return 4;
+      }
+      want_trace = true;
+    } else if (std::strcmp(argv[i], "--metrics-format") == 0 ||
+               std::strncmp(argv[i], "--metrics-format=", 17) == 0) {
+      const char* value = argv[i][16] == '=' ? argv[i] + 17 : nullptr;
+      if (value == nullptr) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr,
+                       "invalid argument: --metrics-format needs a value\n");
+          usage();
+          return 4;
+        }
+        value = argv[++i];
+      }
+      metrics_format = value;
+      if (metrics_format != "text" && metrics_format != "json" &&
+          metrics_format != "openmetrics") {
+        std::fprintf(stderr,
+                     "invalid argument: --metrics-format must be text, "
+                     "json, or openmetrics, got '%s'\n",
+                     value);
+        usage();
+        return 4;
+      }
+      want_metrics = true;
     } else if (std::strncmp(argv[i], "--trace", 7) == 0 &&
                (argv[i][7] == '\0' || argv[i][7] == '=')) {
       want_trace = true;
@@ -310,11 +446,11 @@ int main(int argc, char** argv) {
         want_trace || want_metrics) {
       std::fprintf(stderr,
                    "invalid argument: --batch combines only with --time, "
-                   "--jobs, and --no-solver-cache\n");
+                   "--profile, --jobs, and --no-solver-cache\n");
       usage();
       return 4;
     }
-    return run_batch(batch_file, times);
+    return run_batch(batch_file, times, want_profile);
   }
 
   if (path.empty()) {
@@ -322,14 +458,31 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Effective formats: explicit flag wins; otherwise the destination picks
+  // the historical default (stdout: human-readable, file: machine-readable).
+  const std::string eff_trace_format =
+      !trace_format.empty() ? trace_format
+                            : (trace_file.empty() ? "tree" : "jsonl");
+  const std::string eff_metrics_format =
+      !metrics_format.empty() ? metrics_format
+                              : (metrics_file.empty() ? "text" : "json");
+  if (eff_trace_format == "jsonl" && trace_file.empty()) {
+    std::fprintf(stderr,
+                 "invalid argument: --trace-format=jsonl needs "
+                 "--trace=FILE (JSON lines stream to a file)\n");
+    usage();
+    return 4;
+  }
+
   std::shared_ptr<relkit::obs::RingBufferSink> ring;
   std::shared_ptr<relkit::obs::JsonlSink> trace_jsonl;
-  if (want_trace || want_metrics) relkit::obs::set_enabled(true);
+  std::shared_ptr<relkit::obs::ChromeTraceSink> trace_chrome;
+  std::shared_ptr<relkit::obs::RingBufferSink> profile_ring;
+  if (want_trace || want_metrics || want_profile) {
+    relkit::obs::set_enabled(true);
+  }
   if (want_trace) {
-    if (trace_file.empty()) {
-      ring = std::make_shared<relkit::obs::RingBufferSink>();
-      relkit::obs::Tracer::instance().add_sink(ring);
-    } else {
+    if (eff_trace_format == "jsonl") {
       trace_jsonl = relkit::obs::JsonlSink::open(trace_file);
       if (!trace_jsonl) {
         std::fprintf(stderr,
@@ -339,7 +492,28 @@ int main(int argc, char** argv) {
         return 4;
       }
       relkit::obs::Tracer::instance().add_sink(trace_jsonl);
+    } else if (eff_trace_format == "chrome" && !trace_file.empty()) {
+      trace_chrome = relkit::obs::ChromeTraceSink::open(trace_file);
+      if (!trace_chrome) {
+        std::fprintf(stderr,
+                     "invalid argument: cannot open trace file '%s'\n",
+                     trace_file.c_str());
+        usage();
+        return 4;
+      }
+      relkit::obs::Tracer::instance().add_sink(trace_chrome);
+    } else {
+      // tree (stdout or file) and chrome-to-stdout render from a snapshot.
+      ring = std::make_shared<relkit::obs::RingBufferSink>();
+      relkit::obs::Tracer::instance().add_sink(ring);
     }
+  }
+  if (want_profile) {
+    // Dedicated sink: --profile must see every span even when --trace
+    // routes elsewhere or is absent. Sized generously; profiles aggregate,
+    // so a dropped span only shaves its row's count.
+    profile_ring = std::make_shared<relkit::obs::RingBufferSink>(65536);
+    relkit::obs::Tracer::instance().add_sink(profile_ring);
   }
 
   try {
@@ -408,22 +582,53 @@ int main(int argc, char** argv) {
     }
     if (want_diagnostics) print_diagnostics();
     if (want_trace) {
-      if (ring) {
-        std::printf("--- trace ---\n%s",
-                    relkit::obs::render_trace_tree(ring->snapshot()).c_str());
-        if (ring->dropped() > 0) {
-          std::printf("(%llu older spans dropped from the ring buffer)\n",
-                      static_cast<unsigned long long>(ring->dropped()));
-        }
-      } else if (trace_jsonl) {
+      if (trace_jsonl) {
         trace_jsonl->flush();
         std::printf("trace written to %s\n", trace_file.c_str());
+      } else if (trace_chrome) {
+        trace_chrome->flush();
+        std::printf("trace written to %s\n", trace_file.c_str());
+      } else if (ring) {
+        std::string rendered;
+        if (eff_trace_format == "chrome") {
+          rendered = relkit::obs::to_chrome_json(ring->snapshot()) + "\n";
+        } else {
+          rendered = relkit::obs::render_trace_tree(ring->snapshot());
+          if (ring->dropped() > 0) {
+            rendered += "(" + std::to_string(ring->dropped()) +
+                        " older spans dropped from the ring buffer)\n";
+          }
+        }
+        if (trace_file.empty()) {
+          if (eff_trace_format == "tree") std::printf("--- trace ---\n");
+          std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+        } else {
+          std::FILE* f = std::fopen(trace_file.c_str(), "w");
+          if (f == nullptr) {
+            std::fprintf(stderr,
+                         "invalid argument: cannot open trace file '%s'\n",
+                         trace_file.c_str());
+            usage();
+            return 4;
+          }
+          std::fwrite(rendered.data(), 1, rendered.size(), f);
+          std::fclose(f);
+          std::printf("trace written to %s\n", trace_file.c_str());
+        }
       }
     }
     if (want_metrics) {
+      std::string rendered;
+      if (eff_metrics_format == "openmetrics") {
+        rendered = relkit::obs::Registry::instance().to_openmetrics();
+      } else if (eff_metrics_format == "json") {
+        rendered = relkit::obs::Registry::instance().to_json() + "\n";
+      } else {
+        rendered = relkit::obs::Registry::instance().render_text();
+      }
       if (metrics_file.empty()) {
-        std::printf("--- metrics ---\n%s",
-                    relkit::obs::Registry::instance().render_text().c_str());
+        if (eff_metrics_format == "text") std::printf("--- metrics ---\n");
+        std::fwrite(rendered.data(), 1, rendered.size(), stdout);
       } else {
         std::FILE* f = std::fopen(metrics_file.c_str(), "w");
         if (f == nullptr) {
@@ -433,12 +638,16 @@ int main(int argc, char** argv) {
           usage();
           return 4;
         }
-        const std::string json =
-            relkit::obs::Registry::instance().to_json() + "\n";
-        std::fwrite(json.data(), 1, json.size(), f);
+        std::fwrite(rendered.data(), 1, rendered.size(), f);
         std::fclose(f);
         std::printf("metrics written to %s\n", metrics_file.c_str());
       }
+    }
+    if (want_profile && profile_ring) {
+      std::printf("--- profile ---\n%s",
+                  relkit::obs::render_profile_table(
+                      relkit::obs::build_profile(profile_ring->snapshot()))
+                      .c_str());
     }
     relkit::obs::Tracer::instance().remove_all_sinks();
   } catch (const relkit::robust::ConvergenceError& e) {

@@ -5,6 +5,11 @@
 #
 # Run from anywhere; the build tree is <repo>/build. Any failing step
 # fails the script (and CI) immediately.
+#
+# The ctest sweep includes the "perfcheck" test, which is report-only
+# here (it gates only on the <2% instrumentation contract, not on the
+# bench baselines — wall-clock diffing belongs to the strict lane,
+# bench/run_all.sh --compare, or RELKIT_PERFCHECK_STRICT=1).
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
