@@ -106,6 +106,14 @@ inline Options init(int* argc, char** argv) {
   // Every BENCH_*.json records how parallel its run was, so speedup tables
   // in EXPERIMENTS.md are reproducible from the context alone.
   benchmark::AddCustomContext("jobs", std::to_string(opts.jobs));
+  // RelKit's own optimization level (google-benchmark's library_build_type
+  // describes libbenchmark, not this code): run_all.sh refuses to archive
+  // baselines stamped "debug".
+#if defined(__OPTIMIZE__) || defined(NDEBUG)
+  benchmark::AddCustomContext("relkit_build_type", "release");
+#else
+  benchmark::AddCustomContext("relkit_build_type", "debug");
+#endif
   return opts;
 }
 

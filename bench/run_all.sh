@@ -1,11 +1,17 @@
 #!/bin/sh
 # Regenerates every BENCH_<name>.json referenced from EXPERIMENTS.md.
 #
-#   bench/run_all.sh [--compare] [build-dir] [output-dir]
+#   bench/run_all.sh [--compare] [--allow-debug] [build-dir] [output-dir]
 #
 # --compare: after regenerating, diff the fresh JSON against the committed
 # baselines in bench/baselines/ with tools/bench_compare.py (strict: any
 # regression beyond its threshold exits non-zero listing the offenders).
+#
+# Baselines must come from optimized builds: each bench stamps its JSON
+# context with relkit_build_type (bench/bench_util.hpp), and any output
+# stamped "debug" fails the run — debug timings archived as baselines make
+# every future Release run look like a huge improvement and mask real
+# regressions. --allow-debug overrides, for local experiments only.
 #
 # Builds nothing: expects the bench binaries to exist under
 # <build-dir>/bench (default: build). JSON files land in <output-dir>
@@ -22,10 +28,14 @@
 set -u
 
 compare=0
-if [ "${1:-}" = "--compare" ]; then
-  compare=1
-  shift
-fi
+allow_debug=0
+while :; do
+  case "${1:-}" in
+    --compare) compare=1; shift ;;
+    --allow-debug) allow_debug=1; shift ;;
+    *) break ;;
+  esac
+done
 build_dir="${1:-build}"
 out_dir="${2:-.}"
 bench_dir="$build_dir/bench"
@@ -49,6 +59,13 @@ for bin in "$bench_dir"/bench_*; do
   if ! "$bin" --json "$out" --jobs "$jobs" --benchmark_min_time=0.05s; then
     echo "run_all.sh: $name exited non-zero" >&2
     failed="$failed $name"
+  elif [ "$allow_debug" -eq 0 ] && \
+       ! grep -q '"relkit_build_type": *"release"' "$out"; then
+    echo "run_all.sh: $out was not recorded from a Release build of RelKit" \
+         "(context lacks relkit_build_type=release; stale binaries miss the" \
+         "stamp entirely); rebuild with -DCMAKE_BUILD_TYPE=Release or pass" \
+         "--allow-debug for throwaway local runs" >&2
+    failed="$failed $name(debug-build)"
   fi
 done
 

@@ -187,6 +187,12 @@ std::vector<double> Ctmc::steady_state(const SteadyStateOptions& opts,
           : opts.dense_threshold;
   robust_opts.sor = opts.sor;
   robust_opts.budget = opts.budget;
+  // The thread's ambient deadline (CLI --timeout-ms, relkit_serve request
+  // deadlines) binds every solve, including ones reached through paths that
+  // carry no options — the earliest deadline wins. Never part of the cache
+  // key: a hit trivially satisfies any deadline.
+  robust_opts.budget.deadline = robust::Deadline::earliest(
+      robust_opts.budget.deadline, robust::ambient_deadline());
   robust_opts.jobs = opts.jobs;
   if (!opts.enable_fallbacks) {
     // Raw single-method behavior: GTH below the threshold, plain SOR above.
@@ -198,6 +204,8 @@ std::vector<double> Ctmc::steady_state(const SteadyStateOptions& opts,
     }
     SorOptions sor_opts = opts.sor;
     if (sor_opts.jobs == 0) sor_opts.jobs = opts.jobs;
+    sor_opts.budget.deadline = robust::Deadline::earliest(
+        sor_opts.budget.deadline, robust::ambient_deadline());
     SorResult r = sor_steady_state(bt.build(), diag, sor_opts);
     if (use_cache) cache.insert(std::move(key), {r.pi, r.report});
     if (report) *report = r.report;
@@ -326,6 +334,7 @@ std::vector<double> Ctmc::transient(const std::vector<double>& pi0, double t,
   steps_counter.add(steps);
   span.set("steps", steps);
   span.set("q", q);
+  const robust::Deadline deadline = robust::ambient_deadline();
   double window_mass = 0.0;
   for (std::size_t n = 0; n < steps; ++n) {
     if (n >= pw.left) {
@@ -336,6 +345,27 @@ std::vector<double> Ctmc::transient(const std::vector<double>& pi0, double t,
     }
     trace.record(n + 1, std::max(0.0, 1.0 - window_mass));
     if (n + 1 == steps) break;
+    if ((n & 15u) == 0 && deadline.expired()) {
+      // Ambient deadline (CLI --timeout-ms / serve request budget): stop
+      // and hand back the best partial — the window accumulated so far,
+      // renormalized when it carries any mass, else the initial state.
+      robust::SolveReport report;
+      report.method = "uniformization";
+      report.attempts = {"uniformization"};
+      report.iterations = n + 1;
+      report.convergence = std::move(trace);
+      report.warn("deadline expired after " + std::to_string(n + 1) + " of " +
+                  std::to_string(steps) + " uniformization steps");
+      std::vector<double> partial = window_mass > 0.0 ? out : pi0;
+      if (window_mass > 0.0) {
+        for (double& x : partial) x /= window_mass;
+      }
+      robust::record_last_report(report);
+      throw robust::ConvergenceError(
+          "Ctmc::transient: deadline expired after " + std::to_string(n + 1) +
+              " of " + std::to_string(steps) + " uniformization steps",
+          std::move(partial), report);
+    }
     v = p.multiply_left(v, lease.get());
   }
 

@@ -9,11 +9,29 @@ SolutionCache& SolutionCache::instance() {
   return cache;
 }
 
+namespace {
+
+/// Key + result + payload footprint in 64-bit words (payload bytes round
+/// up), the unit of the cache's byte budget.
+std::size_t entry_words(const CacheKey& key,
+                        const SolutionCache::Entry& entry) {
+  return key.words().size() + entry.result.size() +
+         (entry.payload.size() + 7) / 8;
+}
+
+}  // namespace
+
 std::optional<SolutionCache::Entry> SolutionCache::lookup(
     const CacheKey& key) {
   if (!enabled()) return std::nullopt;
   static obs::Counter& hit_counter = obs::counter("markov.cache.hits");
   static obs::Counter& miss_counter = obs::counter("markov.cache.misses");
+  static obs::Gauge& rate_gauge = obs::gauge("markov.cache.hit_rate");
+  const auto update_rate = [&] {
+    const double h = static_cast<double>(hits());
+    const double m = static_cast<double>(misses());
+    if (h + m > 0.0) rate_gauge.set(h / (h + m));
+  };
 
   std::lock_guard<std::mutex> lock(mu_);
   const auto [first, last] = index_.equal_range(key.hash());
@@ -22,17 +40,19 @@ std::optional<SolutionCache::Entry> SolutionCache::lookup(
       lru_.splice(lru_.begin(), lru_, it->second);
       hits_.fetch_add(1, std::memory_order_relaxed);
       hit_counter.add();
+      update_rate();
       return it->second->entry;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   miss_counter.add();
+  update_rate();
   return std::nullopt;
 }
 
 void SolutionCache::insert(CacheKey key, Entry entry) {
   if (!enabled()) return;
-  const std::size_t words = key.words().size() + entry.result.size();
+  const std::size_t words = entry_words(key, entry);
   if (words > kMaxTotalWords) return;  // pathological; never cacheable
 
   std::lock_guard<std::mutex> lock(mu_);

@@ -20,9 +20,11 @@
 //     both directions (no lookup, no insert), because injected faults act
 //     inside the solver where the key cannot see them.
 //
-// Hits/misses are visible as `markov.cache.{hits,misses}` obs counters and
-// as always-on internal stats (for benches and span attributes); a served
-// hit sets SolveReport::cache_hit so --diagnostics shows "(cached)".
+// Hits/misses are visible as `markov.cache.{hits,misses}` obs counters
+// (plus a derived `markov.cache.hit_rate` gauge, updated on every lookup
+// so the serve /metrics endpoint exposes it without a scrape-time pass)
+// and as always-on internal stats (for benches and span attributes); a
+// served hit sets SolveReport::cache_hit so --diagnostics shows "(cached)".
 // Eviction is LRU, bounded both by entry count and by total key+result
 // words, so pathological workloads cannot grow the cache without bound.
 #pragma once
@@ -34,6 +36,8 @@
 #include <list>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -56,6 +60,23 @@ class CacheKey {
     std::memcpy(&bits, &v, sizeof bits);
     add(bits);
   }
+  /// Keys a byte string exactly: length word first, then the bytes packed
+  /// 8 per word (zero-padded), so "ab"+"c" can never alias "a"+"bc".
+  void add(std::string_view s) {
+    add(static_cast<std::uint64_t>(s.size()));
+    std::uint64_t w = 0;
+    std::size_t filled = 0;
+    for (const char c : s) {
+      w |= static_cast<std::uint64_t>(static_cast<unsigned char>(c))
+           << (8 * filled);
+      if (++filled == 8) {
+        add(w);
+        w = 0;
+        filled = 0;
+      }
+    }
+    if (filled != 0) add(w);
+  }
 
   std::uint64_t hash() const { return hash_; }
   const std::vector<std::uint64_t>& words() const { return words_; }
@@ -71,15 +92,20 @@ class CacheKey {
 class SolutionCache {
  public:
   /// Computation kind tags, the first word of every key so steady-state and
-  /// transient solves of the same generator can never alias.
+  /// transient solves of the same generator can never alias. kResponseTag
+  /// keys relkit_serve idempotency records (client request ids mapped to
+  /// the full response payload) in the same LRU/byte budget.
   static constexpr std::uint64_t kSteadyTag = 0x5354454144590001ULL;
   static constexpr std::uint64_t kTransientTag = 0x5452414e53490001ULL;
+  static constexpr std::uint64_t kResponseTag = 0x524553504f4e0001ULL;
 
   /// A cached solve: the distribution plus the diagnostics of the original
-  /// computation (served back with cache_hit = true).
+  /// computation (served back with cache_hit = true). Response entries
+  /// (kResponseTag) instead carry the serialized payload; `result` is empty.
   struct Entry {
     std::vector<double> result;
     robust::SolveReport report;
+    std::string payload;
   };
 
   static SolutionCache& instance();

@@ -176,6 +176,12 @@ class Registry {
   Impl& impl() const;
 };
 
+/// The Content-Type an HTTP endpoint serving Registry::to_openmetrics()
+/// must declare (relkit_serve's /metrics does) so Prometheus-compatible
+/// scrapers negotiate the exposition correctly.
+inline constexpr const char* kOpenMetricsContentType =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
 /// Maps a RelKit metric name onto the OpenMetrics charset
 /// [a-zA-Z_:][a-zA-Z0-9_:]*: '.' and every other invalid byte become '_',
 /// and a leading digit gains a '_' prefix. Deterministic and idempotent;

@@ -1,0 +1,86 @@
+// relkit::parallel::BoundedQueue — a small MPMC queue with a hard capacity,
+// the admission-control primitive in front of the thread pool.
+//
+// relkit_serve pushes accepted solve requests here from its event loop and
+// a dispatcher drains batches onto ThreadPool::for_chunks. The bound is the
+// point: when producers outrun the pool, try_push fails *immediately* so
+// the caller can shed load (answer 503) instead of queueing unbounded
+// memory. Blocking pops support batch draining, and close() releases every
+// waiter so shutdown can never hang on an empty queue.
+//
+// Header-only; depends only on the standard library.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace relkit::parallel {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// A queue holding at most `capacity` items (>= 1 enforced).
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  /// Non-blocking push: false when the queue is full or closed — the
+  /// caller sheds the item. Never waits.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until at least one item is available (or the queue is closed),
+  /// then returns up to `max` items in FIFO order. An empty vector means
+  /// "closed and fully drained" — the consumer's exit signal.
+  std::vector<T> pop_batch(std::size_t max) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    std::vector<T> batch;
+    while (!items_.empty() && batch.size() < max) {
+      batch.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return batch;
+  }
+
+  /// Rejects future pushes and wakes every blocked pop_batch. Items already
+  /// queued remain poppable (drain semantics); idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace relkit::parallel

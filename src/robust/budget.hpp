@@ -39,10 +39,57 @@ class Deadline {
     return std::chrono::duration<double>(end_ - Clock::now()).count();
   }
 
+  /// The tighter of two deadlines (an unlimited deadline never binds).
+  static Deadline earliest(const Deadline& a, const Deadline& b) {
+    if (!a.armed_) return b;
+    if (!b.armed_) return a;
+    return a.end_ <= b.end_ ? a : b;
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   bool armed_ = false;
   Clock::time_point end_{};
+};
+
+namespace detail {
+inline Deadline& ambient_deadline_slot() {
+  thread_local Deadline ambient;
+  return ambient;
+}
+}  // namespace detail
+
+/// The calling thread's ambient deadline (unlimited unless a ScopedDeadline
+/// is active). Solvers that accept a Budget merge this in with
+/// Deadline::earliest, so a deadline installed at an entry point binds every
+/// nested solve — including the hierarchical `event ... markov` submodels
+/// the model parser solves on the spot, which never see caller options.
+inline const Deadline& ambient_deadline() {
+  return detail::ambient_deadline_slot();
+}
+
+/// RAII installer of the ambient deadline for the current thread. Entry
+/// points use it to give one whole analysis a wall-clock bound:
+/// relkit_cli --timeout-ms wraps the full model analysis, and every
+/// relkit_serve worker wraps one request's solve. Nesting tightens — an
+/// inner scope can only shorten the effective deadline, never extend it.
+class ScopedDeadline {
+ public:
+  explicit ScopedDeadline(const Deadline& d)
+      : previous_(detail::ambient_deadline_slot()) {
+    detail::ambient_deadline_slot() = Deadline::earliest(previous_, d);
+  }
+  ~ScopedDeadline() { detail::ambient_deadline_slot() = previous_; }
+  ScopedDeadline(const ScopedDeadline&) = delete;
+  ScopedDeadline& operator=(const ScopedDeadline&) = delete;
+
+  /// The deadline in effect inside this scope.
+  const Deadline& effective() const {
+    return detail::ambient_deadline_slot();
+  }
+
+ private:
+  Deadline previous_;
 };
 
 /// Combined wall-clock / iteration budget threaded through solvers.

@@ -17,17 +17,27 @@
 //   "fixed_point.update" each raw fixed-point update value
 //   "fixed_point.max_iters"  fixed-point iteration budget (cap)
 //   "sim.replications"   simulator replication budget (cap)
-// Failable methods: "gth", "sor", "power" (checked by the fallback chain).
+//   "serve.worker.delay_ms"  artificial per-request stall in relkit_serve
+//                        workers (0 normally; inject a value to hold
+//                        workers busy and saturate the admission queue)
+// Failable methods: "gth", "sor", "power" (checked by the fallback chain)
+// and "serve.solve" (checked by the relkit_serve request path before the
+// model is parsed, so the daemon's error handling can be driven without a
+// failable model).
 //
 // Header-only (Meyers singleton) so the base `common` module can call hooks
-// without a link dependency on the robust module. Not thread-safe: intended
-// for single-threaded test processes.
+// without a link dependency on the robust module. Thread-safe: the serve
+// chaos harness arms it while pool workers solve concurrently, so the maps
+// are mutex-guarded and the fast path (nothing armed) is a single relaxed
+// atomic load.
 #pragma once
 
+#include <atomic>
 #include <cmath>
 #include <cstddef>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace relkit::testing {
@@ -41,11 +51,12 @@ class FaultInjector {
 
   /// Disarms everything and clears hit counters.
   void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
     value_faults_.clear();
     caps_.clear();
     method_failures_.clear();
     hits_.clear();
-    active_ = false;
+    active_.store(false, std::memory_order_relaxed);
   }
 
   // ---- arming (called by tests) -------------------------------------------
@@ -74,23 +85,26 @@ class FaultInjector {
 
   /// Clamp any iteration budget passing `point` to at most `cap`.
   void clamp_iterations(const std::string& point, std::size_t cap) {
+    std::lock_guard<std::mutex> lock(mu_);
     caps_[point] = cap;
-    active_ = true;
+    active_.store(true, std::memory_order_relaxed);
   }
 
   /// Force the named method to report failure `times` times (default:
   /// every time) when the fallback chain consults should_fail().
   void fail_method(const std::string& method,
                    std::size_t times = std::numeric_limits<std::size_t>::max()) {
+    std::lock_guard<std::mutex> lock(mu_);
     method_failures_[method] = times;
-    active_ = true;
+    active_.store(true, std::memory_order_relaxed);
   }
 
   // ---- hooks (called by instrumented solvers) -----------------------------
 
   /// Passes `value` through `point`, applying any armed corruption.
   double tap(const char* point, double value) {
-    if (!active_) return value;
+    if (!active_.load(std::memory_order_relaxed)) return value;
+    std::lock_guard<std::mutex> lock(mu_);
     const std::string key(point);
     const std::size_t hit = hits_[key]++;
     const auto it = value_faults_.find(key);
@@ -102,7 +116,8 @@ class FaultInjector {
 
   /// Passes an iteration budget through `point`, applying any armed clamp.
   std::size_t cap(const char* point, std::size_t iterations) {
-    if (!active_) return iterations;
+    if (!active_.load(std::memory_order_relaxed)) return iterations;
+    std::lock_guard<std::mutex> lock(mu_);
     const std::string key(point);
     ++hits_[key];
     const auto it = caps_.find(key);
@@ -112,7 +127,8 @@ class FaultInjector {
 
   /// True if the named method is armed to fail (consumes one charge).
   bool should_fail(const char* method) {
-    if (!active_) return false;
+    if (!active_.load(std::memory_order_relaxed)) return false;
+    std::lock_guard<std::mutex> lock(mu_);
     const auto it = method_failures_.find(method);
     if (it == method_failures_.end() || it->second == 0) return false;
     if (it->second != std::numeric_limits<std::size_t>::max()) --it->second;
@@ -121,11 +137,12 @@ class FaultInjector {
 
   /// Times `point` has been visited while the injector was active.
   std::size_t hits(const std::string& point) const {
+    std::lock_guard<std::mutex> lock(mu_);
     const auto it = hits_.find(point);
     return it == hits_.end() ? 0 : it->second;
   }
 
-  bool active() const { return active_; }
+  bool active() const { return active_.load(std::memory_order_relaxed); }
 
  private:
   struct ValueFault {
@@ -136,15 +153,17 @@ class FaultInjector {
 
   void arm_value(const std::string& point, double value, std::size_t at_hit,
                  bool every_hit_scale) {
+    std::lock_guard<std::mutex> lock(mu_);
     value_faults_[point] = {value, at_hit, every_hit_scale};
-    active_ = true;
+    active_.store(true, std::memory_order_relaxed);
   }
 
+  mutable std::mutex mu_;
   std::map<std::string, ValueFault> value_faults_;
   std::map<std::string, std::size_t> caps_;
   std::map<std::string, std::size_t> method_failures_;
   std::map<std::string, std::size_t> hits_;
-  bool active_ = false;
+  std::atomic<bool> active_{false};
 };
 
 /// RAII guard: resets the injector when a test scope ends.

@@ -1,0 +1,39 @@
+// A deliberately small blocking HTTP/1.1 client for exercising
+// relkit_serve in tests: GET/POST with a total timeout, plus raw socket
+// helpers so the chaos suite can act as a hostile client (partial
+// requests, mid-request disconnects, slow readers).
+#pragma once
+
+#include <string>
+
+namespace relkit::serve {
+
+/// A client-side view of one response.
+struct ClientResponse {
+  bool ok = false;        ///< transport succeeded and a response was parsed
+  int status = 0;
+  std::string body;
+  std::string error;      ///< transport/parse failure description
+};
+
+/// Blocking GET; `timeout_ms` bounds the whole exchange.
+ClientResponse http_get(const std::string& host, int port,
+                        const std::string& target, int timeout_ms = 5000);
+
+/// Blocking POST with a JSON body.
+ClientResponse http_post(const std::string& host, int port,
+                         const std::string& target, const std::string& body,
+                         int timeout_ms = 5000);
+
+// ---- raw helpers for hostile-client tests ----------------------------------
+
+/// Connects and returns the fd (-1 on failure). The caller owns the fd.
+int tcp_connect(const std::string& host, int port, int timeout_ms = 5000);
+
+/// Best-effort blocking send of raw bytes on a tcp_connect fd.
+bool tcp_send(int fd, const std::string& data);
+
+/// Closes a tcp_connect fd.
+void tcp_close(int fd);
+
+}  // namespace relkit::serve

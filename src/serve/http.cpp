@@ -1,0 +1,155 @@
+#include "serve/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace relkit::serve {
+
+namespace {
+
+/// Case-insensitive ASCII comparison for header names.
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+HttpRequestParser::Status HttpRequestParser::feed(std::string_view chunk) {
+  if (status_ != Status::kNeedMore) return status_;
+
+  if (!headers_done_) {
+    buffer_.append(chunk);
+    const std::size_t end = buffer_.find("\r\n\r\n");
+    if (end == std::string::npos) {
+      if (buffer_.size() > max_header_bytes_) {
+        status_ = Status::kHeadersTooLarge;
+      }
+      return status_;
+    }
+    if (end + 4 > max_header_bytes_) {
+      status_ = Status::kHeadersTooLarge;
+      return status_;
+    }
+    status_ = parse_headers();
+    if (status_ != Status::kNeedMore) return status_;
+    headers_done_ = true;
+    // Whatever followed the header terminator is body bytes.
+    request_.body = buffer_.substr(end + 4);
+    buffer_.clear();
+  } else {
+    request_.body.append(chunk);
+  }
+
+  if (request_.body.size() > request_.content_length ||
+      request_.content_length > max_body_bytes_) {
+    status_ = Status::kBodyTooLarge;
+    return status_;
+  }
+  if (request_.body.size() == request_.content_length) {
+    status_ = Status::kComplete;
+  }
+  return status_;
+}
+
+HttpRequestParser::Status HttpRequestParser::parse_headers() {
+  const std::size_t line_end = buffer_.find("\r\n");
+  std::string_view request_line(buffer_.data(), line_end);
+
+  const std::size_t sp1 = request_line.find(' ');
+  if (sp1 == std::string_view::npos) return Status::kBadRequest;
+  const std::size_t sp2 = request_line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return Status::kBadRequest;
+  request_.method = std::string(request_line.substr(0, sp1));
+  request_.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  const std::string_view version = request_line.substr(sp2 + 1);
+  if (request_.method.empty() || request_.target.empty()) {
+    return Status::kBadRequest;
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return Status::kUnsupported;
+  }
+
+  bool have_length = false;
+  std::size_t pos = line_end + 2;
+  const std::size_t headers_end = buffer_.find("\r\n\r\n");
+  while (pos < headers_end + 2) {
+    const std::size_t eol = buffer_.find("\r\n", pos);
+    std::string_view line(buffer_.data() + pos, eol - pos);
+    if (line.empty()) break;
+    pos = eol + 2;
+
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return Status::kBadRequest;
+    const std::string_view name = trim(line.substr(0, colon));
+    const std::string_view value = trim(line.substr(colon + 1));
+    if (iequals(name, "transfer-encoding")) {
+      // Chunked (or any) transfer coding is refused: framing must be a
+      // plain Content-Length so body limits are enforceable up front.
+      return Status::kUnsupported;
+    }
+    if (iequals(name, "content-length")) {
+      if (have_length || value.empty()) return Status::kBadRequest;
+      std::size_t length = 0;
+      for (const char c : value) {
+        if (c < '0' || c > '9') return Status::kBadRequest;
+        if (length > (max_body_bytes_ + 9) / 10) return Status::kBodyTooLarge;
+        length = length * 10 + static_cast<std::size_t>(c - '0');
+      }
+      request_.content_length = length;
+      have_length = true;
+    }
+  }
+  if (request_.content_length > max_body_bytes_) return Status::kBodyTooLarge;
+  return Status::kNeedMore;
+}
+
+std::string_view http_reason(int status_code) {
+  switch (status_code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string http_response(int status_code, std::string_view body,
+                          std::string_view content_type) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += std::to_string(status_code);
+  out += ' ';
+  out += http_reason(status_code);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace relkit::serve

@@ -1,0 +1,70 @@
+// Incremental HTTP/1.1 parsing and response serialization for relkit_serve.
+//
+// The daemon speaks just enough HTTP for a solve API and a metrics scrape:
+// one request per connection, `Connection: close` on every response, no
+// chunked transfer coding, bounded header and body sizes. The parser is
+// incremental — feed() accepts bytes as they arrive from a non-blocking
+// socket and reports kNeedMore until a full request (or a protocol error)
+// is present — so a slow or hostile client can never block the event loop
+// or force unbounded buffering.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace relkit::serve {
+
+/// One parsed request: method + target + selected headers + body.
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::size_t content_length = 0;
+  std::string body;
+};
+
+/// Incremental request parser with hard size limits.
+class HttpRequestParser {
+ public:
+  enum class Status {
+    kNeedMore,        // incomplete; feed more bytes
+    kComplete,        // request() is valid
+    kBadRequest,      // malformed request line / headers / framing (400)
+    kHeadersTooLarge, // header section exceeded the limit (431)
+    kBodyTooLarge,    // declared or received body exceeded the limit (413)
+    kUnsupported,     // Transfer-Encoding or HTTP version we refuse (501)
+  };
+
+  HttpRequestParser(std::size_t max_header_bytes, std::size_t max_body_bytes)
+      : max_header_bytes_(max_header_bytes), max_body_bytes_(max_body_bytes) {}
+
+  /// Consumes a chunk of bytes off the wire. Returns the parse status;
+  /// once a terminal status (anything but kNeedMore) is returned the
+  /// parser ignores further input.
+  Status feed(std::string_view chunk);
+
+  Status status() const { return status_; }
+  const HttpRequest& request() const { return request_; }
+
+ private:
+  Status parse_headers();
+
+  std::size_t max_header_bytes_;
+  std::size_t max_body_bytes_;
+  Status status_ = Status::kNeedMore;
+  bool headers_done_ = false;
+  std::string buffer_;
+  HttpRequest request_;
+};
+
+/// Serializes a one-shot response. Every response closes the connection;
+/// `content_type` defaults to JSON since that is what the API speaks.
+std::string http_response(int status_code, std::string_view body,
+                          std::string_view content_type =
+                              "application/json; charset=utf-8");
+
+/// Reason phrase for the handful of status codes the daemon emits.
+std::string_view http_reason(int status_code);
+
+}  // namespace relkit::serve

@@ -1,0 +1,332 @@
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+namespace relkit::serve {
+
+const JsonValue* JsonValue::get(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = object_.find(std::string(key));
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::make_object(std::map<std::string, JsonValue> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+/// Cursor over the input; fail() records the first error and poisons the
+/// parse so callers can bail without exceptions.
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::size_t max_depth;
+  std::string error;
+  std::size_t error_offset = 0;
+
+  bool failed() const { return !error.empty(); }
+
+  JsonValue fail(const std::string& message) {
+    if (!failed()) {
+      error = message;
+      error_offset = pos;
+    }
+    return JsonValue::make_null();
+  }
+
+  void skip_space() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool eat(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool eat_word(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  JsonValue parse_value(std::size_t depth) {
+    if (depth > max_depth) return fail("nesting too deep");
+    skip_space();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') return parse_object(depth);
+    if (c == '[') return parse_array(depth);
+    if (c == '"') return parse_string_value();
+    if (c == 't' || c == 'f') return parse_bool();
+    if (c == 'n') {
+      if (eat_word("null")) return JsonValue::make_null();
+      return fail("invalid literal");
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    return fail(std::string("unexpected character '") + c + "'");
+  }
+
+  JsonValue parse_bool() {
+    if (eat_word("true")) return JsonValue::make_bool(true);
+    if (eat_word("false")) return JsonValue::make_bool(false);
+    return fail("invalid literal");
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos;
+    if (eat('-')) {
+    }
+    if (!std::isdigit(static_cast<unsigned char>(
+            pos < text.size() ? text[pos] : '\0'))) {
+      return fail("invalid number");
+    }
+    // RFC 8259 int grammar: a leading zero stands alone.
+    if (text[pos] == '0') {
+      ++pos;
+      if (pos < text.size() &&
+          std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        return fail("invalid number: leading zero");
+      }
+    }
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+    if (eat('.')) {
+      if (pos >= text.size() ||
+          !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        return fail("invalid number: digits required after '.'");
+      }
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (pos >= text.size() ||
+          !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        return fail("invalid number: exponent digits required");
+      }
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+    }
+    const std::string token(text.substr(start, pos - start));
+    const double value = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(value)) return fail("number out of range");
+    return JsonValue::make_number(value);
+  }
+
+  /// Appends `code` (a Unicode scalar value) as UTF-8.
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  /// Parses 4 hex digits after \u; returns false on malformed input.
+  bool parse_hex4(unsigned& out) {
+    if (pos + 4 > text.size()) return false;
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text[pos + static_cast<std::size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    pos += 4;
+    out = value;
+    return true;
+  }
+
+  /// Parses a quoted string body; on failure poisons the parser and
+  /// returns an empty string.
+  std::string parse_string_raw() {
+    std::string out;
+    if (!eat('"')) {
+      fail("expected '\"'");
+      return out;
+    }
+    while (pos < text.size()) {
+      const unsigned char c = static_cast<unsigned char>(text[pos]);
+      if (c == '"') {
+        ++pos;
+        return out;
+      }
+      if (c < 0x20) {
+        fail("unescaped control character in string");
+        return out;
+      }
+      if (c == '\\') {
+        ++pos;
+        if (pos >= text.size()) break;
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            unsigned code = 0;
+            if (!parse_hex4(code)) {
+              fail("invalid \\u escape");
+              return out;
+            }
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              // High surrogate: a low surrogate must follow.
+              unsigned low = 0;
+              if (!eat('\\') || !eat('u') || !parse_hex4(low) ||
+                  low < 0xDC00 || low > 0xDFFF) {
+                fail("unpaired surrogate in \\u escape");
+                return out;
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else if (code >= 0xDC00 && code <= 0xDFFF) {
+              fail("unpaired surrogate in \\u escape");
+              return out;
+            }
+            append_utf8(out, code);
+            break;
+          }
+          default:
+            fail("invalid escape");
+            return out;
+        }
+        continue;
+      }
+      out.push_back(static_cast<char>(c));
+      ++pos;
+    }
+    fail("unterminated string");
+    return out;
+  }
+
+  JsonValue parse_string_value() {
+    std::string s = parse_string_raw();
+    if (failed()) return JsonValue::make_null();
+    return JsonValue::make_string(std::move(s));
+  }
+
+  JsonValue parse_array(std::size_t depth) {
+    eat('[');
+    std::vector<JsonValue> items;
+    skip_space();
+    if (eat(']')) return JsonValue::make_array(std::move(items));
+    while (true) {
+      items.push_back(parse_value(depth + 1));
+      if (failed()) return JsonValue::make_null();
+      skip_space();
+      if (eat(']')) return JsonValue::make_array(std::move(items));
+      if (!eat(',')) return fail("expected ',' or ']' in array");
+    }
+  }
+
+  JsonValue parse_object(std::size_t depth) {
+    eat('{');
+    std::map<std::string, JsonValue> members;
+    skip_space();
+    if (eat('}')) return JsonValue::make_object(std::move(members));
+    while (true) {
+      skip_space();
+      std::string key = parse_string_raw();
+      if (failed()) return JsonValue::make_null();
+      skip_space();
+      if (!eat(':')) return fail("expected ':' after object key");
+      JsonValue value = parse_value(depth + 1);
+      if (failed()) return JsonValue::make_null();
+      members.insert_or_assign(std::move(key), std::move(value));
+      skip_space();
+      if (eat('}')) return JsonValue::make_object(std::move(members));
+      if (!eat(',')) return fail("expected ',' or '}' in object");
+    }
+  }
+};
+
+}  // namespace
+
+JsonParseResult parse_json(std::string_view text, std::size_t max_depth) {
+  Parser parser{text, 0, max_depth, {}, 0};
+  JsonParseResult result;
+  result.value = parser.parse_value(0);
+  if (!parser.failed()) {
+    parser.skip_space();
+    if (parser.pos != text.size()) {
+      parser.fail("trailing garbage after JSON value");
+    }
+  }
+  result.ok = !parser.failed();
+  result.error = parser.error;
+  result.error_offset = parser.error_offset;
+  if (!result.ok) result.value = JsonValue::make_null();
+  return result;
+}
+
+}  // namespace relkit::serve

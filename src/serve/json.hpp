@@ -1,0 +1,79 @@
+// Minimal JSON parsing for relkit_serve request bodies.
+//
+// RelKit emits JSON all over (batch lines, metrics, traces) but never had
+// to *read* any until the daemon accepted requests over the wire. This is
+// a small, strict, allocation-honest recursive-descent parser for exactly
+// that: untrusted request bodies of bounded size. It supports the full
+// JSON value grammar (RFC 8259) with a fixed nesting limit, rejects
+// trailing garbage, and reports errors with a byte offset so malformed
+// payloads get a useful 400 instead of a crash — parse failures are a
+// return value, never an exception, because a hostile client must not be
+// able to drive the server's exception paths.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace relkit::serve {
+
+/// A parsed JSON value. Objects keep one value per key (last wins),
+/// matching what an idempotent request schema needs.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& as_array() const { return array_; }
+  const std::map<std::string, JsonValue>& as_object() const {
+    return object_;
+  }
+
+  /// Object member by key; nullptr when absent or not an object.
+  const JsonValue* get(std::string_view key) const;
+
+  // Construction is the parser's business; tests build via parse_json.
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(std::map<std::string, JsonValue> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Outcome of a parse: either `value` is meaningful (ok == true) or
+/// `error` describes the first problem with its byte offset.
+struct JsonParseResult {
+  bool ok = false;
+  JsonValue value;
+  std::string error;
+  std::size_t error_offset = 0;
+};
+
+/// Parses one complete JSON document. Strict: rejects trailing non-space
+/// bytes, unescaped control characters in strings, non-finite number
+/// spellings, and nesting deeper than `max_depth`.
+JsonParseResult parse_json(std::string_view text, std::size_t max_depth = 64);
+
+}  // namespace relkit::serve

@@ -1,0 +1,551 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "markov/solution_cache.hpp"
+#include "obs/obs.hpp"
+#include "parallel/pool.hpp"
+#include "robust/fault_injection.hpp"
+#include "serve/http.hpp"
+#include "serve/json.hpp"
+#include "serve/solve_json.hpp"
+
+namespace relkit::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Sends the whole buffer, waiting (via poll) up to `timeout_ms` total for
+/// socket-buffer space. False when the peer is gone or too slow — callers
+/// just close the connection; there is nobody left to tell.
+bool send_all(int fd, std::string_view data, int timeout_ms) {
+  const Clock::time_point give_up =
+      Clock::now() + std::chrono::milliseconds(timeout_ms > 0 ? timeout_ms
+                                                              : 5000);
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          give_up - Clock::now());
+      if (left.count() <= 0) return false;
+      struct pollfd pfd {fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, static_cast<int>(left.count())) <= 0) return false;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // peer reset / closed
+  }
+  return true;
+}
+
+std::string error_body(const std::string& error_class,
+                       const std::string& message) {
+  return "{\"ok\":false,\"error_class\":\"" + error_class + "\",\"error\":\"" +
+         obs::json_escape(message) + "\"}";
+}
+
+int status_for_exit_class(int exit_class) {
+  switch (exit_class) {
+    case 0: return 200;
+    case 5: return 200;  // degraded response, flagged in the body
+    case 2: return 400;
+    case 4: return 400;
+    default: return 500;
+  }
+}
+
+}  // namespace
+
+struct Server::Conn {
+  int fd = -1;
+  HttpRequestParser parser;
+  Clock::time_point read_deadline;
+};
+
+struct Server::PendingRequest {
+  int fd = -1;
+  std::string body;
+  Clock::time_point admitted_at;
+};
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  queue_ = std::make_unique<parallel::BoundedQueue<PendingRequest>>(
+      options_.queue_capacity);
+}
+
+Server::~Server() { stop(true); }
+
+bool Server::start(std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    listen_fd_ = -1;
+    for (const int fd : wake_pipe_) {
+      if (fd >= 0) ::close(fd);
+    }
+    wake_pipe_[0] = wake_pipe_[1] = -1;
+    return false;
+  };
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    errno = EINVAL;
+    return fail("bind address '" + options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, 64) != 0) return fail("listen");
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (!set_nonblocking(listen_fd_)) return fail("fcntl");
+  if (::pipe(wake_pipe_) != 0) return fail("pipe");
+  set_nonblocking(wake_pipe_[0]);
+
+  // The daemon's whole point is its metrics surface; turn the obs layer on
+  // unconditionally (the CLI only does so when asked to report).
+  obs::set_enabled(true);
+  static obs::Gauge& ready_gauge = obs::gauge("serve.ready");
+  ready_gauge.set(1.0);
+
+  running_.store(true, std::memory_order_release);
+  event_thread_ = std::thread([this] { event_loop(); });
+  dispatch_thread_ = std::thread([this] { dispatcher_loop(); });
+  return true;
+}
+
+std::string Server::stop(bool drain) {
+  if (stopped_.exchange(true)) return drain_summary_;
+  draining_.store(true, std::memory_order_release);
+  static obs::Gauge& ready_gauge = obs::gauge("serve.ready");
+  ready_gauge.set(0.0);
+  if (!drain) reject_queued_.store(true, std::memory_order_release);
+  // Closing the queue stops admissions at the queue level and lets the
+  // dispatcher drain what was already accepted; the event loop keeps
+  // answering (503 draining) until the drain completes.
+  queue_->close();
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'x';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+  if (event_thread_.joinable()) event_thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  running_.store(false, std::memory_order_release);
+  drain_summary_ = counts_.to_json();
+  return drain_summary_;
+}
+
+void Server::respond_and_close(int fd, int status, const std::string& body,
+                               const char* content_type) {
+  const std::string response =
+      content_type != nullptr
+          ? http_response(status, body, content_type)
+          : http_response(status, body);
+  send_all(fd, response, options_.write_timeout_ms);
+  ::close(fd);
+}
+
+void Server::event_loop() {
+  std::vector<Conn> conns;
+  std::vector<struct pollfd> pfds;
+  static obs::Counter& evicted_counter = obs::counter("serve.evicted");
+
+  for (;;) {
+    pfds.clear();
+    pfds.push_back({wake_pipe_[0], POLLIN, 0});
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    for (const Conn& conn : conns) pfds.push_back({conn.fd, POLLIN, 0});
+
+    ::poll(pfds.data(), pfds.size(), 50);
+
+    if (pfds[0].revents & POLLIN) {
+      char buf[16];
+      while (::read(wake_pipe_[0], buf, sizeof buf) > 0) {
+      }
+      if (stopped_.load(std::memory_order_acquire)) break;
+    }
+
+    // Existing connections first: pfds[2 + i] mirrors conns[i] only until
+    // new accepts are appended.
+    const Clock::time_point now = Clock::now();
+    for (std::size_t i = 0; i < conns.size();) {
+      Conn& conn = conns[i];
+      bool done = false;  // fd handed off or closed; drop the entry
+      const auto& pfd = pfds[2 + i];
+      if (pfd.revents & (POLLIN | POLLHUP | POLLERR)) {
+        char buf[4096];
+        for (;;) {
+          const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+          if (n > 0) {
+            conn.parser.feed(std::string_view(buf,
+                                              static_cast<std::size_t>(n)));
+            if (conn.parser.status() != HttpRequestParser::Status::kNeedMore) {
+              break;
+            }
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (n < 0 && errno == EINTR) continue;
+          // Peer closed (or reset) mid-request: nothing to answer.
+          ::close(conn.fd);
+          done = true;
+          break;
+        }
+        if (!done &&
+            conn.parser.status() != HttpRequestParser::Status::kNeedMore) {
+          route(conn);
+          done = true;  // route() always hands off or closes the fd
+        }
+      }
+      if (!done && now >= conn.read_deadline) {
+        // Slow-client eviction: it had read_timeout_ms to deliver a full
+        // request and did not.
+        evicted_counter.add();
+        ::close(conn.fd);
+        done = true;
+      }
+      if (done) {
+        conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+        pfds.erase(pfds.begin() + static_cast<std::ptrdiff_t>(2 + i));
+      } else {
+        ++i;
+      }
+    }
+
+    if (pfds[1].revents & POLLIN) {
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        set_nonblocking(fd);
+        conns.push_back(Conn{
+            fd,
+            HttpRequestParser(options_.max_header_bytes,
+                              options_.max_body_bytes),
+            Clock::now() + std::chrono::milliseconds(
+                               options_.read_timeout_ms > 0
+                                   ? options_.read_timeout_ms
+                                   : 1 << 30)});
+      }
+    }
+  }
+
+  for (const Conn& conn : conns) ::close(conn.fd);
+}
+
+void Server::route(Conn& conn) {
+  static obs::Counter& bad_counter = obs::counter("serve.bad_requests");
+  static obs::Counter& request_counter = obs::counter("serve.requests");
+  static obs::Counter& shed_counter = obs::counter("serve.shed");
+  static obs::Gauge& depth_gauge = obs::gauge("serve.queue.depth");
+
+  using Status = HttpRequestParser::Status;
+  switch (conn.parser.status()) {
+    case Status::kBadRequest:
+      bad_counter.add();
+      counts_.add_named("bad_request");
+      respond_and_close(conn.fd, 400,
+                        error_body("bad_request", "malformed HTTP request"));
+      return;
+    case Status::kHeadersTooLarge:
+      bad_counter.add();
+      counts_.add_named("bad_request");
+      respond_and_close(conn.fd, 431,
+                        error_body("bad_request", "headers too large"));
+      return;
+    case Status::kBodyTooLarge:
+      bad_counter.add();
+      counts_.add_named("bad_request");
+      respond_and_close(conn.fd, 413,
+                        error_body("bad_request", "body too large"));
+      return;
+    case Status::kUnsupported:
+      bad_counter.add();
+      counts_.add_named("bad_request");
+      respond_and_close(
+          conn.fd, 501,
+          error_body("bad_request",
+                     "unsupported HTTP version or transfer coding"));
+      return;
+    case Status::kNeedMore:
+    case Status::kComplete:
+      break;
+  }
+
+  const HttpRequest& request = conn.parser.request();
+  if (request.method == "GET" && request.target == "/healthz") {
+    respond_and_close(conn.fd, 200, "{\"ok\":true}");
+    return;
+  }
+  if (request.method == "GET" && request.target == "/readyz") {
+    if (draining_.load(std::memory_order_acquire)) {
+      respond_and_close(conn.fd, 503,
+                        "{\"ready\":false,\"error_class\":\"draining\"}");
+    } else {
+      respond_and_close(conn.fd, 200, "{\"ready\":true}");
+    }
+    return;
+  }
+  if (request.method == "GET" && request.target == "/metrics") {
+    respond_and_close(conn.fd, 200,
+                      obs::Registry::instance().to_openmetrics(),
+                      obs::kOpenMetricsContentType);
+    return;
+  }
+  if (request.target == "/solve") {
+    if (request.method != "POST") {
+      bad_counter.add();
+      counts_.add_named("bad_request");
+      respond_and_close(conn.fd, 405,
+                        error_body("bad_request", "/solve expects POST"));
+      return;
+    }
+    request_counter.add();
+    if (draining_.load(std::memory_order_acquire)) {
+      counts_.add_named("draining");
+      respond_and_close(conn.fd, 503,
+                        error_body("draining", "server is draining"));
+      return;
+    }
+    PendingRequest pending{conn.fd, request.body, Clock::now()};
+    if (!queue_->try_push(std::move(pending))) {
+      // Admission control: the queue is the only buffer, and it is full.
+      // Shed immediately — a client deserves a fast 503 over an unbounded
+      // wait.
+      shed_counter.add();
+      counts_.add_named("overload");
+      respond_and_close(conn.fd, 503,
+                        error_body("overload", "solve queue is full"));
+      return;
+    }
+    depth_gauge.set(static_cast<double>(queue_->size()));
+    return;  // fd ownership moved into the queue
+  }
+
+  bad_counter.add();
+  counts_.add_named("bad_request");
+  respond_and_close(conn.fd, 404,
+                    error_body("bad_request",
+                               "unknown endpoint '" + request.target + "'"));
+}
+
+void Server::dispatcher_loop() {
+  static obs::Gauge& depth_gauge = obs::gauge("serve.queue.depth");
+  for (;;) {
+    std::vector<PendingRequest> batch = queue_->pop_batch(options_.max_batch);
+    if (batch.empty()) break;  // closed and fully drained
+    depth_gauge.set(static_cast<double>(queue_->size()));
+    if (reject_queued_.load(std::memory_order_acquire)) {
+      for (PendingRequest& request : batch) {
+        counts_.add_named("draining");
+        respond_and_close(request.fd, 503,
+                          error_body("draining",
+                                     "server stopped before this request "
+                                     "ran"));
+      }
+      continue;
+    }
+    parallel::global_pool().for_chunks(
+        batch.size(), 1,
+        [&](std::size_t begin, std::size_t) { handle_request(batch[begin]); });
+  }
+}
+
+void Server::handle_request(PendingRequest& request) {
+  static obs::Counter& error_counter = obs::counter("serve.internal_errors");
+  obs::Span span("serve.solve");
+  auto& injector = testing::FaultInjector::instance();
+  // Chaos hook: an injected positive delay stalls this worker, letting
+  // tests saturate the admission queue deterministically.
+  const double delay_ms = injector.tap("serve.worker.delay_ms", 0.0);
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<long>(delay_ms)));
+  }
+
+  int status = 500;
+  std::string body;
+  try {
+    // Deadlines are measured from ADMISSION, so queue wait counts against
+    // the request's budget.
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - request.admitted_at)
+            .count();
+    robust::Deadline deadline;
+    if (options_.default_timeout_ms > 0) {
+      deadline = robust::Deadline::after_seconds(
+          options_.default_timeout_ms / 1000.0 - elapsed);
+    }
+    body = solve_response_body(request.body, deadline, elapsed, &status);
+  } catch (const std::exception& e) {
+    // The solve core classifies everything it expects; reaching this
+    // handler means a bug, but the daemon still answers and survives.
+    error_counter.add();
+    counts_.add_named("error");
+    status = 500;
+    body = error_body("error", e.what());
+  } catch (...) {
+    error_counter.add();
+    counts_.add_named("error");
+    status = 500;
+    body = error_body("error", "unknown internal error");
+  }
+  respond_and_close(request.fd, status, body);
+}
+
+std::string Server::solve_response_body(const std::string& request_body,
+                                        const robust::Deadline& deadline,
+                                        double queued_seconds,
+                                        int* status_out) {
+  static obs::Counter& bad_counter = obs::counter("serve.bad_requests");
+  static obs::Counter& dedup_counter = obs::counter("serve.deduped");
+  static obs::Counter& degraded_counter = obs::counter("serve.degraded");
+  auto& injector = testing::FaultInjector::instance();
+  auto& cache = markov::SolutionCache::instance();
+
+  const auto bad_request = [&](const std::string& message) {
+    bad_counter.add();
+    counts_.add_named("bad_request");
+    *status_out = 400;
+    return error_body("bad_request", message);
+  };
+
+  const JsonParseResult parsed = parse_json(request_body);
+  if (!parsed.ok) {
+    return bad_request("invalid JSON at byte " +
+                       std::to_string(parsed.error_offset) + ": " +
+                       parsed.error);
+  }
+  if (!parsed.value.is_object()) {
+    return bad_request("request must be a JSON object");
+  }
+
+  std::string id;
+  if (const JsonValue* v = parsed.value.get("id")) {
+    if (!v->is_string()) return bad_request("\"id\" must be a string");
+    id = v->as_string();
+  }
+  SolveSpec spec;
+  if (const JsonValue* v = parsed.value.get("model")) {
+    if (!v->is_string()) return bad_request("\"model\" must be a string");
+    spec.inline_text = v->as_string();
+  }
+  if (const JsonValue* v = parsed.value.get("path")) {
+    if (!v->is_string()) return bad_request("\"path\" must be a string");
+    if (!options_.allow_path_requests) {
+      return bad_request("path requests are disabled (--allow-paths)");
+    }
+    spec.path = v->as_string();
+  }
+  if (spec.inline_text.empty() && spec.path.empty()) {
+    return bad_request("request needs \"model\" (inline source) or \"path\"");
+  }
+  spec.times = options_.default_times;
+  if (const JsonValue* v = parsed.value.get("times")) {
+    if (!v->is_array()) return bad_request("\"times\" must be an array");
+    spec.times.clear();
+    for (const JsonValue& t : v->as_array()) {
+      if (!t.is_number()) return bad_request("\"times\" entries must be numbers");
+      spec.times.push_back(t.as_number());
+    }
+  }
+  spec.deadline = deadline;
+  if (const JsonValue* v = parsed.value.get("timeout_ms")) {
+    if (!v->is_number() || v->as_number() <= 0) {
+      return bad_request("\"timeout_ms\" must be a positive number");
+    }
+    // Also admission-relative: time already spent queued counts.
+    spec.deadline = robust::Deadline::earliest(
+        spec.deadline,
+        robust::Deadline::after_seconds(v->as_number() / 1000.0 -
+                                        queued_seconds));
+  }
+
+  // Chaos hook: a whole-request injected failure, independent of the model.
+  if (injector.should_fail("serve.solve")) {
+    counts_.add(3);
+    *status_out = 500;
+    return error_body("numerical", "injected failure: serve.solve");
+  }
+
+  const auto id_fields = [&](bool cached) {
+    if (id.empty()) return std::string();
+    return "\"id\":\"" + obs::json_escape(id) + "\",\"cached\":" +
+           (cached ? "true," : "false,");
+  };
+
+  // Idempotent retry: a request id maps to its full successful response.
+  // Like every cache interaction, this is bypassed while the fault
+  // injector is armed — injected faults are invisible to the key.
+  const bool dedup = !id.empty() && cache.enabled() && !injector.active();
+  if (dedup) {
+    markov::CacheKey key;
+    key.add(markov::SolutionCache::kResponseTag);
+    key.add(std::string_view(id));
+    if (const auto hit = cache.lookup(key)) {
+      dedup_counter.add();
+      counts_.add(0);
+      *status_out = 200;
+      return "{" + id_fields(true) + hit->payload + "}";
+    }
+  }
+
+  const SolveOutcome outcome = solve_model(spec);
+  counts_.add(outcome.exit_class);
+  if (outcome.degraded) degraded_counter.add();
+  *status_out = status_for_exit_class(outcome.exit_class);
+
+  // Only complete successes become idempotency records: a degraded or
+  // failed solve must re-run on retry, never be replayed from cache.
+  if (dedup && outcome.exit_class == 0 && !injector.active()) {
+    markov::CacheKey key;
+    key.add(markov::SolutionCache::kResponseTag);
+    key.add(std::string_view(id));
+    cache.insert(std::move(key),
+                 markov::SolutionCache::Entry{{}, {}, outcome.fields});
+  }
+  return "{" + id_fields(false) + outcome.fields + "}";
+}
+
+}  // namespace relkit::serve

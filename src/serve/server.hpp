@@ -1,0 +1,126 @@
+// relkit_serve's embedded HTTP server: a poll()-based event loop feeding a
+// bounded admission queue that a dispatcher drains onto the process-wide
+// parallel::ThreadPool.
+//
+// The shape is chosen for resilience, not throughput:
+//
+//   * Admission control: POST /solve is accepted only if the bounded queue
+//     has room; otherwise the daemon sheds load with an immediate 503
+//     ("overload") instead of buffering unbounded work. While draining it
+//     answers 503 ("draining").
+//   * Deadlines: each request's wall-clock budget is armed at ADMISSION, so
+//     time spent queued counts against it; workers install it as the
+//     thread's ambient deadline, and a solve that runs out returns a
+//     flagged degraded response (partial result + SolveReport) rather than
+//     a timeout with nothing to show.
+//   * Slow-client defense: per-connection read deadlines are enforced by
+//     the event loop (evicted connections are counted), writes go through
+//     a poll()-bounded sender, and one request per connection keeps state
+//     machines trivial.
+//   * Idempotent retry: a request carrying an "id" is deduplicated against
+//     the process-wide markov::SolutionCache (kResponseTag entries), so a
+//     client retrying after a lost response gets the cached payload back
+//     without recomputation.
+//   * Clean drain: stop() stops admissions, lets queued work finish (or
+//     rejects it, on a hard stop), joins every thread, and returns the
+//     same per-error-class summary JSON that `relkit_cli --batch` prints.
+//
+// The server is also the daemon's metrics surface: /metrics serves
+// Registry::to_openmetrics(), /healthz liveness, /readyz readiness.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "parallel/queue.hpp"
+#include "robust/budget.hpp"
+#include "serve/summary.hpp"
+
+namespace relkit::serve {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral; read the bound port via Server::port()
+  /// Admission queue capacity; beyond this POST /solve sheds (503).
+  std::size_t queue_capacity = 64;
+  /// Max requests one dispatcher batch hands to the pool at once.
+  std::size_t max_batch = 16;
+  /// A connection must deliver its full request within this window or the
+  /// idle sweep evicts it. <= 0 disables eviction.
+  int read_timeout_ms = 5000;
+  /// Bound on blocking in the response sender; a client that cannot drain
+  /// its response within the window loses the connection.
+  int write_timeout_ms = 5000;
+  std::size_t max_header_bytes = 16u << 10;
+  std::size_t max_body_bytes = 1u << 20;
+  /// Default per-request wall-clock budget; requests may tighten (never
+  /// extend) it via "timeout_ms". <= 0 means unlimited.
+  int default_timeout_ms = 0;
+  /// Whether requests may name model FILES ({"path":...}); off by default
+  /// because a network peer choosing local paths is a footgun.
+  bool allow_path_requests = false;
+  /// Evaluation times used when a request has no "times".
+  std::vector<double> default_times;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the event-loop + dispatcher threads.
+  /// False (with *error set) when the socket setup fails.
+  bool start(std::string* error);
+
+  /// The bound TCP port (valid after start()).
+  int port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Stops the daemon and returns the drain summary JSON. With
+  /// drain == true queued requests are still solved and answered before
+  /// shutdown completes; with false they are answered 503 ("draining").
+  /// Idempotent; later calls return the same summary.
+  std::string stop(bool drain = true);
+
+  /// Per-error-class accounting across the server's lifetime.
+  const ErrorClassCounts& counts() const { return counts_; }
+
+ private:
+  struct Conn;
+  struct PendingRequest;
+
+  void event_loop();
+  void dispatcher_loop();
+  void handle_request(PendingRequest& request);
+  void route(Conn& conn);
+  void respond_and_close(int fd, int status, const std::string& body,
+                         const char* content_type = nullptr);
+  std::string solve_response_body(const std::string& request_body,
+                                  const robust::Deadline& deadline,
+                                  double queued_seconds, int* status_out);
+
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  /// Hard-stop flag: dispatcher answers queued requests 503 instead of
+  /// solving them.
+  std::atomic<bool> reject_queued_{false};
+  std::atomic<bool> stopped_{false};
+  std::thread event_thread_;
+  std::thread dispatch_thread_;
+  std::unique_ptr<parallel::BoundedQueue<PendingRequest>> queue_;
+  ErrorClassCounts counts_;
+  std::string drain_summary_;
+};
+
+}  // namespace relkit::serve

@@ -1,0 +1,138 @@
+#include "serve/solve_json.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "io/model_parser.hpp"
+#include "obs/obs.hpp"
+#include "robust/report.hpp"
+
+namespace relkit::serve {
+
+std::string json_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+namespace {
+
+std::string json_string_array(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    out += (i ? ",\"" : "\"") + obs::json_escape(items[i]) + "\"";
+  }
+  out += "]";
+  return out;
+}
+
+/// Compact SolveReport rendering for degraded responses: enough to tell
+/// what was attempted and why it stopped, without the full trajectory.
+std::string report_json(const robust::SolveReport& report) {
+  std::string out = "{\"method\":\"" + obs::json_escape(report.method) +
+                    "\",\"converged\":" +
+                    (report.converged ? "true" : "false") +
+                    ",\"iterations\":" + std::to_string(report.iterations) +
+                    ",\"residual\":" + json_number(report.residual) +
+                    ",\"attempts\":" + json_string_array(report.attempts) +
+                    ",\"fallbacks\":" + json_string_array(report.fallbacks) +
+                    ",\"warnings\":" + json_string_array(report.warnings) +
+                    "}";
+  return out;
+}
+
+std::string error_fields(const std::string& error_class,
+                         const std::string& message) {
+  return "\"ok\":false,\"error_class\":\"" + error_class + "\",\"error\":\"" +
+         obs::json_escape(message) + "\"";
+}
+
+}  // namespace
+
+SolveOutcome solve_model(const SolveSpec& spec) {
+  SolveOutcome out;
+  // The ambient deadline binds every nested solve below this frame,
+  // including hierarchical `event ... markov` submodels solved inside the
+  // parser — the only way a per-request deadline can reach them.
+  robust::ScopedDeadline scoped(spec.deadline);
+  try {
+    const io::ParsedModel model =
+        !spec.inline_text.empty() ? io::parse_model_string(spec.inline_text)
+                                  : io::parse_model_file(spec.path);
+    std::string kind;
+    double steady = 0.0;
+    std::string at = "[";
+    if (model.fault_tree) {
+      kind = "ftree";
+      steady = model.fault_tree->top_probability_limit();
+      for (std::size_t i = 0; i < spec.times.size(); ++i) {
+        at += (i ? "," : "") + std::string("{\"t\":") +
+              json_number(spec.times[i]) + ",\"value\":" +
+              json_number(model.fault_tree->top_probability(spec.times[i])) +
+              "}";
+      }
+    } else if (model.graph) {
+      kind = "relgraph";
+      steady = model.graph->reliability(-1.0);
+      for (std::size_t i = 0; i < spec.times.size(); ++i) {
+        at += (i ? "," : "") + std::string("{\"t\":") +
+              json_number(spec.times[i]) + ",\"value\":" +
+              json_number(model.graph->reliability(spec.times[i])) + "}";
+      }
+    } else {
+      kind = "rbd";
+      steady = model.rbd->availability();
+      for (std::size_t i = 0; i < spec.times.size(); ++i) {
+        at += (i ? "," : "") + std::string("{\"t\":") +
+              json_number(spec.times[i]) + ",\"value\":" +
+              json_number(model.rbd->reliability(spec.times[i])) + "}";
+      }
+    }
+    at += "]";
+    out.fields = "\"ok\":true,\"name\":\"" + obs::json_escape(model.name) +
+                 "\",\"kind\":\"" + kind + "\",\"steady\":" +
+                 json_number(steady) + ",\"at\":" + at;
+  } catch (const robust::ConvergenceError& e) {
+    if (!scoped.effective().unlimited() && scoped.effective().expired() &&
+        !e.partial_result().empty()) {
+      // Degraded mode: the deadline fired mid-solve but the solver saved
+      // its best iterate. Flag it clearly — a consumer must opt in to
+      // trusting a partial result.
+      out.exit_class = 5;
+      out.error_class = "deadline";
+      out.degraded = true;
+      std::string partial = "[";
+      const auto& p = e.partial_result();
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        partial += (i ? "," : "") + json_number(p[i]);
+      }
+      partial += "]";
+      out.fields = error_fields("deadline", e.what()) +
+                   ",\"degraded\":true,\"partial\":" + partial +
+                   ",\"report\":" + report_json(e.report());
+    } else {
+      out.exit_class = 3;
+      out.error_class = "numerical";
+      out.fields = error_fields("numerical", e.what());
+    }
+  } catch (const ModelError& e) {
+    out.exit_class = 2;
+    out.error_class = "model";
+    out.fields = error_fields("model", e.what());
+  } catch (const NumericalError& e) {
+    out.exit_class = 3;
+    out.error_class = "numerical";
+    out.fields = error_fields("numerical", e.what());
+  } catch (const InvalidArgument& e) {
+    out.exit_class = 4;
+    out.error_class = "invalid";
+    out.fields = error_fields("invalid", e.what());
+  } catch (const std::exception& e) {
+    out.exit_class = 2;
+    out.error_class = "error";
+    out.fields = error_fields("error", e.what());
+  }
+  return out;
+}
+
+}  // namespace relkit::serve

@@ -1,0 +1,95 @@
+// Per-error-class request accounting, shared by `relkit_cli --batch`
+// (final summary line) and the relkit_serve drain summary, so both report
+// the same taxonomy in the same JSON shape.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace relkit::serve {
+
+/// Thread-safe tally of request outcomes by error class. Workers call
+/// add() concurrently; to_json() is a snapshot (the daemon only reads it
+/// after drain, the CLI after the batch barrier).
+class ErrorClassCounts {
+ public:
+  /// Records an outcome by CLI exit class: 0 ok, 2 model, 3 numerical,
+  /// 4 invalid argument, 5 deadline-exceeded-with-partial-result;
+  /// anything else lands in the catch-all "error" bucket.
+  void add(int exit_class) {
+    switch (exit_class) {
+      case 0: ok_.fetch_add(1, std::memory_order_relaxed); break;
+      case 2: model_.fetch_add(1, std::memory_order_relaxed); break;
+      case 3: numerical_.fetch_add(1, std::memory_order_relaxed); break;
+      case 4: invalid_.fetch_add(1, std::memory_order_relaxed); break;
+      case 5: deadline_.fetch_add(1, std::memory_order_relaxed); break;
+      default: error_.fetch_add(1, std::memory_order_relaxed); break;
+    }
+  }
+
+  /// Records a server-side outcome that has no CLI exit class.
+  void add_named(std::string_view error_class) {
+    if (error_class == "bad_request") {
+      bad_request_.fetch_add(1, std::memory_order_relaxed);
+    } else if (error_class == "overload") {
+      overload_.fetch_add(1, std::memory_order_relaxed);
+    } else if (error_class == "draining") {
+      draining_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      error_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  std::uint64_t total() const {
+    return ok_.load() + model_.load() + numerical_.load() + invalid_.load() +
+           deadline_.load() + bad_request_.load() + overload_.load() +
+           draining_.load() + error_.load();
+  }
+
+  std::uint64_t ok() const { return ok_.load(); }
+  std::uint64_t overload() const { return overload_.load(); }
+  std::uint64_t deadline() const { return deadline_.load(); }
+
+  /// One JSON object, e.g. the final `--batch` line:
+  /// {"summary":true,"models":7,"ok":5,"errors":{"model":1,...}}
+  std::string to_json() const {
+    std::string out = "{\"summary\":true,\"models\":";
+    out += std::to_string(total());
+    out += ",\"ok\":";
+    out += std::to_string(ok_.load());
+    out += ",\"errors\":{";
+    const auto field = [&out](const char* name, std::uint64_t n,
+                              bool first = false) {
+      if (!first) out += ',';
+      out += '"';
+      out += name;
+      out += "\":";
+      out += std::to_string(n);
+    };
+    field("model", model_.load(), true);
+    field("numerical", numerical_.load());
+    field("invalid", invalid_.load());
+    field("deadline", deadline_.load());
+    field("bad_request", bad_request_.load());
+    field("overload", overload_.load());
+    field("draining", draining_.load());
+    field("error", error_.load());
+    out += "}}";
+    return out;
+  }
+
+ private:
+  std::atomic<std::uint64_t> ok_{0};
+  std::atomic<std::uint64_t> model_{0};
+  std::atomic<std::uint64_t> numerical_{0};
+  std::atomic<std::uint64_t> invalid_{0};
+  std::atomic<std::uint64_t> deadline_{0};
+  std::atomic<std::uint64_t> bad_request_{0};
+  std::atomic<std::uint64_t> overload_{0};
+  std::atomic<std::uint64_t> draining_{0};
+  std::atomic<std::uint64_t> error_{0};
+};
+
+}  // namespace relkit::serve

@@ -13,6 +13,7 @@
 #include "common/sparse.hpp"
 #include "core/hierarchy.hpp"
 #include "markov/ctmc.hpp"
+#include "markov/solution_cache.hpp"
 #include "robust/budget.hpp"
 #include "robust/fault_injection.hpp"
 #include "robust/report.hpp"
@@ -428,6 +429,87 @@ TEST(Diagnostics, LastReportRecordedForSuccessfulSolve) {
   ASSERT_TRUE(robust::has_last_report());
   EXPECT_EQ(robust::last_report().method, report.method);
   EXPECT_FALSE(robust::last_report().summary().empty());
+}
+
+// ---- solution cache under fault injection -----------------------------------
+//
+// The cache's contract with the injector: while any fault is armed the
+// cache is bypassed in BOTH directions. A lookup must not mask the fault
+// with a pre-fault result, and an insert must not launder a faulted (or
+// failed, or partial) solve into a "clean" entry future solves replay.
+
+TEST(CacheFaultInteraction, ArmedInjectorBypassesLookupAndInsert) {
+  auto& cache = markov::SolutionCache::instance();
+  cache.clear();
+  // Rates unique to this test so no other test's entry can collide.
+  const auto chain = birth_death_chain(10, 0.377, 1.913);
+
+  robust::SolveReport clean;
+  chain.steady_state({}, &clean);
+  EXPECT_FALSE(clean.cache_hit);
+  const std::size_t populated = cache.size();
+  EXPECT_GE(populated, 1u);
+
+  robust::SolveReport replay;
+  chain.steady_state({}, &replay);
+  EXPECT_TRUE(replay.cache_hit);  // idle injector: the entry is served
+
+  {
+    FaultInjectionScope scope;
+    scope->scale("ctmc.rate", 1.0);  // arm a (numerically inert) fault
+    robust::SolveReport armed;
+    chain.steady_state({}, &armed);
+    // Lookup bypassed: the solve ran instead of replaying the entry...
+    EXPECT_FALSE(armed.cache_hit);
+    // ...and insert bypassed: the armed solve left no new entry behind.
+    EXPECT_EQ(cache.size(), populated);
+  }
+
+  robust::SolveReport after;
+  chain.steady_state({}, &after);
+  EXPECT_TRUE(after.cache_hit);  // the original clean entry survived intact
+}
+
+TEST(CacheFaultInteraction, FailedSolveNeverPopulatesCache) {
+  auto& cache = markov::SolutionCache::instance();
+  cache.clear();
+  FaultInjectionScope scope;
+  scope->fail_method("sor");
+  scope->fail_method("power");
+  scope->fail_method("gth");
+
+  const auto chain = birth_death_chain(8, 0.731, 2.117);
+  markov::SteadyStateOptions opts;
+  opts.dense_threshold = 0;
+  opts.gth_fallback_threshold = 64;
+  try {
+    chain.steady_state(opts);
+    FAIL() << "expected ConvergenceError";
+  } catch (const robust::ConvergenceError& e) {
+    EXPECT_FALSE(e.partial_result().empty());
+  }
+  // The failure produced a partial result — and no cache entry.
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(CacheFaultInteraction, ExpiredDeadlinePartialIsNotCached) {
+  auto& cache = markov::SolutionCache::instance();
+  cache.clear();
+  const auto chain = birth_death_chain(16, 0.593, 1.733);
+  markov::SteadyStateOptions opts;
+  opts.dense_threshold = 0;         // force the deadline-checked SOR path
+  opts.gth_fallback_threshold = 0;  // no dense last resort
+  opts.budget.deadline = robust::Deadline::after_seconds(-1.0);
+  EXPECT_THROW(chain.steady_state(opts), robust::ConvergenceError);
+  // Deadline-degraded partials must re-run on retry, never be replayed.
+  EXPECT_EQ(cache.size(), 0u);
+
+  // With the deadline lifted the same model solves and caches normally.
+  opts.budget.deadline = robust::Deadline();
+  robust::SolveReport report;
+  chain.steady_state(opts, &report);
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(cache.size(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,431 @@
+// relkit_serve engine tests: the JSON/HTTP parsers, the bounded admission
+// queue, the shared solve core, and the daemon's happy paths (endpoints,
+// solve responses identical to the CLI's, idempotent request-id dedup
+// through the solution cache, drain summaries). The hostile-input battery
+// lives in test_serve_chaos.cpp.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "markov/solution_cache.hpp"
+#include "obs/obs.hpp"
+#include "parallel/queue.hpp"
+#include "serve/client.hpp"
+#include "serve/http.hpp"
+#include "serve/json.hpp"
+#include "serve/server.hpp"
+#include "serve/solve_json.hpp"
+#include "serve/summary.hpp"
+
+namespace {
+
+using namespace relkit;
+
+// ---- JSON parser -----------------------------------------------------------
+
+TEST(JsonParser, ParsesScalarsAndStructure) {
+  const auto r = serve::parse_json(
+      "{\"a\": 1.5, \"b\": [true, false, null], \"c\": \"x\\n\\u0041\"}");
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_TRUE(r.value.is_object());
+  EXPECT_DOUBLE_EQ(r.value.get("a")->as_number(), 1.5);
+  const auto& arr = r.value.get("b")->as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_TRUE(arr[0].as_bool());
+  EXPECT_FALSE(arr[1].as_bool());
+  EXPECT_TRUE(arr[2].is_null());
+  EXPECT_EQ(r.value.get("c")->as_string(), "x\nA");
+}
+
+TEST(JsonParser, ParsesNumbers) {
+  for (const auto& [text, want] :
+       std::vector<std::pair<std::string, double>>{
+           {"0", 0.0}, {"-0", -0.0}, {"42", 42.0}, {"-17.25", -17.25},
+           {"1e3", 1000.0}, {"2.5E-2", 0.025}, {"1.25e+2", 125.0}}) {
+    const auto r = serve::parse_json(text);
+    ASSERT_TRUE(r.ok) << text << ": " << r.error;
+    EXPECT_DOUBLE_EQ(r.value.as_number(), want) << text;
+  }
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "01", "1.",
+        ".5", "1e", "+1", "nan", "inf", "\"unterminated", "\"bad\\q\"",
+        "\"ctrl\x01\"", "{\"a\":1} extra", "1 2", "'single'",
+        "\"\\ud800\"", "\"\\udc00 lone low\"", "1e999"}) {
+    const auto r = serve::parse_json(bad);
+    EXPECT_FALSE(r.ok) << "accepted: " << bad;
+    EXPECT_FALSE(r.error.empty()) << bad;
+  }
+}
+
+TEST(JsonParser, ReportsErrorOffset) {
+  const auto r = serve::parse_json("{\"a\": zoo}");
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.error_offset, 6u);
+}
+
+TEST(JsonParser, EnforcesDepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  deep += "1";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_FALSE(serve::parse_json(deep, 64).ok);
+  EXPECT_TRUE(serve::parse_json(deep, 128).ok);
+}
+
+TEST(JsonParser, LastDuplicateKeyWins) {
+  const auto r = serve::parse_json("{\"a\": 1, \"a\": 2}");
+  ASSERT_TRUE(r.ok);
+  EXPECT_DOUBLE_EQ(r.value.get("a")->as_number(), 2.0);
+}
+
+TEST(JsonParser, DecodesSurrogatePairs) {
+  const auto r = serve::parse_json("\"\\ud83d\\ude00\"");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value.as_string(), "\xF0\x9F\x98\x80");  // U+1F600
+}
+
+// ---- HTTP parser -----------------------------------------------------------
+
+serve::HttpRequestParser::Status feed_all(serve::HttpRequestParser& parser,
+                                          const std::string& raw,
+                                          std::size_t piece) {
+  for (std::size_t i = 0; i < raw.size(); i += piece) {
+    parser.feed(std::string_view(raw).substr(i, piece));
+    if (parser.status() != serve::HttpRequestParser::Status::kNeedMore) break;
+  }
+  return parser.status();
+}
+
+TEST(HttpParser, ParsesRequestByteByByte) {
+  const std::string raw =
+      "POST /solve HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
+  for (const std::size_t piece : {std::size_t{1}, std::size_t{7}, raw.size()}) {
+    serve::HttpRequestParser parser(16384, 1 << 20);
+    ASSERT_EQ(feed_all(parser, raw, piece),
+              serve::HttpRequestParser::Status::kComplete)
+        << "piece=" << piece;
+    EXPECT_EQ(parser.request().method, "POST");
+    EXPECT_EQ(parser.request().target, "/solve");
+    EXPECT_EQ(parser.request().body, "body");
+  }
+}
+
+TEST(HttpParser, AcceptsZeroLengthBodyWithoutHeader) {
+  serve::HttpRequestParser parser(16384, 1 << 20);
+  EXPECT_EQ(feed_all(parser, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n", 64),
+            serve::HttpRequestParser::Status::kComplete);
+  EXPECT_EQ(parser.request().content_length, 0u);
+}
+
+TEST(HttpParser, RejectsMalformedFraming) {
+  using Status = serve::HttpRequestParser::Status;
+  const std::vector<std::pair<std::string, Status>> cases = {
+      {"GARBAGE\r\n\r\n", Status::kBadRequest},
+      {"GET /x HTTP/2\r\n\r\n", Status::kUnsupported},
+      {"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+       Status::kUnsupported},
+      {"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+       Status::kBadRequest},
+      {"POST /x HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n",
+       Status::kBadRequest},
+      {"POST /x HTTP/1.1\r\nno colon here\r\n\r\n", Status::kBadRequest},
+  };
+  for (const auto& [raw, want] : cases) {
+    serve::HttpRequestParser parser(16384, 1 << 20);
+    EXPECT_EQ(feed_all(parser, raw, 64), want) << raw;
+  }
+}
+
+TEST(HttpParser, EnforcesLimits) {
+  serve::HttpRequestParser small_headers(64, 1 << 20);
+  EXPECT_EQ(feed_all(small_headers,
+                     "GET /x HTTP/1.1\r\nPadding: " + std::string(100, 'a') +
+                         "\r\n\r\n",
+                     32),
+            serve::HttpRequestParser::Status::kHeadersTooLarge);
+
+  serve::HttpRequestParser small_body(16384, 8);
+  EXPECT_EQ(feed_all(small_body,
+                     "POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789",
+                     64),
+            serve::HttpRequestParser::Status::kBodyTooLarge);
+}
+
+// ---- bounded queue ---------------------------------------------------------
+
+TEST(BoundedQueue, ShedsWhenFullAndDrainsAfterClose) {
+  parallel::BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));  // full: admission control kicks in
+  queue.close();
+  EXPECT_FALSE(queue.try_push(4));  // closed
+  const auto batch = queue.pop_batch(10);
+  ASSERT_EQ(batch.size(), 2u);  // drain semantics: queued items survive close
+  EXPECT_EQ(batch[0], 1);
+  EXPECT_EQ(batch[1], 2);
+  EXPECT_TRUE(queue.pop_batch(10).empty());  // closed + drained
+}
+
+TEST(BoundedQueue, PopBlocksUntilPushOrClose) {
+  parallel::BoundedQueue<int> queue(4);
+  std::vector<int> got;
+  std::thread consumer([&] { got = queue.pop_batch(4); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(queue.try_push(7));
+  consumer.join();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 7);
+
+  std::thread waiter([&] { got = queue.pop_batch(4); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  waiter.join();
+  EXPECT_TRUE(got.empty());
+}
+
+// ---- error-class summary ---------------------------------------------------
+
+TEST(ErrorClassCounts, CountsAndRendersAllClasses) {
+  serve::ErrorClassCounts counts;
+  counts.add(0);
+  counts.add(0);
+  counts.add(2);
+  counts.add(3);
+  counts.add(4);
+  counts.add(5);
+  counts.add(99);
+  counts.add_named("bad_request");
+  counts.add_named("overload");
+  counts.add_named("draining");
+  counts.add_named("anything-else");
+  EXPECT_EQ(counts.total(), 11u);
+  EXPECT_EQ(counts.to_json(),
+            "{\"summary\":true,\"models\":11,\"ok\":2,\"errors\":{"
+            "\"model\":1,\"numerical\":1,\"invalid\":1,\"deadline\":1,"
+            "\"bad_request\":1,\"overload\":1,\"draining\":1,\"error\":2}}");
+}
+
+// ---- shared solve core -----------------------------------------------------
+
+constexpr const char* kRbdSource =
+    "model rbd duplex\n"
+    "event a prob 0.99\n"
+    "event b prob 0.95\n"
+    "gate top and a b\n"
+    "top top\n";
+
+TEST(SolveCore, SolvesInlineText) {
+  serve::SolveSpec spec;
+  spec.inline_text = kRbdSource;
+  spec.times = {100.0};
+  const auto outcome = serve::solve_model(spec);
+  EXPECT_EQ(outcome.exit_class, 0);
+  EXPECT_FALSE(outcome.degraded);
+  EXPECT_NE(outcome.fields.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(outcome.fields.find("\"steady\":0.9405"), std::string::npos);
+}
+
+TEST(SolveCore, ClassifiesModelErrors) {
+  serve::SolveSpec spec;
+  spec.inline_text = "model rbd broken\nevent a prob 2.5\ntop a\n";
+  const auto outcome = serve::solve_model(spec);
+  EXPECT_EQ(outcome.exit_class, 2);
+  EXPECT_EQ(outcome.error_class, "model");
+  EXPECT_NE(outcome.fields.find("\"error_class\":\"model\""),
+            std::string::npos);
+}
+
+TEST(SolveCore, MissingFileIsModelError) {
+  serve::SolveSpec spec;
+  spec.path = "/nonexistent/model.rk";
+  const auto outcome = serve::solve_model(spec);
+  EXPECT_NE(outcome.exit_class, 0);
+  EXPECT_NE(outcome.fields.find("\"ok\":false"), std::string::npos);
+}
+
+// ---- server ----------------------------------------------------------------
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    markov::SolutionCache::instance().clear();
+    options_.port = 0;
+    options_.queue_capacity = 8;
+  }
+
+  void start() {
+    server_ = std::make_unique<serve::Server>(options_);
+    std::string error;
+    ASSERT_TRUE(server_->start(&error)) << error;
+    port_ = server_->port();
+  }
+
+  serve::ClientResponse get(const std::string& target) {
+    return serve::http_get("127.0.0.1", port_, target);
+  }
+
+  serve::ClientResponse post(const std::string& body) {
+    return serve::http_post("127.0.0.1", port_, "/solve", body);
+  }
+
+  static std::string solve_request(const std::string& model_source,
+                                   const std::string& id = "",
+                                   const std::string& extra = "") {
+    std::string body = "{";
+    if (!id.empty()) body += "\"id\":\"" + id + "\",";
+    body += "\"model\":\"" + obs::json_escape(model_source) + "\"" + extra +
+            "}";
+    return body;
+  }
+
+  /// Counter value scraped from the /metrics OpenMetrics body.
+  double metric(const std::string& sample_name) {
+    const auto response = get("/metrics");
+    EXPECT_TRUE(response.ok) << response.error;
+    const std::string needle = "\n" + sample_name + " ";
+    const std::size_t pos = response.body.find(needle);
+    if (pos == std::string::npos) return -1.0;
+    return std::atof(response.body.c_str() + pos + needle.size());
+  }
+
+  serve::ServerOptions options_;
+  std::unique_ptr<serve::Server> server_;
+  int port_ = 0;
+};
+
+TEST_F(ServeTest, HealthAndReadiness) {
+  start();
+  auto health = get("/healthz");
+  ASSERT_TRUE(health.ok) << health.error;
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "{\"ok\":true}");
+
+  auto ready = get("/readyz");
+  ASSERT_TRUE(ready.ok) << ready.error;
+  EXPECT_EQ(ready.status, 200);
+  EXPECT_EQ(ready.body, "{\"ready\":true}");
+}
+
+TEST_F(ServeTest, MetricsServeOpenMetrics) {
+  start();
+  const auto response = get("/metrics");
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("# TYPE serve_requests counter"),
+            std::string::npos);
+  EXPECT_EQ(response.body.substr(response.body.size() - 6), "# EOF\n");
+}
+
+TEST_F(ServeTest, UnknownEndpointsAreBadRequests) {
+  start();
+  EXPECT_EQ(get("/nope").status, 404);
+  const auto wrong_method = get("/solve");
+  EXPECT_EQ(wrong_method.status, 405);
+  EXPECT_NE(wrong_method.body.find("\"error_class\":\"bad_request\""),
+            std::string::npos);
+}
+
+TEST_F(ServeTest, ServedSolveMatchesLocalSolveExactly) {
+  start();
+  const auto response = post(solve_request(kRbdSource, "", ",\"times\":[100]"));
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.status, 200);
+
+  // Byte-identical result fields: the daemon answers with the same solve
+  // core relkit_cli uses, so "{" + fields + "}" is the whole body.
+  serve::SolveSpec spec;
+  spec.inline_text = kRbdSource;
+  spec.times = {100.0};
+  const auto local = serve::solve_model(spec);
+  EXPECT_EQ(response.body, "{" + local.fields + "}");
+}
+
+TEST_F(ServeTest, SolvesHierarchicalMarkovModel) {
+  start();
+  const std::string source =
+      "model rbd pool\n"
+      "event farm markov 16 12 0.001 0.1\n"
+      "top farm\n";
+  const auto response = post(solve_request(source));
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"ok\":true"), std::string::npos);
+}
+
+TEST_F(ServeTest, RequestIdDeduplicatesThroughSolutionCache) {
+  start();
+  const double deduped_before = metric("serve_deduped_total");
+  const double hits_before = metric("markov_cache_hits_total");
+
+  const auto first = post(solve_request(kRbdSource, "req-dedup-1"));
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(first.status, 200);
+  EXPECT_NE(first.body.find("\"id\":\"req-dedup-1\",\"cached\":false"),
+            std::string::npos);
+
+  const auto retry = post(solve_request(kRbdSource, "req-dedup-1"));
+  ASSERT_TRUE(retry.ok) << retry.error;
+  EXPECT_EQ(retry.status, 200);
+  EXPECT_NE(retry.body.find("\"id\":\"req-dedup-1\",\"cached\":true"),
+            std::string::npos);
+
+  // Same result fields either way (idempotent retry).
+  const std::size_t first_ok = first.body.find("\"ok\":");
+  const std::size_t retry_ok = retry.body.find("\"ok\":");
+  ASSERT_NE(first_ok, std::string::npos);
+  ASSERT_NE(retry_ok, std::string::npos);
+  EXPECT_EQ(first.body.substr(first_ok), retry.body.substr(retry_ok));
+
+  // The dedup went through markov::SolutionCache: visible both as the
+  // serve.deduped counter and the cache's own hit counter at /metrics.
+  EXPECT_EQ(metric("serve_deduped_total"), deduped_before + 1);
+  EXPECT_GE(metric("markov_cache_hits_total"), hits_before + 1);
+  EXPECT_GT(metric("markov_cache_hit_rate"), 0.0);
+}
+
+TEST_F(ServeTest, PathRequestsAreGated) {
+  start();  // allow_path_requests defaults to false
+  const auto response = post("{\"path\":\"/etc/hostname\"}");
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(response.body.find("path requests are disabled"),
+            std::string::npos);
+}
+
+TEST_F(ServeTest, DrainStopsAdmissionsAndReportsSummary) {
+  start();
+  const auto ok_response = post(solve_request(kRbdSource));
+  ASSERT_TRUE(ok_response.ok);
+
+  const std::string summary = server_->stop(true);
+  EXPECT_NE(summary.find("\"summary\":true"), std::string::npos);
+  EXPECT_NE(summary.find("\"ok\":1"), std::string::npos);
+  // Idempotent: a second stop returns the same summary.
+  EXPECT_EQ(server_->stop(true), summary);
+  EXPECT_FALSE(server_->running());
+}
+
+TEST_F(ServeTest, TimesDefaultComesFromServerOptions) {
+  options_.default_times = {50.0};
+  start();
+  const auto response = post(solve_request(kRbdSource));
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_NE(response.body.find("\"at\":[{\"t\":50,"), std::string::npos);
+  // An explicit times array overrides the default.
+  const auto override_response =
+      post(solve_request(kRbdSource, "", ",\"times\":[75]"));
+  EXPECT_NE(override_response.body.find("\"at\":[{\"t\":75,"),
+            std::string::npos);
+}
+
+}  // namespace

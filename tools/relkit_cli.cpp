@@ -4,9 +4,9 @@
 //   relkit_cli <model-file> [--time t1 t2 ...] [--cuts] [--importance]
 //              [--diagnostics] [--trace[=FILE]] [--trace-format=F]
 //              [--metrics[=FILE]] [--metrics-format=F] [--profile]
-//              [--jobs N] [--no-solver-cache]
+//              [--jobs N] [--no-solver-cache] [--timeout-ms N]
 //   relkit_cli --batch LIST [--time t ...] [--profile] [--jobs N]
-//              [--no-solver-cache]
+//              [--no-solver-cache] [--timeout-ms N]
 //
 // Prints, depending on the model's component specifications:
 //   * steady-state availability / top-event probability,
@@ -28,21 +28,30 @@
 // concurrency; the library default without the CLI is sequential).
 // --no-solver-cache disables the process-wide CTMC solution cache
 // (markov::SolutionCache) — the escape hatch when every solve must run.
+// --timeout-ms N bounds the analysis wall clock (per model in batch mode)
+// by installing a robust::ScopedDeadline; when an iterative solver runs
+// out mid-solve with a usable iterate, the CLI prints that partial result
+// plus its SolveReport and exits 5 instead of discarding the work.
 // --batch LIST reads one model path per line from LIST ('#' comments and
 // blank lines skipped), solves the models concurrently on the thread
 // pool, and streams one JSON object per model to stdout as each finishes
 // (fields: index, model, ok, and either name/kind/steady/at or
 // error_class/error; with --profile additionally profile and, when an
-// iterative solver ran, convergence). Full reference: docs/cli.md.
+// iterative solver ran, convergence), followed by one final summary line
+// with per-error-class counts — the same object relkit_serve prints when
+// it drains. Full reference: docs/cli.md.
 //
 // Exit codes: 0 success, 1 usage error, 2 model error, 3 numerical error
 // (including convergence failures), 4 invalid argument (malformed or
-// unusable --trace/--metrics/--jobs/--batch/--*-format values included).
+// unusable --trace/--metrics/--jobs/--batch/--*-format values included),
+// 5 deadline exceeded with a partial result available (--timeout-ms).
 // Batch mode exits 0 only when every model solved; otherwise it uses the
 // exit class of the first failing model in input order.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -53,6 +62,9 @@
 #include "markov/solution_cache.hpp"
 #include "obs/obs.hpp"
 #include "parallel/pool.hpp"
+#include "robust/budget.hpp"
+#include "serve/solve_json.hpp"
+#include "serve/summary.hpp"
 
 namespace {
 
@@ -62,9 +74,9 @@ void usage() {
                "[--importance] [--diagnostics] [--trace[=FILE]] "
                "[--trace-format=tree|jsonl|chrome] [--metrics[=FILE]] "
                "[--metrics-format=text|json|openmetrics] [--profile] "
-               "[--jobs N] [--no-solver-cache]\n"
+               "[--jobs N] [--no-solver-cache] [--timeout-ms N]\n"
                "       relkit_cli --batch LIST [--time t ...] [--profile] "
-               "[--jobs N] [--no-solver-cache]\n");
+               "[--jobs N] [--no-solver-cache] [--timeout-ms N]\n");
 }
 
 /// Convergence trajectory as a JSON array of [iteration, value] pairs.
@@ -139,20 +151,15 @@ struct BatchOutcome {
   std::string json;
 };
 
-std::string json_number(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.12g", v);
-  return buf;
-}
-
 /// Parses and solves one model file; never throws. The returned JSON line
 /// carries everything a consumer needs to correlate out-of-order results.
 /// With `profile` set, spans emitted by this thread during the solve are
 /// aggregated into a "profile" field (plus "convergence" when an iterative
-/// solver recorded a trajectory).
+/// solver recorded a trajectory). `timeout_ms > 0` bounds this model's
+/// solve (deadline armed here, at solve start).
 BatchOutcome solve_one(const std::string& path,
                        const std::vector<double>& times, std::size_t index,
-                       bool profile) {
+                       bool profile, long timeout_ms) {
   BatchOutcome out;
   std::string head = "{\"index\":" + std::to_string(index) + ",\"model\":\"" +
                      relkit::obs::json_escape(path) + "\"";
@@ -181,69 +188,33 @@ BatchOutcome solve_one(const std::string& path,
     }
     return fields;
   };
-  try {
-    const relkit::io::ParsedModel model =
-        relkit::io::parse_model_file(path);
-    std::string kind;
-    double steady = 0.0;
-    std::string at = "[";
-    if (model.fault_tree) {
-      kind = "ftree";
-      steady = model.fault_tree->top_probability_limit();
-      for (std::size_t i = 0; i < times.size(); ++i) {
-        at += (i ? "," : "") + std::string("{\"t\":") +
-              json_number(times[i]) + ",\"value\":" +
-              json_number(model.fault_tree->top_probability(times[i])) + "}";
-      }
-    } else if (model.graph) {
-      kind = "relgraph";
-      steady = model.graph->reliability(-1.0);
-      for (std::size_t i = 0; i < times.size(); ++i) {
-        at += (i ? "," : "") + std::string("{\"t\":") +
-              json_number(times[i]) + ",\"value\":" +
-              json_number(model.graph->reliability(times[i])) + "}";
-      }
-    } else {
-      kind = "rbd";
-      steady = model.rbd->availability();
-      for (std::size_t i = 0; i < times.size(); ++i) {
-        at += (i ? "," : "") + std::string("{\"t\":") +
-              json_number(times[i]) + ",\"value\":" +
-              json_number(model.rbd->reliability(times[i])) + "}";
-      }
-    }
-    at += "]";
-    out.json = head + ",\"ok\":true,\"name\":\"" +
-               relkit::obs::json_escape(model.name) + "\",\"kind\":\"" +
-               kind + "\",\"steady\":" + json_number(steady) +
-               ",\"at\":" + at + profile_fields() + "}";
-  } catch (const relkit::ModelError& e) {
-    out.exit_class = 2;
-    out.json = head + ",\"ok\":false,\"error_class\":\"model\",\"error\":\"" +
-               relkit::obs::json_escape(e.what()) + "\"}";
-  } catch (const relkit::NumericalError& e) {
-    out.exit_class = 3;
-    out.json = head +
-               ",\"ok\":false,\"error_class\":\"numerical\",\"error\":\"" +
-               relkit::obs::json_escape(e.what()) + "\"" + profile_fields() +
-               "}";
-  } catch (const relkit::InvalidArgument& e) {
-    out.exit_class = 4;
-    out.json = head + ",\"ok\":false,\"error_class\":\"invalid\",\"error\":\"" +
-               relkit::obs::json_escape(e.what()) + "\"}";
-  } catch (const std::exception& e) {
-    out.exit_class = 2;
-    out.json = head + ",\"ok\":false,\"error_class\":\"error\",\"error\":\"" +
-               relkit::obs::json_escape(e.what()) + "\"}";
+  // The solve itself is the same shared core relkit_serve answers with, so
+  // a batch line and a served response carry identical result fields.
+  relkit::serve::SolveSpec spec;
+  spec.path = path;
+  spec.times = times;
+  if (timeout_ms > 0) {
+    spec.deadline = relkit::robust::Deadline::after_seconds(timeout_ms /
+                                                            1000.0);
   }
+  const relkit::serve::SolveOutcome outcome = relkit::serve::solve_model(spec);
+  out.exit_class = outcome.exit_class;
+  // Profile/convergence fields ride along where they historically did:
+  // successful solves and solver failures (model/argument errors never ran
+  // a solver).
+  const bool solver_ran = outcome.exit_class == 0 || outcome.exit_class == 3 ||
+                          outcome.exit_class == 5;
+  out.json = head + "," + outcome.fields +
+             (solver_ran ? profile_fields() : std::string()) + "}";
   return out;
 }
 
 /// Solves every model listed in `list_path` concurrently on the global
-/// pool, streaming one JSON line per model as it completes. Returns the
-/// process exit code.
+/// pool, streaming one JSON line per model as it completes, then one final
+/// summary line with per-error-class counts. Returns the process exit
+/// code.
 int run_batch(const std::string& list_path, const std::vector<double>& times,
-              bool profile) {
+              bool profile, long timeout_ms) {
   std::ifstream list(list_path);
   if (!list.good()) {
     std::fprintf(stderr, "invalid argument: cannot open batch list '%s'\n",
@@ -271,16 +242,22 @@ int run_batch(const std::string& list_path, const std::vector<double>& times,
   if (profile) relkit::obs::set_enabled(true);
 
   std::vector<int> exit_classes(paths.size(), 0);
+  relkit::serve::ErrorClassCounts counts;
   std::mutex print_mu;
   relkit::parallel::global_pool().for_chunks(
       paths.size(), 1, [&](std::size_t begin, std::size_t) {
         const BatchOutcome outcome =
-            solve_one(paths[begin], times, begin, profile);
+            solve_one(paths[begin], times, begin, profile, timeout_ms);
         exit_classes[begin] = outcome.exit_class;
+        counts.add(outcome.exit_class);
         std::lock_guard<std::mutex> lock(print_mu);
         std::printf("%s\n", outcome.json.c_str());
         std::fflush(stdout);
       });
+  // Final summary line: the same object relkit_serve prints when it
+  // drains, so batch consumers and daemon operators read one format.
+  std::printf("%s\n", counts.to_json().c_str());
+  std::fflush(stdout);
   for (const int cls : exit_classes) {
     if (cls != 0) return cls;
   }
@@ -308,7 +285,8 @@ int main(int argc, char** argv) {
   std::string metrics_format;  // text|json|openmetrics; empty = pick by dest
   std::string batch_file;
   bool no_solver_cache = false;
-  unsigned jobs = 0;  // 0 = hardware concurrency
+  unsigned jobs = 0;       // 0 = hardware concurrency
+  long timeout_ms = 0;     // 0 = unlimited
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 ||
         std::strncmp(argv[i], "--jobs=", 7) == 0) {
@@ -332,6 +310,30 @@ int main(int argc, char** argv) {
         return 4;
       }
       jobs = static_cast<unsigned>(parsed);
+    } else if (std::strcmp(argv[i], "--timeout-ms") == 0 ||
+               std::strncmp(argv[i], "--timeout-ms=", 13) == 0) {
+      const char* value = argv[i][12] == '=' ? argv[i] + 13 : nullptr;
+      if (value == nullptr) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr,
+                       "invalid argument: --timeout-ms needs a count\n");
+          usage();
+          return 4;
+        }
+        value = argv[++i];
+      }
+      char* rest = nullptr;
+      const long parsed = std::strtol(value, &rest, 10);
+      if (rest == value || *rest != '\0' || parsed <= 0 ||
+          parsed > 86400000) {
+        std::fprintf(stderr,
+                     "invalid argument: --timeout-ms needs an integer in "
+                     "[1, 86400000], got '%s'\n",
+                     value);
+        usage();
+        return 4;
+      }
+      timeout_ms = parsed;
     } else if (std::strcmp(argv[i], "--batch") == 0 ||
                std::strncmp(argv[i], "--batch=", 8) == 0) {
       if (argv[i][7] == '=') {
@@ -446,11 +448,12 @@ int main(int argc, char** argv) {
         want_trace || want_metrics) {
       std::fprintf(stderr,
                    "invalid argument: --batch combines only with --time, "
-                   "--profile, --jobs, and --no-solver-cache\n");
+                   "--profile, --jobs, --timeout-ms, and "
+                   "--no-solver-cache\n");
       usage();
       return 4;
     }
-    return run_batch(batch_file, times, want_profile);
+    return run_batch(batch_file, times, want_profile, timeout_ms);
   }
 
   if (path.empty()) {
@@ -514,6 +517,15 @@ int main(int argc, char** argv) {
     // so a dropped span only shaves its row's count.
     profile_ring = std::make_shared<relkit::obs::RingBufferSink>(65536);
     relkit::obs::Tracer::instance().add_sink(profile_ring);
+  }
+
+  // --timeout-ms: one wall-clock budget for the whole analysis, installed
+  // as the thread's ambient deadline so every nested CTMC solve (including
+  // the parser's hierarchical submodels) inherits it.
+  std::optional<relkit::robust::ScopedDeadline> scoped_deadline;
+  if (timeout_ms > 0) {
+    scoped_deadline.emplace(
+        relkit::robust::Deadline::after_seconds(timeout_ms / 1000.0));
   }
 
   try {
@@ -651,6 +663,23 @@ int main(int argc, char** argv) {
     }
     relkit::obs::Tracer::instance().remove_all_sinks();
   } catch (const relkit::robust::ConvergenceError& e) {
+    if (scoped_deadline && scoped_deadline->effective().expired() &&
+        !e.partial_result().empty()) {
+      // Deadline-exceeded with a usable partial iterate: degraded mode.
+      // The partial result and its diagnostics go to stdout (they are the
+      // product), the degradation notice to stderr, and the distinct exit
+      // code 5 lets scripts tell "partial answer" from "no answer".
+      std::fprintf(stderr, "deadline exceeded (degraded result): %s\n",
+                   e.what());
+      std::printf("DEGRADED: deadline exceeded; best partial result:\n");
+      const auto& partial = e.partial_result();
+      for (std::size_t i = 0; i < partial.size(); ++i) {
+        std::printf("  state %zu: %.9e\n", i, partial[i]);
+      }
+      std::printf("--- solver diagnostics ---\n%s",
+                  e.report().summary().c_str());
+      return 5;
+    }
     std::fprintf(stderr, "numerical error: %s\n", e.what());
     if (want_diagnostics) {
       std::fprintf(stderr, "--- solver diagnostics ---\n%s",

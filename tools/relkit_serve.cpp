@@ -1,0 +1,162 @@
+// relkit_serve — a long-running availability-modeling daemon.
+//
+//   relkit_serve [--port N] [--bind ADDR] [--jobs N] [--queue-cap N]
+//                [--timeout-ms N] [--read-timeout-ms N]
+//                [--write-timeout-ms N] [--max-body BYTES] [--allow-paths]
+//                [--time t1 t2 ...]
+//
+// Accepts model-solve requests over HTTP/JSON and answers them from the
+// process-wide thread pool behind a bounded admission queue:
+//
+//   POST /solve   {"model": "<model source>", "id": "...", "times": [...],
+//                  "timeout_ms": N}  (or {"path": ...} with --allow-paths)
+//   GET  /healthz liveness
+//   GET  /readyz  readiness (503 while draining)
+//   GET  /metrics OpenMetrics exposition of the obs registry
+//
+// Responses reuse the relkit_cli --batch JSON fields, so a served solve is
+// bit-identical to a CLI solve of the same model. Requests past the queue
+// capacity are shed with 503 ("overload"); per-request deadlines produce
+// flagged degraded responses carrying the solver's partial result. On
+// SIGTERM/SIGINT the daemon stops admissions, drains queued requests, and
+// prints the same per-error-class summary line that --batch prints.
+// Full reference: docs/serving.md.
+//
+// Exit codes: 0 clean shutdown, 1 usage error, 4 invalid argument.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "parallel/pool.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: relkit_serve [--port N] [--bind ADDR] [--jobs N] "
+               "[--queue-cap N] [--timeout-ms N] [--read-timeout-ms N] "
+               "[--write-timeout-ms N] [--max-body BYTES] [--allow-paths] "
+               "[--time t ...]\n");
+}
+
+/// Parses the value of `--flag N` / `--flag=N` as a long in [lo, hi];
+/// exits 4 on malformed input (matching relkit_cli's convention).
+long parse_count(int argc, char** argv, int& i, const char* flag, long lo,
+                 long hi) {
+  const std::size_t flag_len = std::strlen(flag);
+  const char* value = argv[i][flag_len] == '=' ? argv[i] + flag_len + 1
+                                               : nullptr;
+  if (value == nullptr) {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "invalid argument: %s needs a value\n", flag);
+      usage();
+      std::exit(4);
+    }
+    value = argv[++i];
+  }
+  char* rest = nullptr;
+  const long parsed = std::strtol(value, &rest, 10);
+  if (rest == value || *rest != '\0' || parsed < lo || parsed > hi) {
+    std::fprintf(stderr,
+                 "invalid argument: %s needs an integer in [%ld, %ld], got "
+                 "'%s'\n",
+                 flag, lo, hi, value);
+    usage();
+    std::exit(4);
+  }
+  return parsed;
+}
+
+bool matches(const char* arg, const char* flag) {
+  const std::size_t len = std::strlen(flag);
+  return std::strncmp(arg, flag, len) == 0 &&
+         (arg[len] == '\0' || arg[len] == '=');
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  relkit::serve::ServerOptions options;
+  unsigned jobs = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (matches(argv[i], "--port")) {
+      options.port = static_cast<int>(
+          parse_count(argc, argv, i, "--port", 0, 65535));
+    } else if (std::strcmp(argv[i], "--bind") == 0 ||
+               std::strncmp(argv[i], "--bind=", 7) == 0) {
+      if (argv[i][6] == '=') {
+        options.bind_address = argv[i] + 7;
+      } else if (i + 1 < argc) {
+        options.bind_address = argv[++i];
+      } else {
+        std::fprintf(stderr, "invalid argument: --bind needs an address\n");
+        usage();
+        return 4;
+      }
+    } else if (matches(argv[i], "--jobs")) {
+      jobs = static_cast<unsigned>(
+          parse_count(argc, argv, i, "--jobs", 1, 4096));
+    } else if (matches(argv[i], "--queue-cap")) {
+      options.queue_capacity = static_cast<std::size_t>(
+          parse_count(argc, argv, i, "--queue-cap", 1, 1 << 20));
+    } else if (matches(argv[i], "--timeout-ms")) {
+      options.default_timeout_ms = static_cast<int>(
+          parse_count(argc, argv, i, "--timeout-ms", 1, 86400000));
+    } else if (matches(argv[i], "--read-timeout-ms")) {
+      options.read_timeout_ms = static_cast<int>(
+          parse_count(argc, argv, i, "--read-timeout-ms", 1, 86400000));
+    } else if (matches(argv[i], "--write-timeout-ms")) {
+      options.write_timeout_ms = static_cast<int>(
+          parse_count(argc, argv, i, "--write-timeout-ms", 1, 86400000));
+    } else if (matches(argv[i], "--max-body")) {
+      options.max_body_bytes = static_cast<std::size_t>(
+          parse_count(argc, argv, i, "--max-body", 1, 1L << 30));
+    } else if (std::strcmp(argv[i], "--allow-paths") == 0) {
+      options.allow_path_requests = true;
+    } else if (std::strcmp(argv[i], "--time") == 0) {
+      while (i + 1 < argc && argv[i + 1][0] != '-') {
+        options.default_times.push_back(std::atof(argv[++i]));
+      }
+    } else {
+      usage();
+      return 1;
+    }
+  }
+
+  // Like the CLI, the daemon is a leaf process: default to the hardware
+  // concurrency unless --jobs pins a degree.
+  relkit::parallel::set_default_jobs(jobs);
+
+  relkit::serve::Server server(options);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "invalid argument: cannot start server: %s\n",
+                 error.c_str());
+    return 4;
+  }
+  std::printf("listening on %d\n", server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  sigset_t empty;
+  sigemptyset(&empty);
+  while (g_stop == 0) {
+    // Sleep until any signal arrives; the handler sets g_stop first.
+    sigsuspend(&empty);
+  }
+
+  // Graceful drain: stop admissions, answer everything already accepted,
+  // then report the same per-error-class summary --batch prints.
+  const std::string summary = server.stop(/*drain=*/true);
+  std::printf("%s\n", summary.c_str());
+  return 0;
+}

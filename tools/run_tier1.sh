@@ -10,6 +10,11 @@
 # here (it gates only on the <2% instrumentation contract, not on the
 # bench baselines — wall-clock diffing belongs to the strict lane,
 # bench/run_all.sh --compare, or RELKIT_PERFCHECK_STRICT=1).
+#
+# It also includes the relkit_serve suites: test_serve (engine + live
+# daemon happy paths) and test_serve_chaos (the resilience battery, also
+# runnable alone as `ctest -L chaos`), so a tier-1 pass certifies the
+# serving layer, not just the solvers.
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
