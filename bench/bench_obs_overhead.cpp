@@ -19,6 +19,13 @@
 //      ChromeTraceSink attached, plus tight-loop per-span costs for each
 //      sink — what --trace / --trace-format=chrome add on top of
 //      "enabled, no sink".
+//
+// A second table pins the same contract on the relkit_serve request path:
+// every request pays a fixed trace-id + sampling cost even with --trace
+// and --access-log off, so the gate here is that fixed cost against the
+// median /solve round trip (again a deterministic tight-loop estimate,
+// not an A/B of two noisy network timings), plus ablation rows for
+// sampled tracing, full tracing, and the access log.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"
@@ -27,10 +34,13 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/relkit.hpp"
 #include "obs/obs.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 
 using namespace relkit;
 
@@ -150,6 +160,119 @@ void print_table() {
               estimated_pct < 2.0 ? "PASS" : "FAIL");
 }
 
+// ---- serve request path ----------------------------------------------------
+
+constexpr const char* kServeModel =
+    "model rbd duplex\n"
+    "event a prob 0.99\n"
+    "event b prob 0.95\n"
+    "gate top and a b\n"
+    "top top\n";
+
+std::string serve_request_body() {
+  return "{\"model\":\"" + obs::json_escape(kServeModel) + "\"}";
+}
+
+/// Starts a server with `options`, times `reps` sequential POST /solve
+/// round trips, stops it. Returns the median seconds per request, or a
+/// negative value when a request fails.
+double time_serve_requests(serve::ServerOptions options, int reps) {
+  options.port = 0;
+  serve::Server server(std::move(options));
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "serve bench: %s\n", error.c_str());
+    return -1.0;
+  }
+  const std::string body = serve_request_body();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  double failed = 0.0;
+  for (int r = 0; r < reps + 3; ++r) {  // 3 warm-up round trips
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto response =
+        serve::http_post("127.0.0.1", server.port(), "/solve", body);
+    const double dt = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (!response.ok || response.status != 200) failed = 1.0;
+    if (r >= 3) samples.push_back(dt);
+  }
+  server.stop();
+  if (failed > 0.0 || samples.empty()) return -1.0;
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                   samples.end());
+  return samples[samples.size() / 2];
+}
+
+void print_serve_table() {
+  std::printf("== serve-path tracing / access-log overhead ==============\n");
+  if (!obs::kCompiledIn) {
+    std::printf("obs compiled out (RELKIT_OBS=OFF): request tracing is "
+                "unavailable, nothing to gate.\n\n");
+    return;
+  }
+  obs::set_enabled(true);
+
+  constexpr int kReps = 31;
+  serve::ServerOptions off;  // no trace_path, no access_log_path
+  const double off_s = time_serve_requests(off, kReps);
+
+  serve::ServerOptions sampled = off;
+  sampled.trace_path = "bench_obs_overhead.serve_trace.tmp.json";
+  sampled.trace_sample = 0.1;
+  const double sampled_s = time_serve_requests(sampled, kReps);
+
+  serve::ServerOptions full = off;
+  full.trace_path = "bench_obs_overhead.serve_trace.tmp.json";
+  full.trace_sample = 1.0;
+  const double full_s = time_serve_requests(full, kReps);
+  std::remove("bench_obs_overhead.serve_trace.tmp.json");
+
+  serve::ServerOptions logged = off;
+  logged.access_log_path = "bench_obs_overhead.serve_access.tmp.log";
+  const double logged_s = time_serve_requests(logged, kReps);
+  std::remove("bench_obs_overhead.serve_access.tmp.log");
+
+  obs::set_enabled(false);
+  if (off_s <= 0.0 || sampled_s <= 0.0 || full_s <= 0.0 || logged_s <= 0.0) {
+    std::printf("serve bench requests failed; skipping the serve gate.\n\n");
+    return;
+  }
+
+  // The cost a request pays with tracing and logging both off: one trace-id
+  // generation + hex expansion + one sampling draw. Measured in a tight
+  // loop so the gate does not ride on loopback round-trip jitter.
+  constexpr std::uint64_t kIdLoops = 2'000'000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kIdLoops; ++i) {
+    benchmark::DoNotOptimize(obs::trace_id_hex(obs::generate_trace_id()));
+    benchmark::DoNotOptimize(obs::sample_trace(0.0));
+  }
+  const double id_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const double ns_per_request = id_s / kIdLoops * 1e9;
+  const double estimated_pct = (id_s / kIdLoops) / off_s * 100.0;
+
+  std::printf("workload: POST /solve, inline 2-event RBD, loopback\n");
+  std::printf("%-42s %10.1f us\n", "median request, tracing + log off",
+              off_s * 1e6);
+  std::printf("%-42s %10.1f us\n", "median request, tracing sampled 10%",
+              sampled_s * 1e6);
+  std::printf("%-42s %10.1f us\n", "median request, tracing full",
+              full_s * 1e6);
+  std::printf("%-42s %10.1f us\n", "median request, access log on",
+              logged_s * 1e6);
+  std::printf("%-42s %10.2f ns\n", "trace-id + sampling cost per request",
+              ns_per_request);
+  std::printf("%-42s %10.3f %%\n", "estimated disabled-tracing overhead",
+              estimated_pct);
+  std::printf("serve disabled overhead %s 2%% target: %s\n\n",
+              estimated_pct < 2.0 ? "meets" : "MISSES",
+              estimated_pct < 2.0 ? "PASS" : "FAIL");
+}
+
 void BM_WorkloadObsDisabled(benchmark::State& state) {
   obs::set_enabled(false);
   for (auto _ : state) benchmark::DoNotOptimize(one_workload());
@@ -240,11 +363,76 @@ void BM_SpanEnabledChromeSink(benchmark::State& state) {
 }
 BENCHMARK(BM_SpanEnabledChromeSink)->Iterations(1 << 16);
 
+// Serve-path ablation rows. Fixed iteration counts: each request is a full
+// loopback HTTP round trip (~hundreds of us) and the traced variants buffer
+// spans until server shutdown, so an open-ended loop would be both slow and
+// unbounded in memory.
+void run_serve_benchmark(benchmark::State& state,
+                         const serve::ServerOptions& base) {
+  if (!obs::kCompiledIn) {
+    state.SkipWithError("obs compiled out");
+    return;
+  }
+  obs::set_enabled(true);
+  serve::ServerOptions options = base;
+  options.port = 0;
+  serve::Server server(std::move(options));
+  std::string error;
+  if (!server.start(&error)) {
+    state.SkipWithError(error.c_str());
+    obs::set_enabled(false);
+    return;
+  }
+  const std::string body = serve_request_body();
+  for (auto _ : state) {
+    const auto response =
+        serve::http_post("127.0.0.1", server.port(), "/solve", body);
+    if (!response.ok || response.status != 200) {
+      state.SkipWithError("request failed");
+      break;
+    }
+  }
+  server.stop();
+  obs::set_enabled(false);
+}
+
+void BM_ServeSolveTracingOff(benchmark::State& state) {
+  run_serve_benchmark(state, serve::ServerOptions{});
+}
+BENCHMARK(BM_ServeSolveTracingOff)->Iterations(200);
+
+void BM_ServeSolveTracingSampled(benchmark::State& state) {
+  serve::ServerOptions options;
+  options.trace_path = "bench_obs_overhead.serve_trace.bm.tmp.json";
+  options.trace_sample = 0.1;
+  run_serve_benchmark(state, options);
+  std::remove(options.trace_path.c_str());
+}
+BENCHMARK(BM_ServeSolveTracingSampled)->Iterations(200);
+
+void BM_ServeSolveTracingFull(benchmark::State& state) {
+  serve::ServerOptions options;
+  options.trace_path = "bench_obs_overhead.serve_trace.bm.tmp.json";
+  options.trace_sample = 1.0;
+  run_serve_benchmark(state, options);
+  std::remove(options.trace_path.c_str());
+}
+BENCHMARK(BM_ServeSolveTracingFull)->Iterations(200);
+
+void BM_ServeSolveAccessLog(benchmark::State& state) {
+  serve::ServerOptions options;
+  options.access_log_path = "bench_obs_overhead.serve_access.bm.tmp.log";
+  run_serve_benchmark(state, options);
+  std::remove(options.access_log_path.c_str());
+}
+BENCHMARK(BM_ServeSolveAccessLog)->Iterations(200);
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const benchjson::Options opts = benchjson::init(&argc, argv);
   print_table();
+  print_serve_table();
   if (opts.table_only) return 0;
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

@@ -9,6 +9,14 @@
 #include <limits>
 #include <map>
 #include <mutex>
+#include <random>
+
+#ifndef RELKIT_BUILD_TYPE_STR
+#define RELKIT_BUILD_TYPE_STR "unknown"
+#endif
+#ifndef RELKIT_GIT_DESCRIBE
+#define RELKIT_GIT_DESCRIBE "unknown"
+#endif
 
 namespace relkit::obs {
 
@@ -127,6 +135,120 @@ void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
 }
 
+// ---- SlidingWindowHistogram ------------------------------------------------
+
+struct SlidingWindowHistogram::Impl {
+  mutable std::mutex mu;
+  double slice_width = 10.0;
+  int slices = 6;
+  struct Slice {
+    std::int64_t tick = -1;  ///< floor(now_s / slice_width); -1 = never used
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::uint64_t buckets[Histogram::kBuckets] = {};
+  };
+  std::vector<Slice> ring;
+};
+
+namespace {
+
+/// Quantile over merged base-2 buckets, clamped into the observed range —
+/// same convention as Histogram::quantile.
+double merged_quantile(const std::uint64_t* buckets, std::uint64_t n,
+                       double q, double mn, double mx) {
+  if (n == 0) return 0.0;
+  const auto rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(n - 1));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen > rank) {
+      const double upper = Histogram::bucket_upper(i);
+      return std::min(std::max(upper, mn), mx);
+    }
+  }
+  return mx;
+}
+
+}  // namespace
+
+SlidingWindowHistogram::SlidingWindowHistogram(double window_seconds,
+                                               int slices)
+    : impl_(std::make_unique<Impl>()) {
+  if (!(window_seconds > 0.0)) window_seconds = 60.0;
+  if (slices < 1) slices = 1;
+  impl_->slices = slices;
+  impl_->slice_width = window_seconds / static_cast<double>(slices);
+  impl_->ring.resize(static_cast<std::size_t>(slices));
+}
+
+SlidingWindowHistogram::~SlidingWindowHistogram() = default;
+
+double SlidingWindowHistogram::window_seconds() const {
+  return impl_->slice_width * static_cast<double>(impl_->slices);
+}
+
+void SlidingWindowHistogram::observe(double v) {
+  if (!enabled()) return;
+  observe_at(v, steady_seconds());
+}
+
+SlidingWindowHistogram::Snapshot SlidingWindowHistogram::snapshot() const {
+  return snapshot_at(steady_seconds());
+}
+
+void SlidingWindowHistogram::observe_at(double v, double now_s) {
+  Impl& im = *impl_;
+  const auto tick = static_cast<std::int64_t>(
+      std::floor(now_s / im.slice_width));
+  std::lock_guard lock(im.mu);
+  Impl::Slice& slice =
+      im.ring[static_cast<std::size_t>(((tick % im.slices) + im.slices) %
+                                       im.slices)];
+  if (slice.tick != tick) {
+    slice = Impl::Slice{};
+    slice.tick = tick;
+  }
+  if (slice.count == 0 || v < slice.min) slice.min = v;
+  if (slice.count == 0 || v > slice.max) slice.max = v;
+  slice.count += 1;
+  if (std::isfinite(v)) slice.sum += v;
+  slice.buckets[Histogram::bucket_index(v)] += 1;
+}
+
+SlidingWindowHistogram::Snapshot SlidingWindowHistogram::snapshot_at(
+    double now_s) const {
+  Impl& im = *impl_;
+  const auto tick_now = static_cast<std::int64_t>(
+      std::floor(now_s / im.slice_width));
+  Snapshot snap;
+  std::uint64_t buckets[Histogram::kBuckets] = {};
+  double mn = 0.0, mx = 0.0;
+  std::lock_guard lock(im.mu);
+  for (const Impl::Slice& slice : im.ring) {
+    if (slice.tick < 0 || slice.tick > tick_now ||
+        slice.tick <= tick_now - im.slices) {
+      continue;  // never used, from the future, or aged out of the window
+    }
+    if (slice.count == 0) continue;
+    if (snap.count == 0 || slice.min < mn) mn = slice.min;
+    if (snap.count == 0 || slice.max > mx) mx = slice.max;
+    snap.count += slice.count;
+    snap.sum += slice.sum;
+    for (int i = 0; i < Histogram::kBuckets; ++i) buckets[i] += slice.buckets[i];
+  }
+  if (snap.count == 0) return snap;
+  snap.min = mn;
+  snap.max = mx;
+  snap.p50 = merged_quantile(buckets, snap.count, 0.50, mn, mx);
+  snap.p90 = merged_quantile(buckets, snap.count, 0.90, mn, mx);
+  snap.p95 = merged_quantile(buckets, snap.count, 0.95, mn, mx);
+  snap.p99 = merged_quantile(buckets, snap.count, 0.99, mn, mx);
+  return snap;
+}
+
 // ---- Registry --------------------------------------------------------------
 
 struct Registry::Impl {
@@ -135,6 +257,9 @@ struct Registry::Impl {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  // Pre-rendered OpenMetrics label text per gauge (identification gauges
+  // like relkit.build_info only).
+  std::map<std::string, std::string, std::less<>> gauge_labels;
 };
 
 Registry& Registry::instance() {
@@ -178,6 +303,13 @@ Histogram& Registry::histogram(std::string_view name) {
              .first;
   }
   return *it->second;
+}
+
+void Registry::set_gauge_labels(std::string_view name,
+                                std::string_view labels) {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  im.gauge_labels[std::string(name)] = std::string(labels);
 }
 
 std::vector<std::string> Registry::names() const {
@@ -315,7 +447,12 @@ std::string Registry::to_openmetrics() const {
   for (const auto& [name, g] : im.gauges) {
     const std::string s = sanitize_metric_name(name);
     header(name, "gauge", s);
-    out += s + " " + format_double(g->value()) + "\n";
+    const auto lbl = im.gauge_labels.find(name);
+    if (lbl != im.gauge_labels.end() && !lbl->second.empty()) {
+      out += s + "{" + lbl->second + "} " + format_double(g->value()) + "\n";
+    } else {
+      out += s + " " + format_double(g->value()) + "\n";
+    }
   }
   for (const auto& [name, h] : im.histograms) {
     const std::string s = sanitize_metric_name(name);
@@ -331,6 +468,23 @@ std::string Registry::to_openmetrics() const {
   }
   out += "# EOF\n";
   return out;
+}
+
+void register_build_info() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    Registry& reg = Registry::instance();
+    reg.gauge("relkit.build_info").set(1.0);
+    reg.set_gauge_labels(
+        "relkit.build_info",
+        std::string("build_type=\"") + RELKIT_BUILD_TYPE_STR + "\",git=\"" +
+            RELKIT_GIT_DESCRIBE + "\",obs=\"" + (kCompiledIn ? "on" : "off") +
+            "\"");
+    reg.gauge("relkit.process.start_time.seconds")
+        .set(std::chrono::duration<double>(
+                 std::chrono::system_clock::now().time_since_epoch())
+                 .count());
+  });
 }
 
 void Registry::reset_values() {
@@ -410,6 +564,193 @@ std::string json_escape(std::string_view s) {
     }
   }
   return out;
+}
+
+// ---- distributed trace ids -------------------------------------------------
+
+namespace {
+
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t& trace_rng_state() {
+  thread_local std::uint64_t state = [] {
+    std::random_device rd;
+    const std::uint64_t seed =
+        (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+    return seed != 0 ? seed : 0x6b696c6572ULL;
+  }();
+  return state;
+}
+
+/// Lowercase-hex-only parse (W3C traceparent is case-sensitive lowercase).
+bool parse_hex_u64(std::string_view s, std::uint64_t& out) {
+  out = 0;
+  for (const char c : s) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    out = (out << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return true;
+}
+
+}  // namespace
+
+TraceId generate_trace_id() {
+  std::uint64_t& state = trace_rng_state();
+  TraceId id;
+  do {
+    id.hi = splitmix64_next(state);
+    id.lo = splitmix64_next(state);
+  } while (!id.valid());
+  return id;
+}
+
+std::string trace_id_hex(const TraceId& id) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(id.hi),
+                static_cast<unsigned long long>(id.lo));
+  return buf;
+}
+
+TraceId parse_traceparent(std::string_view header) {
+  // version "-" trace-id "-" parent-id "-" flags; future versions may append
+  // "-" plus extra fields, version ff is forbidden, version 00 is exactly
+  // 55 chars.
+  if (header.size() < 55) return {};
+  if (header[2] != '-' || header[35] != '-' || header[52] != '-') return {};
+  std::uint64_t version = 0;
+  if (!parse_hex_u64(header.substr(0, 2), version)) return {};
+  if (version == 0xff) return {};
+  if (header.size() > 55 && (version == 0 || header[55] != '-')) return {};
+  TraceId id;
+  std::uint64_t parent = 0, flags = 0;
+  if (!parse_hex_u64(header.substr(3, 16), id.hi) ||
+      !parse_hex_u64(header.substr(19, 16), id.lo) ||
+      !parse_hex_u64(header.substr(36, 16), parent) ||
+      !parse_hex_u64(header.substr(53, 2), flags)) {
+    return {};
+  }
+  if (!id.valid() || parent == 0) return {};
+  return id;
+}
+
+std::string make_traceparent(const TraceId& id, std::uint64_t span_id) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "00-%016llx%016llx-%016llx-01",
+                static_cast<unsigned long long>(id.hi),
+                static_cast<unsigned long long>(id.lo),
+                static_cast<unsigned long long>(span_id));
+  return buf;
+}
+
+bool sample_trace(double p) {
+  if (!(p > 0.0)) return false;
+  if (p >= 1.0) return true;
+  const double u = static_cast<double>(splitmix64_next(trace_rng_state()) >>
+                                       11) *
+                   0x1.0p-53;
+  return u < p;
+}
+
+// ---- ThreadFilterSink ------------------------------------------------------
+
+struct ThreadFilterSink::Impl {
+  mutable std::mutex mu;
+  std::uint64_t thread = 0;
+  std::vector<SpanRecord> records;
+};
+
+ThreadFilterSink::ThreadFilterSink(std::uint64_t thread)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->thread = thread;
+}
+
+ThreadFilterSink::~ThreadFilterSink() = default;
+
+void ThreadFilterSink::on_span(const SpanRecord& record) {
+  if (record.thread != impl_->thread) return;
+  std::lock_guard lock(impl_->mu);
+  impl_->records.push_back(record);
+}
+
+std::vector<SpanRecord> ThreadFilterSink::take() {
+  std::lock_guard lock(impl_->mu);
+  return std::move(impl_->records);
+}
+
+std::vector<SpanRecord> ThreadFilterSink::snapshot() const {
+  std::lock_guard lock(impl_->mu);
+  return impl_->records;
+}
+
+// ---- RotatingFileWriter ----------------------------------------------------
+
+struct RotatingFileWriter::Impl {
+  std::mutex mu;
+  std::FILE* file = nullptr;
+  std::string path;
+  std::size_t max_bytes = 0;
+  std::size_t size = 0;
+  ~Impl() {
+    if (file) std::fclose(file);
+  }
+};
+
+RotatingFileWriter::RotatingFileWriter(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+RotatingFileWriter::~RotatingFileWriter() = default;
+
+std::unique_ptr<RotatingFileWriter> RotatingFileWriter::open(
+    const std::string& path, std::size_t max_bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (!f) return nullptr;
+  auto impl = std::make_unique<Impl>();
+  impl->file = f;
+  impl->path = path;
+  impl->max_bytes = max_bytes;
+  if (std::fseek(f, 0, SEEK_END) == 0) {
+    const long pos = std::ftell(f);
+    if (pos > 0) impl->size = static_cast<std::size_t>(pos);
+  }
+  return std::unique_ptr<RotatingFileWriter>(
+      new RotatingFileWriter(std::move(impl)));
+}
+
+void RotatingFileWriter::write_line(std::string_view line) {
+  Impl& im = *impl_;
+  std::lock_guard lock(im.mu);
+  if (!im.file) return;
+  const std::size_t needed = line.size() + 1;
+  if (im.max_bytes != 0 && im.size > 0 && im.size + needed > im.max_bytes) {
+    std::fclose(im.file);
+    im.file = nullptr;
+    const std::string rotated = im.path + ".1";
+    std::rename(im.path.c_str(), rotated.c_str());
+    im.file = std::fopen(im.path.c_str(), "w");
+    im.size = 0;
+    if (!im.file) return;  // disk trouble: drop lines rather than crash
+  }
+  std::fwrite(line.data(), 1, line.size(), im.file);
+  std::fputc('\n', im.file);
+  im.size += needed;
+}
+
+void RotatingFileWriter::flush() {
+  std::lock_guard lock(impl_->mu);
+  if (impl_->file) std::fflush(impl_->file);
 }
 
 struct JsonlSink::Impl {

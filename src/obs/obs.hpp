@@ -132,6 +132,49 @@ class Histogram {
   std::atomic<std::uint64_t> buckets_[kBuckets] = {};
 };
 
+/// Rolling-window distribution: a ring of fixed-width time slices, each a
+/// base-2 bucketed histogram (same edges as Histogram), merged on read.
+/// observe() lands in the slice covering "now"; slices older than the
+/// window fall out of snapshots, so quantiles describe roughly the last
+/// `window_seconds` only — this powers the rolling p50/p95/p99 SLO gauges
+/// relkit_serve exposes at /metrics and /statusz. Thread-safe (one short
+/// mutex per observe/snapshot). observe() is a no-op while instrumentation
+/// is disabled, like every obs hook; the *_at seams take an explicit clock
+/// and are ungated so tests stay deterministic.
+class SlidingWindowHistogram {
+ public:
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< 0 when empty
+    double max = 0.0;  ///< 0 when empty
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+
+  explicit SlidingWindowHistogram(double window_seconds = 60.0,
+                                  int slices = 6);
+  ~SlidingWindowHistogram();
+  SlidingWindowHistogram(const SlidingWindowHistogram&) = delete;
+  SlidingWindowHistogram& operator=(const SlidingWindowHistogram&) = delete;
+
+  void observe(double v);
+  Snapshot snapshot() const;
+
+  /// Deterministic seams: identical semantics with an explicit clock
+  /// (seconds on any monotone axis — slices are now_s / slice-width).
+  void observe_at(double v, double now_s);
+  Snapshot snapshot_at(double now_s) const;
+
+  double window_seconds() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Process-wide registry of named metrics. Registration takes a lock;
 /// returned references are stable forever, so hot paths cache them:
 ///
@@ -144,6 +187,13 @@ class Registry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
+
+  /// Attaches a pre-rendered OpenMetrics label set (e.g.
+  /// `build_type="release",obs="on"`) to a gauge; to_openmetrics() then
+  /// emits `name{labels} value`. The text must already be escaped per the
+  /// OpenMetrics ABNF — this is for static identification gauges like
+  /// relkit.build_info, not per-sample dimensions.
+  void set_gauge_labels(std::string_view name, std::string_view labels);
 
   /// All registered metric names (sorted), for docs lint and tests.
   std::vector<std::string> names() const;
@@ -188,6 +238,13 @@ inline constexpr const char* kOpenMetricsContentType =
 /// tools/check_metrics.py enforces that the mapping stays injective over
 /// the documented catalog (no two metrics may silently merge).
 std::string sanitize_metric_name(std::string_view name);
+
+/// Registers the scrape-identification gauges once per process:
+/// `relkit.build_info` (value 1, labels build_type/git/obs — from the
+/// RELKIT_BUILD_TYPE_STR / RELKIT_GIT_DESCRIBE compile definitions) and
+/// `relkit.process.start_time.seconds` (Unix time of the first call).
+/// Call after set_enabled(true) — gauge writes are gated like every hook.
+void register_build_info();
 
 // Convenience accessors; see Registry::counter for the hot-path pattern.
 inline Counter& counter(std::string_view name) {
@@ -289,8 +346,89 @@ class ChromeTraceSink : public Sink {
   std::unique_ptr<Impl> impl_;
 };
 
+/// Collects spans completed by ONE thread (by Tracer::thread_index()) and
+/// hands them over on take(). This is the per-request / per-model span
+/// attribution mechanism: work handled entirely on one worker thread
+/// attaches a filter sink for that thread index, runs, detaches, and then
+/// owns exactly its own spans — relkit_cli --batch --profile and
+/// relkit_serve request tracing both rely on it.
+class ThreadFilterSink : public Sink {
+ public:
+  explicit ThreadFilterSink(std::uint64_t thread);
+  ~ThreadFilterSink() override;
+  void on_span(const SpanRecord& record) override;
+  /// Collected spans in completion order; empties the internal buffer.
+  std::vector<SpanRecord> take();
+  /// Collected spans in completion order, without clearing.
+  std::vector<SpanRecord> snapshot() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Line-oriented append writer with size-based rotation: when a write would
+/// push the file past `max_bytes`, the current file is renamed to `path.1`
+/// (replacing any previous rotation) and a fresh file is started. Backing
+/// store for relkit_serve's JSONL access log. Thread-safe.
+class RotatingFileWriter {
+ public:
+  /// Opens `path` for appending; nullptr when it cannot be opened.
+  /// max_bytes == 0 disables rotation.
+  static std::unique_ptr<RotatingFileWriter> open(const std::string& path,
+                                                  std::size_t max_bytes);
+  ~RotatingFileWriter();
+  /// Appends `line` plus '\n', rotating first when the write would exceed
+  /// max_bytes (the line itself is never split across files).
+  void write_line(std::string_view line);
+  void flush();
+
+ private:
+  struct Impl;
+  explicit RotatingFileWriter(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
 /// JSON-escape a string (shared by JsonlSink and Registry::to_json).
 std::string json_escape(std::string_view s);
+
+// ---- distributed trace ids -------------------------------------------------
+
+/// 128-bit W3C trace id. "Valid" per the traceparent spec means not
+/// all-zero.
+struct TraceId {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  bool valid() const { return (hi | lo) != 0; }
+  friend bool operator==(const TraceId& a, const TraceId& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const TraceId& a, const TraceId& b) {
+    return !(a == b);
+  }
+};
+
+/// Random non-zero trace id from a per-thread splitmix64 generator (seeded
+/// from std::random_device once per thread — no locks on the request path).
+TraceId generate_trace_id();
+
+/// 32 lowercase hex characters.
+std::string trace_id_hex(const TraceId& id);
+
+/// Parses a W3C `traceparent` header value
+/// (`VV-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>`, lowercase).
+/// Returns an invalid (all-zero) TraceId when the value is malformed, the
+/// version is "ff", or the trace-id / parent-id field is all-zero.
+TraceId parse_traceparent(std::string_view header);
+
+/// Renders `00-<trace-id>-<span-id>-01` (sampled flag set), the propagation
+/// form relkit_serve echoes back to clients.
+std::string make_traceparent(const TraceId& id, std::uint64_t span_id);
+
+/// Bernoulli sampling decision from the same per-thread generator as
+/// generate_trace_id(): true with probability p (p <= 0 never, p >= 1
+/// always).
+bool sample_trace(double p);
 
 /// Owns the sink list and the span-id source.
 class Tracer {
@@ -331,6 +469,9 @@ class Span {
   Span& operator=(const Span&) = delete;
 
   bool active() const { return active_; }
+  /// Span id as recorded (0 while inactive) — lets callers link synthetic
+  /// child records (e.g. relkit_serve's serve.queue_wait) to a live parent.
+  std::uint64_t id() const { return record_.id; }
   void set(std::string_view key, std::string_view value);
   void set(std::string_view key, const char* value);
   void set(std::string_view key, double value);

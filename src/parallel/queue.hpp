@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace relkit::parallel {
 
 template <typename T>
@@ -34,6 +36,9 @@ class BoundedQueue {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
+      if (depth_gauge_ != nullptr) {
+        depth_gauge_->set(static_cast<double>(items_.size()));
+      }
     }
     ready_.notify_one();
     return true;
@@ -50,7 +55,20 @@ class BoundedQueue {
       batch.push_back(std::move(items_.front()));
       items_.pop_front();
     }
+    if (depth_gauge_ != nullptr) {
+      depth_gauge_->set(static_cast<double>(items_.size()));
+    }
     return batch;
+  }
+
+  /// Mirrors the current depth into `gauge` on every push/pop, *inside* the
+  /// queue's own critical section so the gauge can never lag the queue
+  /// (relkit_serve binds serve.queue.depth here). Pass nullptr to unbind.
+  /// The gauge must outlive the queue.
+  void bind_depth_gauge(obs::Gauge* gauge) {
+    std::lock_guard<std::mutex> lock(mu_);
+    depth_gauge_ = gauge;
+    if (gauge != nullptr) gauge->set(static_cast<double>(items_.size()));
   }
 
   /// Rejects future pushes and wakes every blocked pop_batch. Items already
@@ -81,6 +99,7 @@ class BoundedQueue {
   std::condition_variable ready_;
   std::deque<T> items_;
   bool closed_ = false;
+  obs::Gauge* depth_gauge_ = nullptr;
 };
 
 }  // namespace relkit::parallel

@@ -72,12 +72,46 @@ ClientResponse exchange(const std::string& host, int port,
     return r;
   }
   r.status = std::atoi(raw.c_str() + 9);
+  r.head = raw.substr(0, headers_end + 2);
   r.body = raw.substr(headers_end + 4);
   r.ok = true;
   return r;
 }
 
+char ascii_lower(char c) {
+  return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
 }  // namespace
+
+std::string ClientResponse::header(const std::string& name) const {
+  std::size_t pos = head.find("\r\n");  // skip the status line
+  while (pos != std::string::npos && pos + 2 < head.size()) {
+    pos += 2;
+    const std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) break;
+    const std::size_t colon = head.find(':', pos);
+    if (colon != std::string::npos && colon < eol &&
+        colon - pos == name.size()) {
+      bool match = true;
+      for (std::size_t i = 0; i < name.size(); ++i) {
+        if (ascii_lower(head[pos + i]) != ascii_lower(name[i])) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        std::size_t begin = colon + 1;
+        while (begin < eol && (head[begin] == ' ' || head[begin] == '\t')) {
+          ++begin;
+        }
+        return head.substr(begin, eol - begin);
+      }
+    }
+    pos = eol;
+  }
+  return {};
+}
 
 int tcp_connect(const std::string& host, int port, int timeout_ms) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -119,20 +153,22 @@ void tcp_close(int fd) {
 }
 
 ClientResponse http_get(const std::string& host, int port,
-                        const std::string& target, int timeout_ms) {
+                        const std::string& target, int timeout_ms,
+                        const std::string& extra_headers) {
   const std::string request = "GET " + target +
-                              " HTTP/1.1\r\nHost: relkit\r\n"
-                              "Connection: close\r\n\r\n";
+                              " HTTP/1.1\r\nHost: relkit\r\n" +
+                              extra_headers + "Connection: close\r\n\r\n";
   return exchange(host, port, request, timeout_ms);
 }
 
 ClientResponse http_post(const std::string& host, int port,
                          const std::string& target, const std::string& body,
-                         int timeout_ms) {
+                         int timeout_ms, const std::string& extra_headers) {
   const std::string request =
       "POST " + target + " HTTP/1.1\r\nHost: relkit\r\n" +
       "Content-Type: application/json\r\nContent-Length: " +
-      std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+      std::to_string(body.size()) + "\r\n" + extra_headers +
+      "Connection: close\r\n\r\n" + body;
   return exchange(host, port, request, timeout_ms);
 }
 

@@ -12,18 +12,26 @@ namespace relkit::serve {
 struct ClientResponse {
   bool ok = false;        ///< transport succeeded and a response was parsed
   int status = 0;
+  std::string head;       ///< raw header block (status line .. blank line)
   std::string body;
   std::string error;      ///< transport/parse failure description
+
+  /// Value of a response header by case-insensitive name ("" when absent).
+  std::string header(const std::string& name) const;
 };
 
-/// Blocking GET; `timeout_ms` bounds the whole exchange.
+/// Blocking GET; `timeout_ms` bounds the whole exchange. `extra_headers`,
+/// when non-empty, must be complete CRLF-terminated request header lines
+/// (e.g. a `traceparent` to propagate).
 ClientResponse http_get(const std::string& host, int port,
-                        const std::string& target, int timeout_ms = 5000);
+                        const std::string& target, int timeout_ms = 5000,
+                        const std::string& extra_headers = {});
 
 /// Blocking POST with a JSON body.
 ClientResponse http_post(const std::string& host, int port,
                          const std::string& target, const std::string& body,
-                         int timeout_ms = 5000);
+                         int timeout_ms = 5000,
+                         const std::string& extra_headers = {});
 
 // ---- raw helpers for hostile-client tests ----------------------------------
 

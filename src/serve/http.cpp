@@ -104,6 +104,11 @@ HttpRequestParser::Status HttpRequestParser::parse_headers() {
       // plain Content-Length so body limits are enforceable up front.
       return Status::kUnsupported;
     }
+    if (iequals(name, "traceparent")) {
+      // Kept raw; parsing/validation is the server's concern (an invalid
+      // value is not a protocol error — the id is simply regenerated).
+      request_.traceparent = std::string(value);
+    }
     if (iequals(name, "content-length")) {
       if (have_length || value.empty()) return Status::kBadRequest;
       std::size_t length = 0;
@@ -136,9 +141,10 @@ std::string_view http_reason(int status_code) {
 }
 
 std::string http_response(int status_code, std::string_view body,
-                          std::string_view content_type) {
+                          std::string_view content_type,
+                          std::string_view extra_headers) {
   std::string out;
-  out.reserve(body.size() + 128);
+  out.reserve(body.size() + extra_headers.size() + 128);
   out += "HTTP/1.1 ";
   out += std::to_string(status_code);
   out += ' ';
@@ -147,7 +153,9 @@ std::string http_response(int status_code, std::string_view body,
   out += content_type;
   out += "\r\nContent-Length: ";
   out += std::to_string(body.size());
-  out += "\r\nConnection: close\r\n\r\n";
+  out += "\r\n";
+  out += extra_headers;
+  out += "Connection: close\r\n\r\n";
   out += body;
   return out;
 }

@@ -21,6 +21,9 @@ struct HttpRequest {
   std::string method;
   std::string target;
   std::size_t content_length = 0;
+  /// Raw W3C `traceparent` header value when the client sent one (empty
+  /// otherwise); relkit_serve adopts its trace id for the request.
+  std::string traceparent;
   std::string body;
 };
 
@@ -60,9 +63,13 @@ class HttpRequestParser {
 
 /// Serializes a one-shot response. Every response closes the connection;
 /// `content_type` defaults to JSON since that is what the API speaks.
+/// `extra_headers`, when non-empty, is inserted verbatim into the header
+/// block and must be complete CRLF-terminated header lines (relkit_serve
+/// uses it for `X-Relkit-Trace-Id` / `traceparent` echoes).
 std::string http_response(int status_code, std::string_view body,
                           std::string_view content_type =
-                              "application/json; charset=utf-8");
+                              "application/json; charset=utf-8",
+                          std::string_view extra_headers = {});
 
 /// Reason phrase for the handful of status codes the daemon emits.
 std::string_view http_reason(int status_code);

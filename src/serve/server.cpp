@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <optional>
 #include <thread>
 #include <utility>
 
@@ -62,9 +63,19 @@ bool send_all(int fd, std::string_view data, int timeout_ms) {
 }
 
 std::string error_body(const std::string& error_class,
-                       const std::string& message) {
-  return "{\"ok\":false,\"error_class\":\"" + error_class + "\",\"error\":\"" +
+                       const std::string& message,
+                       const std::string& trace_hex = {}) {
+  std::string out = "{\"ok\":false,";
+  if (!trace_hex.empty()) out += "\"trace_id\":\"" + trace_hex + "\",";
+  out += "\"error_class\":\"" + error_class + "\",\"error\":\"" +
          obs::json_escape(message) + "\"}";
+  return out;
+}
+
+std::string format_seconds6(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", s);
+  return buf;
 }
 
 int status_for_exit_class(int exit_class) {
@@ -83,12 +94,15 @@ struct Server::Conn {
   int fd = -1;
   HttpRequestParser parser;
   Clock::time_point read_deadline;
+  Clock::time_point accepted_at;
+  std::size_t bytes_in = 0;
 };
 
 struct Server::PendingRequest {
   int fd = -1;
   std::string body;
   Clock::time_point admitted_at;
+  RequestLog log;
 };
 
 Server::Server(ServerOptions options) : options_(std::move(options)) {
@@ -138,11 +152,29 @@ bool Server::start(std::string* error) {
   if (::pipe(wake_pipe_) != 0) return fail("pipe");
   set_nonblocking(wake_pipe_[0]);
 
+  if (!options_.trace_path.empty()) {
+    trace_sink_ = obs::ChromeTraceSink::open(options_.trace_path);
+    if (trace_sink_ == nullptr) {
+      return fail("trace file '" + options_.trace_path + "'");
+    }
+  }
+  if (!options_.access_log_path.empty()) {
+    access_log_ = obs::RotatingFileWriter::open(options_.access_log_path,
+                                                options_.access_log_max_bytes);
+    if (access_log_ == nullptr) {
+      return fail("access log '" + options_.access_log_path + "'");
+    }
+  }
+
   // The daemon's whole point is its metrics surface; turn the obs layer on
   // unconditionally (the CLI only does so when asked to report).
   obs::set_enabled(true);
+  obs::register_build_info();
   static obs::Gauge& ready_gauge = obs::gauge("serve.ready");
   ready_gauge.set(1.0);
+  // The queue mirrors its depth into the gauge inside its own lock, so the
+  // scrape can never observe a stale depth.
+  queue_->bind_depth_gauge(&obs::gauge("serve.queue.depth"));
 
   running_.store(true, std::memory_order_release);
   event_thread_ = std::thread([this] { event_loop(); });
@@ -173,18 +205,188 @@ std::string Server::stop(bool drain) {
     fd = -1;
   }
   running_.store(false, std::memory_order_release);
+  // Threads are joined: every sampled span tree has been forwarded and
+  // every access-log line written — finalize both files.
+  if (trace_sink_ != nullptr) trace_sink_->flush();
+  if (access_log_ != nullptr) access_log_->flush();
   drain_summary_ = counts_.to_json();
   return drain_summary_;
 }
 
-void Server::respond_and_close(int fd, int status, const std::string& body,
-                               const char* content_type) {
-  const std::string response =
+void Server::finish_response(int fd, int status, const std::string& body,
+                             RequestLog& log, const char* content_type) {
+  const std::string extra =
+      "X-Relkit-Trace-Id: " + log.trace_hex +
+      "\r\ntraceparent: " + obs::make_traceparent(log.trace, log.seq) +
+      "\r\n";
+  const std::string response = http_response(
+      status, body,
       content_type != nullptr
-          ? http_response(status, body, content_type)
-          : http_response(status, body);
-  send_all(fd, response, options_.write_timeout_ms);
+          ? std::string_view(content_type)
+          : std::string_view("application/json; charset=utf-8"),
+      extra);
+  {
+    obs::Span write_span("serve.write");
+    write_span.set("bytes", static_cast<std::uint64_t>(response.size()));
+    send_all(fd, response, options_.write_timeout_ms);
+  }
   ::close(fd);
+  const double total_s =
+      std::chrono::duration<double>(Clock::now() - log.started_at).count();
+  static obs::Histogram& latency_hist = obs::histogram("serve.latency");
+  latency_hist.observe(total_s);
+  const std::string endpoint = log.target == "/solve"     ? "solve"
+                               : log.target == "/metrics" ? "metrics"
+                                                          : "other";
+  record_slo(endpoint, log.error_class.empty() ? "ok" : log.error_class,
+             total_s);
+  write_access_log(log, status, body.size(), total_s);
+  inflight_erase(log.seq);
+}
+
+void Server::log_unanswered(Conn& conn, const char* error_class) {
+  RequestLog log;
+  log.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  log.started_at = conn.accepted_at;
+  const HttpRequest& request = conn.parser.request();
+  log.method = request.method;
+  log.target = request.target;
+  log.bytes_in = conn.bytes_in;
+  if (!request.traceparent.empty()) {
+    log.trace = obs::parse_traceparent(request.traceparent);
+    log.trace_from_client = log.trace.valid();
+  }
+  if (!log.trace.valid()) log.trace = obs::generate_trace_id();
+  log.trace_hex = obs::trace_id_hex(log.trace);
+  log.error_class = error_class;
+  const double total_s =
+      std::chrono::duration<double>(Clock::now() - log.started_at).count();
+  record_slo("other", log.error_class, total_s);
+  write_access_log(log, 0, 0, total_s);
+}
+
+void Server::write_access_log(const RequestLog& log, int status,
+                              std::size_t bytes_out, double total_s) {
+  if (access_log_ == nullptr) return;
+  std::string line =
+      "{\"ts\":" +
+      format_seconds6(std::chrono::duration<double>(
+                          std::chrono::system_clock::now().time_since_epoch())
+                          .count()) +
+      ",\"trace\":\"" + log.trace_hex + "\",\"req\":" +
+      std::to_string(log.seq) + ",\"id\":\"" + obs::json_escape(log.id) +
+      "\",\"method\":\"" + obs::json_escape(log.method) + "\",\"path\":\"" +
+      obs::json_escape(log.target) + "\",\"status\":" +
+      std::to_string(status) + ",\"error_class\":\"" +
+      (log.error_class.empty() ? "ok" : log.error_class) + "\",\"bytes_in\":" +
+      std::to_string(log.bytes_in) + ",\"bytes_out\":" +
+      std::to_string(bytes_out) + ",\"queue_wait_s\":" +
+      format_seconds6(log.queue_wait_s) + ",\"solve_s\":" +
+      format_seconds6(log.solve_s) + ",\"total_s\":" +
+      format_seconds6(total_s) + ",\"degraded\":" +
+      (log.degraded ? "true" : "false") + ",\"cache_hit\":" +
+      (log.cache_hit ? "true" : "false") + "}";
+  access_log_->write_line(line);
+}
+
+void Server::record_slo(const std::string& endpoint,
+                        const std::string& error_class, double total_s) {
+  std::lock_guard lock(slo_mu_);
+  auto& ep = slo_endpoints_[endpoint];
+  if (ep == nullptr) ep = std::make_unique<obs::SlidingWindowHistogram>();
+  ep->observe(total_s);
+  auto& ec = slo_errors_[error_class];
+  if (ec == nullptr) ec = std::make_unique<obs::SlidingWindowHistogram>();
+  ec->observe(total_s);
+}
+
+void Server::refresh_slo_gauges() {
+  std::lock_guard lock(slo_mu_);
+  const auto publish = [](const std::string& prefix,
+                          const obs::SlidingWindowHistogram& window) {
+    const obs::SlidingWindowHistogram::Snapshot snap = window.snapshot();
+    obs::gauge(prefix + ".count").set(static_cast<double>(snap.count));
+    obs::gauge(prefix + ".p50").set(snap.p50);
+    obs::gauge(prefix + ".p95").set(snap.p95);
+    obs::gauge(prefix + ".p99").set(snap.p99);
+  };
+  for (const auto& [endpoint, window] : slo_endpoints_) {
+    publish("serve.slo." + endpoint, *window);
+  }
+  for (const auto& [error_class, window] : slo_errors_) {
+    publish("serve.slo.err." + error_class, *window);
+  }
+}
+
+std::string Server::statusz_body() {
+  std::string out = "relkit_serve statusz\n\n";
+  const Clock::time_point now = Clock::now();
+  {
+    std::lock_guard lock(inflight_mu_);
+    out += "in-flight requests: " + std::to_string(inflight_.size()) + "\n";
+    if (!inflight_.empty()) {
+      out +=
+          "trace                             age_s     phase   deadline_s\n";
+    }
+    for (const auto& [seq, entry] : inflight_) {
+      const double age =
+          std::chrono::duration<double>(now - entry.admitted_at).count();
+      const std::string deadline =
+          entry.deadline.unlimited()
+              ? std::string("inf")
+              : format_seconds6(entry.deadline.remaining_seconds());
+      out += entry.trace_hex + "  " + format_seconds6(age) + "  " +
+             entry.phase + "  " + deadline + "\n";
+    }
+  }
+  out += "\nrolling latency SLO (window ";
+  {
+    std::lock_guard lock(slo_mu_);
+    double window_s = 60.0;
+    if (!slo_endpoints_.empty()) {
+      window_s = slo_endpoints_.begin()->second->window_seconds();
+    }
+    out += format_seconds6(window_s) + "s)\n";
+    const auto row = [&](const std::string& label,
+                         const obs::SlidingWindowHistogram& window) {
+      const obs::SlidingWindowHistogram::Snapshot snap = window.snapshot();
+      out += label + ": count=" + std::to_string(snap.count) +
+             " p50=" + format_seconds6(snap.p50) +
+             " p95=" + format_seconds6(snap.p95) +
+             " p99=" + format_seconds6(snap.p99) + "\n";
+    };
+    for (const auto& [endpoint, window] : slo_endpoints_) {
+      row("endpoint " + endpoint, *window);
+    }
+    for (const auto& [error_class, window] : slo_errors_) {
+      row("class " + error_class, *window);
+    }
+  }
+  return out;
+}
+
+void Server::inflight_insert(const RequestLog& log,
+                             const robust::Deadline& dl) {
+  std::lock_guard lock(inflight_mu_);
+  inflight_[log.seq] = InFlight{log.trace_hex, Clock::now(), "queued", dl};
+}
+
+void Server::inflight_phase(std::uint64_t seq, const char* phase) {
+  std::lock_guard lock(inflight_mu_);
+  const auto it = inflight_.find(seq);
+  if (it != inflight_.end()) it->second.phase = phase;
+}
+
+void Server::inflight_deadline(std::uint64_t seq,
+                               const robust::Deadline& dl) {
+  std::lock_guard lock(inflight_mu_);
+  const auto it = inflight_.find(seq);
+  if (it != inflight_.end()) it->second.deadline = dl;
+}
+
+void Server::inflight_erase(std::uint64_t seq) {
+  std::lock_guard lock(inflight_mu_);
+  inflight_.erase(seq);
 }
 
 void Server::event_loop() {
@@ -219,6 +421,7 @@ void Server::event_loop() {
         for (;;) {
           const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
           if (n > 0) {
+            conn.bytes_in += static_cast<std::size_t>(n);
             conn.parser.feed(std::string_view(buf,
                                               static_cast<std::size_t>(n)));
             if (conn.parser.status() != HttpRequestParser::Status::kNeedMore) {
@@ -228,7 +431,9 @@ void Server::event_loop() {
           }
           if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
           if (n < 0 && errno == EINTR) continue;
-          // Peer closed (or reset) mid-request: nothing to answer.
+          // Peer closed (or reset) mid-request: nothing to answer, but the
+          // abandoned request still gets its access-log line.
+          if (conn.bytes_in > 0) log_unanswered(conn, "disconnected");
           ::close(conn.fd);
           done = true;
           break;
@@ -241,8 +446,10 @@ void Server::event_loop() {
       }
       if (!done && now >= conn.read_deadline) {
         // Slow-client eviction: it had read_timeout_ms to deliver a full
-        // request and did not.
+        // request and did not. No response is owed, but the access log
+        // still records the eviction with its own trace id.
         evicted_counter.add();
+        log_unanswered(conn, "evicted");
         ::close(conn.fd);
         done = true;
       }
@@ -266,7 +473,8 @@ void Server::event_loop() {
             Clock::now() + std::chrono::milliseconds(
                                options_.read_timeout_ms > 0
                                    ? options_.read_timeout_ms
-                                   : 1 << 30)});
+                                   : 1 << 30),
+            Clock::now(), 0});
       }
     }
   }
@@ -278,111 +486,133 @@ void Server::route(Conn& conn) {
   static obs::Counter& bad_counter = obs::counter("serve.bad_requests");
   static obs::Counter& request_counter = obs::counter("serve.requests");
   static obs::Counter& shed_counter = obs::counter("serve.shed");
-  static obs::Gauge& depth_gauge = obs::gauge("serve.queue.depth");
+
+  const HttpRequest& request = conn.parser.request();
+
+  // Every routed request — protocol errors included — gets a trace id:
+  // adopted from a valid incoming traceparent, minted otherwise.
+  RequestLog log;
+  log.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  log.started_at = Clock::now();
+  log.method = request.method;
+  log.target = request.target;
+  log.bytes_in = conn.bytes_in;
+  if (!request.traceparent.empty()) {
+    log.trace = obs::parse_traceparent(request.traceparent);
+    log.trace_from_client = log.trace.valid();
+  }
+  if (!log.trace.valid()) log.trace = obs::generate_trace_id();
+  log.trace_hex = obs::trace_id_hex(log.trace);
+  log.sampled =
+      trace_sink_ != nullptr && obs::sample_trace(options_.trace_sample);
+
+  const auto protocol_error = [&](int status, const std::string& message) {
+    bad_counter.add();
+    counts_.add_named("bad_request");
+    log.error_class = "bad_request";
+    finish_response(conn.fd, status,
+                    error_body("bad_request", message, log.trace_hex), log);
+  };
 
   using Status = HttpRequestParser::Status;
   switch (conn.parser.status()) {
     case Status::kBadRequest:
-      bad_counter.add();
-      counts_.add_named("bad_request");
-      respond_and_close(conn.fd, 400,
-                        error_body("bad_request", "malformed HTTP request"));
+      protocol_error(400, "malformed HTTP request");
       return;
     case Status::kHeadersTooLarge:
-      bad_counter.add();
-      counts_.add_named("bad_request");
-      respond_and_close(conn.fd, 431,
-                        error_body("bad_request", "headers too large"));
+      protocol_error(431, "headers too large");
       return;
     case Status::kBodyTooLarge:
-      bad_counter.add();
-      counts_.add_named("bad_request");
-      respond_and_close(conn.fd, 413,
-                        error_body("bad_request", "body too large"));
+      protocol_error(413, "body too large");
       return;
     case Status::kUnsupported:
-      bad_counter.add();
-      counts_.add_named("bad_request");
-      respond_and_close(
-          conn.fd, 501,
-          error_body("bad_request",
-                     "unsupported HTTP version or transfer coding"));
+      protocol_error(501, "unsupported HTTP version or transfer coding");
       return;
     case Status::kNeedMore:
     case Status::kComplete:
       break;
   }
 
-  const HttpRequest& request = conn.parser.request();
   if (request.method == "GET" && request.target == "/healthz") {
-    respond_and_close(conn.fd, 200, "{\"ok\":true}");
+    finish_response(conn.fd, 200, "{\"ok\":true}", log);
     return;
   }
   if (request.method == "GET" && request.target == "/readyz") {
     if (draining_.load(std::memory_order_acquire)) {
-      respond_and_close(conn.fd, 503,
-                        "{\"ready\":false,\"error_class\":\"draining\"}");
+      log.error_class = "draining";
+      finish_response(conn.fd, 503,
+                      "{\"ready\":false,\"error_class\":\"draining\"}", log);
     } else {
-      respond_and_close(conn.fd, 200, "{\"ready\":true}");
+      finish_response(conn.fd, 200, "{\"ready\":true}", log);
     }
     return;
   }
   if (request.method == "GET" && request.target == "/metrics") {
-    respond_and_close(conn.fd, 200,
-                      obs::Registry::instance().to_openmetrics(),
-                      obs::kOpenMetricsContentType);
+    refresh_slo_gauges();
+    finish_response(conn.fd, 200, obs::Registry::instance().to_openmetrics(),
+                    log, obs::kOpenMetricsContentType);
+    return;
+  }
+  if (request.method == "GET" && request.target == "/statusz") {
+    refresh_slo_gauges();
+    finish_response(conn.fd, 200, statusz_body(), log,
+                    "text/plain; charset=utf-8");
     return;
   }
   if (request.target == "/solve") {
     if (request.method != "POST") {
-      bad_counter.add();
-      counts_.add_named("bad_request");
-      respond_and_close(conn.fd, 405,
-                        error_body("bad_request", "/solve expects POST"));
+      protocol_error(405, "/solve expects POST");
       return;
     }
     request_counter.add();
     if (draining_.load(std::memory_order_acquire)) {
       counts_.add_named("draining");
-      respond_and_close(conn.fd, 503,
-                        error_body("draining", "server is draining"));
+      log.error_class = "draining";
+      finish_response(conn.fd, 503,
+                      error_body("draining", "server is draining",
+                                 log.trace_hex),
+                      log);
       return;
     }
-    PendingRequest pending{conn.fd, request.body, Clock::now()};
+    robust::Deadline admission_deadline;
+    if (options_.default_timeout_ms > 0) {
+      admission_deadline = robust::Deadline::after_seconds(
+          options_.default_timeout_ms / 1000.0);
+    }
+    inflight_insert(log, admission_deadline);
+    PendingRequest pending{conn.fd, request.body, Clock::now(), log};
     if (!queue_->try_push(std::move(pending))) {
       // Admission control: the queue is the only buffer, and it is full.
       // Shed immediately — a client deserves a fast 503 over an unbounded
       // wait.
       shed_counter.add();
       counts_.add_named("overload");
-      respond_and_close(conn.fd, 503,
-                        error_body("overload", "solve queue is full"));
+      log.error_class = "overload";
+      finish_response(conn.fd, 503,
+                      error_body("overload", "solve queue is full",
+                                 log.trace_hex),
+                      log);
       return;
     }
-    depth_gauge.set(static_cast<double>(queue_->size()));
     return;  // fd ownership moved into the queue
   }
 
-  bad_counter.add();
-  counts_.add_named("bad_request");
-  respond_and_close(conn.fd, 404,
-                    error_body("bad_request",
-                               "unknown endpoint '" + request.target + "'"));
+  protocol_error(404, "unknown endpoint '" + request.target + "'");
 }
 
 void Server::dispatcher_loop() {
-  static obs::Gauge& depth_gauge = obs::gauge("serve.queue.depth");
   for (;;) {
     std::vector<PendingRequest> batch = queue_->pop_batch(options_.max_batch);
     if (batch.empty()) break;  // closed and fully drained
-    depth_gauge.set(static_cast<double>(queue_->size()));
     if (reject_queued_.load(std::memory_order_acquire)) {
       for (PendingRequest& request : batch) {
         counts_.add_named("draining");
-        respond_and_close(request.fd, 503,
-                          error_body("draining",
-                                     "server stopped before this request "
-                                     "ran"));
+        request.log.error_class = "draining";
+        finish_response(request.fd, 503,
+                        error_body("draining",
+                                   "server stopped before this request ran",
+                                   request.log.trace_hex),
+                        request.log);
       }
       continue;
     }
@@ -394,61 +624,115 @@ void Server::dispatcher_loop() {
 
 void Server::handle_request(PendingRequest& request) {
   static obs::Counter& error_counter = obs::counter("serve.internal_errors");
-  obs::Span span("serve.solve");
+  RequestLog& log = request.log;
   auto& injector = testing::FaultInjector::instance();
   // Chaos hook: an injected positive delay stalls this worker, letting
-  // tests saturate the admission queue deterministically.
+  // tests saturate the admission queue deterministically. The stall counts
+  // as queue wait (it is time the request spent not being solved).
   const double delay_ms = injector.tap("serve.worker.delay_ms", 0.0);
   if (delay_ms > 0) {
     std::this_thread::sleep_for(
         std::chrono::milliseconds(static_cast<long>(delay_ms)));
   }
 
+  // Each request runs entirely on this worker thread, so a per-request
+  // thread filter sink collects exactly its span tree (solver-internal
+  // spans included) for the Chrome trace.
+  obs::Tracer& tracer = obs::Tracer::instance();
+  std::shared_ptr<obs::ThreadFilterSink> collector;
+  if (log.sampled && trace_sink_ != nullptr) {
+    collector =
+        std::make_shared<obs::ThreadFilterSink>(tracer.thread_index());
+    tracer.add_sink(collector);
+  }
+
+  const double queued =
+      std::chrono::duration<double>(Clock::now() - request.admitted_at)
+          .count();
+  log.queue_wait_s = queued;
+
   int status = 500;
   std::string body;
-  try {
-    // Deadlines are measured from ADMISSION, so queue wait counts against
-    // the request's budget.
-    const double elapsed =
-        std::chrono::duration<double>(Clock::now() - request.admitted_at)
-            .count();
-    robust::Deadline deadline;
-    if (options_.default_timeout_ms > 0) {
-      deadline = robust::Deadline::after_seconds(
-          options_.default_timeout_ms / 1000.0 - elapsed);
+  {
+    obs::Span request_span("serve.request");
+    request_span.set("trace_id", log.trace_hex);
+    request_span.set("target", log.target);
+    if (request_span.active()) {
+      // The queue wait happened before this thread ever saw the request;
+      // emit it as a synthetic child span backdated to admission.
+      obs::SpanRecord queue_wait;
+      queue_wait.id = tracer.next_id();
+      queue_wait.parent = request_span.id();
+      queue_wait.depth = 1;
+      queue_wait.thread = tracer.thread_index();
+      queue_wait.name = "serve.queue_wait";
+      queue_wait.start_s = tracer.now_s() - queued;
+      queue_wait.wall_s = queued;
+      tracer.emit(queue_wait);
     }
-    body = solve_response_body(request.body, deadline, elapsed, &status);
-  } catch (const std::exception& e) {
-    // The solve core classifies everything it expects; reaching this
-    // handler means a bug, but the daemon still answers and survives.
-    error_counter.add();
-    counts_.add_named("error");
-    status = 500;
-    body = error_body("error", e.what());
-  } catch (...) {
-    error_counter.add();
-    counts_.add_named("error");
-    status = 500;
-    body = error_body("error", "unknown internal error");
+    try {
+      // Deadlines are measured from ADMISSION, so queue wait counts
+      // against the request's budget.
+      robust::Deadline deadline;
+      if (options_.default_timeout_ms > 0) {
+        deadline = robust::Deadline::after_seconds(
+            options_.default_timeout_ms / 1000.0 - queued);
+      }
+      body = solve_response_body(request.body, deadline, queued, log,
+                                 &status);
+    } catch (const std::exception& e) {
+      // The solve core classifies everything it expects; reaching this
+      // handler means a bug, but the daemon still answers and survives.
+      error_counter.add();
+      counts_.add_named("error");
+      status = 500;
+      log.error_class = "error";
+      body = error_body("error", e.what(), log.trace_hex);
+    } catch (...) {
+      error_counter.add();
+      counts_.add_named("error");
+      status = 500;
+      log.error_class = "error";
+      body = error_body("error", "unknown internal error", log.trace_hex);
+    }
+    inflight_phase(log.seq, "write");
+    // Inside the request span so serve.write nests under serve.request.
+    finish_response(request.fd, status, body, log);
   }
-  respond_and_close(request.fd, status, body);
+
+  if (collector != nullptr) {
+    tracer.remove_sink(collector);
+    for (const obs::SpanRecord& record : collector->take()) {
+      trace_sink_->on_span(record);
+    }
+  }
 }
 
 std::string Server::solve_response_body(const std::string& request_body,
                                         const robust::Deadline& deadline,
                                         double queued_seconds,
-                                        int* status_out) {
+                                        RequestLog& log, int* status_out) {
   static obs::Counter& bad_counter = obs::counter("serve.bad_requests");
   static obs::Counter& dedup_counter = obs::counter("serve.deduped");
   static obs::Counter& degraded_counter = obs::counter("serve.degraded");
   auto& injector = testing::FaultInjector::instance();
   auto& cache = markov::SolutionCache::instance();
 
+  inflight_phase(log.seq, "parse");
+  // Scoped span over JSON parsing + request validation; .reset() closes it
+  // before the solve, and early error returns close it on unwind.
+  std::optional<obs::Span> parse_span;
+  parse_span.emplace("serve.parse");
+
+  const std::string trace_field =
+      "\"trace_id\":\"" + log.trace_hex + "\",";
+
   const auto bad_request = [&](const std::string& message) {
     bad_counter.add();
     counts_.add_named("bad_request");
+    log.error_class = "bad_request";
     *status_out = 400;
-    return error_body("bad_request", message);
+    return error_body("bad_request", message, log.trace_hex);
   };
 
   const JsonParseResult parsed = parse_json(request_body);
@@ -465,6 +749,7 @@ std::string Server::solve_response_body(const std::string& request_body,
   if (const JsonValue* v = parsed.value.get("id")) {
     if (!v->is_string()) return bad_request("\"id\" must be a string");
     id = v->as_string();
+    log.id = id;
   }
   SolveSpec spec;
   if (const JsonValue* v = parsed.value.get("model")) {
@@ -501,12 +786,17 @@ std::string Server::solve_response_body(const std::string& request_body,
         robust::Deadline::after_seconds(v->as_number() / 1000.0 -
                                         queued_seconds));
   }
+  parse_span.reset();
+  inflight_deadline(log.seq, spec.deadline);
+  inflight_phase(log.seq, "solve");
 
   // Chaos hook: a whole-request injected failure, independent of the model.
   if (injector.should_fail("serve.solve")) {
     counts_.add(3);
+    log.error_class = "numerical";
     *status_out = 500;
-    return error_body("numerical", "injected failure: serve.solve");
+    return error_body("numerical", "injected failure: serve.solve",
+                      log.trace_hex);
   }
 
   const auto id_fields = [&](bool cached) {
@@ -526,12 +816,24 @@ std::string Server::solve_response_body(const std::string& request_body,
     if (const auto hit = cache.lookup(key)) {
       dedup_counter.add();
       counts_.add(0);
+      log.cache_hit = true;
       *status_out = 200;
-      return "{" + id_fields(true) + hit->payload + "}";
+      return "{" + trace_field + id_fields(true) + hit->payload + "}";
     }
   }
 
-  const SolveOutcome outcome = solve_model(spec);
+  const auto solve_started = Clock::now();
+  SolveOutcome outcome;
+  {
+    obs::Span solve_span("serve.solve");
+    outcome = solve_model(spec);
+    solve_span.set("exit_class", outcome.exit_class);
+    solve_span.set("degraded", outcome.degraded);
+  }
+  log.solve_s =
+      std::chrono::duration<double>(Clock::now() - solve_started).count();
+  log.error_class = outcome.error_class;
+  log.degraded = outcome.degraded;
   counts_.add(outcome.exit_class);
   if (outcome.degraded) degraded_counter.add();
   *status_out = status_for_exit_class(outcome.exit_class);
@@ -545,7 +847,7 @@ std::string Server::solve_response_body(const std::string& request_body,
     cache.insert(std::move(key),
                  markov::SolutionCache::Entry{{}, {}, outcome.fields});
   }
-  return "{" + id_fields(false) + outcome.fields + "}";
+  return "{" + trace_field + id_fields(false) + outcome.fields + "}";
 }
 
 }  // namespace relkit::serve

@@ -26,16 +26,34 @@
 //     same per-error-class summary JSON that `relkit_cli --batch` prints.
 //
 // The server is also the daemon's metrics surface: /metrics serves
-// Registry::to_openmetrics(), /healthz liveness, /readyz readiness.
+// Registry::to_openmetrics() (with rolling SLO gauges refreshed at scrape
+// time), /healthz liveness, /readyz readiness, /statusz an in-flight
+// request table plus the rolling latency numbers.
+//
+// Per-request observability (the tentpole of this layer): every request
+// carries a 128-bit trace id — adopted from an incoming W3C `traceparent`
+// header when valid, generated otherwise — echoed in `X-Relkit-Trace-Id`
+// and a response `traceparent`, embedded in every /solve JSON body, and
+// stamped on the structured JSONL access log line each request emits
+// (including shed, evicted, and disconnected ones). Sampled requests
+// additionally record a span tree serve.request -> serve.parse /
+// serve.queue_wait / serve.solve / serve.write via a per-request
+// obs::ThreadFilterSink (each request runs entirely on one worker thread),
+// forwarded into a Chrome trace file written on shutdown.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "parallel/queue.hpp"
 #include "robust/budget.hpp"
 #include "serve/summary.hpp"
@@ -65,6 +83,17 @@ struct ServerOptions {
   bool allow_path_requests = false;
   /// Evaluation times used when a request has no "times".
   std::vector<double> default_times;
+  /// Chrome trace-event file: when non-empty, sampled requests' span trees
+  /// are buffered and written here on shutdown ("" = tracing off).
+  std::string trace_path;
+  /// Probability a request is traced when trace_path is set, clamped to
+  /// [0, 1] at use.
+  double trace_sample = 1.0;
+  /// Structured JSONL access log path ("" = disabled).
+  std::string access_log_path;
+  /// Access-log size-based rotation threshold; when a line would push the
+  /// file past this, it is renamed to `<path>.1` and restarted. 0 = never.
+  std::size_t access_log_max_bytes = 64u << 20;
 };
 
 class Server {
@@ -96,15 +125,62 @@ class Server {
   struct Conn;
   struct PendingRequest;
 
+  /// Everything one request accumulates for its access-log line, trace
+  /// correlation, and SLO accounting.
+  struct RequestLog {
+    std::uint64_t seq = 0;  ///< per-process request number (1-based)
+    obs::TraceId trace;
+    std::string trace_hex;  ///< 32 lowercase hex chars
+    bool trace_from_client = false;
+    bool sampled = false;   ///< span tree recorded into the Chrome trace
+    std::string method;
+    std::string target;
+    std::string id;         ///< request "id" field when present
+    std::size_t bytes_in = 0;
+    std::chrono::steady_clock::time_point started_at;
+    double queue_wait_s = 0.0;
+    double solve_s = 0.0;
+    bool degraded = false;
+    bool cache_hit = false;
+    std::string error_class;  ///< "" = ok
+  };
+
+  /// One row of the /statusz in-flight table.
+  struct InFlight {
+    std::string trace_hex;
+    std::chrono::steady_clock::time_point admitted_at;
+    const char* phase = "queued";  ///< queued | parse | solve | write
+    robust::Deadline deadline;
+  };
+
   void event_loop();
   void dispatcher_loop();
   void handle_request(PendingRequest& request);
   void route(Conn& conn);
-  void respond_and_close(int fd, int status, const std::string& body,
-                         const char* content_type = nullptr);
+  /// The one exit path for answered requests: sends the response with the
+  /// trace-id headers, records latency into the SLO windows, writes the
+  /// access-log line, and retires the in-flight entry.
+  void finish_response(int fd, int status, const std::string& body,
+                       RequestLog& log, const char* content_type = nullptr);
+  /// Access-log (and SLO) accounting for connections that never get a
+  /// response: slow-client evictions and mid-request disconnects.
+  void log_unanswered(Conn& conn, const char* error_class);
+  void write_access_log(const RequestLog& log, int status,
+                        std::size_t bytes_out, double total_s);
+  void record_slo(const std::string& endpoint, const std::string& error_class,
+                  double total_s);
+  /// Pushes rolling p50/p95/p99/count per endpoint and per error class into
+  /// `serve.slo.` gauges — called at scrape time (/metrics, /statusz).
+  void refresh_slo_gauges();
+  std::string statusz_body();
+  void inflight_insert(const RequestLog& log, const robust::Deadline& dl);
+  void inflight_phase(std::uint64_t seq, const char* phase);
+  void inflight_deadline(std::uint64_t seq, const robust::Deadline& dl);
+  void inflight_erase(std::uint64_t seq);
   std::string solve_response_body(const std::string& request_body,
                                   const robust::Deadline& deadline,
-                                  double queued_seconds, int* status_out);
+                                  double queued_seconds, RequestLog& log,
+                                  int* status_out);
 
   ServerOptions options_;
   int listen_fd_ = -1;
@@ -121,6 +197,22 @@ class Server {
   std::unique_ptr<parallel::BoundedQueue<PendingRequest>> queue_;
   ErrorClassCounts counts_;
   std::string drain_summary_;
+
+  std::atomic<std::uint64_t> next_seq_{1};
+  /// Chrome trace destination for sampled requests (never registered with
+  /// the global Tracer — per-request ThreadFilterSinks forward into it, so
+  /// unsampled work costs nothing here).
+  std::unique_ptr<obs::ChromeTraceSink> trace_sink_;
+  std::unique_ptr<obs::RotatingFileWriter> access_log_;
+  std::mutex inflight_mu_;
+  std::map<std::uint64_t, InFlight> inflight_;
+  std::mutex slo_mu_;
+  /// Rolling latency windows keyed by endpoint (solve/metrics/other) and by
+  /// error class ("ok" for successes).
+  std::map<std::string, std::unique_ptr<obs::SlidingWindowHistogram>>
+      slo_endpoints_;
+  std::map<std::string, std::unique_ptr<obs::SlidingWindowHistogram>>
+      slo_errors_;
 };
 
 }  // namespace relkit::serve

@@ -4,6 +4,7 @@
 // fallback chain degrades under injected faults.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -665,6 +666,243 @@ TEST(Convergence, SolveReportCarriesTrajectory) {
   EXPECT_LT(samples.back().value, opts.sor.tol);
   EXPECT_NE(report.summary().find("convergence:"), std::string::npos);
   EXPECT_NE(report.summary().find("it->residual:"), std::string::npos);
+}
+
+// ---- sliding-window histogram ----------------------------------------------
+
+TEST(SlidingWindow, MergesLiveSlicesAndExpiresOld) {
+  RELKIT_REQUIRE_OBS_COMPILED_IN();
+  ObsScope scope;
+  // 60 s window in 6 slices -> 10 s slice width.
+  obs::SlidingWindowHistogram h(60.0, 6);
+  EXPECT_DOUBLE_EQ(h.window_seconds(), 60.0);
+  h.observe_at(1.0, 5.0);    // slice tick 0
+  h.observe_at(2.0, 15.0);   // slice tick 1
+  h.observe_at(4.0, 15.5);   // same slice
+  const auto live = h.snapshot_at(16.0);
+  EXPECT_EQ(live.count, 3u);
+  EXPECT_DOUBLE_EQ(live.sum, 7.0);
+  EXPECT_DOUBLE_EQ(live.min, 1.0);
+  EXPECT_DOUBLE_EQ(live.max, 4.0);
+
+  // At t=65 the tick-0 slice (ages 60..70 s) has left the window; only the
+  // tick-1 observations remain.
+  const auto later = h.snapshot_at(65.0);
+  EXPECT_EQ(later.count, 2u);
+  EXPECT_DOUBLE_EQ(later.sum, 6.0);
+  EXPECT_DOUBLE_EQ(later.min, 2.0);
+
+  // Far in the future everything has expired: the empty snapshot is all
+  // zeros by contract.
+  const auto empty = h.snapshot_at(500.0);
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.sum, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p50, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+}
+
+TEST(SlidingWindow, RingSlotReuseDropsStaleObservations) {
+  RELKIT_REQUIRE_OBS_COMPILED_IN();
+  ObsScope scope;
+  obs::SlidingWindowHistogram h(60.0, 6);
+  h.observe_at(100.0, 1.0);  // tick 0, slot 0
+  // Tick 6 reuses slot 0 (6 % 6): the stale tick-0 data must be discarded,
+  // not merged into the new slice.
+  h.observe_at(7.0, 61.0);
+  const auto snap = h.snapshot_at(61.0);
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.sum, 7.0);
+  EXPECT_DOUBLE_EQ(snap.max, 7.0);
+}
+
+TEST(SlidingWindow, QuantilesDescribeWindowContents) {
+  RELKIT_REQUIRE_OBS_COMPILED_IN();
+  ObsScope scope;
+  obs::SlidingWindowHistogram h(60.0, 6);
+  for (int i = 1; i <= 100; ++i) {
+    h.observe_at(static_cast<double>(i), 30.0);
+  }
+  const auto snap = h.snapshot_at(30.0);
+  EXPECT_EQ(snap.count, 100u);
+  // Bucketed quantiles: the rank bucket's upper edge, clamped into the
+  // observed range (same contract as Histogram::quantile).
+  EXPECT_GE(snap.p50, 50.0);
+  EXPECT_LE(snap.p50, 64.0);  // base-2 bucket upper edge
+  EXPECT_GE(snap.p99, 99.0);
+  EXPECT_LE(snap.p99, 100.0);
+  EXPECT_LE(snap.p50, snap.p90);
+  EXPECT_LE(snap.p90, snap.p95);
+  EXPECT_LE(snap.p95, snap.p99);
+}
+
+TEST(SlidingWindow, ObserveIsGatedButSeamsAreNot) {
+  RELKIT_REQUIRE_OBS_COMPILED_IN();
+  obs::set_enabled(false);
+  obs::SlidingWindowHistogram h(60.0, 6);
+  h.observe(5.0);  // disabled -> no-op, like every obs hook
+  EXPECT_EQ(h.snapshot().count, 0u);
+  h.observe_at(5.0, 1.0);  // the test seam records regardless
+  EXPECT_EQ(h.snapshot_at(1.0).count, 1u);
+}
+
+// ---- distributed trace ids -------------------------------------------------
+
+TEST(TraceIds, TraceparentRoundTrip) {
+  const obs::TraceId id{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  EXPECT_EQ(obs::trace_id_hex(id), "0123456789abcdeffedcba9876543210");
+  const std::string header = obs::make_traceparent(id, 0xb7);
+  EXPECT_EQ(header,
+            "00-0123456789abcdeffedcba9876543210-00000000000000b7-01");
+  EXPECT_EQ(obs::parse_traceparent(header), id);
+}
+
+TEST(TraceIds, ParseRejectsMalformedHeaders) {
+  const char* bad[] = {
+      "",
+      "00",
+      "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7",     // no flags
+      "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-",    // short
+      "00-0123456789ABCDEF0123456789abcdef-00f067aa0ba902b7-01",  // uppercase
+      "ff-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01",  // ver ff
+      "00-00000000000000000000000000000000-00f067aa0ba902b7-01",  // zero id
+      "00-0123456789abcdef0123456789abcdef-0000000000000000-01",  // zero par
+      "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01x", // trailing
+      "0x-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01",  // bad ver
+      "00_0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01",  // bad sep
+  };
+  for (const char* header : bad) {
+    EXPECT_FALSE(obs::parse_traceparent(header).valid())
+        << "accepted: " << header;
+  }
+  // A longer header is valid only for a future version with a '-' right
+  // after the version-00 prefix... which version 00 itself forbids.
+  EXPECT_FALSE(
+      obs::parse_traceparent(
+          "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01-extra")
+          .valid());
+}
+
+TEST(TraceIds, GeneratedIdsAreValidUniqueAndLowercaseHex) {
+  std::vector<std::string> seen;
+  for (int i = 0; i < 100; ++i) {
+    const obs::TraceId id = obs::generate_trace_id();
+    EXPECT_TRUE(id.valid());
+    const std::string hex = obs::trace_id_hex(id);
+    ASSERT_EQ(hex.size(), 32u);
+    for (const char c : hex) {
+      EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << hex;
+    }
+    seen.push_back(hex);
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(TraceIds, SamplingExtremesAreDeterministic) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(obs::sample_trace(0.0));
+    EXPECT_TRUE(obs::sample_trace(1.0));
+    EXPECT_FALSE(obs::sample_trace(-1.0));
+    EXPECT_TRUE(obs::sample_trace(2.0));
+  }
+}
+
+// ---- rotating file writer --------------------------------------------------
+
+TEST(RotatingWriter, RotatesWhenALineWouldExceedTheBound) {
+  const std::string path = ::testing::TempDir() + "relkit_obs_rotate.log";
+  const std::string rotated = path + ".1";
+  std::remove(path.c_str());
+  std::remove(rotated.c_str());
+  {
+    auto writer = obs::RotatingFileWriter::open(path, 64);
+    ASSERT_NE(writer, nullptr);
+    // 31 bytes per line with the '\n': two fit under 64, the third rotates.
+    writer->write_line("aaaaaaaaaaaaaaaaaaaaaaaaaaaaa0");
+    writer->write_line("aaaaaaaaaaaaaaaaaaaaaaaaaaaaa1");
+    writer->write_line("aaaaaaaaaaaaaaaaaaaaaaaaaaaaa2");
+    writer->flush();
+  }
+  std::ifstream cur(path);
+  std::ifstream old(rotated);
+  ASSERT_TRUE(cur.good());
+  ASSERT_TRUE(old.good());
+  std::string line;
+  std::vector<std::string> cur_lines, old_lines;
+  while (std::getline(cur, line)) cur_lines.push_back(line);
+  while (std::getline(old, line)) old_lines.push_back(line);
+  ASSERT_EQ(old_lines.size(), 2u);
+  EXPECT_EQ(old_lines[1], "aaaaaaaaaaaaaaaaaaaaaaaaaaaaa1");
+  ASSERT_EQ(cur_lines.size(), 1u);
+  EXPECT_EQ(cur_lines[0], "aaaaaaaaaaaaaaaaaaaaaaaaaaaaa2");
+  std::remove(path.c_str());
+  std::remove(rotated.c_str());
+}
+
+TEST(RotatingWriter, ZeroBoundNeverRotatesAndAppendsAcrossOpens) {
+  const std::string path = ::testing::TempDir() + "relkit_obs_norotate.log";
+  std::remove(path.c_str());
+  for (int round = 0; round < 2; ++round) {
+    auto writer = obs::RotatingFileWriter::open(path, 0);
+    ASSERT_NE(writer, nullptr);
+    for (int i = 0; i < 50; ++i) {
+      writer->write_line("0123456789012345678901234567890123456789");
+    }
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::size_t lines = 0;
+  for (std::string line; std::getline(in, line);) ++lines;
+  EXPECT_EQ(lines, 100u);  // appended, not truncated, and never rotated
+  EXPECT_FALSE(std::ifstream(path + ".1").good());
+  std::remove(path.c_str());
+}
+
+// ---- build-info gauges -----------------------------------------------------
+
+TEST(BuildInfo, RegistersIdentificationGaugesWithLabels) {
+  RELKIT_REQUIRE_OBS_COMPILED_IN();
+  ObsScope scope;
+  obs::register_build_info();
+  const std::string text = obs::Registry::instance().to_openmetrics();
+  const auto npos = std::string::npos;
+  EXPECT_NE(text.find("# TYPE relkit_build_info gauge\n"), npos);
+  // The info gauge carries its provenance as labels and pins value 1.
+  const std::size_t sample = text.find("relkit_build_info{");
+  ASSERT_NE(sample, npos);
+  const std::size_t eol = text.find('\n', sample);
+  const std::string line = text.substr(sample, eol - sample);
+  EXPECT_NE(line.find("build_type=\""), npos) << line;
+  EXPECT_NE(line.find("git=\""), npos) << line;
+  EXPECT_NE(line.find("obs=\"on\""), npos) << line;
+  EXPECT_EQ(line.substr(line.size() - 2), " 1") << line;
+
+  EXPECT_NE(text.find("# TYPE relkit_process_start_time_seconds gauge\n"),
+            npos);
+  EXPECT_GT(obs::gauge("relkit.process.start_time.seconds").value(),
+            1.5e9);  // a plausible Unix timestamp, not a steady-clock value
+}
+
+// ---- thread filter sink ----------------------------------------------------
+
+TEST(ThreadFilter, CollectsOnlyItsThreadsSpans) {
+  RELKIT_REQUIRE_OBS_COMPILED_IN();
+  ObsScope scope;
+  auto mine = std::make_shared<obs::ThreadFilterSink>(
+      obs::Tracer::instance().thread_index());
+  obs::Tracer::instance().add_sink(mine);
+  { obs::Span span("test.filter_mine"); }
+  std::thread other([] { obs::Span span("test.filter_other"); });
+  other.join();
+  obs::Tracer::instance().remove_sink(mine);
+
+  const auto peek = mine->snapshot();
+  ASSERT_EQ(peek.size(), 1u);  // the other thread's span was filtered out
+  EXPECT_EQ(peek[0].name, "test.filter_mine");
+  const auto taken = mine->take();
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_EQ(taken[0].name, "test.filter_mine");
+  EXPECT_TRUE(mine->take().empty());  // take() empties the buffer
 }
 
 TEST(Integration, MetricsFireDuringSolve) {

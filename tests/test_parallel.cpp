@@ -8,12 +8,14 @@
 #include <atomic>
 #include <cmath>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/statistics.hpp"
 #include "obs/obs.hpp"
 #include "parallel/pool.hpp"
+#include "parallel/queue.hpp"
 #include "robust/budget.hpp"
 #include "robust/robust.hpp"
 #include "sim/simulator.hpp"
@@ -136,6 +138,82 @@ TEST(ThreadPool, TaskCounterCountsChunks) {
   if (relkit::obs::kCompiledIn) {
     EXPECT_EQ(relkit::obs::counter("pool.tasks").value(), 10u);
   }
+  relkit::obs::Registry::instance().reset_values();
+}
+
+// ---- bounded queue depth gauge ---------------------------------------------
+
+TEST(BoundedQueue, DepthGaugeTracksSizeExactly) {
+  relkit::obs::Registry::instance().reset_values();
+  relkit::obs::set_enabled(relkit::obs::kCompiledIn);
+  if (!relkit::obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  parallel::BoundedQueue<int> queue(8);
+  relkit::obs::Gauge& gauge = relkit::obs::gauge("test.queue_depth");
+  // Binding mirrors the current depth immediately, even when non-zero.
+  ASSERT_TRUE(queue.try_push(1));
+  queue.bind_depth_gauge(&gauge);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.0);
+  ASSERT_TRUE(queue.try_push(2));
+  ASSERT_TRUE(queue.try_push(3));
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.0);
+  (void)queue.pop_batch(2);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.0);
+  (void)queue.pop_batch(8);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  // A failed push on a full queue leaves the gauge untouched.
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(queue.try_push(i));
+  EXPECT_FALSE(queue.try_push(99));
+  EXPECT_DOUBLE_EQ(gauge.value(), 8.0);
+  queue.bind_depth_gauge(nullptr);  // unbound: later ops stop mirroring
+  (void)queue.pop_batch(8);
+  EXPECT_DOUBLE_EQ(gauge.value(), 8.0);
+  relkit::obs::set_enabled(false);
+  relkit::obs::Registry::instance().reset_values();
+}
+
+TEST(BoundedQueue, DepthGaugeStaysAccurateUnderConcurrency) {
+  // The race this guards: the gauge is set inside the queue's critical
+  // section, so at every instant gauge value == queue size at SOME recent
+  // linearization point — bounded by [0, capacity] — and once the dust
+  // settles it equals the exact final depth. Runs under `ctest -L tsan`
+  // in a RELKIT_TSAN build like the rest of this file.
+  relkit::obs::Registry::instance().reset_values();
+  relkit::obs::set_enabled(relkit::obs::kCompiledIn);
+  if (!relkit::obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  constexpr std::size_t kCapacity = 16;
+  parallel::BoundedQueue<int> queue(kCapacity);
+  relkit::obs::Gauge& gauge = relkit::obs::gauge("test.queue_depth_mt");
+  queue.bind_depth_gauge(&gauge);
+
+  std::atomic<std::size_t> pushed{0};
+  std::atomic<std::size_t> popped{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&queue, &pushed] {
+      for (int i = 0; i < 2000; ++i) {
+        if (queue.try_push(i)) pushed.fetch_add(1);
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    workers.emplace_back([&queue, &popped] {
+      for (;;) {
+        const auto batch = queue.pop_batch(4);
+        if (batch.empty()) return;  // closed and drained
+        popped.fetch_add(batch.size());
+        const double depth = relkit::obs::gauge("test.queue_depth_mt").value();
+        EXPECT_GE(depth, 0.0);
+        EXPECT_LE(depth, static_cast<double>(kCapacity));
+      }
+    });
+  }
+  for (int t = 0; t < 4; ++t) workers[t].join();  // producers first
+  queue.close();
+  for (std::size_t t = 4; t < workers.size(); ++t) workers[t].join();
+  EXPECT_EQ(pushed.load(), popped.load());
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);  // fully drained
+  queue.bind_depth_gauge(nullptr);
+  relkit::obs::set_enabled(false);
   relkit::obs::Registry::instance().reset_values();
 }
 

@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <thread>
@@ -342,12 +345,16 @@ TEST_F(ServeTest, ServedSolveMatchesLocalSolveExactly) {
   EXPECT_EQ(response.status, 200);
 
   // Byte-identical result fields: the daemon answers with the same solve
-  // core relkit_cli uses, so "{" + fields + "}" is the whole body.
+  // core relkit_cli uses; the body is the fields prefixed only by the
+  // request's trace id (echoed in X-Relkit-Trace-Id).
   serve::SolveSpec spec;
   spec.inline_text = kRbdSource;
   spec.times = {100.0};
   const auto local = serve::solve_model(spec);
-  EXPECT_EQ(response.body, "{" + local.fields + "}");
+  const std::string trace = response.header("X-Relkit-Trace-Id");
+  ASSERT_EQ(trace.size(), 32u);
+  EXPECT_EQ(response.body,
+            "{\"trace_id\":\"" + trace + "\"," + local.fields + "}");
 }
 
 TEST_F(ServeTest, SolvesHierarchicalMarkovModel) {
@@ -426,6 +433,155 @@ TEST_F(ServeTest, TimesDefaultComesFromServerOptions) {
       post(solve_request(kRbdSource, "", ",\"times\":[75]"));
   EXPECT_NE(override_response.body.find("\"at\":[{\"t\":75,"),
             std::string::npos);
+}
+
+// ---- request tracing, access logs, SLO telemetry ---------------------------
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST_F(ServeTest, TraceIdPropagatesEndToEnd) {
+  const std::string trace_path = ::testing::TempDir() + "relkit_e2e_trace.json";
+  const std::string log_path = ::testing::TempDir() + "relkit_e2e_access.log";
+  std::remove(trace_path.c_str());
+  std::remove(log_path.c_str());
+  options_.trace_path = trace_path;
+  options_.access_log_path = log_path;
+  start();
+
+  // A valid incoming traceparent is adopted: the same 128-bit id must show
+  // up in the response headers, the response body, the access-log line,
+  // and the exported Chrome trace.
+  const std::string sent = "4bf92f3577b34da6a3ce929d0e0e4736";
+  const auto response = serve::http_post(
+      "127.0.0.1", port_, "/solve", solve_request(kRbdSource, "trace-1"),
+      5000,
+      "traceparent: 00-" + sent + "-00f067aa0ba902b7-01\r\n");
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.header("X-Relkit-Trace-Id"), sent);
+  EXPECT_EQ(response.header("traceparent").rfind("00-" + sent + "-", 0), 0u);
+  EXPECT_NE(response.body.find("\"trace_id\":\"" + sent + "\""),
+            std::string::npos);
+
+  server_->stop(true);  // flushes the trace file and access log
+
+  const std::string log = read_file(log_path);
+  ASSERT_FALSE(log.empty());
+  EXPECT_NE(log.find("\"trace\":\"" + sent + "\""), std::string::npos);
+  EXPECT_NE(log.find("\"path\":\"/solve\""), std::string::npos);
+  EXPECT_NE(log.find("\"id\":\"trace-1\""), std::string::npos);
+  EXPECT_NE(log.find("\"status\":200"), std::string::npos);
+  EXPECT_NE(log.find("\"error_class\":\"ok\""), std::string::npos);
+
+  const std::string chrome = read_file(trace_path);
+  ASSERT_FALSE(chrome.empty());
+  EXPECT_NE(chrome.find("\"trace_id\":\"" + sent + "\""), std::string::npos);
+  for (const char* span : {"serve.request", "serve.parse", "serve.queue_wait",
+                           "serve.solve", "serve.write"}) {
+    EXPECT_NE(chrome.find("\"name\":\"" + std::string(span) + "\""),
+              std::string::npos)
+        << span;
+  }
+  std::remove(trace_path.c_str());
+  std::remove(log_path.c_str());
+}
+
+TEST_F(ServeTest, InvalidTraceparentGetsAFreshId) {
+  start();
+  // Uppercase hex violates the traceparent ABNF: the daemon must NOT adopt
+  // the id, but the request still gets a generated one.
+  const auto response = serve::http_post(
+      "127.0.0.1", port_, "/solve", solve_request(kRbdSource), 5000,
+      "traceparent: 00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01"
+      "\r\n");
+  ASSERT_TRUE(response.ok) << response.error;
+  const std::string trace = response.header("X-Relkit-Trace-Id");
+  ASSERT_EQ(trace.size(), 32u);
+  EXPECT_NE(trace, "4bf92f3577b34da6a3ce929d0e0e4736");
+  for (const char c : trace) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << trace;
+  }
+  // Without any traceparent a fresh id is generated per request.
+  const auto a = post(solve_request(kRbdSource));
+  const auto b = post(solve_request(kRbdSource));
+  EXPECT_EQ(a.header("X-Relkit-Trace-Id").size(), 32u);
+  EXPECT_NE(a.header("X-Relkit-Trace-Id"), b.header("X-Relkit-Trace-Id"));
+}
+
+TEST_F(ServeTest, TraceSampleZeroRecordsNoSpans) {
+  const std::string trace_path =
+      ::testing::TempDir() + "relkit_e2e_unsampled.json";
+  std::remove(trace_path.c_str());
+  options_.trace_path = trace_path;
+  options_.trace_sample = 0.0;
+  start();
+  const auto response = post(solve_request(kRbdSource));
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.status, 200);
+  // Responses still carry trace ids — sampling gates only span recording.
+  EXPECT_EQ(response.header("X-Relkit-Trace-Id").size(), 32u);
+  server_->stop(true);
+  const std::string chrome = read_file(trace_path);
+  EXPECT_EQ(chrome.find("serve.request"), std::string::npos);
+  std::remove(trace_path.c_str());
+}
+
+TEST_F(ServeTest, StatuszShowsRollingSloNumbers) {
+  start();
+  ASSERT_EQ(post(solve_request(kRbdSource)).status, 200);
+  const auto response = get("/statusz");
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.header("Content-Type"), "text/plain; charset=utf-8");
+  EXPECT_NE(response.body.find("in-flight requests:"), std::string::npos);
+  EXPECT_NE(response.body.find("rolling latency SLO"), std::string::npos);
+  EXPECT_NE(response.body.find("endpoint solve: count=1"), std::string::npos);
+  EXPECT_NE(response.body.find("class ok: count=1"), std::string::npos);
+}
+
+TEST_F(ServeTest, MetricsCarrySloGaugesBuildInfoAndContentType) {
+  start();
+  ASSERT_EQ(post(solve_request(kRbdSource)).status, 200);
+  const auto response = get("/metrics");
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.header("Content-Type"),
+            std::string(obs::kOpenMetricsContentType));
+  EXPECT_EQ(response.header("X-Relkit-Trace-Id").size(), 32u);
+  const auto npos = std::string::npos;
+  // Rolling SLO gauges (refreshed at scrape time) per endpoint and class.
+  EXPECT_NE(response.body.find("serve_slo_solve_p99"), npos);
+  EXPECT_NE(response.body.find("serve_slo_solve_count 1"), npos);
+  EXPECT_NE(response.body.find("serve_slo_err_ok_p50"), npos);
+  // Cumulative request-latency histogram alongside the windowed gauges.
+  EXPECT_NE(response.body.find("# TYPE serve_latency histogram"), npos);
+  // Scrape identification gauges.
+  EXPECT_NE(response.body.find("relkit_build_info{"), npos);
+  EXPECT_NE(response.body.find("obs=\"on\""), npos);
+  EXPECT_GT(metric("relkit_process_start_time_seconds"), 1.5e9);
+  EXPECT_GE(metric("serve_queue_depth"), 0.0);
+}
+
+TEST_F(ServeTest, AccessLogRotatesAtSizeBound) {
+  const std::string log_path = ::testing::TempDir() + "relkit_e2e_rotate.log";
+  std::remove(log_path.c_str());
+  std::remove((log_path + ".1").c_str());
+  options_.access_log_path = log_path;
+  options_.access_log_max_bytes = 600;  // a couple of lines per file
+  start();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(get("/healthz").status, 200);
+  }
+  server_->stop(true);
+  EXPECT_FALSE(read_file(log_path).empty());
+  const std::string rotated = read_file(log_path + ".1");
+  ASSERT_FALSE(rotated.empty()) << "no rotation happened";
+  EXPECT_NE(rotated.find("\"path\":\"/healthz\""), std::string::npos);
+  std::remove(log_path.c_str());
+  std::remove((log_path + ".1").c_str());
 }
 
 }  // namespace

@@ -13,6 +13,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <thread>
@@ -295,6 +297,116 @@ TEST_F(ServeChaosTest, MidRequestDisconnectIsHarmless) {
     serve::tcp_close(fd);  // vanish mid-body
   }
   expect_recovered();
+}
+
+// ---- observability under hostility -----------------------------------------
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST_F(ServeChaosTest, ShedRequestsEmitCompleteAccessLogLines) {
+  const std::string log_path =
+      ::testing::TempDir() + "relkit_chaos_shed_access.log";
+  std::remove(log_path.c_str());
+  options_.access_log_path = log_path;
+  options_.queue_capacity = 2;
+  start();
+  relkit::testing::FaultInjectionScope injection;
+  injection->inject_value("serve.worker.delay_ms", 400.0, /*at_hit=*/0);
+
+  std::vector<std::thread> clients;
+  const auto fire = [&](int index) {
+    (void)post(solve_request(kRbdSource, "", ",\"times\":[" +
+                                              std::to_string(30 + index) +
+                                              "]"),
+               10000);
+  };
+  clients.emplace_back(fire, 0);  // the stalled one
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  for (int i = 1; i <= 6; ++i) clients.emplace_back(fire, i);
+  for (std::thread& t : clients) t.join();
+  server_->stop(true);
+
+  // Shed requests never reached a worker, but their access-log lines are
+  // complete: 503, overload class, and a trace id like any other request.
+  const std::string log = slurp(log_path);
+  const std::size_t shed = log.find("\"error_class\":\"overload\"");
+  ASSERT_NE(shed, std::string::npos) << log;
+  const std::size_t line_start = log.rfind('\n', shed) + 1;
+  const std::size_t line_end = log.find('\n', shed);
+  const std::string line = log.substr(line_start, line_end - line_start);
+  EXPECT_NE(line.find("\"status\":503"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"trace\":\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"path\":\"/solve\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"total_s\":"), std::string::npos) << line;
+  std::remove(log_path.c_str());
+}
+
+TEST_F(ServeChaosTest, EvictedAndVanishedClientsStillGetAccessLogLines) {
+  const std::string log_path =
+      ::testing::TempDir() + "relkit_chaos_evict_access.log";
+  std::remove(log_path.c_str());
+  options_.access_log_path = log_path;
+  options_.read_timeout_ms = 100;
+  start();
+  {
+    // Half a request, then stall until the sweep evicts us.
+    const int fd = serve::tcp_connect("127.0.0.1", port_);
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(serve::tcp_send(fd, "POST /solve HTTP/1.1\r\nContent-Le"));
+    char buf[64];
+    EXPECT_LE(::read(fd, buf, sizeof buf), 0);  // closed without a response
+    serve::tcp_close(fd);
+  }
+  {
+    // Vanish mid-body: a disconnect, not an eviction.
+    const int fd = serve::tcp_connect("127.0.0.1", port_);
+    ASSERT_GE(fd, 0);
+    serve::tcp_send(fd,
+                    "POST /solve HTTP/1.1\r\nContent-Length: 999\r\n\r\n{");
+    serve::tcp_close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server_->stop(true);
+
+  // Unanswered connections are logged with status 0 and their own error
+  // classes, each still carrying a (generated) trace id.
+  const std::string log = slurp(log_path);
+  for (const char* error_class : {"evicted", "disconnected"}) {
+    const std::size_t pos =
+        log.find("\"error_class\":\"" + std::string(error_class) + "\"");
+    ASSERT_NE(pos, std::string::npos) << error_class << " missing:\n" << log;
+    const std::size_t line_start = log.rfind('\n', pos) + 1;
+    const std::size_t line_end = log.find('\n', pos);
+    const std::string line = log.substr(line_start, line_end - line_start);
+    EXPECT_NE(line.find("\"status\":0"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"trace\":\""), std::string::npos) << line;
+  }
+  std::remove(log_path.c_str());
+}
+
+TEST_F(ServeChaosTest, StatuszShowsInFlightRequestsDuringAStall) {
+  start();
+  relkit::testing::FaultInjectionScope injection;
+  injection->inject_value("serve.worker.delay_ms", 500.0, /*at_hit=*/0);
+  std::thread client([&] {
+    (void)post(solve_request(kRbdSource, "stall-1"), 10000);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  const auto response =
+      serve::http_get("127.0.0.1", port_, "/statusz", 5000);
+  client.join();
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.status, 200);
+  // The stalled solve is visible in the in-flight table with its trace id,
+  // age, and phase; /statusz itself is not tracked (it is answered inline).
+  EXPECT_NE(response.body.find("in-flight requests: 1"), std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("queued"), std::string::npos)
+      << response.body;
 }
 
 // ---- shutdown --------------------------------------------------------------

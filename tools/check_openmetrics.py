@@ -1,14 +1,19 @@
 #!/usr/bin/env python3
-"""Validates relkit_cli's OpenMetrics exposition, run under ctest.
+"""Validates relkit's OpenMetrics expositions, run under ctest.
 
 Usage:
     check_openmetrics.py CLI_BINARY MODEL_FILE   run the CLI, check output
     check_openmetrics.py --file EXPOSITION       check a saved exposition
+    check_openmetrics.py --serve SERVE_BINARY    scrape a live relkit_serve
 
 In CLI mode runs `CLI_BINARY MODEL_FILE --metrics-format=openmetrics` and
 validates everything from the first '# HELP' line on (the human model
-summary precedes the exposition on stdout). Checks, per the OpenMetrics
-text format:
+summary precedes the exposition on stdout). In serve mode it starts
+SERVE_BINARY on an ephemeral port, scrapes GET /metrics, and additionally
+checks the response Content-Type is the exact OpenMetrics media type, the
+response carries an X-Relkit-Trace-Id header, and the exposition announces
+the relkit_build_info and relkit_process_start_time_seconds families.
+Checks, per the OpenMetrics text format:
 
   * every family is announced by '# HELP <name> <text>' immediately
     followed by '# TYPE <name> counter|gauge|histogram';
@@ -147,10 +152,77 @@ def validate(exposition: str) -> list[str]:
     return problems
 
 
+EXPECTED_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+
+def check_serve(binary: str) -> int:
+    """Starts `binary` on an ephemeral port, scrapes /metrics, validates."""
+    import http.client
+    import signal
+
+    proc = subprocess.Popen(
+        [binary, "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    try:
+        line = proc.stdout.readline()  # "listening on N"
+        match = re.match(r"listening on (\d+)", line)
+        if not match:
+            print(f"check_openmetrics: unexpected server banner: {line!r}",
+                  file=sys.stderr)
+            return 2
+        port = int(match.group(1))
+
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        conn.request("GET", "/metrics")
+        response = conn.getresponse()
+        body = response.read().decode("utf-8")
+        content_type = response.getheader("Content-Type")
+        trace_id = response.getheader("X-Relkit-Trace-Id")
+        conn.close()
+
+        problems = []
+        if response.status != 200:
+            problems.append(f"/metrics returned {response.status}")
+        if content_type != EXPECTED_CONTENT_TYPE:
+            problems.append(
+                f"Content-Type is {content_type!r}, "
+                f"expected {EXPECTED_CONTENT_TYPE!r}"
+            )
+        if not trace_id or not re.fullmatch(r"[0-9a-f]{32}", trace_id):
+            problems.append(
+                f"X-Relkit-Trace-Id is {trace_id!r}, "
+                "expected 32 lowercase hex chars"
+            )
+        for family in ("relkit_build_info",
+                       "relkit_process_start_time_seconds"):
+            if f"# TYPE {family} " not in body:
+                problems.append(f"missing family '{family}'")
+        problems.extend(validate(body))
+        if problems:
+            print("check_openmetrics: invalid live exposition:")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print("check_openmetrics: live exposition valid")
+        return 0
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+
 def main() -> int:
     if len(sys.argv) != 3:
         print(__doc__, file=sys.stderr)
         return 2
+    if sys.argv[1] == "--serve":
+        return check_serve(sys.argv[2])
     if sys.argv[1] == "--file":
         text = open(sys.argv[2], encoding="utf-8").read()
     else:

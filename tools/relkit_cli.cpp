@@ -95,28 +95,6 @@ std::string convergence_json(const relkit::robust::ConvergenceTrace& trace) {
   return out;
 }
 
-/// Collects completed spans emitted by one pool thread — the per-model
-/// profile scope in batch mode, where each model is parsed and solved
-/// entirely on a single worker thread but all threads share one Tracer.
-class ThreadFilterSink : public relkit::obs::Sink {
- public:
-  explicit ThreadFilterSink(std::uint64_t thread) : thread_(thread) {}
-  void on_span(const relkit::obs::SpanRecord& record) override {
-    if (record.thread != thread_) return;
-    std::lock_guard<std::mutex> lock(mu_);
-    records_.push_back(record);
-  }
-  std::vector<relkit::obs::SpanRecord> take() {
-    std::lock_guard<std::mutex> lock(mu_);
-    return std::move(records_);
-  }
-
- private:
-  std::uint64_t thread_;
-  std::mutex mu_;
-  std::vector<relkit::obs::SpanRecord> records_;
-};
-
 void print_cuts(const std::vector<std::vector<std::string>>& cuts) {
   std::printf("minimal cut sets (%zu):\n", cuts.size());
   for (const auto& cut : cuts) {
@@ -164,11 +142,14 @@ BatchOutcome solve_one(const std::string& path,
   std::string head = "{\"index\":" + std::to_string(index) + ",\"model\":\"" +
                      relkit::obs::json_escape(path) + "\"";
   // RAII so the collector detaches on every exit path, including throws.
+  // The obs::ThreadFilterSink sees only this worker thread's spans — each
+  // model is parsed and solved entirely on one pool thread, but all
+  // threads share one Tracer.
   struct ProfileScope {
-    std::shared_ptr<ThreadFilterSink> sink;
+    std::shared_ptr<relkit::obs::ThreadFilterSink> sink;
     explicit ProfileScope(bool on) {
       if (!on) return;
-      sink = std::make_shared<ThreadFilterSink>(
+      sink = std::make_shared<relkit::obs::ThreadFilterSink>(
           relkit::obs::Tracer::instance().thread_index());
       relkit::obs::Tracer::instance().add_sink(sink);
     }
@@ -484,6 +465,9 @@ int main(int argc, char** argv) {
   if (want_trace || want_metrics || want_profile) {
     relkit::obs::set_enabled(true);
   }
+  // Build provenance belongs in every exposition a scraper might diff
+  // across versions (gauges are set-gated, so this must follow enable).
+  if (want_metrics) relkit::obs::register_build_info();
   if (want_trace) {
     if (eff_trace_format == "jsonl") {
       trace_jsonl = relkit::obs::JsonlSink::open(trace_file);

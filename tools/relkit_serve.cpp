@@ -3,7 +3,8 @@
 //   relkit_serve [--port N] [--bind ADDR] [--jobs N] [--queue-cap N]
 //                [--timeout-ms N] [--read-timeout-ms N]
 //                [--write-timeout-ms N] [--max-body BYTES] [--allow-paths]
-//                [--time t1 t2 ...]
+//                [--time t1 t2 ...] [--trace[=FILE]] [--trace-sample P]
+//                [--access-log[=FILE]] [--access-log-max-bytes N]
 //
 // Accepts model-solve requests over HTTP/JSON and answers them from the
 // process-wide thread pool behind a bounded admission queue:
@@ -13,6 +14,7 @@
 //   GET  /healthz liveness
 //   GET  /readyz  readiness (503 while draining)
 //   GET  /metrics OpenMetrics exposition of the obs registry
+//   GET  /statusz in-flight request table + rolling latency SLOs
 //
 // Responses reuse the relkit_cli --batch JSON fields, so a served solve is
 // bit-identical to a CLI solve of the same model. Requests past the queue
@@ -20,6 +22,12 @@
 // flagged degraded responses carrying the solver's partial result. On
 // SIGTERM/SIGINT the daemon stops admissions, drains queued requests, and
 // prints the same per-error-class summary line that --batch prints.
+//
+// Every request gets a 128-bit trace id (adopted from a valid incoming
+// `traceparent`, generated otherwise). --trace[=FILE] records sampled
+// requests' span trees into a Chrome trace-event file on shutdown
+// (--trace-sample P sets the fraction); --access-log[=FILE] appends one
+// JSONL line per request, rotated once past --access-log-max-bytes.
 // Full reference: docs/serving.md.
 //
 // Exit codes: 0 clean shutdown, 1 usage error, 4 invalid argument.
@@ -44,7 +52,8 @@ void usage() {
                "usage: relkit_serve [--port N] [--bind ADDR] [--jobs N] "
                "[--queue-cap N] [--timeout-ms N] [--read-timeout-ms N] "
                "[--write-timeout-ms N] [--max-body BYTES] [--allow-paths] "
-               "[--time t ...]\n");
+               "[--time t ...] [--trace[=FILE]] [--trace-sample P] "
+               "[--access-log[=FILE]] [--access-log-max-bytes N]\n");
 }
 
 /// Parses the value of `--flag N` / `--flag=N` as a long in [lo, hi];
@@ -79,6 +88,43 @@ bool matches(const char* arg, const char* flag) {
   const std::size_t len = std::strlen(flag);
   return std::strncmp(arg, flag, len) == 0 &&
          (arg[len] == '\0' || arg[len] == '=');
+}
+
+/// Parses the value of `--flag P` / `--flag=P` as a double in [lo, hi];
+/// exits 4 on malformed input.
+double parse_fraction(int argc, char** argv, int& i, const char* flag,
+                      double lo, double hi) {
+  const std::size_t flag_len = std::strlen(flag);
+  const char* value = argv[i][flag_len] == '=' ? argv[i] + flag_len + 1
+                                               : nullptr;
+  if (value == nullptr) {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "invalid argument: %s needs a value\n", flag);
+      usage();
+      std::exit(4);
+    }
+    value = argv[++i];
+  }
+  char* rest = nullptr;
+  const double parsed = std::strtod(value, &rest);
+  if (rest == value || *rest != '\0' || !(parsed >= lo) || !(parsed <= hi)) {
+    std::fprintf(stderr,
+                 "invalid argument: %s needs a number in [%g, %g], got "
+                 "'%s'\n",
+                 flag, lo, hi, value);
+    usage();
+    std::exit(4);
+  }
+  return parsed;
+}
+
+/// `--flag` (default value) or `--flag=PATH`; a separate-word PATH form is
+/// deliberately not supported so the optional value stays unambiguous.
+std::string parse_optional_path(const char* arg, const char* flag,
+                                const char* default_path) {
+  const std::size_t len = std::strlen(flag);
+  return arg[len] == '=' ? std::string(arg + len + 1)
+                         : std::string(default_path);
 }
 
 }  // namespace
@@ -121,6 +167,18 @@ int main(int argc, char** argv) {
           parse_count(argc, argv, i, "--max-body", 1, 1L << 30));
     } else if (std::strcmp(argv[i], "--allow-paths") == 0) {
       options.allow_path_requests = true;
+    } else if (matches(argv[i], "--trace-sample")) {
+      options.trace_sample =
+          parse_fraction(argc, argv, i, "--trace-sample", 0.0, 1.0);
+    } else if (matches(argv[i], "--trace")) {
+      options.trace_path =
+          parse_optional_path(argv[i], "--trace", "relkit_serve_trace.json");
+    } else if (matches(argv[i], "--access-log-max-bytes")) {
+      options.access_log_max_bytes = static_cast<std::size_t>(
+          parse_count(argc, argv, i, "--access-log-max-bytes", 0, 1L << 40));
+    } else if (matches(argv[i], "--access-log")) {
+      options.access_log_path = parse_optional_path(
+          argv[i], "--access-log", "relkit_serve_access.log");
     } else if (std::strcmp(argv[i], "--time") == 0) {
       while (i + 1 < argc && argv[i + 1][0] != '-') {
         options.default_times.push_back(std::atof(argv[++i]));
