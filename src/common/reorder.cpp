@@ -1,0 +1,162 @@
+#include "common/reorder.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace relkit {
+
+namespace {
+
+/// Symmetrized adjacency (structure of A + A^T, diagonal dropped) as
+/// flat CSR-style neighbor lists.
+struct Adjacency {
+  std::vector<std::size_t> offsets;  // n + 1
+  std::vector<std::size_t> neighbors;
+};
+
+Adjacency symmetrized_adjacency(const SparseMatrix& a) {
+  const std::size_t n = a.rows();
+  std::vector<std::size_t> degree(n, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      const std::size_t c = a.col(k);
+      if (c == r) continue;
+      ++degree[r];
+      ++degree[c];
+    }
+  }
+  Adjacency adj;
+  adj.offsets.assign(n + 1, 0);
+  for (std::size_t r = 0; r < n; ++r) adj.offsets[r + 1] = adj.offsets[r] + degree[r];
+  adj.neighbors.resize(adj.offsets[n]);
+  std::vector<std::size_t> cursor(adj.offsets.begin(), adj.offsets.end() - 1);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      const std::size_t c = a.col(k);
+      if (c == r) continue;
+      adj.neighbors[cursor[r]++] = c;
+      adj.neighbors[cursor[c]++] = r;
+    }
+  }
+  // Duplicate edges (an entry present in both A and A^T) are harmless for
+  // BFS but inflate degrees uniformly; RCM only compares degrees, so no
+  // dedup pass is needed.
+  return adj;
+}
+
+}  // namespace
+
+std::vector<std::size_t> rcm_ordering(const SparseMatrix& a) {
+  const std::size_t n = a.rows();
+  detail::require(a.cols() == n, "rcm_ordering: matrix must be square");
+  const Adjacency adj = symmetrized_adjacency(a);
+  auto degree_of = [&](std::size_t v) {
+    return adj.offsets[v + 1] - adj.offsets[v];
+  };
+
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<char> visited(n, 0);
+  std::vector<std::size_t> scratch;
+
+  for (std::size_t seed_scan = 0; seed_scan < n; ++seed_scan) {
+    if (visited[seed_scan]) continue;
+    // Seed: the lowest-degree unvisited vertex of this component, found by
+    // a BFS from the first unvisited vertex (cheap pseudo-peripheral pick:
+    // the last level of that BFS tends to contain peripheral vertices).
+    std::size_t seed = seed_scan;
+    {
+      std::deque<std::size_t> bfs{seed_scan};
+      std::vector<std::size_t> component;
+      std::vector<char> seen(n, 0);
+      seen[seed_scan] = 1;
+      std::size_t last = seed_scan;
+      while (!bfs.empty()) {
+        const std::size_t v = bfs.front();
+        bfs.pop_front();
+        last = v;
+        for (std::size_t k = adj.offsets[v]; k < adj.offsets[v + 1]; ++k) {
+          const std::size_t w = adj.neighbors[k];
+          if (!seen[w] && !visited[w]) {
+            seen[w] = 1;
+            bfs.push_back(w);
+          }
+        }
+      }
+      // Re-seed from a vertex in the farthest BFS level with minimal degree
+      // among the seen set's last vertex and the scan vertex.
+      seed = degree_of(last) <= degree_of(seed_scan) ? last : seed_scan;
+    }
+
+    // Cuthill-McKee BFS from the seed, neighbors in increasing-degree order.
+    std::deque<std::size_t> queue{seed};
+    visited[seed] = 1;
+    while (!queue.empty()) {
+      const std::size_t v = queue.front();
+      queue.pop_front();
+      order.push_back(v);
+      scratch.clear();
+      for (std::size_t k = adj.offsets[v]; k < adj.offsets[v + 1]; ++k) {
+        const std::size_t w = adj.neighbors[k];
+        if (!visited[w]) {
+          visited[w] = 1;
+          scratch.push_back(w);
+        }
+      }
+      std::sort(scratch.begin(), scratch.end(),
+                [&](std::size_t x, std::size_t y) {
+                  const std::size_t dx = degree_of(x), dy = degree_of(y);
+                  return dx != dy ? dx < dy : x < y;
+                });
+      for (const std::size_t w : scratch) queue.push_back(w);
+    }
+  }
+
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<std::size_t> invert_ordering(
+    const std::vector<std::size_t>& perm) {
+  std::vector<std::size_t> inv(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) inv[perm[i]] = i;
+  return inv;
+}
+
+SparseMatrix permute_symmetric(const SparseMatrix& a,
+                               const std::vector<std::size_t>& perm) {
+  const std::size_t n = a.rows();
+  detail::require(a.cols() == n && perm.size() == n,
+                  "permute_symmetric: size mismatch");
+  const std::vector<std::size_t> inv = invert_ordering(perm);
+  SparseBuilder b(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      b.add(inv[r], inv[a.col(k)], a.value(k));
+    }
+  }
+  return b.build();
+}
+
+std::vector<double> permute_vector(const std::vector<double>& x,
+                                   const std::vector<std::size_t>& perm) {
+  detail::require(x.size() == perm.size(), "permute_vector: size mismatch");
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) out[i] = x[perm[i]];
+  return out;
+}
+
+std::size_t bandwidth(const SparseMatrix& a) {
+  std::size_t band = 0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      const std::size_t c = a.col(k);
+      band = std::max(band, r > c ? r - c : c - r);
+    }
+  }
+  return band;
+}
+
+}  // namespace relkit

@@ -1,0 +1,46 @@
+// Bandwidth-reducing matrix reordering for the sparse iterative solvers.
+//
+// Reverse Cuthill-McKee (RCM) permutes a sparse matrix so that nonzeros
+// cluster around the diagonal. For the CSR kernels this is pure locality:
+// a matvec on a banded matrix walks `x` almost sequentially instead of
+// jumping across the whole vector, and an ILU0 factorization on the
+// reordered pattern drops far less of the true fill. The ordering is
+// computed on the *symmetrized* sparsity pattern (structure of A + A^T),
+// which is the standard choice for the unsymmetric generators CTMCs
+// produce.
+//
+// The permutation convention throughout: `perm[new_index] = old_index`
+// (an ordering, i.e. the list of old indices in their new positions).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/sparse.hpp"
+
+namespace relkit {
+
+/// Reverse Cuthill-McKee ordering of the symmetrized pattern of `a`
+/// (square). Every connected component is BFS-levelized from a pseudo-
+/// peripheral low-degree seed, neighbors visited in increasing-degree
+/// order, and the concatenated order is reversed. Returns
+/// `perm[new] = old`; a disconnected pattern is handled per component.
+std::vector<std::size_t> rcm_ordering(const SparseMatrix& a);
+
+/// Inverse of an ordering: `inv[old] = new`.
+std::vector<std::size_t> invert_ordering(const std::vector<std::size_t>& perm);
+
+/// Symmetric permutation B = P A P^T, i.e.
+/// B(i, j) = A(perm[i], perm[j]). Preserves the diagonal as a set.
+SparseMatrix permute_symmetric(const SparseMatrix& a,
+                               const std::vector<std::size_t>& perm);
+
+/// Permutes a vector into the new index space: out[new] = x[perm[new]].
+std::vector<double> permute_vector(const std::vector<double>& x,
+                                   const std::vector<std::size_t>& perm);
+
+/// Half-bandwidth of `a`: max |row - col| over stored entries (0 for a
+/// diagonal or empty matrix).
+std::size_t bandwidth(const SparseMatrix& a);
+
+}  // namespace relkit

@@ -128,6 +128,20 @@ void key_steady_options(CacheKey& key, const SteadyStateOptions& opts) {
   key.add(opts.sor.tol);
   key.add(opts.sor.max_iters);
   key.add(opts.sor.adaptive_omega);
+  key.add(opts.bicgstab.tol);
+  key.add(opts.bicgstab.max_iters);
+  key.add(static_cast<std::size_t>(opts.bicgstab.precond));
+  key.add(opts.bicgstab.use_rcm);
+  key.add(opts.ncd.coupling_threshold);
+  key.add(opts.ncd.tol);
+  key.add(opts.ncd.max_sweeps);
+  // The *effective* solver choice: a forced method must not collide with
+  // an auto-chain entry for the same model (different method, possibly
+  // different answer within tolerance).
+  const robust::SolverChoice effective =
+      opts.solver != robust::SolverChoice::kAuto ? opts.solver
+                                                 : robust::ambient_solver();
+  key.add(static_cast<std::size_t>(effective));
 }
 
 }  // namespace
@@ -186,6 +200,9 @@ std::vector<double> Ctmc::steady_state(const SteadyStateOptions& opts,
           ? std::max(opts.dense_threshold, opts.gth_fallback_threshold)
           : opts.dense_threshold;
   robust_opts.sor = opts.sor;
+  robust_opts.bicgstab = opts.bicgstab;
+  robust_opts.ncd = opts.ncd;
+  robust_opts.solver = opts.solver;
   robust_opts.budget = opts.budget;
   // The thread's ambient deadline (CLI --timeout-ms, relkit_serve request
   // deadlines) binds every solve, including ones reached through paths that

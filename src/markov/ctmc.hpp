@@ -41,6 +41,16 @@ struct SteadyStateOptions {
   /// Use dense GTH when state count <= this, SOR otherwise.
   std::size_t dense_threshold = 512;
   SorOptions sor;
+  /// Krylov tier knobs (tolerance, preconditioner, RCM) for the fallback
+  /// chain's BiCGSTAB attempts and for `solver = kBicgstab`.
+  BicgstabOptions bicgstab;
+  /// NCD detection threshold + aggregation-disaggregation knobs.
+  robust::AdOptions ncd;
+  /// Force a single solver (verified) instead of the fallback chain.
+  /// kAuto consults the thread/process ambient choice (CLI --solver,
+  /// relkit_serve per-request "solver"). The *effective* choice is part of
+  /// the solution-cache key.
+  robust::SolverChoice solver = robust::SolverChoice::kAuto;
   /// Route non-converging iterative solves through the fallback chain
   /// (SOR -> omega reset -> power iteration -> dense GTH when the chain is
   /// small enough). Disable to get the raw single-method behavior.

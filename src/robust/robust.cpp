@@ -1,6 +1,7 @@
 #include "robust/robust.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -54,7 +55,55 @@ SparseMatrix uniformized_dtmc(const SparseMatrix& qt,
   return bt.build().transposed();
 }
 
+// Process default + per-thread override for the solver choice. The
+// override slot uses kAuto as "no override", mirroring ambient_deadline's
+// "unlimited = empty slot" convention in budget.hpp.
+std::atomic<SolverChoice> g_default_solver{SolverChoice::kAuto};
+thread_local SolverChoice t_solver_override = SolverChoice::kAuto;
+
 }  // namespace
+
+const char* solver_choice_name(SolverChoice c) {
+  switch (c) {
+    case SolverChoice::kAuto: return "auto";
+    case SolverChoice::kGth: return "gth";
+    case SolverChoice::kSor: return "sor";
+    case SolverChoice::kBicgstab: return "bicgstab";
+    case SolverChoice::kPower: return "power";
+    case SolverChoice::kAd: return "ad";
+  }
+  return "?";
+}
+
+bool parse_solver_choice(std::string_view text, SolverChoice& out) {
+  if (text == "auto") out = SolverChoice::kAuto;
+  else if (text == "gth") out = SolverChoice::kGth;
+  else if (text == "sor") out = SolverChoice::kSor;
+  else if (text == "bicgstab") out = SolverChoice::kBicgstab;
+  else if (text == "power") out = SolverChoice::kPower;
+  else if (text == "ad") out = SolverChoice::kAd;
+  else return false;
+  return true;
+}
+
+SolverChoice default_solver() {
+  return g_default_solver.load(std::memory_order_relaxed);
+}
+
+void set_default_solver(SolverChoice c) {
+  g_default_solver.store(c, std::memory_order_relaxed);
+}
+
+SolverChoice ambient_solver() {
+  return t_solver_override != SolverChoice::kAuto ? t_solver_override
+                                                  : default_solver();
+}
+
+SolverChoice exchange_solver_override(SolverChoice c) {
+  const SolverChoice prev = t_solver_override;
+  t_solver_override = c;
+  return prev;
+}
 
 bool all_finite(const std::vector<double>& v) {
   for (const double x : v) {
@@ -325,20 +374,13 @@ RobustResult robust_steady_state(const SparseMatrix& qt,
     }
   };
 
-  // ---- primary dense method for small chains ------------------------------
-  if (n <= opts.dense_primary || has_zero_diag) {
-    if (auto r = try_gth()) return *r;
-    if (has_zero_diag) {
-      // Iterative methods are structurally inapplicable; report the GTH
-      // diagnosis (usually "chain is reducible") directly.
-      throw total_failure(gth_error.empty()
-                              ? "chain has an absorbing state (reducible)"
-                              : gth_error);
-    }
-  }
-
-  // ---- SOR ---------------------------------------------------------------
   const auto deadline_expired = [&] { return opts.budget.deadline.expired(); };
+  const auto forward_budget = [&](Budget& dst) {
+    if (opts.budget.max_iterations != 0 || !opts.budget.deadline.unlimited()) {
+      dst = opts.budget;
+    }
+  };
+
   auto try_sor = [&](const SorOptions& sor_opts,
                      const std::string& label) -> std::optional<RobustResult> {
     obs::Span span("robust.attempt");
@@ -366,11 +408,151 @@ RobustResult robust_steady_state(const SparseMatrix& qt,
     }
   };
 
+  auto try_bicgstab =
+      [&](Preconditioner precond,
+          const std::string& label) -> std::optional<RobustResult> {
+    obs::Span span("robust.attempt");
+    begin_attempt(label, span);
+    if (injector.should_fail("bicgstab")) {
+      report.warn("fault injection: " + label + " forced to fail");
+      finish_attempt(&span, label, 0, std::nan(""), false);
+      return std::nullopt;
+    }
+    BicgstabOptions bi_opts = opts.bicgstab;
+    bi_opts.precond = precond;
+    if (bi_opts.jobs == 0) bi_opts.jobs = opts.jobs;
+    forward_budget(bi_opts.budget);
+    try {
+      BicgstabResult r = bicgstab_steady_state(qt, diag, bi_opts);
+      report.convergence = r.report.convergence;
+      return accept(std::move(r.pi), label, r.iterations, &span);
+    } catch (const ConvergenceError& e) {
+      report.iterations += e.report().iterations;
+      report.convergence = e.report().convergence;
+      report.warn(label + ": " + e.what());
+      finish_attempt(&span, label, e.report().iterations,
+                     e.report().residual, false);
+      consider(e.partial_result());
+      return std::nullopt;
+    }
+  };
+
+  auto try_ad = [&](const NcdPartition& part,
+                    const std::string& label) -> std::optional<RobustResult> {
+    obs::Span span("robust.attempt");
+    begin_attempt(label, span);
+    if (injector.should_fail("ad")) {
+      report.warn("fault injection: " + label + " forced to fail");
+      finish_attempt(&span, label, 0, std::nan(""), false);
+      return std::nullopt;
+    }
+    AdOptions ad_opts = opts.ncd;
+    if (ad_opts.jobs == 0) ad_opts.jobs = opts.jobs;
+    forward_budget(ad_opts.budget);
+    try {
+      AdResult r = ad_steady_state(qt, diag, part, ad_opts);
+      report.convergence = r.report.convergence;
+      return accept(std::move(r.pi), label, r.sweeps, &span);
+    } catch (const ConvergenceError& e) {
+      report.iterations += e.report().iterations;
+      report.convergence = e.report().convergence;
+      report.warn(label + ": " + e.what());
+      finish_attempt(&span, label, e.report().iterations,
+                     e.report().residual, false);
+      consider(e.partial_result());
+      return std::nullopt;
+    }
+  };
+
+  auto try_power = [&]() -> std::optional<RobustResult> {
+    obs::Span span("robust.attempt");
+    begin_attempt("power", span);
+    if (injector.should_fail("power")) {
+      report.warn("fault injection: power forced to fail");
+      finish_attempt(&span, "power", 0, std::nan(""), false);
+      return std::nullopt;
+    }
+    PowerOptions power_opts = opts.power;
+    if (power_opts.jobs == 0) power_opts.jobs = opts.jobs;
+    forward_budget(power_opts.budget);
+    try {
+      PowerResult r =
+          power_steady_state(uniformized_dtmc(qt, diag), power_opts);
+      report.convergence = r.report.convergence;
+      return accept(std::move(r.pi), "power", r.iterations, &span);
+    } catch (const ConvergenceError& e) {
+      report.iterations += e.report().iterations;
+      report.convergence = e.report().convergence;
+      report.warn(std::string("power: ") + e.what());
+      finish_attempt(&span, "power", e.report().iterations,
+                     e.report().residual, false);
+      consider(e.partial_result());
+      return std::nullopt;
+    }
+  };
+
   SorOptions sor_opts = opts.sor;
   if (sor_opts.jobs == 0) sor_opts.jobs = opts.jobs;
-  if (opts.budget.max_iterations != 0 || !opts.budget.deadline.unlimited()) {
-    sor_opts.budget = opts.budget;
+  forward_budget(sor_opts.budget);
+
+  // ---- forced single method ----------------------------------------------
+  const SolverChoice choice = opts.solver != SolverChoice::kAuto
+                                  ? opts.solver
+                                  : ambient_solver();
+  if (choice != SolverChoice::kAuto) {
+    solve_span.set("forced", solver_choice_name(choice));
+    if (has_zero_diag && choice != SolverChoice::kGth) {
+      throw NumericalError(
+          "robust_steady_state: chain has a state with no exit rate "
+          "(absorbing => reducible); only --solver gth can diagnose it");
+    }
+    switch (choice) {
+      case SolverChoice::kGth:
+        if (auto r = try_gth()) return *r;
+        break;
+      case SolverChoice::kSor:
+        if (auto r = try_sor(sor_opts, "sor")) return *r;
+        break;
+      case SolverChoice::kBicgstab:
+        if (auto r = try_bicgstab(opts.bicgstab.precond, "bicgstab")) {
+          return *r;
+        }
+        break;
+      case SolverChoice::kPower:
+        if (auto r = try_power()) return *r;
+        break;
+      case SolverChoice::kAd: {
+        const NcdPartition part =
+            detect_ncd_blocks(qt, diag, opts.ncd.coupling_threshold);
+        if (part.blocks < 2) {
+          report.warn("ad: NCD detector found a single block (coupling "
+                      "threshold " +
+                      std::to_string(opts.ncd.coupling_threshold) + ")");
+        } else if (auto r = try_ad(part, "ad")) {
+          return *r;
+        }
+        break;
+      }
+      case SolverChoice::kAuto:
+        break;  // unreachable
+    }
+    throw total_failure(std::string("forced solver '") +
+                        solver_choice_name(choice) + "' failed");
   }
+
+  // ---- primary dense method for small chains ------------------------------
+  if (n <= opts.dense_primary || has_zero_diag) {
+    if (auto r = try_gth()) return *r;
+    if (has_zero_diag) {
+      // Iterative methods are structurally inapplicable; report the GTH
+      // diagnosis (usually "chain is reducible") directly.
+      throw total_failure(gth_error.empty()
+                              ? "chain has an absorbing state (reducible)"
+                              : gth_error);
+    }
+  }
+
+  // ---- SOR ---------------------------------------------------------------
   if (auto r = try_sor(sor_opts, "sor")) return *r;
   if (deadline_expired()) throw total_failure("deadline expired during sor");
 
@@ -387,37 +569,40 @@ RobustResult robust_steady_state(const SparseMatrix& qt,
     }
   }
 
-  // ---- power iteration on the uniformized DTMC ---------------------------
+  // ---- NCD aggregation-disaggregation ------------------------------------
+  // Only when the detector actually finds a decomposition: >= 2 blocks,
+  // coupling small enough that A/D converges in a few sweeps, and every
+  // block small enough for its dense censored solve.
   {
-    obs::Span span("robust.attempt");
-    begin_attempt("power", span);
-    if (injector.should_fail("power")) {
-      report.warn("fault injection: power forced to fail");
-      finish_attempt(&span, "power", 0, std::nan(""), false);
-    } else {
-      PowerOptions power_opts = opts.power;
-      if (power_opts.jobs == 0) power_opts.jobs = opts.jobs;
-      if (opts.budget.max_iterations != 0 ||
-          !opts.budget.deadline.unlimited()) {
-        power_opts.budget = opts.budget;
-      }
-      try {
-        PowerResult r = power_steady_state(uniformized_dtmc(qt, diag),
-                                           power_opts);
-        report.convergence = r.report.convergence;
-        if (auto ok = accept(std::move(r.pi), "power", r.iterations, &span)) {
-          return *ok;
-        }
-      } catch (const ConvergenceError& e) {
-        report.iterations += e.report().iterations;
-        report.convergence = e.report().convergence;
-        report.warn(std::string("power: ") + e.what());
-        finish_attempt(&span, "power", e.report().iterations,
-                       e.report().residual, false);
-        consider(e.partial_result());
+    const NcdPartition part =
+        detect_ncd_blocks(qt, diag, opts.ncd.coupling_threshold);
+    if (part.blocks >= 2 && part.coupling <= opts.ncd_auto_coupling &&
+        part.max_block_size <= opts.dense_fallback) {
+      if (auto r = try_ad(part, "ad")) return *r;
+      if (deadline_expired()) {
+        throw total_failure("deadline expired during ad");
       }
     }
   }
+
+  // ---- preconditioned BiCGSTAB (the Krylov tier) --------------------------
+  if (auto r = try_bicgstab(opts.bicgstab.precond, "bicgstab")) return *r;
+  if (deadline_expired()) {
+    throw total_failure("deadline expired during bicgstab");
+  }
+  if (opts.bicgstab.precond == Preconditioner::kIlu0) {
+    // ILU0 can be a poor factor for chains with wildly unbalanced rates;
+    // plain diagonal scaling sometimes still converges.
+    if (auto r = try_bicgstab(Preconditioner::kJacobi, "bicgstab(jacobi)")) {
+      return *r;
+    }
+    if (deadline_expired()) {
+      throw total_failure("deadline expired during bicgstab retry");
+    }
+  }
+
+  // ---- power iteration on the uniformized DTMC ---------------------------
+  if (auto r = try_power()) return *r;
   if (deadline_expired()) throw total_failure("deadline expired during power");
 
   // ---- dense GTH as the last resort --------------------------------------

@@ -10,6 +10,11 @@
 //   sor                           symmetric Gauss-Seidel / SOR sweeps
 //   sor (omega reset)             plain Gauss-Seidel retry if the first SOR
 //                                 attempt used over-relaxation
+//   ad                            Courtois/Takahashi aggregation-
+//                                 disaggregation, only when the NCD detector
+//                                 finds a decomposition with small coupling
+//   bicgstab                      preconditioned BiCGSTAB + RCM reordering
+//                                 (ILU0 first, diagonal retry)
 //   power                         damped power iteration on the uniformized
 //                                 DTMC P = I + Q/q
 //   gth (dense, last resort)      when n <= dense_fallback
@@ -20,17 +25,71 @@
 // return NaN/Inf or a wrong fixed point silently. On total failure a
 // ConvergenceError carries the best (lowest-residual) iterate seen plus the
 // full SolveReport.
+//
+// A single method can be forced — per call (RobustSteadyOptions::solver),
+// per thread (ScopedSolverChoice, used by relkit_serve's per-request
+// "solver" field), or process-wide (set_default_solver, the CLI --solver
+// flag) — in which case only that method runs, still verified.
 #pragma once
 
 #include <cstddef>
+#include <string_view>
 #include <vector>
 
+#include "common/krylov.hpp"
 #include "common/linsolve.hpp"
 #include "common/sparse.hpp"
 #include "robust/budget.hpp"
+#include "robust/ncd.hpp"
 #include "robust/report.hpp"
 
 namespace relkit::robust {
+
+/// Which stationary solver robust_steady_state runs.
+enum class SolverChoice {
+  kAuto,      ///< the verified fallback chain (default)
+  kGth,       ///< dense GTH only
+  kSor,       ///< SOR / symmetric Gauss-Seidel only
+  kBicgstab,  ///< preconditioned BiCGSTAB + RCM only
+  kPower,     ///< damped power iteration only
+  kAd,        ///< NCD aggregation-disaggregation only
+};
+
+/// Printable name ("auto", "gth", "sor", "bicgstab", "power", "ad").
+const char* solver_choice_name(SolverChoice c);
+
+/// Parses a solver name as printed by solver_choice_name. Returns false
+/// (and leaves `out` untouched) on an unknown name.
+bool parse_solver_choice(std::string_view text, SolverChoice& out);
+
+/// Process-wide default solver, consulted when an options struct says
+/// kAuto and no thread-local override is installed. Set by the CLI
+/// --solver flag. Thread-safe.
+SolverChoice default_solver();
+void set_default_solver(SolverChoice c);
+
+/// The solver the current thread would use for a kAuto solve: the
+/// innermost ScopedSolverChoice if one is active, else default_solver().
+SolverChoice ambient_solver();
+
+/// Swaps the calling thread's solver override slot (kAuto = no override)
+/// and returns the previous value. Prefer ScopedSolverChoice.
+SolverChoice exchange_solver_override(SolverChoice c);
+
+/// RAII thread-local solver override, mirroring ScopedDeadline: requests
+/// in relkit_serve install one so a per-request solver choice cannot leak
+/// into other requests sharing the worker pool.
+class ScopedSolverChoice {
+ public:
+  explicit ScopedSolverChoice(SolverChoice c)
+      : prev_(exchange_solver_override(c)) {}
+  ~ScopedSolverChoice() { exchange_solver_override(prev_); }
+  ScopedSolverChoice(const ScopedSolverChoice&) = delete;
+  ScopedSolverChoice& operator=(const ScopedSolverChoice&) = delete;
+
+ private:
+  SolverChoice prev_;
+};
 
 /// Options for the resilient steady-state solve.
 struct RobustSteadyOptions {
@@ -41,6 +100,15 @@ struct RobustSteadyOptions {
   std::size_t dense_fallback = 2048;
   SorOptions sor;
   PowerOptions power;
+  BicgstabOptions bicgstab;  ///< Krylov tier (precond is the first attempt)
+  AdOptions ncd;             ///< NCD detection threshold + A/D solve knobs
+  /// In the kAuto chain, attempt A/D only when the detector reports a
+  /// decomposability parameter at or below this (and >= 2 blocks, each
+  /// small enough for its dense censored solve).
+  double ncd_auto_coupling = 0.2;
+  /// kAuto consults the thread/process ambient solver (ScopedSolverChoice
+  /// / set_default_solver); any other value forces that single method.
+  SolverChoice solver = SolverChoice::kAuto;
   Budget budget;  ///< overall budget; also forwarded to each attempt
   /// A candidate pi is accepted when max|pi Q| <= verify_tol * max(1, rate
   /// scale). Looser than the iterative tol on purpose: this is the "is the

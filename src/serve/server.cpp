@@ -775,6 +775,13 @@ std::string Server::solve_response_body(const std::string& request_body,
       spec.times.push_back(t.as_number());
     }
   }
+  if (const JsonValue* v = parsed.value.get("solver")) {
+    if (!v->is_string() ||
+        !robust::parse_solver_choice(v->as_string(), spec.solver)) {
+      return bad_request(
+          "\"solver\" must be one of auto, gth, sor, bicgstab, power, ad");
+    }
+  }
   spec.deadline = deadline;
   if (const JsonValue* v = parsed.value.get("timeout_ms")) {
     if (!v->is_number() || v->as_number() <= 0) {

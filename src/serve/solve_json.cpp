@@ -55,6 +55,11 @@ SolveOutcome solve_model(const SolveSpec& spec) {
   // including hierarchical `event ... markov` submodels solved inside the
   // parser — the only way a per-request deadline can reach them.
   robust::ScopedDeadline scoped(spec.deadline);
+  const robust::ScopedSolverChoice scoped_solver(spec.solver);
+  // Clear the thread-local last-report slot so the "solver" field below
+  // can only describe THIS solve, never a stale one from a previous
+  // request on the same worker thread.
+  robust::record_last_report(robust::SolveReport{});
   try {
     const io::ParsedModel model =
         !spec.inline_text.empty() ? io::parse_model_string(spec.inline_text)
@@ -92,6 +97,12 @@ SolveOutcome solve_model(const SolveSpec& spec) {
     out.fields = "\"ok\":true,\"name\":\"" + obs::json_escape(model.name) +
                  "\",\"kind\":\"" + kind + "\",\"steady\":" +
                  json_number(steady) + ",\"at\":" + at;
+    // Which stationary method produced the answer, when a CTMC solve ran
+    // (combinatorial-only models leave the slot empty).
+    if (robust::has_last_report() && !robust::last_report().method.empty()) {
+      out.fields += ",\"solver\":\"" +
+                    obs::json_escape(robust::last_report().method) + "\"";
+    }
   } catch (const robust::ConvergenceError& e) {
     if (!scoped.effective().unlimited() && scoped.effective().expired() &&
         !e.partial_result().empty()) {

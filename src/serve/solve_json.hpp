@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "robust/budget.hpp"
+#include "robust/robust.hpp"
 
 namespace relkit::serve {
 
@@ -21,6 +22,10 @@ struct SolveSpec {
   /// Per-request deadline, installed as the thread's ambient deadline for
   /// the duration of the solve so nested CTMC solves inherit it.
   robust::Deadline deadline;
+  /// Forced stationary solver, installed as the thread's ambient solver
+  /// choice (ScopedSolverChoice) for the duration of the solve. kAuto =
+  /// the verified fallback chain.
+  robust::SolverChoice solver = robust::SolverChoice::kAuto;
 };
 
 /// Classified outcome. `fields` is the inside of a JSON object (starting

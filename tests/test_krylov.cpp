@@ -1,0 +1,379 @@
+// Unit tests for the large-state-space solver tier: the RCM reordering
+// (bandwidth recovery, permutation algebra), the preconditioned BiCGSTAB
+// kernel (closed-form agreement on a large birth-death chain, the
+// deadline-mid-Krylov contract, iteration-cap exhaustion), the NCD
+// detector / aggregation-disaggregation budget contract, and the
+// thread-local / process-wide solver-choice plumbing. Cross-solver
+// statistical agreement lives in test_solver_agreement.cpp; whole-chain
+// fallback behavior in test_robustness.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/krylov.hpp"
+#include "common/reorder.hpp"
+#include "common/sparse.hpp"
+#include "robust/budget.hpp"
+#include "robust/ncd.hpp"
+#include "robust/report.hpp"
+#include "robust/robust.hpp"
+
+using namespace relkit;
+
+namespace {
+
+// Transposed generator + diagonal of a birth-death chain with constant
+// rates: state i fails to i+1 at `lam`, repairs to i-1 at `mu`.
+void birth_death_system(std::size_t n, double lam, double mu,
+                        SparseMatrix& qt, std::vector<double>& diag) {
+  SparseBuilder b(n, n);
+  diag.assign(n, 0.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    b.add(i + 1, i, lam);  // Q(i, i+1) = lam -> qt(i+1, i)
+    b.add(i, i + 1, mu);   // Q(i+1, i) = mu  -> qt(i, i+1)
+    diag[i] -= lam;
+    diag[i + 1] -= mu;
+  }
+  qt = b.build();
+}
+
+// Stationary distribution of that chain in closed form: geometric with
+// ratio lam/mu.
+std::vector<double> birth_death_closed_form(std::size_t n, double lam,
+                                            double mu) {
+  std::vector<double> pi(n);
+  const double r = lam / mu;
+  double v = 1.0, total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    pi[i] = v;
+    total += v;
+    v *= r;
+  }
+  for (double& x : pi) x /= total;
+  return pi;
+}
+
+// Planted NCD system: `blocks` strongly-mixing birth-death blocks of
+// `block_size` states (rates ~1) whose first states are coupled in a ring
+// at `weak`.
+void planted_ncd_system(std::size_t blocks, std::size_t block_size,
+                        double weak, SparseMatrix& qt,
+                        std::vector<double>& diag) {
+  const std::size_t n = blocks * block_size;
+  SparseBuilder b(n, n);
+  diag.assign(n, 0.0);
+  auto edge = [&](std::size_t from, std::size_t to, double rate) {
+    b.add(to, from, rate);  // qt(to, from) = Q(from, to)
+    diag[from] -= rate;
+  };
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    const std::size_t base = blk * block_size;
+    for (std::size_t i = 0; i + 1 < block_size; ++i) {
+      edge(base + i, base + i + 1, 1.0);
+      edge(base + i + 1, base + i, 1.5);
+    }
+    const std::size_t next = ((blk + 1) % blocks) * block_size;
+    edge(base, next, weak);
+    edge(next, base, weak);
+  }
+  qt = b.build();
+}
+
+}  // namespace
+
+// ---- RCM reordering --------------------------------------------------------
+
+// A banded matrix whose labels have been scrambled has bandwidth ~n; RCM
+// on the scrambled pattern must recover a narrow band again.
+TEST(Reorder, RcmRecoversBandOnShuffledBandedMatrix) {
+  const std::size_t n = 300;
+  std::mt19937_64 rng(42);
+  std::vector<std::size_t> sigma(n);
+  std::iota(sigma.begin(), sigma.end(), 0);
+  std::shuffle(sigma.begin(), sigma.end(), rng);
+
+  // Half-bandwidth-2 pattern in the original labels, emitted scrambled.
+  SparseBuilder b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add(sigma[i], sigma[i], -1.0);
+    for (std::size_t d = 1; d <= 2; ++d) {
+      if (i + d < n) {
+        b.add(sigma[i], sigma[i + d], 0.5);
+        b.add(sigma[i + d], sigma[i], 0.5);
+      }
+    }
+  }
+  const SparseMatrix shuffled = b.build();
+  const std::size_t before = bandwidth(shuffled);
+  ASSERT_GT(before, n / 4) << "shuffle failed to destroy the band";
+
+  const std::vector<std::size_t> perm = rcm_ordering(shuffled);
+  const std::size_t after = bandwidth(permute_symmetric(shuffled, perm));
+  // RCM is a heuristic, but on a path-like graph of half-bandwidth 2 it
+  // must land within a small constant of optimal.
+  EXPECT_LE(after, 8u) << "RCM bandwidth " << after << " (was " << before
+                       << ")";
+}
+
+TEST(Reorder, InvertOrderingRoundTrips) {
+  std::mt19937_64 rng(7);
+  for (const std::size_t n : {1u, 2u, 17u, 256u}) {
+    std::vector<std::size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    std::shuffle(perm.begin(), perm.end(), rng);
+    const std::vector<std::size_t> inv = invert_ordering(perm);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(inv[perm[i]], i);
+      EXPECT_EQ(perm[inv[i]], i);
+    }
+  }
+}
+
+// ---- BiCGSTAB kernel -------------------------------------------------------
+
+// 2000-state birth-death chain against the geometric closed form (mild
+// stiffness — lam/mu = 0.98, the availability regime): the kernel must
+// hit its 1e-10 verified-residual target and the returned report must
+// describe a converged solve. The diagonal preconditioner is exercised on
+// a shorter chain (Jacobi-BiCGSTAB stagnates on very stiff long chains —
+// that is exactly why ILU0 is the default).
+TEST(Bicgstab, MatchesClosedFormOnLargeBirthDeath) {
+  for (const auto& [n, precond] :
+       {std::pair<std::size_t, Preconditioner>{2000, Preconditioner::kIlu0},
+        std::pair<std::size_t, Preconditioner>{300,
+                                               Preconditioner::kJacobi}}) {
+    SparseMatrix qt;
+    std::vector<double> diag;
+    birth_death_system(n, 1.0, 1.02, qt, diag);
+    const std::vector<double> expect = birth_death_closed_form(n, 1.0, 1.02);
+    BicgstabOptions opts;
+    opts.precond = precond;
+    opts.tol = 1e-12;
+    opts.jobs = 1;
+    const BicgstabResult r = bicgstab_steady_state(qt, diag, opts);
+    EXPECT_LT(r.residual, 1e-12) << preconditioner_name(precond);
+    EXPECT_TRUE(r.report.converged);
+    EXPECT_EQ(r.report.method, "bicgstab");
+    ASSERT_EQ(r.pi.size(), n);
+    // Pointwise agreement is looser than the residual: on a long chain the
+    // residual-to-solution amplification grows with the mixing time.
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(r.pi[i], expect[i], 1e-8)
+          << preconditioner_name(precond) << " state " << i;
+    }
+  }
+}
+
+// Disabling RCM must not change the answer, only (possibly) the work.
+TEST(Bicgstab, RcmOnAndOffAgree) {
+  const std::size_t n = 500;
+  SparseMatrix qt;
+  std::vector<double> diag;
+  birth_death_system(n, 1.0, 1.05, qt, diag);
+  BicgstabOptions with;
+  with.jobs = 1;
+  BicgstabOptions without = with;
+  without.use_rcm = false;
+  const std::vector<double> a = bicgstab_steady_state(qt, diag, with).pi;
+  const std::vector<double> b = bicgstab_steady_state(qt, diag, without).pi;
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(a[i], b[i], 1e-12) << "state " << i;
+  }
+}
+
+// The deadline-mid-Krylov contract: a deadline that fires inside the
+// iteration must surface as ConvergenceError carrying the best normalized
+// iterate of the right size AND a populated ConvergenceTrace — the trace
+// sample is recorded before the deadline check, so even the first
+// residual check's abort has history to show.
+TEST(Bicgstab, DeadlineMidKrylovCarriesPartialAndTrace) {
+  // Jacobi-preconditioned BiCGSTAB on a long stiff chain stagnates for
+  // tens of thousands of iterations (each ~100us at this size), so a 50ms
+  // deadline reliably fires mid-iteration — no luck involved.
+  const std::size_t n = 20000;
+  SparseMatrix qt;
+  std::vector<double> diag;
+  birth_death_system(n, 1.0, 1.3, qt, diag);
+
+  BicgstabOptions opts;
+  opts.precond = Preconditioner::kJacobi;
+  opts.tol = 1e-10;
+  opts.jobs = 1;
+  opts.budget.deadline = robust::Deadline::after_seconds(0.05);
+  try {
+    bicgstab_steady_state(qt, diag, opts);
+    FAIL() << "tol = 0 cannot converge";
+  } catch (const robust::ConvergenceError& e) {
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos)
+        << e.what();
+    ASSERT_EQ(e.partial_result().size(), n);
+    double mass = 0.0;
+    for (const double v : e.partial_result()) {
+      ASSERT_TRUE(std::isfinite(v));
+      ASSERT_GE(v, 0.0);
+      mass += v;
+    }
+    EXPECT_NEAR(mass, 1.0, 1e-9) << "partial iterate is not normalized";
+    EXPECT_FALSE(e.report().converged);
+    EXPECT_GT(e.report().iterations, 0u);
+    EXPECT_FALSE(e.report().convergence.samples().empty())
+        << "deadline abort lost the convergence trace";
+  }
+}
+
+// An already-expired deadline aborts on the FIRST residual check — and
+// still carries one trace sample.
+TEST(Bicgstab, PreExpiredDeadlineStillPopulatesTrace) {
+  const std::size_t n = 200;
+  SparseMatrix qt;
+  std::vector<double> diag;
+  birth_death_system(n, 1.0, 1.2, qt, diag);
+  BicgstabOptions opts;
+  opts.tol = 0.0;
+  opts.jobs = 1;
+  opts.budget.deadline = robust::Deadline::after_seconds(-1.0);
+  try {
+    bicgstab_steady_state(qt, diag, opts);
+    FAIL() << "expired deadline must abort";
+  } catch (const robust::ConvergenceError& e) {
+    EXPECT_EQ(e.partial_result().size(), n);
+    EXPECT_FALSE(e.report().convergence.samples().empty());
+  }
+}
+
+// Iteration-cap exhaustion (budget.max_iterations) throws with the best
+// iterate rather than discarding the work.
+TEST(Bicgstab, IterationCapThrowsWithBestIterate) {
+  const std::size_t n = 400;
+  SparseMatrix qt;
+  std::vector<double> diag;
+  birth_death_system(n, 1.0, 1.01, qt, diag);
+  BicgstabOptions opts;
+  opts.precond = Preconditioner::kJacobi;  // ILU0 is exact on a tridiagonal
+  opts.tol = 1e-15;
+  opts.jobs = 1;
+  opts.budget.max_iterations = 2;
+  try {
+    bicgstab_steady_state(qt, diag, opts);
+    FAIL() << "2 Jacobi iterations cannot reach 1e-15";
+  } catch (const robust::ConvergenceError& e) {
+    EXPECT_EQ(e.partial_result().size(), n);
+    EXPECT_FALSE(e.report().converged);
+    EXPECT_LE(e.report().iterations, 2u);
+  }
+}
+
+// ---- NCD detection and aggregation-disaggregation --------------------------
+
+TEST(Ncd, DetectorFindsPlantedBlocks) {
+  SparseMatrix qt;
+  std::vector<double> diag;
+  planted_ncd_system(3, 5, 1e-5, qt, diag);
+  const robust::NcdPartition part = robust::detect_ncd_blocks(qt, diag, 0.05);
+  EXPECT_EQ(part.blocks, 3u);
+  EXPECT_EQ(part.max_block_size, 5u);
+  EXPECT_LT(part.coupling, 1e-3);
+  // States in the same planted block share a label; across blocks differ.
+  for (std::size_t i = 0; i < 15; ++i) {
+    EXPECT_EQ(part.block_of[i], part.block_of[(i / 5) * 5]) << "state " << i;
+  }
+  EXPECT_NE(part.block_of[0], part.block_of[5]);
+  EXPECT_NE(part.block_of[5], part.block_of[10]);
+}
+
+// Tightly-coupled chains must NOT decompose: one block, coupling ~1.
+TEST(Ncd, DetectorRejectsStronglyCoupledChain) {
+  SparseMatrix qt;
+  std::vector<double> diag;
+  birth_death_system(12, 1.0, 1.5, qt, diag);
+  const robust::NcdPartition part = robust::detect_ncd_blocks(qt, diag, 0.05);
+  EXPECT_EQ(part.blocks, 1u);
+}
+
+// A/D honors the deadline contract like every other iterative solver.
+TEST(Ncd, AdPreExpiredDeadlineThrowsPartial) {
+  SparseMatrix qt;
+  std::vector<double> diag;
+  planted_ncd_system(4, 6, 1e-5, qt, diag);
+  const robust::NcdPartition part = robust::detect_ncd_blocks(qt, diag, 0.05);
+  ASSERT_GE(part.blocks, 2u);
+  robust::AdOptions opts;
+  opts.budget.deadline = robust::Deadline::after_seconds(-1.0);
+  try {
+    robust::ad_steady_state(qt, diag, part, opts);
+    FAIL() << "expired deadline must abort";
+  } catch (const robust::ConvergenceError& e) {
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos);
+    EXPECT_EQ(e.partial_result().size(), qt.rows());
+    EXPECT_FALSE(e.report().converged);
+  }
+}
+
+// A/D on the planted system converges in a handful of sweeps.
+TEST(Ncd, AdSolvesPlantedSystemFast) {
+  SparseMatrix qt;
+  std::vector<double> diag;
+  planted_ncd_system(4, 6, 1e-5, qt, diag);
+  const robust::NcdPartition part = robust::detect_ncd_blocks(qt, diag, 0.05);
+  const robust::AdResult r = robust::ad_steady_state(qt, diag, part);
+  EXPECT_LT(r.residual, 1e-10);
+  EXPECT_LE(r.sweeps, 10u) << "NCD coupling 1e-5 should converge in a few "
+                              "sweeps, took " << r.sweeps;
+  EXPECT_TRUE(r.report.converged);
+}
+
+// ---- solver-choice plumbing ------------------------------------------------
+
+TEST(SolverChoicePlumbing, ScopedOverrideNestsAndRestores) {
+  ASSERT_EQ(robust::ambient_solver(), robust::default_solver());
+  const robust::SolverChoice base = robust::default_solver();
+  {
+    robust::ScopedSolverChoice outer(robust::SolverChoice::kSor);
+    EXPECT_EQ(robust::ambient_solver(), robust::SolverChoice::kSor);
+    {
+      robust::ScopedSolverChoice inner(robust::SolverChoice::kBicgstab);
+      EXPECT_EQ(robust::ambient_solver(), robust::SolverChoice::kBicgstab);
+    }
+    EXPECT_EQ(robust::ambient_solver(), robust::SolverChoice::kSor);
+    {
+      // kAuto = "no override": ambient falls through to the process
+      // default even while an outer override is pending restoration.
+      robust::ScopedSolverChoice clear(robust::SolverChoice::kAuto);
+      EXPECT_EQ(robust::ambient_solver(), robust::default_solver());
+    }
+  }
+  EXPECT_EQ(robust::ambient_solver(), base);
+}
+
+TEST(SolverChoicePlumbing, ProcessDefaultBindsWhenNoOverride) {
+  const robust::SolverChoice before = robust::default_solver();
+  robust::set_default_solver(robust::SolverChoice::kGth);
+  EXPECT_EQ(robust::ambient_solver(), robust::SolverChoice::kGth);
+  {
+    robust::ScopedSolverChoice scoped(robust::SolverChoice::kPower);
+    EXPECT_EQ(robust::ambient_solver(), robust::SolverChoice::kPower);
+  }
+  robust::set_default_solver(before);
+  EXPECT_EQ(robust::ambient_solver(), before);
+}
+
+TEST(SolverChoicePlumbing, NamesParseAndRoundTrip) {
+  using robust::SolverChoice;
+  for (const SolverChoice c :
+       {SolverChoice::kAuto, SolverChoice::kGth, SolverChoice::kSor,
+        SolverChoice::kBicgstab, SolverChoice::kPower, SolverChoice::kAd}) {
+    SolverChoice parsed;
+    ASSERT_TRUE(robust::parse_solver_choice(robust::solver_choice_name(c),
+                                            parsed));
+    EXPECT_EQ(parsed, c);
+  }
+  SolverChoice sink;
+  EXPECT_FALSE(robust::parse_solver_choice("gmres", sink));
+  EXPECT_FALSE(robust::parse_solver_choice("", sink));
+}

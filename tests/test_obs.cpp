@@ -268,7 +268,7 @@ TEST(Integration, FallbackChainProducesAttemptSpanTree) {
   RELKIT_REQUIRE_OBS_COMPILED_IN();
   ObsScope scope;
   FaultInjectionScope faults;
-  faults->fail_method("sor");  // force sor -> power degradation
+  faults->fail_method("sor");  // force sor -> bicgstab degradation
 
   auto ring = std::make_shared<obs::RingBufferSink>();
   obs::Tracer::instance().add_sink(ring);
@@ -282,7 +282,7 @@ TEST(Integration, FallbackChainProducesAttemptSpanTree) {
   markov::SteadyStateOptions opts;
   opts.dense_threshold = 0;         // no primary GTH
   opts.gth_fallback_threshold = 0;  // no last-resort GTH
-  opts.sor.adaptive_omega = false;  // single sor attempt, then power
+  opts.sor.adaptive_omega = false;  // single sor attempt, then bicgstab
   robust::SolveReport report;
   const auto pi = chain.steady_state(opts, &report);
   ASSERT_EQ(pi.size(), 12u);
@@ -299,7 +299,7 @@ TEST(Integration, FallbackChainProducesAttemptSpanTree) {
   ASSERT_GE(attempts.size(), 2u);
 
   // Every attempt is a child of the solve span and carries its verdict.
-  bool saw_failed_sor = false, saw_accepted_power = false;
+  bool saw_failed_sor = false, saw_accepted_bicgstab = false;
   for (const auto* a : attempts) {
     EXPECT_EQ(a->parent, solve->id);
     ASSERT_NE(a->attr("method"), nullptr);
@@ -307,24 +307,24 @@ TEST(Integration, FallbackChainProducesAttemptSpanTree) {
     if (*a->attr("method") == "sor" && *a->attr("accepted") == "false") {
       saw_failed_sor = true;
     }
-    if (*a->attr("method") == "power" && *a->attr("accepted") == "true") {
-      saw_accepted_power = true;
+    if (*a->attr("method") == "bicgstab" && *a->attr("accepted") == "true") {
+      saw_accepted_bicgstab = true;
       EXPECT_NE(a->attr("residual"), nullptr);
       EXPECT_NE(a->attr("iterations"), nullptr);
     }
   }
   EXPECT_TRUE(saw_failed_sor);
-  EXPECT_TRUE(saw_accepted_power);
+  EXPECT_TRUE(saw_accepted_bicgstab);
 
   // The solve span records the accepted method, and the SolveReport's
   // attempt details mirror the span attributes (same instrumentation
   // points).
   ASSERT_NE(solve->attr("method"), nullptr);
-  EXPECT_EQ(*solve->attr("method"), "power");
+  EXPECT_EQ(*solve->attr("method"), "bicgstab");
   ASSERT_GE(report.attempt_details.size(), 2u);
   EXPECT_FALSE(report.attempt_details.front().accepted);
   EXPECT_TRUE(report.attempt_details.back().accepted);
-  EXPECT_EQ(report.attempt_details.back().method, "power");
+  EXPECT_EQ(report.attempt_details.back().method, "bicgstab");
 
   // And the rendered tree shows the nesting.
   const std::string tree = obs::render_trace_tree(spans);

@@ -70,6 +70,7 @@ bool has_fallback(const robust::SolveReport& report,
 TEST(FallbackChain, SorFallsBackToPower) {
   FaultInjectionScope scope;
   scope->fail_method("sor");
+  scope->fail_method("bicgstab");  // both preconditioner attempts
 
   const std::size_t n = 12;
   const auto chain = birth_death_chain(n, 1.0, 2.0);
@@ -83,7 +84,11 @@ TEST(FallbackChain, SorFallsBackToPower) {
 
   EXPECT_EQ(report.method, "power");
   EXPECT_TRUE(report.converged);
-  EXPECT_TRUE(has_fallback(report, "sor->power")) << report.summary();
+  // The Krylov tier sits between SOR and power now; with bicgstab forced
+  // to fail, the chain walks sor -> bicgstab -> bicgstab(jacobi) -> power.
+  EXPECT_TRUE(has_fallback(report, "sor->bicgstab")) << report.summary();
+  EXPECT_TRUE(has_fallback(report, "bicgstab(jacobi)->power"))
+      << report.summary();
   const auto oracle = birth_death_oracle(n, 1.0, 2.0);
   for (std::size_t i = 0; i < n; ++i) {
     EXPECT_NEAR(pi[i], oracle[i], 1e-6);
@@ -114,6 +119,7 @@ TEST(FallbackChain, OmegaResetRetrySucceeds) {
 TEST(FallbackChain, PowerFallsBackToGth) {
   FaultInjectionScope scope;
   scope->fail_method("sor");
+  scope->fail_method("bicgstab");
   scope->fail_method("power");
 
   const std::size_t n = 8;
@@ -135,6 +141,8 @@ TEST(FallbackChain, PowerFallsBackToGth) {
 TEST(FallbackChain, AllMethodsExhaustedThrowsWithPartialAndReport) {
   FaultInjectionScope scope;
   scope->fail_method("sor");
+  scope->fail_method("bicgstab");
+  scope->fail_method("ad");
   scope->fail_method("power");
   scope->fail_method("gth");
 
@@ -211,7 +219,9 @@ TEST(FallbackChain, StiffNearReducibleRegression) {
   raw.sor.max_iters = 50;
   EXPECT_THROW(chain.steady_state(raw), robust::ConvergenceError);
 
-  // The fallback chain lands on dense GTH and matches it exactly.
+  // The fallback chain now detects the 1e-9 coupling as an NCD split and
+  // lands on aggregation-disaggregation, matching dense GTH exactly —
+  // the textbook case for Courtois decomposition.
   markov::SteadyStateOptions opts;
   opts.dense_threshold = 0;
   opts.gth_fallback_threshold = 64;
@@ -219,8 +229,9 @@ TEST(FallbackChain, StiffNearReducibleRegression) {
   robust::SolveReport report;
   const auto pi = chain.steady_state(opts, &report);
 
-  EXPECT_EQ(report.method, "gth");
-  EXPECT_TRUE(has_fallback(report, "power->gth")) << report.summary();
+  EXPECT_EQ(report.method, "ad");
+  EXPECT_TRUE(has_fallback(report, "sor(omega-reset)->ad"))
+      << report.summary();
   const auto exact = gth_steady_state(chain.dense_generator());
   for (std::size_t i = 0; i < 4; ++i) {
     EXPECT_NEAR(pi[i], exact[i], 1e-10);
@@ -475,6 +486,7 @@ TEST(CacheFaultInteraction, FailedSolveNeverPopulatesCache) {
   cache.clear();
   FaultInjectionScope scope;
   scope->fail_method("sor");
+  scope->fail_method("bicgstab");
   scope->fail_method("power");
   scope->fail_method("gth");
 

@@ -19,6 +19,8 @@
 #include "markov/solution_cache.hpp"
 #include "obs/obs.hpp"
 #include "parallel/queue.hpp"
+#include "robust/fault_injection.hpp"
+#include "robust/robust.hpp"
 #include "serve/client.hpp"
 #include "serve/http.hpp"
 #include "serve/json.hpp"
@@ -256,6 +258,50 @@ TEST(SolveCore, MissingFileIsModelError) {
   EXPECT_NE(outcome.fields.find("\"ok\":false"), std::string::npos);
 }
 
+// A request deadline that fires mid-Krylov must come back as a degraded
+// response, not a hard failure: the forced-bicgstab solve of the pool's
+// 5001-state CTMC is kept from ever converging (its verified residual is
+// scaled to nonsense by fault injection), so the per-request deadline
+// interrupts the iteration and the solve core must surface the kernel's
+// best partial iterate with degraded:true.
+TEST(SolveCore, DeadlineMidKrylovReturnsDegraded) {
+  const relkit::testing::FaultInjectionScope scope;
+  scope->scale("bicgstab.residual", 1e30);
+  serve::SolveSpec spec;
+  spec.inline_text =
+      "model rbd pool\n"
+      "event pool markov 5000 1 0.5 1.0\n"
+      "top pool\n";
+  spec.solver = robust::SolverChoice::kBicgstab;
+  // Far shorter than the ILU0 setup on a 5001-state chain, so the first
+  // in-loop residual check already sees it expired — the abort happens
+  // inside the Krylov iteration, never before it starts.
+  spec.deadline = robust::Deadline::after_seconds(0.001);
+  const auto outcome = serve::solve_model(spec);
+  EXPECT_EQ(outcome.exit_class, 5);
+  EXPECT_TRUE(outcome.degraded);
+  EXPECT_EQ(outcome.error_class, "deadline");
+  EXPECT_NE(outcome.fields.find("\"degraded\":true"), std::string::npos);
+  EXPECT_NE(outcome.fields.find("\"partial\":["), std::string::npos);
+  EXPECT_NE(outcome.fields.find("\"report\":"), std::string::npos);
+}
+
+// A successful CTMC-backed solve reports which stationary method produced
+// the answer; a forced solver choice in the spec is honored end to end.
+TEST(SolveCore, ReportsSolverForForcedChoice) {
+  markov::SolutionCache::instance().clear();
+  serve::SolveSpec spec;
+  spec.inline_text =
+      "model rbd pool\n"
+      "event pool markov 8 4 0.01 0.5\n"
+      "top pool\n";
+  spec.solver = robust::SolverChoice::kBicgstab;
+  const auto outcome = serve::solve_model(spec);
+  EXPECT_EQ(outcome.exit_class, 0) << outcome.fields;
+  EXPECT_NE(outcome.fields.find("\"solver\":\"bicgstab\""), std::string::npos)
+      << outcome.fields;
+}
+
 // ---- server ----------------------------------------------------------------
 
 class ServeTest : public ::testing::Test {
@@ -398,6 +444,35 @@ TEST_F(ServeTest, RequestIdDeduplicatesThroughSolutionCache) {
   EXPECT_EQ(metric("serve_deduped_total"), deduped_before + 1);
   EXPECT_GE(metric("markov_cache_hits_total"), hits_before + 1);
   EXPECT_GT(metric("markov_cache_hit_rate"), 0.0);
+}
+
+TEST_F(ServeTest, SolveRequestHonorsSolverField) {
+  start();
+  const std::string source =
+      "model rbd pool\n"
+      "event farm markov 16 12 0.001 0.1\n"
+      "top farm\n";
+  const auto response =
+      post(solve_request(source, "", ",\"solver\":\"sor\""));
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"ok\":true"), std::string::npos);
+  // The forced choice is visible in the response: the CTMC behind the
+  // pool was solved by SOR, not by whatever the auto chain would pick.
+  EXPECT_NE(response.body.find("\"solver\":\"sor\""), std::string::npos)
+      << response.body;
+}
+
+TEST_F(ServeTest, SolveRequestRejectsUnknownSolver) {
+  start();
+  const auto response =
+      post(solve_request(kRbdSource, "", ",\"solver\":\"cholesky\""));
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(response.body.find("must be one of auto, gth, sor, bicgstab, "
+                               "power, ad"),
+            std::string::npos)
+      << response.body;
 }
 
 TEST_F(ServeTest, PathRequestsAreGated) {

@@ -5,8 +5,9 @@
 //              [--diagnostics] [--trace[=FILE]] [--trace-format=F]
 //              [--metrics[=FILE]] [--metrics-format=F] [--profile]
 //              [--jobs N] [--no-solver-cache] [--timeout-ms N]
+//              [--solver M]
 //   relkit_cli --batch LIST [--time t ...] [--profile] [--jobs N]
-//              [--no-solver-cache] [--timeout-ms N]
+//              [--no-solver-cache] [--timeout-ms N] [--solver M]
 //
 // Prints, depending on the model's component specifications:
 //   * steady-state availability / top-event probability,
@@ -28,6 +29,11 @@
 // concurrency; the library default without the CLI is sequential).
 // --no-solver-cache disables the process-wide CTMC solution cache
 // (markov::SolutionCache) — the escape hatch when every solve must run.
+// --solver M forces a single stationary method instead of the verified
+// fallback chain: auto (the default chain), gth, sor, bicgstab, power, or
+// ad (NCD aggregation-disaggregation). The forced method is still
+// verified; if it fails the solve fails instead of falling back. See
+// docs/solvers.md for when each wins.
 // --timeout-ms N bounds the analysis wall clock (per model in batch mode)
 // by installing a robust::ScopedDeadline; when an iterative solver runs
 // out mid-solve with a usable iterate, the CLI prints that partial result
@@ -63,6 +69,7 @@
 #include "obs/obs.hpp"
 #include "parallel/pool.hpp"
 #include "robust/budget.hpp"
+#include "robust/robust.hpp"
 #include "serve/solve_json.hpp"
 #include "serve/summary.hpp"
 
@@ -74,9 +81,11 @@ void usage() {
                "[--importance] [--diagnostics] [--trace[=FILE]] "
                "[--trace-format=tree|jsonl|chrome] [--metrics[=FILE]] "
                "[--metrics-format=text|json|openmetrics] [--profile] "
-               "[--jobs N] [--no-solver-cache] [--timeout-ms N]\n"
+               "[--jobs N] [--no-solver-cache] [--timeout-ms N] "
+               "[--solver auto|gth|sor|bicgstab|power|ad]\n"
                "       relkit_cli --batch LIST [--time t ...] [--profile] "
-               "[--jobs N] [--no-solver-cache] [--timeout-ms N]\n");
+               "[--jobs N] [--no-solver-cache] [--timeout-ms N] "
+               "[--solver M]\n");
 }
 
 /// Convergence trajectory as a JSON array of [iteration, value] pairs.
@@ -315,6 +324,27 @@ int main(int argc, char** argv) {
         return 4;
       }
       timeout_ms = parsed;
+    } else if (std::strcmp(argv[i], "--solver") == 0 ||
+               std::strncmp(argv[i], "--solver=", 9) == 0) {
+      const char* value = argv[i][8] == '=' ? argv[i] + 9 : nullptr;
+      if (value == nullptr) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "invalid argument: --solver needs a method\n");
+          usage();
+          return 4;
+        }
+        value = argv[++i];
+      }
+      relkit::robust::SolverChoice choice = relkit::robust::SolverChoice::kAuto;
+      if (!relkit::robust::parse_solver_choice(value, choice)) {
+        std::fprintf(stderr,
+                     "invalid argument: --solver must be auto, gth, sor, "
+                     "bicgstab, power, or ad, got '%s'\n",
+                     value);
+        usage();
+        return 4;
+      }
+      relkit::robust::set_default_solver(choice);
     } else if (std::strcmp(argv[i], "--batch") == 0 ||
                std::strncmp(argv[i], "--batch=", 8) == 0) {
       if (argv[i][7] == '=') {
@@ -429,7 +459,7 @@ int main(int argc, char** argv) {
         want_trace || want_metrics) {
       std::fprintf(stderr,
                    "invalid argument: --batch combines only with --time, "
-                   "--profile, --jobs, --timeout-ms, and "
+                   "--profile, --jobs, --timeout-ms, --solver, and "
                    "--no-solver-cache\n");
       usage();
       return 4;
