@@ -87,6 +87,9 @@ class FaultTree {
 
   std::size_t event_count() const { return names_.size(); }
   const std::vector<std::string>& event_names() const { return names_; }
+  /// Basic-event behaviour models, aligned with event_names() (used by
+  /// the CLI to build a SystemSimulator for --rare-event cross-checks).
+  const std::vector<EventModel>& event_models() const { return models_; }
   bool coherent() const { return coherent_; }
 
   /// Top-event probability at time t (unreliability / unavailability).

@@ -16,7 +16,11 @@
 //     (n, chunk), never on the worker count or on timing. reduce_chunks
 //     merges per-chunk accumulators in chunk-index order, so a reduction's
 //     result is a pure function of (inputs, n, chunk) — the worker count
-//     can change only the wall-clock time, not the answer. See
+//     can change only the wall-clock time, not the answer. Stochastic
+//     fan-outs (simulator replications, rare-event cycles and their
+//     RESTART split branches) extend the same idea to randomness: streams
+//     are pre-split from the master seed in item order (and branch streams
+//     from the parent stream in spawn order) before any chunk runs. See
 //     docs/parallelism.md for the full determinism contract.
 //   * Cooperative cancellation: an optional cancel() predicate (typically
 //     robust::Budget deadline checks) is polled between chunks; once it

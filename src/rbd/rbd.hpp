@@ -87,6 +87,11 @@ class Rbd {
   std::size_t component_count() const { return names_.size(); }
   /// Component names in variable order.
   const std::vector<std::string>& component_names() const { return names_; }
+  /// Component behaviour models, aligned with component_names() (used by
+  /// the CLI to build a SystemSimulator for --rare-event cross-checks).
+  const std::vector<ComponentModel>& component_models() const {
+    return models_;
+  }
 
   /// P(system up) with every component at its prob_up_at(t).
   double reliability(double t) const;

@@ -17,13 +17,16 @@
 //   "fixed_point.update" each raw fixed-point update value
 //   "fixed_point.max_iters"  fixed-point iteration budget (cap)
 //   "sim.replications"   simulator replication budget (cap)
+//   "sim.rare.cycles"    rare-event regenerative-cycle budget (cap)
 //   "serve.worker.delay_ms"  artificial per-request stall in relkit_serve
 //                        workers (0 normally; inject a value to hold
 //                        workers busy and saturate the admission queue)
-// Failable methods: "gth", "sor", "power" (checked by the fallback chain)
-// and "serve.solve" (checked by the relkit_serve request path before the
+// Failable methods: "gth", "sor", "power" (checked by the fallback chain),
+// "serve.solve" (checked by the relkit_serve request path before the
 // model is parsed, so the daemon's error handling can be driven without a
-// failable model).
+// failable model), and "sim.restart.split" (checked at every RESTART
+// branch split, so the rare-event engine's ConvergenceError path can be
+// driven deterministically).
 //
 // Header-only (Meyers singleton) so the base `common` module can call hooks
 // without a link dependency on the robust module. Thread-safe: the serve

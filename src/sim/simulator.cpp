@@ -16,13 +16,29 @@
 
 namespace relkit::sim {
 
+double Estimate::relative_error() const {
+  if (mean == 0.0) return std::numeric_limits<double>::infinity();
+  return half_width / std::abs(mean);
+}
+
 namespace {
 
 Estimate summarize(const OnlineStats& stats) {
   Estimate e;
   e.mean = stats.mean();
-  e.half_width = stats.count() >= 2 ? stats.ci_halfwidth(0.95) : 0.0;
   e.replications = stats.count();
+  if (stats.count() >= 2 && stats.variance() == 0.0 &&
+      (stats.mean() == 0.0 || stats.mean() == 1.0)) {
+    // Degenerate Bernoulli sample: every replication landed on the same
+    // side, so the sample variance (and a two-sided CI) is exactly zero —
+    // which would falsely "cover" only the point itself. Report the
+    // one-sided 95% rule-of-three bound 3/n instead: with n Bernoulli
+    // trials and zero observed events, p <= 3/n at ~95% confidence.
+    e.half_width = 3.0 / static_cast<double>(stats.count());
+    e.one_sided = true;
+  } else {
+    e.half_width = stats.count() >= 2 ? stats.ci_halfwidth(0.95) : 0.0;
+  }
   return e;
 }
 

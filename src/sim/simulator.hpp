@@ -44,9 +44,58 @@ struct Estimate {
   /// before the requested replication count; the estimate is still valid,
   /// just wider. Details are in robust::last_report().
   bool budget_stopped = false;
+  /// True when every observation of a Bernoulli estimator landed on the
+  /// same side (zero observed failures, or zero observed successes): the
+  /// sample variance is 0 and a two-sided CI would be a zero-width
+  /// interval that "covers" nothing. Instead half_width carries the
+  /// one-sided 95% rule-of-three bound 3/n, so hi() (mean 0) or lo()
+  /// (mean 1) is a valid one-sided confidence limit.
+  bool one_sided = false;
 
   double lo() const { return mean - half_width; }
   double hi() const { return mean + half_width; }
+  /// half_width / mean — the stopping-rule quantity of the rare-event
+  /// estimators (inf when mean == 0).
+  double relative_error() const;
+};
+
+/// Variance-reduction method for the rare-event estimators
+/// (docs/rare_events.md has the selection table).
+enum class RareMethod {
+  kNaive,               ///< plain regenerative cycles, no biasing
+  kRestart,             ///< importance splitting at level up-crossings
+  kImportanceSampling,  ///< balanced failure biasing + likelihood ratios
+};
+
+/// Options for the rare-event entry points (`unavailability_rare`,
+/// `mttf_rare`, `rare_unavailability`, `rare_mttf`).
+struct RareEventOptions {
+  RareMethod method = RareMethod::kImportanceSampling;
+  /// IS: probability mass moved onto the failure transitions in states
+  /// where both failure and repair transitions are enabled (balanced
+  /// failure biasing). Must be in (0, 1).
+  double bias = 0.5;
+  /// RESTART: importance thresholds, ascending. Splitting happens when a
+  /// trajectory's importance up-crosses a threshold. Empty = auto-derive
+  /// from the model (RareEventModel::auto_levels()).
+  std::vector<double> levels;
+  /// RESTART: branches per threshold up-crossing (>= 2).
+  unsigned splits = 8;
+  /// Stopping rule: stop as soon as the 95% CI half-width is at most this
+  /// fraction of the estimate.
+  double relative_error = 0.1;
+  /// Regenerative cycles between stopping-rule checks.
+  std::size_t batch = 4096;
+  /// Hard cap on regenerative cycles (the "replication" unit of the rare
+  /// estimators); reaching it before the relative-error target sets
+  /// budget_stopped.
+  std::size_t max_cycles = 1'000'000;
+  /// Parallelism degree: 0 = parallel::default_jobs(), 1 = sequential.
+  /// The estimate is identical for every jobs value (pre-split per-cycle
+  /// streams, fixed chunk boundaries, ordered merge).
+  unsigned jobs = 0;
+  /// Deadline / iteration budget (max_iterations also caps cycles).
+  robust::Budget budget;
 };
 
 /// One simulated component: lifetime distribution plus optional repair-time
@@ -87,6 +136,24 @@ class SystemSimulator {
   /// Mean time to first system failure.
   Estimate mttf(std::size_t replications, std::uint64_t seed,
                 const robust::Budget& budget = {}) const;
+
+  /// Steady-state unavailability 1 - A by rare-event regenerative
+  /// simulation (RESTART splitting or failure-biasing IS, see
+  /// docs/rare_events.md). Requires every component to have an exponential
+  /// lifetime AND an exponential repair distribution (the component-state
+  /// process must be a CTMC) and at most 64 components. Cycles regenerate
+  /// at the all-up state; the run stops at opts.relative_error or at the
+  /// cycle/budget cap (budget_stopped).
+  Estimate unavailability_rare(std::uint64_t seed,
+                               const RareEventOptions& opts = {}) const;
+
+  /// Mean time to first system failure by rare-event regenerative
+  /// simulation (same requirements as unavailability_rare). Uses the
+  /// ratio identity MTTF = E[Z] / gamma over regeneration cycles. Throws
+  /// robust::ConvergenceError when no failure was observed within the
+  /// budget (naive method on a nine-nines system will).
+  Estimate mttf_rare(std::uint64_t seed,
+                     const RareEventOptions& opts = {}) const;
 
  private:
   struct RunResult {

@@ -7,6 +7,7 @@
 #include "common/distributions.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "sim/simulator.hpp"
 #include "uncertainty/estimation.hpp"
 
 namespace relkit::uncertainty {
@@ -143,3 +144,59 @@ TEST(Pipeline, FitThenModel) {
 
 }  // namespace
 }  // namespace relkit::uncertainty
+
+namespace relkit::sim {
+namespace {
+
+// Degenerate-CI behaviour of sim::Estimate: when every Bernoulli
+// replication lands on the same side, the sample variance is exactly zero
+// and a two-sided CI would be a zero-width interval that "covers" nothing.
+// The estimator must instead report the one-sided 95% rule-of-three bound
+// 3/n (satellite of the rare-event PR; the rare-event engine shares the
+// same convention).
+
+TEST(RuleOfThree, ZeroObservedFailuresGivesOneSidedBound) {
+  // Practically immortal component: no replication ever sees a failure.
+  SystemSimulator s({{exponential(1e-12), nullptr}},
+                    [](const std::vector<bool>& st) { return st[0]; });
+  const Estimate rel = s.reliability(1.0, 500, 5);
+  EXPECT_DOUBLE_EQ(rel.mean, 1.0);
+  EXPECT_TRUE(rel.one_sided);
+  EXPECT_DOUBLE_EQ(rel.half_width, 3.0 / 500.0);
+  EXPECT_DOUBLE_EQ(rel.lo(), 1.0 - 3.0 / 500.0);  // one-sided lower limit
+
+  const Estimate avail = s.availability_at(1.0, 400, 6);
+  EXPECT_DOUBLE_EQ(avail.mean, 1.0);
+  EXPECT_TRUE(avail.one_sided);
+  EXPECT_DOUBLE_EQ(avail.half_width, 3.0 / 400.0);
+}
+
+TEST(RuleOfThree, ZeroObservedSuccessesGivesOneSidedBound) {
+  // Component that fails essentially immediately and is never repaired.
+  SystemSimulator s({{exponential(1e6), nullptr}},
+                    [](const std::vector<bool>& st) { return st[0]; });
+  const Estimate avail = s.availability_at(100.0, 300, 7);
+  EXPECT_DOUBLE_EQ(avail.mean, 0.0);
+  EXPECT_TRUE(avail.one_sided);
+  EXPECT_DOUBLE_EQ(avail.half_width, 3.0 / 300.0);
+  EXPECT_DOUBLE_EQ(avail.hi(), 3.0 / 300.0);  // one-sided upper limit
+  EXPECT_TRUE(std::isinf(avail.relative_error()));
+}
+
+TEST(RuleOfThree, MixedSampleKeepsTwoSidedInterval) {
+  // A ~63% failure probability at t = 1/lambda: both outcomes occur, so
+  // the normal-approximation two-sided CI applies unchanged.
+  SystemSimulator s({{exponential(1.0), nullptr}},
+                    [](const std::vector<bool>& st) { return st[0]; });
+  const Estimate avail = s.availability_at(1.0, 2000, 8);
+  EXPECT_FALSE(avail.one_sided);
+  EXPECT_GT(avail.half_width, 0.0);
+  // Normal-approximation width: 1.96 sqrt(p(1-p)/n) ~ 0.021 here.
+  EXPECT_LT(avail.half_width, 0.03);
+  const double analytic = std::exp(-1.0);
+  EXPECT_GE(analytic, avail.lo());
+  EXPECT_LE(analytic, avail.hi());
+}
+
+}  // namespace
+}  // namespace relkit::sim

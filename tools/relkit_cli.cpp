@@ -5,7 +5,9 @@
 //              [--diagnostics] [--trace[=FILE]] [--trace-format=F]
 //              [--metrics[=FILE]] [--metrics-format=F] [--profile]
 //              [--jobs N] [--no-solver-cache] [--timeout-ms N]
-//              [--solver M]
+//              [--solver M] [--rare-event[=METHOD]] [--seed N]
+//              [--rare-rel-err X] [--rare-max-cycles N] [--rare-bias X]
+//              [--rare-splits N]
 //   relkit_cli --batch LIST [--time t ...] [--profile] [--jobs N]
 //              [--no-solver-cache] [--timeout-ms N] [--solver M]
 //
@@ -34,6 +36,18 @@
 // ad (NCD aggregation-disaggregation). The forced method is still
 // verified; if it fails the solve fails instead of falling back. See
 // docs/solvers.md for when each wins.
+// --rare-event[=METHOD] cross-checks the analytic steady-state result with
+// the rare-event simulation engine (sim::SystemSimulator): the model's
+// repairable components are replayed as a CTMC and the steady-state
+// unavailability is estimated with METHOD = naive (plain regenerative
+// cycles), restart (importance splitting), or is (balanced failure
+// biasing, the default). Requires an ftree or rbd model whose components
+// are all repairable ('event NAME rate L repair M'). --seed fixes the
+// replication seed (default 42; results are bit-identical for any --jobs),
+// --rare-rel-err sets the stopping-rule relative-error target (default
+// 0.1), --rare-max-cycles the cycle cap (default 10^6), --rare-bias the IS
+// failure-biasing mass (default 0.5), and --rare-splits the RESTART branch
+// count per level crossing (default 8). See docs/rare_events.md.
 // --timeout-ms N bounds the analysis wall clock (per model in batch mode)
 // by installing a robust::ScopedDeadline; when an iterative solver runs
 // out mid-solve with a usable iterate, the CLI prints that partial result
@@ -53,10 +67,12 @@
 // 5 deadline exceeded with a partial result available (--timeout-ms).
 // Batch mode exits 0 only when every model solved; otherwise it uses the
 // exit class of the first failing model in input order.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <memory>
 #include <mutex>
@@ -65,6 +81,7 @@
 
 #include "core/relkit.hpp"
 #include "io/model_parser.hpp"
+#include "sim/simulator.hpp"
 #include "markov/solution_cache.hpp"
 #include "obs/obs.hpp"
 #include "parallel/pool.hpp"
@@ -82,7 +99,10 @@ void usage() {
                "[--trace-format=tree|jsonl|chrome] [--metrics[=FILE]] "
                "[--metrics-format=text|json|openmetrics] [--profile] "
                "[--jobs N] [--no-solver-cache] [--timeout-ms N] "
-               "[--solver auto|gth|sor|bicgstab|power|ad]\n"
+               "[--solver auto|gth|sor|bicgstab|power|ad] "
+               "[--rare-event[=naive|restart|is]] [--seed N] "
+               "[--rare-rel-err X] [--rare-max-cycles N] [--rare-bias X] "
+               "[--rare-splits N]\n"
                "       relkit_cli --batch LIST [--time t ...] [--profile] "
                "[--jobs N] [--no-solver-cache] [--timeout-ms N] "
                "[--solver M]\n");
@@ -127,6 +147,103 @@ void print_diagnostics() {
         "no solve recorded (the analysis used closed-form/BDD paths "
         "only)\n");
   }
+}
+
+// ---- rare-event cross-check (--rare-event) ---------------------------------
+
+/// Rebuilds a parsed combinatorial model as a SystemSimulator over its
+/// repairable components and estimates the steady-state unavailability
+/// with the requested variance-reduction method, printed next to the
+/// analytic value. Returns an exit code (0 ok, 2 model error, 4 invalid
+/// argument); numerical errors propagate to main's handlers.
+int run_rare_event(const relkit::io::ParsedModel& model,
+                   const relkit::sim::RareEventOptions& opts,
+                   std::uint64_t seed) {
+  namespace sim = relkit::sim;
+  if (model.graph) {
+    std::fprintf(stderr,
+                 "invalid argument: --rare-event supports ftree and rbd "
+                 "models (relgraph components carry no repair "
+                 "semantics)\n");
+    return 4;
+  }
+  const auto& names = model.fault_tree ? model.fault_tree->event_names()
+                                       : model.rbd->component_names();
+  const auto& specs = model.fault_tree ? model.fault_tree->event_models()
+                                       : model.rbd->component_models();
+  std::vector<sim::SimComponent> components;
+  components.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].kind != relkit::ComponentModel::Kind::kRepairable) {
+      std::fprintf(stderr,
+                   "model error: --rare-event requires every component to "
+                   "be repairable ('event %s rate LAMBDA repair MU')\n",
+                   names[i].c_str());
+      return 2;
+    }
+    components.push_back({relkit::exponential(specs[i].failure_rate),
+                          relkit::exponential(specs[i].repair_rate)});
+  }
+
+  // Structure function over 0/1 component states, evaluated through the
+  // model's own BDD. The BDD evaluators and their memo tables are not
+  // thread-safe, so the (mutex-guarded) mask cache also serializes the
+  // few cache-miss evaluations; with <= 64 components the visited-state
+  // set is tiny and up() is a cached map lookup on the hot path.
+  const auto* ft = model.fault_tree.get();
+  const auto* rbd = model.rbd.get();
+  auto mu = std::make_shared<std::mutex>();
+  auto cache = std::make_shared<std::map<std::uint64_t, bool>>();
+  auto names_held = std::make_shared<std::vector<std::string>>(names);
+  sim::StructureFn system_up = [ft, rbd, mu, cache,
+                                names_held](const std::vector<bool>& state) {
+    std::uint64_t mask = 0;
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      if (!state[i]) mask |= std::uint64_t{1} << i;
+    }
+    std::lock_guard<std::mutex> lock(*mu);
+    const auto it = cache->find(mask);
+    if (it != cache->end()) return it->second;
+    std::map<std::string, double> prob;
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      // Fault-tree basic events are FAILURE indicators; RBD components
+      // are UP indicators.
+      prob[(*names_held)[i]] =
+          ft != nullptr ? (state[i] ? 0.0 : 1.0) : (state[i] ? 1.0 : 0.0);
+    }
+    const bool up = ft != nullptr ? ft->top_probability(prob) < 0.5
+                                  : rbd->prob_up(prob) > 0.5;
+    (*cache)[mask] = up;
+    return up;
+  };
+
+  const double analytic = ft != nullptr ? ft->top_probability_limit()
+                                        : 1.0 - rbd->availability();
+  const char* method = opts.method == sim::RareMethod::kNaive ? "naive"
+                       : opts.method == sim::RareMethod::kRestart
+                           ? "restart"
+                           : "importance-sampling";
+
+  const sim::SystemSimulator simulator(std::move(components),
+                                       std::move(system_up));
+  const sim::Estimate est = simulator.unavailability_rare(seed, opts);
+  std::printf("rare-event unavailability (%s, seed %llu):\n", method,
+              static_cast<unsigned long long>(seed));
+  if (est.one_sided) {
+    std::printf("  estimate : zero failures in %zu cycles; one-sided 95%% "
+                "bound U <= %.3e\n",
+                est.replications, est.hi());
+  } else {
+    std::printf("  estimate : %.9e  (95%% CI +/- %.3e, rel. err. %.3f)\n",
+                est.mean, est.half_width, est.relative_error());
+  }
+  std::printf("  analytic : %.9e%s\n", analytic,
+              !est.one_sided && analytic >= est.lo() && analytic <= est.hi()
+                  ? "  (covered by the CI)"
+                  : "");
+  std::printf("  cycles   : %zu%s\n", est.replications,
+              est.budget_stopped ? "  (budget stopped)" : "");
+  return 0;
 }
 
 // ---- batch mode ------------------------------------------------------------
@@ -277,6 +394,15 @@ int main(int argc, char** argv) {
   bool no_solver_cache = false;
   unsigned jobs = 0;       // 0 = hardware concurrency
   long timeout_ms = 0;     // 0 = unlimited
+  bool want_rare = false;
+  relkit::sim::RareEventOptions rare_opts;
+  std::uint64_t rare_seed = 42;
+  // Fetches the value of a --flag VALUE / --flag=VALUE argument, or null.
+  const auto flag_value = [&](int& i, std::size_t name_len) -> const char* {
+    if (argv[i][name_len] == '=') return argv[i] + name_len + 1;
+    if (i + 1 < argc) return argv[++i];
+    return nullptr;
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 ||
         std::strncmp(argv[i], "--jobs=", 7) == 0) {
@@ -440,6 +566,99 @@ int main(int argc, char** argv) {
           return 4;
         }
       }
+    } else if (std::strncmp(argv[i], "--rare-event", 12) == 0 &&
+               (argv[i][12] == '\0' || argv[i][12] == '=')) {
+      want_rare = true;
+      if (argv[i][12] == '=') {
+        const std::string method = argv[i] + 13;
+        if (method == "naive") {
+          rare_opts.method = relkit::sim::RareMethod::kNaive;
+        } else if (method == "restart") {
+          rare_opts.method = relkit::sim::RareMethod::kRestart;
+        } else if (method == "is") {
+          rare_opts.method = relkit::sim::RareMethod::kImportanceSampling;
+        } else {
+          std::fprintf(stderr,
+                       "invalid argument: --rare-event must be naive, "
+                       "restart, or is, got '%s'\n",
+                       method.c_str());
+          usage();
+          return 4;
+        }
+      }
+    } else if (std::strcmp(argv[i], "--seed") == 0 ||
+               std::strncmp(argv[i], "--seed=", 7) == 0) {
+      const char* value = flag_value(i, 6);
+      char* rest = nullptr;
+      const unsigned long long parsed =
+          value != nullptr ? std::strtoull(value, &rest, 10) : 0;
+      if (value == nullptr || rest == value || *rest != '\0') {
+        std::fprintf(stderr,
+                     "invalid argument: --seed needs a non-negative "
+                     "integer\n");
+        usage();
+        return 4;
+      }
+      rare_seed = parsed;
+    } else if (std::strcmp(argv[i], "--rare-rel-err") == 0 ||
+               std::strncmp(argv[i], "--rare-rel-err=", 15) == 0) {
+      const char* value = flag_value(i, 14);
+      char* rest = nullptr;
+      const double parsed =
+          value != nullptr ? std::strtod(value, &rest) : 0.0;
+      if (value == nullptr || rest == value || *rest != '\0' ||
+          parsed <= 0.0 || parsed > 1.0) {
+        std::fprintf(stderr,
+                     "invalid argument: --rare-rel-err needs a number in "
+                     "(0, 1]\n");
+        usage();
+        return 4;
+      }
+      rare_opts.relative_error = parsed;
+    } else if (std::strcmp(argv[i], "--rare-max-cycles") == 0 ||
+               std::strncmp(argv[i], "--rare-max-cycles=", 18) == 0) {
+      const char* value = flag_value(i, 17);
+      char* rest = nullptr;
+      const unsigned long long parsed =
+          value != nullptr ? std::strtoull(value, &rest, 10) : 0;
+      if (value == nullptr || rest == value || *rest != '\0' || parsed < 2) {
+        std::fprintf(stderr,
+                     "invalid argument: --rare-max-cycles needs an integer "
+                     ">= 2\n");
+        usage();
+        return 4;
+      }
+      rare_opts.max_cycles = static_cast<std::size_t>(parsed);
+    } else if (std::strcmp(argv[i], "--rare-bias") == 0 ||
+               std::strncmp(argv[i], "--rare-bias=", 12) == 0) {
+      const char* value = flag_value(i, 11);
+      char* rest = nullptr;
+      const double parsed =
+          value != nullptr ? std::strtod(value, &rest) : 0.0;
+      if (value == nullptr || rest == value || *rest != '\0' ||
+          parsed <= 0.0 || parsed >= 1.0) {
+        std::fprintf(stderr,
+                     "invalid argument: --rare-bias needs a number in "
+                     "(0, 1)\n");
+        usage();
+        return 4;
+      }
+      rare_opts.bias = parsed;
+    } else if (std::strcmp(argv[i], "--rare-splits") == 0 ||
+               std::strncmp(argv[i], "--rare-splits=", 14) == 0) {
+      const char* value = flag_value(i, 13);
+      char* rest = nullptr;
+      const unsigned long long parsed =
+          value != nullptr ? std::strtoull(value, &rest, 10) : 0;
+      if (value == nullptr || rest == value || *rest != '\0' || parsed < 2 ||
+          parsed > 1024) {
+        std::fprintf(stderr,
+                     "invalid argument: --rare-splits needs an integer in "
+                     "[2, 1024]\n");
+        usage();
+        return 4;
+      }
+      rare_opts.splits = static_cast<unsigned>(parsed);
     } else if (argv[i][0] == '-') {
       usage();
       return 1;
@@ -456,7 +675,7 @@ int main(int argc, char** argv) {
 
   if (!batch_file.empty()) {
     if (!path.empty() || want_cuts || want_importance || want_diagnostics ||
-        want_trace || want_metrics) {
+        want_trace || want_metrics || want_rare) {
       std::fprintf(stderr,
                    "invalid argument: --batch combines only with --time, "
                    "--profile, --jobs, --timeout-ms, --solver, and "
@@ -605,6 +824,10 @@ int main(int argc, char** argv) {
                       row.fussell_vesely);
         }
       }
+    }
+    if (want_rare) {
+      const int code = run_rare_event(model, rare_opts, rare_seed);
+      if (code != 0) return code;
     }
     if (want_diagnostics) print_diagnostics();
     if (want_trace) {

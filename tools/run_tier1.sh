@@ -15,6 +15,11 @@
 # daemon happy paths) and test_serve_chaos (the resilience battery, also
 # runnable alone as `ctest -L chaos`), so a tier-1 pass certifies the
 # serving layer, not just the solvers.
+#
+# The rare-event property suite (ctest label "sim_rare", RUN_SERIAL) is
+# part of the sweep too; its expensive nine-nines acceptance sweep only
+# runs when RELKIT_LARGE=1 is exported (mirroring solver_large) and is
+# skipped here.
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
