@@ -144,6 +144,13 @@ struct CycleOutcome {
 /// branch for kNaive / kImportanceSampling). All floating-point
 /// accumulation happens in deterministic DFS order; branch streams are
 /// split from the parent stream in spawn order.
+///
+/// RESTART weight accounting (Villén-Altamirano): a branch's weight is a
+/// pure function of its current importance region — splits^-(number of
+/// thresholds below the current importance). Dividing by `splits` on each
+/// up-crossing and RESTORING the factor on each down-crossing is what
+/// makes killing retrials at their birth threshold unbiased; a weight that
+/// only ever shrinks under-counts every re-ascent after a partial descent.
 class CycleWalker {
  public:
   CycleWalker(const RareEventModel& model, const RareEventOptions& opts,
@@ -158,8 +165,9 @@ class CycleWalker {
     out_ = {};
     branches_ = 0;
     biasing_ = opts_.method == RareMethod::kImportanceSampling;
+    restart_ = opts_.method == RareMethod::kRestart && !levels_.empty();
     final_lr_ = 1.0;
-    branch(s0_, rng, 1.0, 1.0, kOriginal);
+    branch(s0_, rng, 1.0, kOriginal, 0, 0);
     if (opts_.method == RareMethod::kImportanceSampling) {
       static obs::Histogram& lr_hist =
           obs::histogram("sim.is.likelihood_ratio");
@@ -179,14 +187,64 @@ class CycleWalker {
         levels_.begin());
   }
 
-  void branch(std::uint64_t s, Rng& rng, double weight, double lr,
-              std::size_t birth) {
+  /// splits^-region, by repeated division so jobs=1 stays bit-identical to
+  /// the pool path (no libm involved).
+  double region_weight(std::size_t region) const {
+    double w = 1.0;
+    for (std::size_t i = 0; i < region; ++i) {
+      w /= static_cast<double>(opts_.splits);
+    }
+    return w;
+  }
+
+  /// Spawns the retrials for an up-crossing of thresholds
+  /// [cross_begin, cross_end) at state `s`: splits - 1 retrials per
+  /// threshold, each of which recursively splits for the remaining
+  /// thresholds on entry, so a jump over k thresholds yields the
+  /// splits^k trajectories the classical scheme requires (not a flat
+  /// 1 + k*(splits-1)). A retrial born at threshold `lvl` dies when its
+  /// importance falls below levels_[lvl].
+  void spawn(std::uint64_t s, Rng& rng, double lr, std::size_t cross_begin,
+             std::size_t cross_end) {
+    auto& injector = testing::FaultInjector::instance();
+    static obs::Counter& split_counter = obs::counter("sim.restart.splits");
+    for (std::size_t lvl = cross_begin; lvl < cross_end; ++lvl) {
+      if (injector.should_fail("sim.restart.split")) {
+        robust::SolveReport report;
+        report.method = "rare-event/restart";
+        report.attempts = {"restart"};
+        report.converged = false;
+        report.warn(
+            "fault injection: sim.restart.split forced a split failure");
+        robust::record_last_report(report);
+        throw robust::ConvergenceError(
+            "rare-event: RESTART split failed (fault injection)", {}, report);
+      }
+      split_counter.add(opts_.splits - 1);
+      for (unsigned c = 1; c < opts_.splits; ++c) {
+        Rng child = rng.split();
+        branch(s, child, lr, lvl, lvl + 1, cross_end);
+      }
+    }
+  }
+
+  /// `birth` is kOriginal for the main trajectory, else the index of the
+  /// threshold whose down-crossing kills this retrial. On entry the branch
+  /// first spawns its own retrials for thresholds [cross_begin, cross_end)
+  /// — the part of a multi-threshold jump the parent delegated to it.
+  void branch(std::uint64_t s, Rng& rng, double lr, std::size_t birth,
+              std::size_t cross_begin, std::size_t cross_end) {
     if (++branches_ > kMaxBranches) {
       throw NumericalError(
           "rare-event: RESTART branch population exceeded " +
           std::to_string(kMaxBranches) +
           " in one cycle — lower `splits` or use fewer levels");
     }
+    if (restart_ && cross_begin < cross_end) {
+      spawn(s, rng, lr, cross_begin, cross_end);
+    }
+    std::size_t region = restart_ ? level_of(model_.importance(s)) : 0;
+    double weight = region_weight(region);
     std::vector<RareTransition> trans;
     trans.reserve(8);
     while (true) {
@@ -268,6 +326,19 @@ class CycleWalker {
         if (birth == kOriginal) final_lr_ = lr;
         return;
       }
+      // Branch death is decided BEFORE the up/down bookkeeping: with a
+      // non-coherent structure function a repair step can both drop a
+      // retrial below its birth threshold and take the system down, and
+      // the splitting scheme requires such a retrial to die unscored (the
+      // branches born below cover that region).
+      std::size_t next_region = region;
+      if (restart_) {
+        const double phi_t = model_.importance(next);
+        if (birth != kOriginal && phi_t < levels_[birth]) {
+          return;  // fell below the birth threshold: the branch dies
+        }
+        next_region = level_of(phi_t);
+      }
       if (!model_.up(next)) {
         if (mttf_) {  // first system failure: score the indicator and stop
           out_.den += weight * lr;
@@ -279,42 +350,11 @@ class CycleWalker {
         // and an unbounded LR would ruin the variance.
         biasing_ = false;
       }
-
-      if (opts_.method == RareMethod::kRestart && !levels_.empty()) {
-        const double phi_s = model_.importance(s);
-        const double phi_t = model_.importance(next);
-        if (birth != kOriginal && phi_t < levels_[birth]) {
-          return;  // fell below the birth threshold: the branch dies
-        }
-        const std::size_t ls = level_of(phi_s);
-        const std::size_t lt = level_of(phi_t);
-        if (lt > ls) {
-          auto& injector = testing::FaultInjector::instance();
-          static obs::Counter& split_counter =
-              obs::counter("sim.restart.splits");
-          for (std::size_t lvl = ls; lvl < lt; ++lvl) {
-            if (injector.should_fail("sim.restart.split")) {
-              robust::SolveReport report;
-              report.method = "rare-event/restart";
-              report.attempts = {"restart"};
-              report.converged = false;
-              report.warn(
-                  "fault injection: sim.restart.split forced a split "
-                  "failure");
-              robust::record_last_report(report);
-              throw robust::ConvergenceError(
-                  "rare-event: RESTART split failed (fault injection)", {},
-                  report);
-            }
-            weight /= static_cast<double>(opts_.splits);
-            split_counter.add(opts_.splits - 1);
-            for (unsigned c = 1; c < opts_.splits; ++c) {
-              Rng child = rng.split();
-              branch(next, child, weight, lr, lvl);
-            }
-          }
-        }
+      if (restart_ && next_region > region) {
+        spawn(next, rng, lr, region, next_region);
       }
+      region = next_region;
+      weight = region_weight(region);
       s = next;
     }
   }
@@ -327,6 +367,7 @@ class CycleWalker {
   CycleOutcome out_;
   std::size_t branches_ = 0;
   bool biasing_ = false;
+  bool restart_ = false;
   double final_lr_ = 1.0;
 };
 
@@ -354,6 +395,13 @@ Estimate run_rare(const char* what, const RareEventModel& model, bool mttf,
   if (opts.method == RareMethod::kRestart) {
     levels = opts.levels.empty() ? model.auto_levels() : opts.levels;
     std::sort(levels.begin(), levels.end());
+    levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+    // A threshold at or below the regeneration importance can never be
+    // up-crossed from the start region; keeping it would also push branch
+    // weights above 1 (weights are splits^-region).
+    const double phi0 = model.importance(model.initial_state());
+    levels.erase(levels.begin(),
+                 std::upper_bound(levels.begin(), levels.end(), phi0));
   }
 
   // The options budget combined with the calling thread's ambient deadline

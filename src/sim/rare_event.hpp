@@ -17,10 +17,14 @@
 //   * kNaive    — plain cycles. Baseline; blind below ~1/cycles.
 //   * kRestart  — importance splitting: when a trajectory's importance
 //                 (e.g. number of failed components) up-crosses a
-//                 threshold it splits into `splits` branches, each with
-//                 weight 1/splits; a non-original branch dies when it
-//                 falls back below its birth threshold. Unbiased for any
-//                 additive path functional.
+//                 threshold it splits into `splits` branches. A branch's
+//                 weight is splits^-(thresholds below its current
+//                 importance): divided by `splits` at each up-crossing
+//                 and restored at each down-crossing, which is what makes
+//                 killing a non-original branch when it falls back below
+//                 its birth threshold unbiased for any additive path
+//                 functional (Villén-Altamirano). Thresholds at or below
+//                 the regeneration importance are ignored.
 //   * kImportanceSampling — balanced failure biasing: in states with both
 //                 failure and repair transitions enabled, move probability
 //                 mass `bias` onto the failure transitions (uniformly) in

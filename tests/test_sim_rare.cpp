@@ -129,6 +129,67 @@ TEST(RareUnavailability, LikelihoodRatioCiCoversAcross100Seeds) {
   EXPECT_GE(covered, 93);
 }
 
+/// Multi-level RESTART in the regime where the weight accounting actually
+/// matters: a 4-state birth-death chain (auto ladder {0.5, 1.5}) with
+/// moderate rates, so trajectories routinely descend a level and re-ascend
+/// before regenerating. A weight that is divided at up-crossings but never
+/// restored at down-crossings under-counts every such re-ascent and the CI
+/// confidently excludes the stationary truth; the correct region-weight
+/// scheme must cover across seeds.
+TEST(RareRestart, MultiLevelCoversBirthDeathStationaryLaw) {
+  const std::vector<double> birth = {1.0, 0.8, 0.5};
+  const std::vector<double> death = {2.0, 2.0, 2.0};
+  const auto pi = markov::birth_death_steady_state(birth, death);
+  const double analytic = pi[3];
+
+  markov::Ctmc chain;
+  chain.add_states(4);
+  for (std::size_t i = 0; i < 3; ++i) {
+    chain.add_transition(i, i + 1, birth[i]);
+    chain.add_transition(i + 1, i, death[i]);
+  }
+  const CtmcRareModel model(chain,
+                            [](markov::StateId s) { return s != 3; });
+  ASSERT_EQ(model.auto_levels().size(), 2u);
+
+  RareEventOptions opts;
+  opts.method = RareMethod::kRestart;
+  opts.splits = 2;
+  opts.relative_error = 1e-9;  // never met: fixed 2000-cycle budget per seed
+  opts.max_cycles = 2000;
+  int covered = 0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const Estimate est = rare_unavailability(model, seed, opts);
+    if (analytic >= est.lo() && analytic <= est.hi()) ++covered;
+  }
+  EXPECT_GE(covered, 93);
+}
+
+/// The same multi-level regime through the component adapter: 1-of-3
+/// parallel (min cut 3, auto ladder {0.5, 1.5}) with non-tiny rates and
+/// the closed form U = p^3.
+TEST(RareRestart, MultiLevelCoversTriplexClosedForm) {
+  const double lam = 1.0, mu = 2.0;
+  const double p = lam / (lam + mu);
+  const double analytic = p * p * p;
+  SystemSimulator triplex(
+      {{exponential(lam), exponential(mu)},
+       {exponential(lam), exponential(mu)},
+       {exponential(lam), exponential(mu)}},
+      [](const std::vector<bool>& s) { return s[0] || s[1] || s[2]; });
+  RareEventOptions opts;
+  opts.method = RareMethod::kRestart;
+  opts.splits = 3;
+  opts.relative_error = 1e-9;  // never met: fixed 1500-cycle budget per seed
+  opts.max_cycles = 1500;
+  int covered = 0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const Estimate est = triplex.unavailability_rare(seed, opts);
+    if (analytic >= est.lo() && analytic <= est.hi()) ++covered;
+  }
+  EXPECT_GE(covered, 93);
+}
+
 TEST(RareMttf, ImportanceSamplingCoversAbsorbingAnalysis) {
   const double lam = 1e-3, mu = 1.0;
   // Truth: 3-state chain where "both down" absorbs.
@@ -207,8 +268,15 @@ TEST(RareRestart, FaultInjectedSplitFailureThrowsWithReport) {
 
 /// jobs == 1 is pinned to a literal generated at development time: any
 /// change to stream pre-splitting, chunking, or merge order breaks this
-/// test rather than silently changing published numbers.
+/// test rather than silently changing published numbers. The literals go
+/// through std::log/std::exp, whose last bits differ across libm
+/// implementations, so the pin only runs on the reference platform
+/// (x86-64 glibc); Jobs1AndJobs4AgreeExactly carries the actual
+/// jobs-independence contract everywhere.
 TEST(RareDeterminism, Jobs1BitwisePin) {
+#if !(defined(__x86_64__) && defined(__GLIBC__))
+  GTEST_SKIP() << "bitwise pin recorded on x86-64/glibc libm";
+#endif
   RareEventOptions opts;
   opts.method = RareMethod::kImportanceSampling;
   opts.relative_error = 1e-9;
