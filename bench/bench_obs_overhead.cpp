@@ -18,7 +18,13 @@
 //   4. sink ablation: the same workload with a RingBufferSink and with a
 //      ChromeTraceSink attached, plus tight-loop per-span costs for each
 //      sink — what --trace / --trace-format=chrome add on top of
-//      "enabled, no sink".
+//      "enabled, no sink";
+//   5. flight-recorder ablation: the enabled workload with the always-on
+//      crash recorder switched off, plus a tight-loop enabled-hook A/B
+//      (recorder on vs. off) that gates the recorder's own contract — it
+//      rides along on every enabled run, so it must stay under the same
+//      2% line. A final row prices the per-span perf_event read cost of
+//      --profile hardware counters where the kernel allows them.
 //
 // A second table pins the same contract on the relkit_serve request path:
 // every request pays a fixed trace-id + sampling cost even with --trace
@@ -38,6 +44,8 @@
 #include <vector>
 
 #include "core/relkit.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/hw_counters.hpp"
 #include "obs/obs.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
@@ -61,6 +69,21 @@ ftree::FaultTree make_kofn_tree(std::uint32_t n) {
 double one_workload() {
   const auto tree = make_kofn_tree(96);
   return tree.top_probability_limit();
+}
+
+// Contract verdict line. perfcheck.sh greps the output for "MISSES", so an
+// unoptimized build — where per-hook cost is dominated by missing inlining,
+// not by design — prints the number but does not gate: the 2% contracts
+// are statements about optimized code, and bench/run_all.sh already
+// refuses debug-built baselines for the same reason.
+void print_contract_line(const char* label, double pct) {
+#if defined(__OPTIMIZE__) || defined(NDEBUG)
+  std::printf("%s %s 2%% target: %s\n", label, pct < 2.0 ? "meets" : "MISSES",
+              pct < 2.0 ? "PASS" : "FAIL");
+#else
+  (void)pct;
+  std::printf("%s vs 2%% target: not gated (unoptimized build)\n", label);
+#endif
 }
 
 /// Median seconds per workload iteration over `reps` timed repetitions.
@@ -93,6 +116,14 @@ void print_table() {
   const double disabled_s = time_workload(kReps);
   obs::set_enabled(true);
   const double enabled_s = time_workload(kReps);
+
+  // Flight-recorder ablation: the recorder rides along whenever obs is
+  // enabled (always-on is its contract — a crash report needs the tail
+  // nobody asked for in advance), so "enabled" above already includes it.
+  // Turning it off isolates what the always-on rings cost.
+  obs::flight::set_enabled(false);
+  const double norec_s = time_workload(kReps);
+  obs::flight::set_enabled(true);
 
   // Sink ablation: same workload, spans now reach an attached sink.
   auto& tracer = obs::Tracer::instance();
@@ -134,6 +165,32 @@ void print_table() {
           .count();
   const double ns_per_hook = probe_s / kProbeLoops * 1e9;
 
+  // Per-hook ENABLED cost with the recorder off vs. on. A tight loop hits
+  // one counter repeatedly, so this measures the coalesced path (repeat
+  // hits fold into the newest ring event: a compare + add, not a full
+  // 64-byte store) — the path hot solver loops live on, and the one that
+  // regresses first if anyone reintroduces shared-cacheline traffic. The
+  // mixed-counter cost shows up in the ungated workload A/B row instead.
+  const auto time_hooks = [&]() {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < kProbeLoops; ++i) probe.add();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  obs::set_enabled(true);
+  obs::flight::set_enabled(false);
+  const double hook_norec_s = time_hooks();
+  obs::flight::set_enabled(true);
+  const double hook_rec_s = time_hooks();
+  obs::set_enabled(false);
+  const double recorder_ns_per_hook =
+      (hook_rec_s - hook_norec_s) / kProbeLoops * 1e9;
+  const double recorder_pct =
+      hooks_per_iter *
+      (recorder_ns_per_hook > 0.0 ? recorder_ns_per_hook * 1e-9 : 0.0) /
+      disabled_s * 100.0;
+
   const double estimated_pct =
       hooks_per_iter * (probe_s / kProbeLoops) / disabled_s * 100.0;
   const double ab_pct = (enabled_s / disabled_s - 1.0) * 100.0;
@@ -143,6 +200,8 @@ void print_table() {
               disabled_s * 1e6);
   std::printf("%-42s %10.1f us\n", "median iteration, obs enabled (no sink)",
               enabled_s * 1e6);
+  std::printf("%-42s %10.1f us\n", "median iteration, enabled, recorder off",
+              norec_s * 1e6);
   std::printf("%-42s %10.1f us\n", "median iteration, enabled + ring sink",
               ring_s * 1e6);
   if (chrome_s > 0.0) {
@@ -155,9 +214,39 @@ void print_table() {
   std::printf("%-42s %10.2f ns\n", "cost per disabled hook", ns_per_hook);
   std::printf("%-42s %10.3f %%\n", "estimated disabled-hook overhead",
               estimated_pct);
-  std::printf("disabled overhead %s 2%% target: %s\n\n",
-              estimated_pct < 2.0 ? "meets" : "MISSES",
-              estimated_pct < 2.0 ? "PASS" : "FAIL");
+  print_contract_line("disabled overhead", estimated_pct);
+  std::printf("%-42s %10.2f %%\n", "recorder on-vs-off A/B delta (enabled)",
+              (enabled_s / norec_s - 1.0) * 100.0);
+  std::printf("%-42s %10.2f ns\n",
+              "flight-recorder cost per coalesced hook", recorder_ns_per_hook);
+  std::printf("%-42s %10.3f %%\n", "estimated always-on recorder overhead",
+              recorder_pct);
+  print_contract_line("always-on recorder", recorder_pct);
+
+  // Hardware counters (--profile only): per-span cost of the two
+  // perf read() syscalls, or the reason they are unavailable here.
+  if (obs::hw::available()) {
+    constexpr int kSpanLoops = 100'000;
+    obs::set_enabled(true);
+    obs::hw::set_profiling(true);
+    const auto hw0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kSpanLoops; ++i) {
+      obs::Span span("bench.obs_span");
+      obs::HwCounterGroup hw_counters(span);
+      benchmark::DoNotOptimize(&hw_counters);
+    }
+    const double hw_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - hw0)
+                            .count();
+    obs::hw::set_profiling(false);
+    obs::set_enabled(false);
+    std::printf("%-42s %10.1f ns\n", "hw-counter cost per profiled span",
+                hw_s / kSpanLoops * 1e9);
+  } else {
+    std::printf("hw counters unavailable here: %s\n",
+                obs::hw::unavailable_reason());
+  }
+  std::printf("\n");
 }
 
 // ---- serve request path ----------------------------------------------------
@@ -268,9 +357,8 @@ void print_serve_table() {
               ns_per_request);
   std::printf("%-42s %10.3f %%\n", "estimated disabled-tracing overhead",
               estimated_pct);
-  std::printf("serve disabled overhead %s 2%% target: %s\n\n",
-              estimated_pct < 2.0 ? "meets" : "MISSES",
-              estimated_pct < 2.0 ? "PASS" : "FAIL");
+  print_contract_line("serve disabled overhead", estimated_pct);
+  std::printf("\n");
 }
 
 void BM_WorkloadObsDisabled(benchmark::State& state) {
@@ -308,6 +396,22 @@ void BM_CounterAddEnabled(benchmark::State& state) {
   obs::set_enabled(false);
 }
 BENCHMARK(BM_CounterAddEnabled);
+
+// Same enabled hook with the flight recorder off: the gap against
+// BM_CounterAddEnabled is the per-hit cost of the always-on crash rings.
+void BM_CounterAddEnabledRecorderOff(benchmark::State& state) {
+  if (!obs::kCompiledIn) {
+    state.SkipWithError("obs compiled out");
+    return;
+  }
+  obs::set_enabled(true);
+  obs::flight::set_enabled(false);
+  static obs::Counter& c = obs::counter("bench.obs_probe");
+  for (auto _ : state) c.add();
+  obs::flight::set_enabled(true);
+  obs::set_enabled(false);
+}
+BENCHMARK(BM_CounterAddEnabledRecorderOff);
 
 void BM_SpanDisabled(benchmark::State& state) {
   obs::set_enabled(false);
@@ -362,6 +466,31 @@ void BM_SpanEnabledChromeSink(benchmark::State& state) {
   obs::set_enabled(false);
 }
 BENCHMARK(BM_SpanEnabledChromeSink)->Iterations(1 << 16);
+
+// Span with a perf_event counter group attached, as --profile does on the
+// solver hot paths. Skipped (not failed) where the kernel forbids
+// perf_event_open — containers and locked-down hosts — matching the
+// graceful degradation of --profile itself.
+void BM_SpanEnabledHwCounters(benchmark::State& state) {
+  if (!obs::kCompiledIn) {
+    state.SkipWithError("obs compiled out");
+    return;
+  }
+  if (!obs::hw::available()) {
+    state.SkipWithError(obs::hw::unavailable_reason());
+    return;
+  }
+  obs::set_enabled(true);
+  obs::hw::set_profiling(true);
+  for (auto _ : state) {
+    obs::Span span("bench.obs_span");
+    obs::HwCounterGroup hw_counters(span);
+    benchmark::DoNotOptimize(&hw_counters);
+  }
+  obs::hw::set_profiling(false);
+  obs::set_enabled(false);
+}
+BENCHMARK(BM_SpanEnabledHwCounters);
 
 // Serve-path ablation rows. Fixed iteration counts: each request is a full
 // loopback HTTP round trip (~hundreds of us) and the traced variants buffer

@@ -25,15 +25,43 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sys/utsname.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "parallel/pool.hpp"
 
 namespace benchjson {
+
+/// "model name" line from /proc/cpuinfo, or "unknown" — stamped into the
+/// JSON context so bench_compare.py can refuse to diff runs from
+/// different machines as if they were regressions.
+inline std::string cpu_model() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon == std::string::npos) break;
+      const auto begin = line.find_first_not_of(" \t", colon + 1);
+      if (begin == std::string::npos) break;
+      return line.substr(begin);
+    }
+  }
+  return "unknown";
+}
+
+/// Kernel release (uname -r), or "unknown".
+inline std::string kernel_release() {
+  struct utsname u {};
+  if (::uname(&u) != 0) return "unknown";
+  return u.release;
+}
 
 struct Options {
   std::string json_path;    ///< empty = no JSON output requested
@@ -114,6 +142,11 @@ inline Options init(int* argc, char** argv) {
 #else
   benchmark::AddCustomContext("relkit_build_type", "debug");
 #endif
+  // Host identity: numbers measured on different silicon or kernels are
+  // not comparable, so the comparator warns on a context mismatch instead
+  // of reporting cross-machine noise as regressions.
+  benchmark::AddCustomContext("cpu_model", cpu_model());
+  benchmark::AddCustomContext("kernel", kernel_release());
   return opts;
 }
 

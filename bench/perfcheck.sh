@@ -7,8 +7,12 @@
 # committed baseline (bench/baselines/BENCH_obs_overhead.json) with
 # tools/bench_compare.py. Two verdicts with different strictness:
 #
-#   * the instrumentation contract ("disabled overhead meets 2% target",
-#     printed by the bench itself) always gates — a MISSES line fails;
+#   * the instrumentation contracts ("disabled overhead meets 2% target"
+#     and "always-on recorder meets 2% target", printed by the bench
+#     itself) always gate — any MISSES line fails. Unoptimized builds
+#     print "not gated (unoptimized build)" instead of a verdict: the 2%
+#     contracts describe optimized code, and uninlined debug hook costs
+#     would fail them meaninglessly;
 #   * the baseline comparison is report-only by default, because shared CI
 #     machines make wall-clock gating flaky; set RELKIT_PERFCHECK_STRICT=1
 #     to make regressions fail too. bench/run_all.sh --compare is the
@@ -44,10 +48,12 @@ if ! "$bench" --json "$tmp/fresh/BENCH_obs_overhead.json" \
 fi
 cat "$table"
 
-# Contract line: the bench prints "disabled overhead meets 2% target: PASS"
-# (or MISSES ... FAIL). Absent line = obs compiled out = nothing to gate.
+# Contract lines: the bench prints "... meets 2% target: PASS" (or
+# MISSES ... FAIL) for the disabled-hook, always-on-recorder, and serve
+# contracts. Absent lines = obs compiled out = nothing to gate.
 if grep -q "MISSES" "$table"; then
-  echo "perfcheck: FAIL — disabled-hook overhead misses the 2% target" >&2
+  echo "perfcheck: FAIL — an instrumentation contract misses its 2%" \
+       "target (see the MISSES line above)" >&2
   exit 1
 fi
 

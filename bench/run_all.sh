@@ -47,6 +47,12 @@ if [ ! -d "$bench_dir" ]; then
   exit 1
 fi
 
+# Host identity, for the log next to the per-file context stamps: numbers
+# from different machines are not comparable, and bench_compare.py warns
+# when a baseline's cpu_model/kernel context disagrees with the fresh run.
+echo "host: $(uname -sr), $(grep -m1 '^model name' /proc/cpuinfo 2>/dev/null \
+  | cut -d: -f2- | sed 's/^ *//' || echo 'unknown cpu')"
+
 found=0
 failed=""
 for bin in "$bench_dir"/bench_*; do

@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/reorder.hpp"
+#include "obs/hw_counters.hpp"
 #include "obs/obs.hpp"
 #include "parallel/pool.hpp"
 #include "robust/fault_injection.hpp"
@@ -150,6 +151,7 @@ BicgstabResult bicgstab_steady_state(const SparseMatrix& qt,
 
   const parallel::PoolLease lease(opts.jobs);
   obs::Span span("solver.bicgstab");
+  obs::HwCounterGroup hw_counters(span);
   span.set("n", n);
   span.set("jobs", static_cast<std::uint64_t>(lease.jobs()));
   span.set("precond", preconditioner_name(opts.precond));

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/hw_counters.hpp"
 #include "obs/obs.hpp"
 #include "parallel/pool.hpp"
 
@@ -43,6 +44,7 @@ std::vector<double> SparseMatrix::multiply(const std::vector<double>& x,
   detail::require(x.size() == cols_, "SparseMatrix::multiply: size mismatch");
 
   obs::Span span("markov.matvec");
+  obs::HwCounterGroup hw_counters(span);
   span.set("rows", rows_);
   span.set("nnz", nnz());
   span.set("jobs", static_cast<std::uint64_t>(pool->jobs()));
@@ -73,6 +75,7 @@ std::vector<double> SparseMatrix::multiply_left(
                   "SparseMatrix::multiply_left: size mismatch");
 
   obs::Span span("markov.matvec");
+  obs::HwCounterGroup hw_counters(span);
   span.set("rows", rows_);
   span.set("nnz", nnz());
   span.set("jobs", static_cast<std::uint64_t>(pool->jobs()));

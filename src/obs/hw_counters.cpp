@@ -1,0 +1,197 @@
+#include "obs/hw_counters.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/obs.hpp"
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define RELKIT_HAVE_PERF 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace relkit::obs {
+
+namespace {
+
+std::atomic<bool> g_profiling{false};
+
+#ifdef RELKIT_HAVE_PERF
+
+constexpr int kEvents = 4;
+
+constexpr std::uint64_t kEventConfigs[kEvents] = {
+    PERF_COUNT_HW_CPU_CYCLES,
+    PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_MISSES,
+};
+
+int perf_open(std::uint64_t config, int group_fd) {
+  perf_event_attr attr{};
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof attr;
+  attr.config = config;
+  attr.disabled = group_fd == -1 ? 1 : 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP;
+  return static_cast<int>(::syscall(__NR_perf_event_open, &attr, 0, -1,
+                                    group_fd, 0));
+}
+
+/// One group per thread, opened lazily on first use and kept enabled for
+/// the thread's lifetime; spans read cumulative counts and take deltas.
+struct ThreadGroup {
+  int fds[kEvents] = {-1, -1, -1, -1};
+  bool ok = false;
+
+  ThreadGroup() {
+    for (int i = 0; i < kEvents; ++i) {
+      fds[i] = perf_open(kEventConfigs[i], i == 0 ? -1 : fds[0]);
+      if (fds[i] < 0) {
+        close_all();
+        return;
+      }
+    }
+    if (::ioctl(fds[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP) != 0) {
+      close_all();
+      return;
+    }
+    ok = true;
+  }
+
+  ~ThreadGroup() { close_all(); }
+
+  void close_all() {
+    for (int& fd : fds) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+    ok = false;
+  }
+
+  HwReading read() const {
+    HwReading reading;
+    if (!ok) return reading;
+    // PERF_FORMAT_GROUP layout: { u64 nr; u64 values[nr]; }.
+    std::uint64_t buf[1 + kEvents] = {};
+    if (::read(fds[0], buf, sizeof buf) < 0 || buf[0] < kEvents) {
+      return reading;
+    }
+    reading.cycles = buf[1];
+    reading.instructions = buf[2];
+    reading.cache_misses = buf[3];
+    reading.branch_misses = buf[4];
+    reading.valid = true;
+    return reading;
+  }
+};
+
+ThreadGroup& thread_group() {
+  thread_local ThreadGroup group;
+  return group;
+}
+
+struct Probe {
+  bool available = false;
+  char reason[128] = "";
+
+  Probe() {
+    const int fd = perf_open(PERF_COUNT_HW_CPU_CYCLES, -1);
+    if (fd >= 0) {
+      ::close(fd);
+      available = true;
+      return;
+    }
+    const int err = errno;
+    std::snprintf(reason, sizeof reason,
+                  "perf_event_open failed: %s (check "
+                  "/proc/sys/kernel/perf_event_paranoid or container "
+                  "seccomp policy)",
+                  std::strerror(err));
+  }
+};
+
+const Probe& probe() {
+  static Probe result;
+  return result;
+}
+
+#endif  // RELKIT_HAVE_PERF
+
+}  // namespace
+
+namespace hw {
+
+bool available() {
+#ifdef RELKIT_HAVE_PERF
+  return probe().available;
+#else
+  return false;
+#endif
+}
+
+const char* unavailable_reason() {
+#ifdef RELKIT_HAVE_PERF
+  return probe().reason;
+#else
+  return "perf_event_open is not supported on this platform";
+#endif
+}
+
+void set_profiling(bool on) {
+  g_profiling.store(on && kCompiledIn && available(),
+                    std::memory_order_relaxed);
+}
+
+bool profiling() { return g_profiling.load(std::memory_order_relaxed); }
+
+HwReading read_current_thread() {
+#ifdef RELKIT_HAVE_PERF
+  if (!available()) return {};
+  return thread_group().read();
+#else
+  return {};
+#endif
+}
+
+}  // namespace hw
+
+HwCounterGroup::HwCounterGroup(Span& span) {
+  if (!hw::profiling() || !span.active()) return;
+  const HwReading start = hw::read_current_thread();
+  if (!start.valid) return;
+  start_ = start;
+  span_ = &span;
+}
+
+HwCounterGroup::~HwCounterGroup() {
+  if (span_ == nullptr) return;
+  const HwReading delta = sample();
+  if (!delta.valid) return;
+  span_->set("hw.cycles", delta.cycles);
+  span_->set("hw.instructions", delta.instructions);
+  span_->set("hw.cache_misses", delta.cache_misses);
+  span_->set("hw.branch_misses", delta.branch_misses);
+}
+
+HwReading HwCounterGroup::sample() const {
+  HwReading reading;
+  if (span_ == nullptr) return reading;
+  const HwReading now = hw::read_current_thread();
+  if (!now.valid) return reading;
+  reading.cycles = now.cycles - start_.cycles;
+  reading.instructions = now.instructions - start_.instructions;
+  reading.cache_misses = now.cache_misses - start_.cache_misses;
+  reading.branch_misses = now.branch_misses - start_.branch_misses;
+  reading.valid = true;
+  return reading;
+}
+
+}  // namespace relkit::obs

@@ -1,0 +1,67 @@
+// Hardware performance counters via perf_event_open: one per-thread group
+// (cycles, instructions, cache misses, branch misses) opened lazily and kept
+// enabled, so attaching counters to a span costs two read(2) snapshots and
+// nesting works naturally (each span takes deltas of the cumulative counts).
+//
+// Containers and locked-down kernels (perf_event_paranoid >= 3, seccomp)
+// routinely forbid perf_event_open; everything here degrades to a no-op in
+// that case — available() says why via unavailable_reason().
+//
+// Like the rest of obs, this header deliberately depends on nothing else in
+// RelKit.
+#pragma once
+
+#include <cstdint>
+
+namespace relkit::obs {
+
+class Span;
+
+struct HwReading {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branch_misses = 0;
+  bool valid = false;
+};
+
+namespace hw {
+
+/// True when perf_event_open works for this process (probed once).
+bool available();
+/// Human-readable reason when available() is false ("" when available).
+const char* unavailable_reason();
+
+/// Global switch: HwCounterGroup only measures while this is on (the CLI
+/// turns it on under --profile; it is off by default so spans stay free).
+void set_profiling(bool on);
+bool profiling();
+
+/// Cumulative counts of the calling thread's group since it was opened
+/// (valid=false when perf is unavailable). Mostly a testing seam.
+HwReading read_current_thread();
+
+}  // namespace hw
+
+/// RAII: snapshots the calling thread's counters at construction and, at
+/// destruction, writes the deltas onto `span` as hw.cycles /
+/// hw.instructions / hw.cache_misses / hw.branch_misses attrs (consumed by
+/// the --profile IPC and cache-miss columns). A no-op unless
+/// hw::profiling() && hw::available() && span.active().
+class HwCounterGroup {
+ public:
+  explicit HwCounterGroup(Span& span);
+  ~HwCounterGroup();
+  HwCounterGroup(const HwCounterGroup&) = delete;
+  HwCounterGroup& operator=(const HwCounterGroup&) = delete;
+
+  bool active() const { return span_ != nullptr; }
+  /// Deltas accumulated so far (valid=false when inactive).
+  HwReading sample() const;
+
+ private:
+  Span* span_ = nullptr;
+  HwReading start_;
+};
+
+}  // namespace relkit::obs

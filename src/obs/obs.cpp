@@ -1,15 +1,24 @@
 #include "obs/obs.hpp"
 
+#if defined(__linux__) || defined(__APPLE__)
+#include <dirent.h>
+#include <sys/resource.h>
+#endif
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
 #include <deque>
 #include <limits>
 #include <map>
 #include <mutex>
 #include <random>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/postmortem.hpp"
 
 #ifndef RELKIT_BUILD_TYPE_STR
 #define RELKIT_BUILD_TYPE_STR "unknown"
@@ -272,6 +281,10 @@ Registry::Impl& Registry::impl() const {
   return impl;
 }
 
+// New nodes register with the postmortem metric table (name c_str()s and
+// node addresses are stable forever — nodes are never erased), so a crash
+// handler can snapshot every metric without touching the map or the lock.
+
 Counter& Registry::counter(std::string_view name) {
   Impl& im = impl();
   std::lock_guard lock(im.mu);
@@ -279,6 +292,8 @@ Counter& Registry::counter(std::string_view name) {
   if (it == im.counters.end()) {
     it = im.counters.emplace(std::string(name), std::make_unique<Counter>())
              .first;
+    postmortem::register_metric_node(postmortem::MetricKind::kCounter,
+                                     it->first.c_str(), it->second.get());
   }
   return *it->second;
 }
@@ -289,6 +304,8 @@ Gauge& Registry::gauge(std::string_view name) {
   auto it = im.gauges.find(name);
   if (it == im.gauges.end()) {
     it = im.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
+    postmortem::register_metric_node(postmortem::MetricKind::kGauge,
+                                     it->first.c_str(), it->second.get());
   }
   return *it->second;
 }
@@ -301,6 +318,8 @@ Histogram& Registry::histogram(std::string_view name) {
     it = im.histograms
              .emplace(std::string(name), std::make_unique<Histogram>())
              .first;
+    postmortem::register_metric_node(postmortem::MetricKind::kHistogram,
+                                     it->first.c_str(), it->second.get());
   }
   return *it->second;
 }
@@ -485,6 +504,31 @@ void register_build_info() {
                  std::chrono::system_clock::now().time_since_epoch())
                  .count());
   });
+}
+
+void refresh_process_gauges() {
+#if defined(__linux__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    // ru_maxrss is KiB on Linux (bytes on macOS, but RelKit targets Linux).
+    obs::gauge("relkit.process.rss_peak_bytes")
+        .set(static_cast<double>(usage.ru_maxrss) * 1024.0);
+    obs::gauge("relkit.process.cpu.user.seconds")
+        .set(static_cast<double>(usage.ru_utime.tv_sec) +
+             static_cast<double>(usage.ru_utime.tv_usec) * 1e-6);
+    obs::gauge("relkit.process.cpu.sys.seconds")
+        .set(static_cast<double>(usage.ru_stime.tv_sec) +
+             static_cast<double>(usage.ru_stime.tv_usec) * 1e-6);
+  }
+  if (DIR* fds = opendir("/proc/self/fd")) {
+    int count = 0;
+    while (readdir(fds) != nullptr) ++count;
+    closedir(fds);
+    // Minus ".", ".." and the directory fd opendir itself holds.
+    obs::gauge("relkit.process.open_fds")
+        .set(static_cast<double>(count > 3 ? count - 3 : 0));
+  }
+#endif
 }
 
 void Registry::reset_values() {
@@ -991,6 +1035,7 @@ Span::Span(std::string_view name) {
   record_.start_s = tracer.now_s();
   wall_start_raw_ = steady_seconds();
   cpu_start_ = thread_cpu_seconds();
+  flight::note_span_begin(record_.id, record_.name, record_.start_s);
 }
 
 Span::~Span() {
@@ -1001,6 +1046,8 @@ Span::~Span() {
   // Pop this span; tolerate (and repair) out-of-order destruction.
   while (!stack.empty() && stack.back() != record_.id) stack.pop_back();
   if (!stack.empty()) stack.pop_back();
+  flight::note_span_end(record_.id, record_.name,
+                        record_.start_s + record_.wall_s, record_.wall_s);
   Tracer::instance().emit(record_);
 }
 
@@ -1121,6 +1168,14 @@ ProfileReport build_profile(const std::vector<SpanRecord>& records) {
     }
   }
 
+  const auto attr_u64 = [](const SpanRecord& r, std::string_view key,
+                           std::uint64_t* out) {
+    const std::string* value = r.attr(key);
+    if (value == nullptr) return false;
+    *out = std::strtoull(value->c_str(), nullptr, 10);
+    return true;
+  };
+
   std::map<std::string, ProfileRow, std::less<>> rows;
   for (const auto& r : records) {
     ProfileRow& row = rows[r.name];
@@ -1133,6 +1188,19 @@ ProfileReport build_profile(const std::vector<SpanRecord>& records) {
     const auto it = child_wall.find(r.id);
     const double in_children = it == child_wall.end() ? 0.0 : it->second;
     row.exclusive_wall += std::max(0.0, r.wall_s - in_children);
+    // Hardware-counter attrs (HwCounterGroup), present only when perf
+    // profiling was on and the kernel allowed it.
+    std::uint64_t cycles = 0;
+    if (attr_u64(r, "hw.cycles", &cycles)) {
+      std::uint64_t instructions = 0;
+      std::uint64_t cache_misses = 0;
+      attr_u64(r, "hw.instructions", &instructions);
+      attr_u64(r, "hw.cache_misses", &cache_misses);
+      row.hw_samples += 1;
+      row.hw_cycles += cycles;
+      row.hw_instructions += instructions;
+      row.hw_cache_misses += cache_misses;
+    }
   }
   for (auto& [name, row] : rows) {
     row.percent = profile.total_wall > 0.0
@@ -1149,20 +1217,44 @@ ProfileReport build_profile(const std::vector<SpanRecord>& records) {
 
 std::string render_profile_table(const ProfileReport& profile) {
   if (profile.rows.empty()) return "(no spans recorded)\n";
+  // Hardware columns appear only when some span carried hw.* attrs, so the
+  // table degrades to the classic layout where perf counters are off or
+  // forbidden.
+  bool hw = false;
+  for (const auto& r : profile.rows) hw = hw || r.hw_samples > 0;
   std::string out;
-  char line[160];
-  std::snprintf(line, sizeof(line), "%-40s %7s %11s %11s %11s %7s\n",
-                "span", "calls", "incl wall", "excl wall", "incl cpu",
-                "% tot");
+  char line[200];
+  if (hw) {
+    std::snprintf(line, sizeof(line), "%-40s %7s %11s %11s %11s %7s %6s %10s\n",
+                  "span", "calls", "incl wall", "excl wall", "incl cpu",
+                  "% tot", "ipc", "miss/call");
+  } else {
+    std::snprintf(line, sizeof(line), "%-40s %7s %11s %11s %11s %7s\n",
+                  "span", "calls", "incl wall", "excl wall", "incl cpu",
+                  "% tot");
+  }
   out += line;
   for (const auto& r : profile.rows) {
     std::snprintf(line, sizeof(line),
-                  "%-40s %7llu %11s %11s %11s %6.1f%%\n", r.name.c_str(),
+                  "%-40s %7llu %11s %11s %11s %6.1f%%", r.name.c_str(),
                   static_cast<unsigned long long>(r.count),
                   format_seconds(r.inclusive_wall).c_str(),
                   format_seconds(r.exclusive_wall).c_str(),
                   format_seconds(r.inclusive_cpu).c_str(), r.percent);
     out += line;
+    if (hw) {
+      if (r.hw_samples > 0 && r.hw_cycles > 0) {
+        std::snprintf(line, sizeof(line), " %6.2f %10.1f",
+                      static_cast<double>(r.hw_instructions) /
+                          static_cast<double>(r.hw_cycles),
+                      static_cast<double>(r.hw_cache_misses) /
+                          static_cast<double>(r.count));
+      } else {
+        std::snprintf(line, sizeof(line), " %6s %10s", "-", "-");
+      }
+      out += line;
+    }
+    out += "\n";
   }
   std::snprintf(line, sizeof(line), "%-40s %7s %11s\n", "total (roots)", "",
                 format_seconds(profile.total_wall).c_str());
@@ -1181,7 +1273,18 @@ std::string profile_to_json(const ProfileReport& profile) {
            ",\"wall_s\":" + format_double(r.inclusive_wall) +
            ",\"excl_s\":" + format_double(r.exclusive_wall) +
            ",\"cpu_s\":" + format_double(r.inclusive_cpu) +
-           ",\"pct\":" + format_double(r.percent) + "}";
+           ",\"pct\":" + format_double(r.percent);
+    if (r.hw_samples > 0) {
+      out += ",\"hw_cycles\":" + std::to_string(r.hw_cycles) +
+             ",\"hw_instructions\":" + std::to_string(r.hw_instructions) +
+             ",\"hw_cache_misses\":" + std::to_string(r.hw_cache_misses);
+      if (r.hw_cycles > 0) {
+        out += ",\"ipc\":" +
+               format_double(static_cast<double>(r.hw_instructions) /
+                             static_cast<double>(r.hw_cycles));
+      }
+    }
+    out += "}";
   }
   out += "]";
   return out;

@@ -69,12 +69,23 @@ inline void set_enabled(bool on) {
 
 // ---- metrics ---------------------------------------------------------------
 
-/// Monotonic event count. add() is a relaxed atomic increment when enabled
-/// and a branch-not-taken otherwise, so it is safe on hot paths.
+namespace flight {
+/// Flight-recorder hook for counter deltas (see flight_recorder.hpp);
+/// defined out of line so this header keeps depending on nothing. Only
+/// reached while enabled() — the disabled path stays a branch-not-taken.
+void note_counter(const void* counter, std::uint64_t delta) noexcept;
+}  // namespace flight
+
+/// Monotonic event count. add() is a relaxed atomic increment (plus a
+/// flight-recorder ring store) when enabled and a branch-not-taken
+/// otherwise, so it is safe on hot paths.
 class Counter {
  public:
   void add(std::uint64_t delta = 1) {
-    if (enabled()) value_.fetch_add(delta, std::memory_order_relaxed);
+    if (enabled()) {
+      value_.fetch_add(delta, std::memory_order_relaxed);
+      flight::note_counter(this, delta);
+    }
   }
   std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
   void reset() { value_.store(0, std::memory_order_relaxed); }
@@ -245,6 +256,13 @@ std::string sanitize_metric_name(std::string_view name);
 /// `relkit.process.start_time.seconds` (Unix time of the first call).
 /// Call after set_enabled(true) — gauge writes are gated like every hook.
 void register_build_info();
+
+/// Samples process-level resource gauges into the registry:
+/// `relkit.process.rss_peak_bytes`, `relkit.process.cpu.user.seconds`,
+/// `relkit.process.cpu.sys.seconds` (getrusage) and
+/// `relkit.process.open_fds` (/proc/self/fd). Cheap enough to call on
+/// every scrape/metrics dump; gauge writes are gated like every hook.
+void refresh_process_gauges();
 
 // Convenience accessors; see Registry::counter for the hot-path pattern.
 inline Counter& counter(std::string_view name) {
@@ -502,6 +520,13 @@ struct ProfileRow {
   double exclusive_wall = 0.0; ///< inclusive minus time in child spans
   double inclusive_cpu = 0.0;  ///< sum of per-thread CPU times
   double percent = 0.0;        ///< inclusive wall as % of total root wall
+  /// Hardware-counter aggregates, summed over the spans that carried
+  /// hw.* attrs (HwCounterGroup under --profile); all zero when perf
+  /// counters were unavailable or profiling was off.
+  std::uint64_t hw_samples = 0;      ///< spans contributing hw.* attrs
+  std::uint64_t hw_cycles = 0;
+  std::uint64_t hw_instructions = 0;
+  std::uint64_t hw_cache_misses = 0;
 };
 
 /// One solve's profile: rows sorted by inclusive wall time (descending)

@@ -1,0 +1,837 @@
+#include "obs/postmortem.hpp"
+
+#include <fcntl.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/stat.h>
+#include <time.h>
+#include <unistd.h>
+
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define RELKIT_HAVE_EXECINFO 1
+#endif
+#if __has_include(<dlfcn.h>)
+#include <dlfcn.h>
+#define RELKIT_HAVE_DLADDR 1
+#endif
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/obs.hpp"
+
+#ifndef RELKIT_BUILD_TYPE_STR
+#define RELKIT_BUILD_TYPE_STR "unknown"
+#endif
+#ifndef RELKIT_GIT_DESCRIBE
+#define RELKIT_GIT_DESCRIBE "unknown"
+#endif
+
+namespace relkit::obs::postmortem {
+
+namespace {
+
+// ---- metrics snapshot table ------------------------------------------------
+
+constexpr std::size_t kMaxMetrics = 1024;
+
+struct MetricEntry {
+  MetricKind kind;
+  const char* name;
+  const void* node;
+};
+
+MetricEntry g_metrics[kMaxMetrics];
+// Registrations serialize under the Registry lock; the handler only loads.
+std::atomic<std::size_t> g_metric_count{0};
+
+// ---- active solve snapshot (single-writer-at-a-time seqlock) ---------------
+
+struct ActiveSolve {
+  char method[32];
+  std::uint64_t iterations;
+  double residual;
+  bool converged;
+  double wall_seconds;
+  std::uint32_t attempts;
+};
+
+ActiveSolve g_active{};
+std::atomic<std::uint32_t> g_active_seq{0};  // even = stable, 0 = never set
+
+// ---- handler state ---------------------------------------------------------
+
+constexpr std::size_t kPathBytes = 512;
+char g_report_path[kPathBytes] = "";
+char g_report_tmp_path[kPathBytes] = "";
+std::atomic<bool> g_installed{false};
+std::atomic<bool> g_in_crash_handler{false};
+std::atomic<bool> g_writing{false};
+char g_terminate_reason[256] = "";
+char g_altstack[64 * 1024];
+
+constexpr int kMaxFrames = 64;
+void* g_crash_frames[kMaxFrames];
+
+// Stuck-thread sampling (watchdog -> SIGPROF -> here).
+void* g_stuck_frames[kMaxFrames];
+std::atomic<int> g_stuck_frame_count{0};
+std::atomic<bool> g_sample_done{false};
+
+// ---- async-signal-safe JSON emitter ----------------------------------------
+
+/// Buffered writer over write(2). Everything here is callable from a signal
+/// handler: no allocation, no stdio, no locale.
+class Emitter {
+ public:
+  explicit Emitter(int fd) : fd_(fd) {}
+  ~Emitter() { flush(); }
+
+  void raw(const char* s, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) put(s[i]);
+  }
+  void str(const char* s) { raw(s, std::strlen(s)); }
+
+  void json_str(const char* s, std::size_t max = SIZE_MAX) {
+    put('"');
+    for (std::size_t i = 0; s[i] != '\0' && i < max; ++i) {
+      const unsigned char c = static_cast<unsigned char>(s[i]);
+      if (c == '"' || c == '\\') {
+        put('\\');
+        put(static_cast<char>(c));
+      } else if (c < 0x20) {
+        put('\\');
+        put('u');
+        put('0');
+        put('0');
+        put(hex_digit(c >> 4));
+        put(hex_digit(c & 0xf));
+      } else {
+        put(static_cast<char>(c));
+      }
+    }
+    put('"');
+  }
+
+  void u64(std::uint64_t v) {
+    char digits[20];
+    int n = 0;
+    do {
+      digits[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) put(digits[--n]);
+  }
+
+  void i64(std::int64_t v) {
+    if (v < 0) {
+      put('-');
+      u64(static_cast<std::uint64_t>(-(v + 1)) + 1);
+    } else {
+      u64(static_cast<std::uint64_t>(v));
+    }
+  }
+
+  void hex_ptr(const void* p) {
+    auto v = reinterpret_cast<std::uintptr_t>(p);
+    char digits[2 * sizeof(void*)];
+    int n = 0;
+    do {
+      digits[n++] = hex_digit(static_cast<unsigned>(v & 0xf));
+      v >>= 4;
+    } while (v != 0);
+    put('0');
+    put('x');
+    while (n > 0) put(digits[--n]);
+  }
+
+  /// JSON number for a double without snprintf: scaled to [1, 10) with a
+  /// decimal exponent when far from 1, six fractional digits. NaN and
+  /// infinities become null (JSON has no spelling for them).
+  void dbl(double v) {
+    if (std::isnan(v) || std::isinf(v)) {
+      str("null");
+      return;
+    }
+    if (v < 0) {
+      put('-');
+      v = -v;
+    }
+    int exp10 = 0;
+    if (v > 0) {
+      while (v >= 1e15) {
+        v /= 10;
+        ++exp10;
+      }
+      while (v < 1e-4) {
+        v *= 10;
+        --exp10;
+      }
+    }
+    const auto whole = static_cast<std::uint64_t>(v);
+    u64(whole);
+    put('.');
+    double frac = v - static_cast<double>(whole);
+    for (int i = 0; i < 6; ++i) {
+      frac *= 10;
+      const int digit = static_cast<int>(frac);
+      put(static_cast<char>('0' + (digit < 0 ? 0 : digit > 9 ? 9 : digit)));
+      frac -= digit;
+    }
+    if (exp10 != 0) {
+      put('e');
+      i64(exp10);
+    }
+  }
+
+  void flush() {
+    std::size_t off = 0;
+    while (off < len_) {
+      const ssize_t n = ::write(fd_, buf_ + off, len_ - off);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+    len_ = 0;
+  }
+
+ private:
+  static char hex_digit(unsigned v) {
+    return static_cast<char>(v < 10 ? '0' + v : 'a' + (v - 10));
+  }
+  void put(char c) {
+    if (len_ == sizeof buf_) flush();
+    buf_[len_++] = c;
+  }
+
+  int fd_;
+  char buf_[4096];
+  std::size_t len_ = 0;
+};
+
+const char* signal_name(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGABRT: return "SIGABRT";
+    default: return "signal";
+  }
+}
+
+void emit_backtrace(Emitter& out, void* const* frames, int count) {
+  out.str("[");
+  for (int i = 0; i < count; ++i) {
+    if (i != 0) out.str(",");
+    out.str("\n    ");
+#ifdef RELKIT_HAVE_DLADDR
+    Dl_info info;
+    if (dladdr(frames[i], &info) != 0 && info.dli_sname != nullptr) {
+      out.str("\"");
+      // Reuse json_str's escaping by emitting pieces; symbol names are
+      // mangled identifiers so a plain copy is safe, but escape anyway.
+      out.flush();
+      char line[512];
+      const auto off = reinterpret_cast<std::uintptr_t>(frames[i]) -
+                       reinterpret_cast<std::uintptr_t>(info.dli_saddr);
+      std::size_t n = 0;
+      for (const char* s = info.dli_sname; *s && n < 400; ++s) {
+        if (*s == '"' || *s == '\\') line[n++] = '\\';
+        line[n++] = *s;
+      }
+      line[n] = '\0';
+      out.str(line);
+      out.str("+");
+      out.hex_ptr(reinterpret_cast<const void*>(off));
+      out.str("\"");
+      continue;
+    }
+#endif
+    out.str("\"");
+    out.hex_ptr(frames[i]);
+    out.str("\"");
+  }
+  out.str("\n  ]");
+}
+
+void emit_metrics(Emitter& out) {
+  out.str("{");
+  const std::size_t count = g_metric_count.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < count; ++i) {
+    const MetricEntry& entry = g_metrics[i];
+    if (i != 0) out.str(",");
+    out.str("\n    ");
+    out.json_str(entry.name);
+    out.str(": ");
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        out.u64(static_cast<const Counter*>(entry.node)->value());
+        break;
+      case MetricKind::kGauge:
+        out.dbl(static_cast<const Gauge*>(entry.node)->value());
+        break;
+      case MetricKind::kHistogram: {
+        const auto* h = static_cast<const Histogram*>(entry.node);
+        out.str("{\"count\": ");
+        out.u64(h->count());
+        out.str(", \"sum\": ");
+        out.dbl(h->sum());
+        out.str("}");
+        break;
+      }
+    }
+  }
+  out.str("\n  }");
+}
+
+// One dump at a time shares this scratch tail; write_report_impl serializes
+// writers via g_writing.
+flight::Event g_dump_tail[flight::kRingCapacity];
+constexpr std::size_t kDumpTailPerThread = 64;
+
+void emit_flight_recorder(Emitter& out) {
+  out.str("[");
+  bool first = true;
+  for (int slot = 0; slot < static_cast<int>(flight::kMaxThreads); ++slot) {
+    if (!flight::slot_used(slot)) continue;
+    const std::size_t n =
+        flight::copy_tail(slot, g_dump_tail, kDumpTailPerThread);
+    const std::uint64_t first_seq = flight::slot_head(slot) - n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const flight::Event& e = g_dump_tail[i];
+      if (e.kind == flight::Event::kNone) continue;
+      if (!first) out.str(",");
+      first = false;
+      out.str("\n    {\"thread\": ");
+      out.u64(static_cast<std::uint64_t>(slot));
+      out.str(", \"seq\": ");
+      out.u64(first_seq + i);
+      out.str(", \"kind\": ");
+      switch (e.kind) {
+        case flight::Event::kSpanBegin: out.str("\"span_begin\""); break;
+        case flight::Event::kSpanEnd: out.str("\"span_end\""); break;
+        default: out.str("\"counter\""); break;
+      }
+      out.str(", \"t\": ");
+      out.dbl(e.t);
+      if (e.kind == flight::Event::kCounter) {
+        out.str(", \"name\": ");
+        out.json_str(
+            metric_node_name(reinterpret_cast<const void*>(
+                static_cast<std::uintptr_t>(e.id))));
+        out.str(", \"delta\": ");
+        out.u64(e.value);
+      } else {
+        out.str(", \"id\": ");
+        out.u64(e.id);
+        out.str(", \"name\": ");
+        out.json_str(e.name, sizeof e.name);
+        if (e.kind == flight::Event::kSpanEnd) {
+          out.str(", \"wall_ns\": ");
+          out.u64(e.value);
+        }
+      }
+      out.str("}");
+    }
+  }
+  out.str("\n  ]");
+}
+
+void emit_active_solve(Emitter& out) {
+  ActiveSolve copy;
+  bool valid = false;
+  for (int attempt = 0; attempt < 3 && !valid; ++attempt) {
+    const std::uint32_t seq = g_active_seq.load(std::memory_order_acquire);
+    if (seq == 0 || (seq & 1) != 0) break;
+    std::memcpy(&copy, &g_active, sizeof copy);
+    valid = g_active_seq.load(std::memory_order_acquire) == seq;
+  }
+  if (!valid) {
+    out.str("null");
+    return;
+  }
+  out.str("{\"method\": ");
+  out.json_str(copy.method, sizeof copy.method);
+  out.str(", \"iterations\": ");
+  out.u64(copy.iterations);
+  out.str(", \"residual\": ");
+  out.dbl(copy.residual);
+  out.str(", \"converged\": ");
+  out.str(copy.converged ? "true" : "false");
+  out.str(", \"wall_seconds\": ");
+  out.dbl(copy.wall_seconds);
+  out.str(", \"attempts\": ");
+  out.u64(copy.attempts);
+  out.str("}");
+}
+
+// Forward declaration: watchdog state lives below but the report includes it.
+struct WatchdogState;
+WatchdogState* watchdog_state() noexcept;
+void emit_watchdog(Emitter& out);
+
+/// The one report writer, shared by the crash handler (signal context), the
+/// watchdog, and write_report(). Writes to the precomputed tmp path and
+/// rename(2)s into place so a report that exists is always complete.
+bool write_report_impl(const char* reason, int sig, const void* fault_addr,
+                       void* const* stuck_frames,
+                       int stuck_frame_count) noexcept {
+  if (g_report_path[0] == '\0') return false;
+  // Serialize concurrent writers (watchdog vs. crash). A crash handler that
+  // finds the lock held proceeds anyway after a bounded spin: losing one
+  // stall report beats losing the crash report.
+  bool expected = false;
+  if (!g_writing.compare_exchange_strong(expected, true)) {
+    for (int i = 0; i < 1000 && g_writing.load(); ++i) {
+      struct timespec ts {0, 100000};
+      nanosleep(&ts, nullptr);
+    }
+    g_writing.store(true);
+  }
+
+  const int fd = ::open(g_report_tmp_path, O_WRONLY | O_CREAT | O_TRUNC,
+                        0644);
+  if (fd < 0) {
+    g_writing.store(false);
+    return false;
+  }
+  {
+    Emitter out(fd);
+    out.str("{\n  \"relkit_postmortem\": 1,\n  \"reason\": ");
+    out.json_str(reason);
+    if (sig != 0) {
+      out.str(",\n  \"signal\": ");
+      out.i64(sig);
+      if (g_terminate_reason[0] != '\0') {
+        out.str(",\n  \"terminate_reason\": ");
+        out.json_str(g_terminate_reason);
+      }
+      if (fault_addr != nullptr) {
+        out.str(",\n  \"fault_addr\": \"");
+        out.hex_ptr(fault_addr);
+        out.str("\"");
+      }
+    }
+    out.str(",\n  \"pid\": ");
+    out.i64(static_cast<std::int64_t>(::getpid()));
+    out.str(",\n  \"unix_time\": ");
+    out.i64(static_cast<std::int64_t>(::time(nullptr)));
+    out.str(",\n  \"build\": {\"type\": \"" RELKIT_BUILD_TYPE_STR
+            "\", \"git\": \"" RELKIT_GIT_DESCRIBE "\"}");
+
+    struct rusage usage {};
+    if (::getrusage(RUSAGE_SELF, &usage) == 0) {
+      out.str(",\n  \"process\": {\"rss_peak_bytes\": ");
+      out.u64(static_cast<std::uint64_t>(usage.ru_maxrss) * 1024);
+      out.str(", \"cpu_user_seconds\": ");
+      out.dbl(static_cast<double>(usage.ru_utime.tv_sec) +
+              static_cast<double>(usage.ru_utime.tv_usec) * 1e-6);
+      out.str(", \"cpu_sys_seconds\": ");
+      out.dbl(static_cast<double>(usage.ru_stime.tv_sec) +
+              static_cast<double>(usage.ru_stime.tv_usec) * 1e-6);
+      out.str("}");
+    }
+
+    out.str(",\n  \"active_solve\": ");
+    emit_active_solve(out);
+
+    out.str(",\n  \"backtrace\": ");
+#ifdef RELKIT_HAVE_EXECINFO
+    const int frames = backtrace(g_crash_frames, kMaxFrames);
+    emit_backtrace(out, g_crash_frames, frames);
+#else
+    out.str("[]");
+#endif
+
+    if (stuck_frames != nullptr && stuck_frame_count > 0) {
+      out.str(",\n  \"stuck_stack\": ");
+      emit_backtrace(out, stuck_frames, stuck_frame_count);
+    }
+
+    out.str(",\n  \"watchdog\": ");
+    emit_watchdog(out);
+
+    out.str(",\n  \"flight_recorder\": ");
+    emit_flight_recorder(out);
+
+    out.str(",\n  \"metrics\": ");
+    emit_metrics(out);
+    out.str("\n}\n");
+  }
+  ::close(fd);
+  const bool ok = ::rename(g_report_tmp_path, g_report_path) == 0;
+  g_writing.store(false);
+  return ok;
+}
+
+// ---- signal / terminate handlers -------------------------------------------
+
+void restore_and_reraise(int sig) {
+  struct sigaction sa {};
+  sa.sa_handler = SIG_DFL;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(sig, &sa, nullptr);
+  ::raise(sig);
+}
+
+void crash_handler(int sig, siginfo_t* info, void*) {
+  if (g_in_crash_handler.exchange(true)) {
+    // Crashed while writing the report: give up and die with the signal.
+    restore_and_reraise(sig);
+    return;
+  }
+  const char* reason = signal_name(sig);
+  if (sig == SIGABRT && g_terminate_reason[0] != '\0') reason = "terminate";
+  write_report_impl(reason, sig, info != nullptr ? info->si_addr : nullptr,
+                    nullptr, 0);
+  restore_and_reraise(sig);
+}
+
+[[noreturn]] void terminate_handler() {
+  const char* what = "std::terminate called without an active exception";
+  try {
+    if (auto current = std::current_exception()) {
+      std::rethrow_exception(current);
+    }
+  } catch (const std::exception& e) {
+    what = e.what();
+  } catch (...) {
+    what = "unhandled exception of unknown type";
+  }
+  std::size_t n = std::strlen(what);
+  if (n > sizeof g_terminate_reason - 1) n = sizeof g_terminate_reason - 1;
+  std::memcpy(g_terminate_reason, what, n);
+  g_terminate_reason[n] = '\0';
+  std::abort();  // lands in crash_handler(SIGABRT) with the reason preserved
+}
+
+void sample_handler(int, siginfo_t*, void*) {
+#ifdef RELKIT_HAVE_EXECINFO
+  g_stuck_frame_count.store(backtrace(g_stuck_frames, kMaxFrames),
+                            std::memory_order_release);
+#endif
+  g_sample_done.store(true, std::memory_order_release);
+}
+
+// ---- watchdog --------------------------------------------------------------
+
+struct WatchdogState {
+  std::thread thread;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> running{false};
+  unsigned deadline_ms = 0;
+  std::atomic<std::uint64_t> stalls{0};
+  std::atomic<double> progress_age_s{0.0};
+  char last_stall_span[39] = {};  // written by the watchdog thread only
+  Counter* stall_counter = nullptr;
+};
+
+// Leaked heap singleton: a global std::thread would terminate() in its
+// destructor if the process exits without stop_watchdog(); atexit handles
+// the join instead (before static destructors run).
+WatchdogState* g_watchdog = nullptr;
+
+WatchdogState* watchdog_state() noexcept { return g_watchdog; }
+
+void emit_watchdog(Emitter& out) {
+  WatchdogState* w = watchdog_state();
+  if (w == nullptr) {
+    out.str("{\"running\": false}");
+    return;
+  }
+  out.str("{\"running\": ");
+  out.str(w->running.load() ? "true" : "false");
+  out.str(", \"deadline_ms\": ");
+  out.u64(w->deadline_ms);
+  out.str(", \"stalls\": ");
+  out.u64(w->stalls.load());
+  out.str(", \"progress_age_s\": ");
+  out.dbl(w->progress_age_s.load());
+  if (w->last_stall_span[0] != '\0') {
+    out.str(", \"last_stall_span\": ");
+    out.json_str(w->last_stall_span, sizeof w->last_stall_span);
+  }
+  out.str("}");
+}
+
+void handle_stall(WatchdogState* w) {
+  // Pick the stalled thread: open spans and the oldest last event.
+  int stuck_slot = -1;
+  double oldest = 0.0;
+  for (int slot = 0; slot < static_cast<int>(flight::kMaxThreads); ++slot) {
+    if (!flight::slot_used(slot) || flight::slot_open_spans(slot) <= 0) {
+      continue;
+    }
+    const double t = flight::slot_last_event_t(slot);
+    if (stuck_slot < 0 || t < oldest) {
+      stuck_slot = slot;
+      oldest = t;
+    }
+  }
+  if (stuck_slot < 0) return;
+
+  // Innermost span the thread is stuck in = last begin event in its tail.
+  flight::Event tail[flight::kRingCapacity];
+  const std::size_t n =
+      flight::copy_tail(stuck_slot, tail, flight::kRingCapacity);
+  w->last_stall_span[0] = '\0';
+  for (std::size_t i = n; i-- > 0;) {
+    if (tail[i].kind == flight::Event::kSpanBegin) {
+      std::memcpy(w->last_stall_span, tail[i].name,
+                  sizeof w->last_stall_span);
+      break;
+    }
+  }
+
+  w->stalls.fetch_add(1, std::memory_order_relaxed);
+  if (w->stall_counter != nullptr) w->stall_counter->add(1);
+
+  // Sample the stuck thread's stack with a directed SIGPROF. The watchdog
+  // double-checks the slot is still mid-span right before signalling so a
+  // recycled slot cannot be hit.
+  void** stuck_frames = nullptr;
+  int stuck_count = 0;
+  g_sample_done.store(false, std::memory_order_release);
+  if (flight::slot_open_spans(stuck_slot) > 0 &&
+      ::pthread_kill(flight::slot_thread(stuck_slot), SIGPROF) == 0) {
+    for (int i = 0; i < 200 && !g_sample_done.load(std::memory_order_acquire);
+         ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (g_sample_done.load(std::memory_order_acquire)) {
+      stuck_frames = g_stuck_frames;
+      stuck_count = g_stuck_frame_count.load(std::memory_order_acquire);
+    }
+  }
+
+  write_report_impl("watchdog_stall", 0, nullptr, stuck_frames, stuck_count);
+}
+
+void watchdog_loop(WatchdogState* w) {
+  std::uint64_t last_epoch = flight::progress_epoch();
+  auto last_change = std::chrono::steady_clock::now();
+  bool reported = false;
+  const unsigned poll_ms = w->deadline_ms / 4 > 10 ? w->deadline_ms / 4 : 10;
+  while (!w->stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+    const std::uint64_t epoch = flight::progress_epoch();
+    const auto now = std::chrono::steady_clock::now();
+    if (epoch != last_epoch) {
+      last_epoch = epoch;
+      last_change = now;
+      reported = false;
+    }
+    const double age =
+        std::chrono::duration<double>(now - last_change).count();
+    w->progress_age_s.store(age, std::memory_order_relaxed);
+    if (reported || age * 1000.0 < static_cast<double>(w->deadline_ms)) {
+      continue;
+    }
+    if (flight::open_span_threads() == 0) continue;
+    reported = true;  // once per stall episode; progress resets it
+    handle_stall(w);
+  }
+  w->running.store(false, std::memory_order_relaxed);
+}
+
+void stop_watchdog_atexit() { stop_watchdog(); }
+
+}  // namespace
+
+// ---- public API ------------------------------------------------------------
+
+void register_metric_node(MetricKind kind, const char* name,
+                          const void* node) noexcept {
+  const std::size_t i = g_metric_count.load(std::memory_order_relaxed);
+  if (i >= kMaxMetrics) return;
+  g_metrics[i] = {kind, name, node};
+  g_metric_count.store(i + 1, std::memory_order_release);
+}
+
+const char* metric_node_name(const void* node) noexcept {
+  const std::size_t count = g_metric_count.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (g_metrics[i].node == node) return g_metrics[i].name;
+  }
+  return "";
+}
+
+void note_active_solve(std::string_view method, std::uint64_t iterations,
+                       double residual, bool converged, double wall_seconds,
+                       std::uint32_t attempts) noexcept {
+  std::uint32_t seq = g_active_seq.load(std::memory_order_relaxed);
+  if ((seq & 1) != 0) return;  // another writer mid-update: last-wins is fine
+  if (!g_active_seq.compare_exchange_strong(seq, seq + 1,
+                                            std::memory_order_acquire)) {
+    return;
+  }
+  std::size_t n = method.size();
+  if (n > sizeof g_active.method - 1) n = sizeof g_active.method - 1;
+  std::memcpy(g_active.method, method.data(), n);
+  g_active.method[n] = '\0';
+  g_active.iterations = iterations;
+  g_active.residual = residual;
+  g_active.converged = converged;
+  g_active.wall_seconds = wall_seconds;
+  g_active.attempts = attempts;
+  g_active_seq.store(seq + 2, std::memory_order_release);
+}
+
+bool install(const char* dir) {
+  if (dir == nullptr || dir[0] == '\0') dir = ".";
+  const int written =
+      std::snprintf(g_report_path, sizeof g_report_path,
+                    "%s/relkit-crash-%d.json", dir,
+                    static_cast<int>(::getpid()));
+  if (written <= 0 || static_cast<std::size_t>(written) >= kPathBytes - 5) {
+    g_report_path[0] = '\0';
+    return false;
+  }
+  // written < kPathBytes - 5 above, so path + ".tmp" + NUL always fits.
+  std::memcpy(g_report_tmp_path, g_report_path,
+              static_cast<std::size_t>(written));
+  std::memcpy(g_report_tmp_path + written, ".tmp", 5);
+  if (::access(dir, W_OK) != 0) {
+    g_report_path[0] = '\0';
+    g_report_tmp_path[0] = '\0';
+    return false;
+  }
+  if (g_installed.exchange(true)) return true;
+
+#ifdef RELKIT_HAVE_EXECINFO
+  // Prime libgcc's unwinder outside signal context (its first call may
+  // allocate while loading the unwind tables).
+  void* prime[4];
+  backtrace(prime, 4);
+#endif
+
+  stack_t altstack{};
+  altstack.ss_sp = g_altstack;
+  altstack.ss_size = sizeof g_altstack;
+  ::sigaltstack(&altstack, nullptr);
+
+  struct sigaction sa {};
+  sa.sa_sigaction = crash_handler;
+  sa.sa_flags = SA_SIGINFO | SA_ONSTACK;
+  sigemptyset(&sa.sa_mask);
+  for (const int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGABRT}) {
+    ::sigaction(sig, &sa, nullptr);
+  }
+  std::set_terminate(terminate_handler);
+
+  // Make sure the process gauges exist in the metric table so every crash
+  // report's metrics snapshot includes them.
+  refresh_process_gauges();
+  return true;
+}
+
+bool installed() noexcept { return g_installed.load(); }
+
+const char* report_path() noexcept { return g_report_path; }
+
+bool write_report(const char* reason) noexcept {
+  return write_report_impl(reason, 0, nullptr, nullptr, 0);
+}
+
+void start_watchdog(unsigned deadline_ms) {
+  if (deadline_ms == 0) return;
+  if (g_watchdog == nullptr) {
+    g_watchdog = new WatchdogState;
+    std::atexit(stop_watchdog_atexit);
+  }
+  WatchdogState* w = g_watchdog;
+  if (w->running.load()) return;
+
+  struct sigaction sa {};
+  sa.sa_sigaction = sample_handler;
+  sa.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGPROF, &sa, nullptr);
+
+  w->deadline_ms = deadline_ms;
+  w->stop.store(false);
+  w->stall_counter = &obs::counter("obs.watchdog.stalls");
+  w->running.store(true);
+  w->thread = std::thread(watchdog_loop, w);
+}
+
+void stop_watchdog() {
+  WatchdogState* w = g_watchdog;
+  if (w == nullptr) return;
+  w->stop.store(true, std::memory_order_relaxed);
+  if (w->thread.joinable()) w->thread.join();
+  w->running.store(false);
+}
+
+WatchdogStatus watchdog_status() {
+  WatchdogStatus status;
+  status.open_span_threads = flight::open_span_threads();
+  WatchdogState* w = g_watchdog;
+  if (w == nullptr) return status;
+  status.running = w->running.load();
+  status.deadline_ms = w->deadline_ms;
+  status.stalls = w->stalls.load();
+  status.progress_age_s = w->progress_age_s.load();
+  std::memcpy(status.last_stall_span, w->last_stall_span,
+              sizeof status.last_stall_span);
+  return status;
+}
+
+int run_selftest(const char* mode) {
+  if (mode == nullptr) return 4;
+  obs::set_enabled(true);
+  for (int i = 0; i < 8; ++i) {
+    obs::Span span("obs.selftest");
+    span.set("iteration", i);
+    obs::counter("obs.selftest.events").add(1);
+  }
+  note_active_solve("obs.selftest", 8, 1e-12, true, 0.0, 1);
+
+  if (std::strcmp(mode, "segv") == 0) {
+    volatile int* null_pointer = nullptr;
+    *null_pointer = 42;
+    return 3;  // unreachable
+  }
+  if (std::strcmp(mode, "abort") == 0) {
+    std::abort();
+  }
+  if (std::strcmp(mode, "terminate") == 0) {
+    // Throwing across a noexcept boundary is the point: it reaches
+    // std::terminate with the exception active so the handler can name it.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wterminate"
+    []() noexcept {
+      throw std::runtime_error("obs.selftest: unhandled exception");
+    }();
+#pragma GCC diagnostic pop
+  }
+  if (std::strcmp(mode, "stall") == 0) {
+    if (g_watchdog == nullptr || !g_watchdog->running.load()) {
+      std::fprintf(stderr,
+                   "obs-selftest stall needs --watchdog-ms to be set\n");
+      return 4;
+    }
+    obs::Span span("obs.selftest.stall");
+    // Stall inside the span: no flight events, so the watchdog must fire.
+    // The report is rename(2)d into place, so existing implies complete.
+    for (int i = 0; i < 3000; ++i) {
+      if (installed() && ::access(g_report_path, F_OK) == 0) return 0;
+      ::usleep(10000);
+    }
+    return 1;
+  }
+  std::fprintf(stderr, "unknown --obs-selftest mode '%s'\n", mode);
+  return 4;
+}
+
+}  // namespace relkit::obs::postmortem

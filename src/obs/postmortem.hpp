@@ -1,0 +1,94 @@
+// Crash and stall postmortems. install() arms an async-signal-safe handler
+// for SIGSEGV/SIGBUS/SIGFPE/SIGABRT (plus a std::terminate hook that funnels
+// into SIGABRT with the exception's what() preserved) which writes a JSON
+// report — backtrace, flight-recorder tails, a metrics snapshot read from
+// pre-registered raw pointers, the active SolveReport summary, and build
+// info — to relkit-crash-<pid>.json, then re-raises the signal so the
+// process still dies with its original disposition.
+//
+// start_watchdog() adds a monitor thread that detects solves making no
+// span progress past a deadline, bumps obs.watchdog.stalls, samples the
+// stuck thread's stack via a directed SIGPROF, and writes the same report
+// (reason "watchdog_stall") without killing the process.
+//
+// Nothing in the handler path allocates: metric nodes are registered into a
+// bounded static table as the Registry creates them (node addresses are
+// stable for the process lifetime), the report path is precomputed at
+// install time, and all formatting is hand-rolled over write(2).
+//
+// Like the rest of obs, this header deliberately depends on nothing else in
+// RelKit.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace relkit::obs::postmortem {
+
+// ---- metrics snapshot table ------------------------------------------------
+
+/// Called by the Registry (under its lock) whenever a metric node is
+/// created. `name` must outlive the process (it points into the Registry's
+/// map key) and `node` must stay valid forever (Registry nodes are never
+/// erased). Beyond kMaxMetrics (1024) further nodes are silently not
+/// snapshotted.
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+void register_metric_node(MetricKind kind, const char* name,
+                          const void* node) noexcept;
+
+/// Resolves a Counter* recorded by the flight recorder back to its name;
+/// "" when unknown. Async-signal-safe.
+const char* metric_node_name(const void* node) noexcept;
+
+// ---- active solve snapshot -------------------------------------------------
+
+/// Called by robust::record_last_report() so the crash report can say what
+/// the process was last solving. Copies into static storage (seqlock);
+/// `method` is truncated to 31 chars.
+void note_active_solve(std::string_view method, std::uint64_t iterations,
+                       double residual, bool converged, double wall_seconds,
+                       std::uint32_t attempts) noexcept;
+
+// ---- crash handler ---------------------------------------------------------
+
+/// Installs the signal + terminate handlers. `dir` (nullptr or "" = current
+/// directory) must exist; the report lands at <dir>/relkit-crash-<pid>.json.
+/// Returns false when the directory is not writable. Idempotent (the second
+/// call just re-derives the path).
+bool install(const char* dir);
+bool installed() noexcept;
+const char* report_path() noexcept;  ///< "" before install()
+
+/// Writes a postmortem right now from normal context (same shape as the
+/// crash report, with the given reason). Used by the watchdog and tests.
+bool write_report(const char* reason) noexcept;
+
+// ---- stall watchdog --------------------------------------------------------
+
+struct WatchdogStatus {
+  bool running = false;
+  unsigned deadline_ms = 0;
+  std::uint64_t stalls = 0;     ///< mirrors obs.watchdog.stalls
+  double progress_age_s = 0.0;  ///< time since the last flight event
+  int open_span_threads = 0;
+  char last_stall_span[39] = {};  ///< innermost span of the last stall
+};
+
+/// Starts the monitor thread (no-op when already running or deadline 0).
+/// Requires install() for the report path; without it stalls are still
+/// counted and surfaced in watchdog_status() but no report is written.
+void start_watchdog(unsigned deadline_ms);
+void stop_watchdog();
+WatchdogStatus watchdog_status();
+
+// ---- deployment self-test --------------------------------------------------
+
+/// Implements --obs-selftest=MODE for both binaries: records a few spans
+/// and counters so the rings are non-empty, notes a synthetic active solve,
+/// then triggers the requested failure. Modes "segv", "abort" and
+/// "terminate" do not return; "stall" waits (inside an open span) for the
+/// watchdog report and returns 0 once it exists, 1 on timeout. Unknown
+/// modes return 4 (usage).
+int run_selftest(const char* mode);
+
+}  // namespace relkit::obs::postmortem

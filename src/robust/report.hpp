@@ -25,12 +25,14 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/postmortem.hpp"
 #include "robust/convergence_trace.hpp"
 
 namespace relkit::robust {
@@ -152,9 +154,15 @@ inline LastReportSlot& last_report_slot() {
 }
 }  // namespace detail
 
-/// Records `r` as the current thread's most recent solve report.
+/// Records `r` as the current thread's most recent solve report, and
+/// mirrors a POD summary into the postmortem layer so a crash report can
+/// say what the process was last solving.
 inline void record_last_report(const SolveReport& r) {
   detail::last_report_slot() = {r, true};
+  obs::postmortem::note_active_solve(
+      r.method, static_cast<std::uint64_t>(r.iterations), r.residual,
+      r.converged, r.wall_seconds,
+      static_cast<std::uint32_t>(r.attempts.size()));
 }
 
 /// True once any solver on this thread has recorded a report.

@@ -16,6 +16,7 @@
 
 #include "markov/solution_cache.hpp"
 #include "obs/obs.hpp"
+#include "obs/postmortem.hpp"
 #include "parallel/pool.hpp"
 #include "robust/fault_injection.hpp"
 #include "serve/http.hpp"
@@ -362,6 +363,25 @@ std::string Server::statusz_body() {
       row("class " + error_class, *window);
     }
   }
+  // Stall-watchdog state (--watchdog-ms): operators checking a wedged
+  // daemon see at a glance whether the watchdog already fired and on what.
+  {
+    const obs::postmortem::WatchdogStatus wd =
+        obs::postmortem::watchdog_status();
+    out += "\nstall watchdog: ";
+    if (!wd.running) {
+      out += "off (start with --watchdog-ms)\n";
+    } else {
+      out += "on deadline_ms=" + std::to_string(wd.deadline_ms) +
+             " stalls=" + std::to_string(wd.stalls) +
+             " progress_age_s=" + format_seconds6(wd.progress_age_s) +
+             " open_span_threads=" + std::to_string(wd.open_span_threads) +
+             "\n";
+      if (wd.last_stall_span[0] != '\0') {
+        out += "last stall span: " + std::string(wd.last_stall_span) + "\n";
+      }
+    }
+  }
   return out;
 }
 
@@ -549,6 +569,7 @@ void Server::route(Conn& conn) {
   }
   if (request.method == "GET" && request.target == "/metrics") {
     refresh_slo_gauges();
+    obs::refresh_process_gauges();
     finish_response(conn.fd, 200, obs::Registry::instance().to_openmetrics(),
                     log, obs::kOpenMetricsContentType);
     return;

@@ -12,6 +12,7 @@
 
 #include "common/error.hpp"
 #include "common/statistics.hpp"
+#include "obs/hw_counters.hpp"
 #include "obs/obs.hpp"
 #include "parallel/pool.hpp"
 #include "robust/fault_injection.hpp"
@@ -417,6 +418,7 @@ Estimate run_rare(const char* what, const RareEventModel& model, bool mttf,
       injector.cap("sim.rare.cycles", budget.cap_iterations(opts.max_cycles));
 
   obs::Span span("sim.rare.estimate");
+  obs::HwCounterGroup hw_counters(span);
   span.set("what", what);
   span.set("method", method_name(opts.method));
   span.set("target", target);

@@ -21,6 +21,12 @@ benchmarks present in the baseline but absent from the fresh run are
 regressions too — a deleted bench must be deleted from the baselines, not
 silently dropped.
 
+When the two files' JSON contexts disagree on host identity (cpu_model or
+kernel, stamped by bench_util.hpp), every pair gets a CONTEXT WARNING: the
+numbers were measured on different machines, so a "regression" may be
+nothing but silicon. Warnings never fail the gate; they flag that its
+verdict is weak.
+
 Exit codes: 0 no regressions, 1 regressions listed on stdout, 2 usage or
 unreadable input. --report-only always exits 0/2 (CI smoke lanes report
 without gating; bench/run_all.sh --compare is the strict lane).
@@ -42,10 +48,18 @@ import tempfile
 DEFAULT_THRESHOLD = 0.30
 
 
-def load_benchmarks(path: pathlib.Path) -> dict[str, float]:
-    """Map benchmark name -> real_time for the comparable rows of one file."""
+# Context keys that identify the measuring host; a mismatch means the two
+# runs are not comparable as regressions.
+HOST_CONTEXT_KEYS = ("cpu_model", "kernel")
+
+
+def load_benchmarks(path: pathlib.Path) -> tuple[dict[str, float], dict]:
+    """(benchmark name -> real_time, JSON context) for one file."""
     with path.open(encoding="utf-8") as fh:
         data = json.load(fh)
+    context = data.get("context", {})
+    if not isinstance(context, dict):
+        context = {}
     rows: dict[str, float] = {}
     for row in data.get("benchmarks", []):
         if row.get("run_type", "iteration") != "iteration":
@@ -56,7 +70,23 @@ def load_benchmarks(path: pathlib.Path) -> dict[str, float]:
         time = row.get("real_time")
         if isinstance(name, str) and isinstance(time, (int, float)) and time > 0:
             rows[name] = float(time)
-    return rows
+    return rows, context
+
+
+def context_mismatches(base_ctx: dict, new_ctx: dict) -> list[str]:
+    """Host-identity keys on which the two runs visibly disagree.
+
+    A key missing on either side is NOT a mismatch (older baselines predate
+    the stamps); only two present-and-different values are.
+    """
+    mismatches = []
+    for key in HOST_CONTEXT_KEYS:
+        base_value = base_ctx.get(key)
+        new_value = new_ctx.get(key)
+        if base_value is not None and new_value is not None \
+                and base_value != new_value:
+            mismatches.append(f"{key}: '{base_value}' vs '{new_value}'")
+    return mismatches
 
 
 def load_thresholds(baseline_dir: pathlib.Path, fallback: float):
@@ -72,21 +102,24 @@ def load_thresholds(baseline_dir: pathlib.Path, fallback: float):
 
 def compare_dirs(
     new_dir: pathlib.Path, baseline_dir: pathlib.Path, threshold: float
-) -> tuple[list[str], int]:
-    """Returns (regression messages, metrics compared)."""
+) -> tuple[list[str], list[str], int]:
+    """Returns (regression messages, context warnings, metrics compared)."""
     default, overrides = load_thresholds(baseline_dir, threshold)
     baselines = sorted(baseline_dir.glob("BENCH_*.json"))
     if not baselines:
         raise FileNotFoundError(f"no BENCH_*.json baselines in {baseline_dir}")
     regressions: list[str] = []
+    warnings: list[str] = []
     compared = 0
     for base_path in baselines:
         new_path = new_dir / base_path.name
         if not new_path.is_file():
             regressions.append(f"{base_path.name}: missing from {new_dir}")
             continue
-        base = load_benchmarks(base_path)
-        new = load_benchmarks(new_path)
+        base, base_ctx = load_benchmarks(base_path)
+        new, new_ctx = load_benchmarks(new_path)
+        for mismatch in context_mismatches(base_ctx, new_ctx):
+            warnings.append(f"{base_path.name}: {mismatch}")
         for name, base_time in sorted(base.items()):
             limit = overrides.get(name, default)
             if name not in new:
@@ -101,17 +134,21 @@ def compare_dirs(
                     f"{base_path.name} {name}: {base_time:.1f} -> "
                     f"{new[name]:.1f} ({rel:+.1%}, threshold +{limit:.0%})"
                 )
-    return regressions, compared
+    return regressions, warnings, compared
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
     new_dir = pathlib.Path(args.new_dir)
     baseline_dir = pathlib.Path(args.baseline_dir)
     try:
-        regressions, compared = compare_dirs(new_dir, baseline_dir, args.threshold)
+        regressions, warnings, compared = compare_dirs(
+            new_dir, baseline_dir, args.threshold)
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"bench_compare: {exc}", file=sys.stderr)
         return 2
+    for line in warnings:
+        print(f"  CONTEXT WARNING {line}: runs measured on different hosts; "
+              f"timing diffs may be hardware, not code")
     if regressions:
         print(f"bench_compare: {len(regressions)} regression(s) "
               f"({compared} metrics compared):")
@@ -125,7 +162,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _fixture(times: dict[str, float]) -> str:
+def _fixture(times: dict[str, float], context: dict | None = None) -> str:
     rows = [
         {"name": name, "run_type": "iteration", "real_time": t,
          "cpu_time": t, "time_unit": "ns"}
@@ -136,7 +173,7 @@ def _fixture(times: dict[str, float]) -> str:
                  "real_time": 1e9})
     rows.append({"name": "BM_broken", "run_type": "iteration",
                  "error_occurred": True, "real_time": 1.0})
-    return json.dumps({"context": {}, "benchmarks": rows})
+    return json.dumps({"context": context or {}, "benchmarks": rows})
 
 
 def cmd_selftest(_: argparse.Namespace) -> int:
@@ -155,22 +192,41 @@ def cmd_selftest(_: argparse.Namespace) -> int:
         #    must pass except for the dropped benchmark.
         (fresh / "BENCH_x.json").write_text(
             _fixture({"BM_a": 120.0, "BM_b": 310.0}))
-        regressions, compared = compare_dirs(fresh, base, DEFAULT_THRESHOLD)
+        regressions, warnings, compared = compare_dirs(
+            fresh, base, DEFAULT_THRESHOLD)
         assert compared == 2, compared
         assert len(regressions) == 1 and "dropped" in regressions[0], regressions
+        assert not warnings, warnings
 
         # 2. injected 3x regression on BM_a must be detected; BM_b's +55%
         #    stays inside its 60% override.
         (fresh / "BENCH_x.json").write_text(
             _fixture({"BM_a": 300.0, "BM_b": 310.0, "BM_gone": 5.0}))
-        regressions, compared = compare_dirs(fresh, base, DEFAULT_THRESHOLD)
+        regressions, warnings, compared = compare_dirs(
+            fresh, base, DEFAULT_THRESHOLD)
         assert compared == 3, compared
         assert len(regressions) == 1 and "BM_a" in regressions[0], regressions
 
         # 3. missing counterpart file is a regression.
         (fresh / "BENCH_x.json").unlink()
-        regressions, _ = compare_dirs(fresh, base, DEFAULT_THRESHOLD)
+        regressions, _, _ = compare_dirs(fresh, base, DEFAULT_THRESHOLD)
         assert len(regressions) == 1 and "missing" in regressions[0], regressions
+
+        # 4. same numbers, different silicon: no regression, one context
+        #    warning per mismatched key. A baseline with no stamps at all
+        #    (pre-stamp archive) must stay silent.
+        (base / "BENCH_x.json").write_text(_fixture(
+            {"BM_a": 100.0},
+            {"cpu_model": "Xeon E5-2690", "kernel": "5.10.0"}))
+        (fresh / "BENCH_x.json").write_text(_fixture(
+            {"BM_a": 100.0},
+            {"cpu_model": "EPYC 7B13", "kernel": "5.10.0"}))
+        regressions, warnings, _ = compare_dirs(fresh, base, DEFAULT_THRESHOLD)
+        assert not regressions, regressions
+        assert len(warnings) == 1 and "cpu_model" in warnings[0], warnings
+        (fresh / "BENCH_x.json").write_text(_fixture({"BM_a": 100.0}))
+        regressions, warnings, _ = compare_dirs(fresh, base, DEFAULT_THRESHOLD)
+        assert not regressions and not warnings, (regressions, warnings)
     print("bench_compare: selftest OK")
     return 0
 

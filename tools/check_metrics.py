@@ -13,7 +13,21 @@ OpenMetrics name, no two catalog names may sanitize to the same exposed
 name (a collision merges two metrics in the exposition), and sanitizing
 must be idempotent.
 
-Usage: check_metrics.py [repo-root]   (default: parent of this script's dir)
+Usage:
+    check_metrics.py [repo-root]        static catalog lint
+                                        (default root: parent of this
+                                        script's dir)
+    check_metrics.py --serve BINARY     live-scrape lint: start relkit_serve
+                                        on an ephemeral port, POST one
+                                        /solve, scrape /metrics, and check
+                                        the serve-path and process-resource
+                                        families are actually exposed
+
+The static lint proves names are *documented*; the --serve mode proves the
+families a dashboard would alert on (serve.* plus the relkit.process.*
+resource gauges) actually appear in a live exposition with '# TYPE' lines —
+a catalog entry whose registration was dropped passes the static check but
+fails this one.
 """
 
 import pathlib
@@ -70,7 +84,93 @@ def collect_names(src_dir: pathlib.Path) -> tuple[set[str], set[str]]:
     return metrics, spans
 
 
+# Families a live relkit_serve must expose: the serve request path plus the
+# process-resource gauges (catalog names; the scrape check sanitizes them to
+# their exposed form). serve.ready/queue.depth/latency only materialize once
+# the server is running, so only the live scrape can prove them.
+LIVE_SERVE_FAMILIES = (
+    "serve.requests",
+    "serve.latency",
+    "serve.ready",
+    "serve.queue.depth",
+    "relkit.process.start_time.seconds",
+    "relkit.process.rss_peak_bytes",
+    "relkit.process.cpu.user.seconds",
+    "relkit.process.cpu.sys.seconds",
+    "relkit.process.open_fds",
+)
+
+SOLVE_BODY = (
+    '{"model": "model rbd duplex\\nevent a prob 0.99\\n'
+    'event b prob 0.95\\ngate top and a b\\ntop top\\n"}'
+)
+
+
+def check_serve(binary: str) -> int:
+    """Live-scrape mode: boot `binary`, solve once, lint /metrics."""
+    import http.client
+    import signal
+    import subprocess
+
+    proc = subprocess.Popen(
+        [binary, "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    try:
+        line = proc.stdout.readline()  # "listening on N"
+        match = re.match(r"listening on (\d+)", line)
+        if not match:
+            print(f"check_metrics: unexpected server banner: {line!r}",
+                  file=sys.stderr)
+            return 2
+        port = int(match.group(1))
+
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        # One real solve first, so serve.requests / serve.latency carry a
+        # request rather than being scraped at zero out of boot.
+        conn.request("POST", "/solve", body=SOLVE_BODY,
+                     headers={"Content-Type": "application/json"})
+        solve = conn.getresponse()
+        solve.read()
+        problems = []
+        if solve.status != 200:
+            problems.append(f"POST /solve returned {solve.status}")
+        conn.request("GET", "/metrics")
+        response = conn.getresponse()
+        body = response.read().decode("utf-8")
+        conn.close()
+        if response.status != 200:
+            problems.append(f"GET /metrics returned {response.status}")
+
+        for family in LIVE_SERVE_FAMILIES:
+            exposed = sanitize_metric_name(family)
+            if f"# TYPE {exposed} " not in body:
+                problems.append(
+                    f"family '{family}' (exposed as '{exposed}') has no "
+                    "'# TYPE' line in the live exposition"
+                )
+        if problems:
+            print("check_metrics: live exposition problems:")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print(
+            f"check_metrics: live /metrics exposes all "
+            f"{len(LIVE_SERVE_FAMILIES)} serve + process families"
+        )
+        return 0
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+
 def main() -> int:
+    if len(sys.argv) == 3 and sys.argv[1] == "--serve":
+        return check_serve(sys.argv[2])
     root = (
         pathlib.Path(sys.argv[1])
         if len(sys.argv) > 1

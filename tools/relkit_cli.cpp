@@ -7,9 +7,12 @@
 //              [--jobs N] [--no-solver-cache] [--timeout-ms N]
 //              [--solver M] [--rare-event[=METHOD]] [--seed N]
 //              [--rare-rel-err X] [--rare-max-cycles N] [--rare-bias X]
-//              [--rare-splits N]
+//              [--rare-splits N] [--postmortem[=DIR]] [--watchdog-ms N]
 //   relkit_cli --batch LIST [--time t ...] [--profile] [--jobs N]
 //              [--no-solver-cache] [--timeout-ms N] [--solver M]
+//              [--postmortem[=DIR]] [--watchdog-ms N]
+//   relkit_cli --obs-selftest segv|abort|terminate|stall
+//              [--postmortem[=DIR]] [--watchdog-ms N]
 //
 // Prints, depending on the model's component specifications:
 //   * steady-state availability / top-event probability,
@@ -52,6 +55,16 @@
 // by installing a robust::ScopedDeadline; when an iterative solver runs
 // out mid-solve with a usable iterate, the CLI prints that partial result
 // plus its SolveReport and exits 5 instead of discarding the work.
+// --postmortem[=DIR] installs the crash/abort handler: if the process dies
+// on SIGSEGV/SIGBUS/SIGFPE/SIGABRT or an unhandled exception, a JSON
+// postmortem (backtrace, flight-recorder tail, metrics snapshot, last
+// SolveReport) is written to DIR/relkit-crash-<pid>.json (DIR defaults to
+// the working directory). --watchdog-ms N additionally starts a stall
+// watchdog that dumps the same report when an in-flight solve makes no
+// observable progress for N ms (the process keeps running). Both flags
+// enable the observability layer. --obs-selftest MODE exercises the
+// machinery end to end (it crashes or stalls on purpose) and is what the
+// crash-path tests drive; see docs/postmortem.md.
 // --batch LIST reads one model path per line from LIST ('#' comments and
 // blank lines skipped), solves the models concurrently on the thread
 // pool, and streams one JSON object per model to stdout as each finishes
@@ -83,7 +96,9 @@
 #include "io/model_parser.hpp"
 #include "sim/simulator.hpp"
 #include "markov/solution_cache.hpp"
+#include "obs/hw_counters.hpp"
 #include "obs/obs.hpp"
+#include "obs/postmortem.hpp"
 #include "parallel/pool.hpp"
 #include "robust/budget.hpp"
 #include "robust/robust.hpp"
@@ -102,10 +117,12 @@ void usage() {
                "[--solver auto|gth|sor|bicgstab|power|ad] "
                "[--rare-event[=naive|restart|is]] [--seed N] "
                "[--rare-rel-err X] [--rare-max-cycles N] [--rare-bias X] "
-               "[--rare-splits N]\n"
+               "[--rare-splits N] [--postmortem[=DIR]] [--watchdog-ms N]\n"
                "       relkit_cli --batch LIST [--time t ...] [--profile] "
                "[--jobs N] [--no-solver-cache] [--timeout-ms N] "
-               "[--solver M]\n");
+               "[--solver M] [--postmortem[=DIR]] [--watchdog-ms N]\n"
+               "       relkit_cli --obs-selftest segv|abort|terminate|stall "
+               "[--postmortem[=DIR]] [--watchdog-ms N]\n");
 }
 
 /// Convergence trajectory as a JSON array of [iteration, value] pairs.
@@ -346,7 +363,10 @@ int run_batch(const std::string& list_path, const std::vector<double>& times,
 
   // Profiling needs span emission; each model's spans stay on its worker
   // thread, so the per-model ThreadFilterSink sees only its own solve.
-  if (profile) relkit::obs::set_enabled(true);
+  if (profile) {
+    relkit::obs::set_enabled(true);
+    relkit::obs::hw::set_profiling(true);
+  }
 
   std::vector<int> exit_classes(paths.size(), 0);
   relkit::serve::ErrorClassCounts counts;
@@ -397,6 +417,10 @@ int main(int argc, char** argv) {
   bool want_rare = false;
   relkit::sim::RareEventOptions rare_opts;
   std::uint64_t rare_seed = 42;
+  bool want_postmortem = false;
+  std::string postmortem_dir;    // empty = working directory
+  long watchdog_ms = 0;          // 0 = watchdog off
+  std::string selftest_mode;     // segv|abort|terminate|stall; empty = none
   // Fetches the value of a --flag VALUE / --flag=VALUE argument, or null.
   const auto flag_value = [&](int& i, std::size_t name_len) -> const char* {
     if (argv[i][name_len] == '=') return argv[i] + name_len + 1;
@@ -659,12 +683,69 @@ int main(int argc, char** argv) {
         return 4;
       }
       rare_opts.splits = static_cast<unsigned>(parsed);
+    } else if (std::strncmp(argv[i], "--postmortem", 12) == 0 &&
+               (argv[i][12] == '\0' || argv[i][12] == '=')) {
+      want_postmortem = true;
+      if (argv[i][12] == '=') {
+        postmortem_dir = argv[i] + 13;
+        if (postmortem_dir.empty()) {
+          std::fprintf(stderr,
+                       "invalid argument: --postmortem= needs a directory\n");
+          return 4;
+        }
+      }
+    } else if (std::strcmp(argv[i], "--watchdog-ms") == 0 ||
+               std::strncmp(argv[i], "--watchdog-ms=", 14) == 0) {
+      const char* value = flag_value(i, 13);
+      char* rest = nullptr;
+      const long parsed = value != nullptr ? std::strtol(value, &rest, 10) : 0;
+      if (value == nullptr || rest == value || *rest != '\0' || parsed <= 0) {
+        std::fprintf(stderr,
+                     "invalid argument: --watchdog-ms needs a positive "
+                     "integer\n");
+        usage();
+        return 4;
+      }
+      watchdog_ms = parsed;
+    } else if (std::strcmp(argv[i], "--obs-selftest") == 0 ||
+               std::strncmp(argv[i], "--obs-selftest=", 15) == 0) {
+      const char* value = flag_value(i, 14);
+      if (value == nullptr || value[0] == '\0') {
+        std::fprintf(stderr,
+                     "invalid argument: --obs-selftest needs a mode "
+                     "(segv, abort, terminate, stall)\n");
+        usage();
+        return 4;
+      }
+      selftest_mode = value;
     } else if (argv[i][0] == '-') {
       usage();
       return 1;
     } else {
       path = argv[i];
     }
+  }
+  // Postmortem machinery installs before anything can crash or stall —
+  // including argument-dependent work like batch parsing.
+  if (want_postmortem || watchdog_ms > 0 || !selftest_mode.empty()) {
+    relkit::obs::set_enabled(true);
+  }
+  if (want_postmortem) {
+    if (!relkit::obs::postmortem::install(
+            postmortem_dir.empty() ? nullptr : postmortem_dir.c_str())) {
+      std::fprintf(stderr,
+                   "invalid argument: --postmortem directory '%s' is not "
+                   "writable\n",
+                   postmortem_dir.empty() ? "." : postmortem_dir.c_str());
+      return 4;
+    }
+  }
+  if (watchdog_ms > 0) {
+    relkit::obs::postmortem::start_watchdog(
+        static_cast<unsigned>(watchdog_ms));
+  }
+  if (!selftest_mode.empty()) {
+    return relkit::obs::postmortem::run_selftest(selftest_mode.c_str());
   }
   // Parallelism degree: the CLI (unlike the library) defaults to the
   // hardware concurrency — it is a leaf process, not a building block.
@@ -714,6 +795,9 @@ int main(int argc, char** argv) {
   if (want_trace || want_metrics || want_profile) {
     relkit::obs::set_enabled(true);
   }
+  // Hardware counters are profile-only: per-span perf reads cost two
+  // syscalls, which tracing/metrics alone should not pay.
+  if (want_profile) relkit::obs::hw::set_profiling(true);
   // Build provenance belongs in every exposition a scraper might diff
   // across versions (gauges are set-gated, so this must follow enable).
   if (want_metrics) relkit::obs::register_build_info();
@@ -867,6 +951,9 @@ int main(int argc, char** argv) {
       }
     }
     if (want_metrics) {
+      // Sample the process-wide resource gauges (peak RSS, CPU time, open
+      // fds) so every exposition format carries them.
+      relkit::obs::refresh_process_gauges();
       std::string rendered;
       if (eff_metrics_format == "openmetrics") {
         rendered = relkit::obs::Registry::instance().to_openmetrics();

@@ -5,6 +5,8 @@
 //                [--write-timeout-ms N] [--max-body BYTES] [--allow-paths]
 //                [--time t1 t2 ...] [--trace[=FILE]] [--trace-sample P]
 //                [--access-log[=FILE]] [--access-log-max-bytes N]
+//                [--postmortem[=DIR]] [--watchdog-ms N]
+//                [--obs-selftest MODE]
 //
 // Accepts model-solve requests over HTTP/JSON and answers them from the
 // process-wide thread pool behind a bounded admission queue:
@@ -28,7 +30,11 @@
 // requests' span trees into a Chrome trace-event file on shutdown
 // (--trace-sample P sets the fraction); --access-log[=FILE] appends one
 // JSONL line per request, rotated once past --access-log-max-bytes.
-// Full reference: docs/serving.md.
+// --postmortem[=DIR] installs the crash handler (a dying daemon leaves
+// DIR/relkit-crash-<pid>.json behind); --watchdog-ms N starts the stall
+// watchdog, whose state /statusz reports; --obs-selftest MODE crashes or
+// stalls on purpose before serving starts (crash-path tests only). See
+// docs/postmortem.md. Full reference: docs/serving.md.
 //
 // Exit codes: 0 clean shutdown, 1 usage error, 4 invalid argument.
 #include <csignal>
@@ -38,6 +44,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
+#include "obs/postmortem.hpp"
 #include "parallel/pool.hpp"
 #include "serve/server.hpp"
 
@@ -53,7 +61,9 @@ void usage() {
                "[--queue-cap N] [--timeout-ms N] [--read-timeout-ms N] "
                "[--write-timeout-ms N] [--max-body BYTES] [--allow-paths] "
                "[--time t ...] [--trace[=FILE]] [--trace-sample P] "
-               "[--access-log[=FILE]] [--access-log-max-bytes N]\n");
+               "[--access-log[=FILE]] [--access-log-max-bytes N] "
+               "[--postmortem[=DIR]] [--watchdog-ms N] "
+               "[--obs-selftest segv|abort|terminate|stall]\n");
 }
 
 /// Parses the value of `--flag N` / `--flag=N` as a long in [lo, hi];
@@ -132,6 +142,10 @@ std::string parse_optional_path(const char* arg, const char* flag,
 int main(int argc, char** argv) {
   relkit::serve::ServerOptions options;
   unsigned jobs = 0;
+  bool want_postmortem = false;
+  std::string postmortem_dir;
+  long watchdog_ms = 0;
+  std::string selftest_mode;
   for (int i = 1; i < argc; ++i) {
     if (matches(argv[i], "--port")) {
       options.port = static_cast<int>(
@@ -179,6 +193,23 @@ int main(int argc, char** argv) {
     } else if (matches(argv[i], "--access-log")) {
       options.access_log_path = parse_optional_path(
           argv[i], "--access-log", "relkit_serve_access.log");
+    } else if (matches(argv[i], "--postmortem")) {
+      want_postmortem = true;
+      postmortem_dir = parse_optional_path(argv[i], "--postmortem", ".");
+    } else if (matches(argv[i], "--watchdog-ms")) {
+      watchdog_ms = parse_count(argc, argv, i, "--watchdog-ms", 1, 86400000);
+    } else if (matches(argv[i], "--obs-selftest")) {
+      const char* value = argv[i][14] == '=' ? argv[i] + 15 : nullptr;
+      if (value == nullptr) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr,
+                       "invalid argument: --obs-selftest needs a mode\n");
+          usage();
+          return 4;
+        }
+        value = argv[++i];
+      }
+      selftest_mode = value;
     } else if (std::strcmp(argv[i], "--time") == 0) {
       while (i + 1 < argc && argv[i + 1][0] != '-') {
         options.default_times.push_back(std::atof(argv[++i]));
@@ -192,6 +223,28 @@ int main(int argc, char** argv) {
   // Like the CLI, the daemon is a leaf process: default to the hardware
   // concurrency unless --jobs pins a degree.
   relkit::parallel::set_default_jobs(jobs);
+
+  // Crash/stall machinery comes up before the listener so even startup
+  // faults leave a report. The daemon always runs with obs on when any of
+  // these are requested (the server enables obs for /metrics anyway).
+  if (want_postmortem || watchdog_ms > 0 || !selftest_mode.empty()) {
+    relkit::obs::set_enabled(true);
+  }
+  if (want_postmortem &&
+      !relkit::obs::postmortem::install(postmortem_dir.c_str())) {
+    std::fprintf(stderr,
+                 "invalid argument: --postmortem directory '%s' is not "
+                 "writable\n",
+                 postmortem_dir.c_str());
+    return 4;
+  }
+  if (watchdog_ms > 0) {
+    relkit::obs::postmortem::start_watchdog(
+        static_cast<unsigned>(watchdog_ms));
+  }
+  if (!selftest_mode.empty()) {
+    return relkit::obs::postmortem::run_selftest(selftest_mode.c_str());
+  }
 
   relkit::serve::Server server(options);
   std::string error;
